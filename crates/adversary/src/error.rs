@@ -1,0 +1,38 @@
+//! Error types for `anonroute-adversary`.
+
+use std::fmt;
+
+/// Errors from observation reconstruction and attack evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Inconsistent inputs (bad node ids, model/adversary mismatch).
+    BadInput(String),
+    /// A message's trace is incomplete (never delivered in the window).
+    Incomplete(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadInput(msg) => write!(f, "bad adversary input: {msg}"),
+            Error::Incomplete(msg) => write!(f, "incomplete trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Error::BadInput("x".into()).to_string().is_empty());
+        assert!(!Error::Incomplete("y".into()).to_string().is_empty());
+    }
+}

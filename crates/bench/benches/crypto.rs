@@ -1,0 +1,58 @@
+//! Benchmarks of the crypto substrate: hash/cipher throughput and
+//! per-hop onion costs.
+
+use anonroute_crypto::keys::KeyStore;
+use anonroute_crypto::{chacha20, hmac, onion, sha256};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("digest_4k", |b| b.iter(|| sha256::digest(black_box(&data))));
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0x55u8; 1024];
+    c.bench_function("hmac_sha256_1k", |b| {
+        b.iter(|| hmac::hmac_sha256(black_box(b"key material"), black_box(&data)))
+    });
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    let mut data = vec![0u8; 4096];
+    let mut group = c.benchmark_group("chacha20");
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("xor_4k", |b| {
+        b.iter(|| chacha20::xor_stream(black_box(&key), black_box(&nonce), 1, &mut data))
+    });
+    group.finish();
+}
+
+fn bench_onion(c: &mut Criterion) {
+    let keys = KeyStore::from_seed(b"bench", 64);
+    let path: Vec<u16> = vec![3, 17, 42, 8, 25];
+    let nonces: Vec<[u8; 12]> = (0..5).map(|i| [i as u8 + 1; 12]).collect();
+    let payload = vec![0xCDu8; 256];
+    c.bench_function("onion_build_5_hops", |b| {
+        b.iter(|| onion::build(&keys, black_box(&path), black_box(&payload), &nonces).unwrap())
+    });
+
+    let wire = onion::build(&keys, &path, &payload, &nonces).unwrap();
+    let mut j = 0u8;
+    let mut junk = move || {
+        j = j.wrapping_add(41);
+        j
+    };
+    let cell = onion::frame(&wire, 2048, &mut junk).unwrap();
+    c.bench_function("onion_peel_one_hop", |b| {
+        b.iter(|| onion::peel(&keys.key(3), black_box(&cell)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_chacha20, bench_onion);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Wall-clock cost of regenerating each paper figure — one benchmark per
+//! evaluation artifact, so `cargo bench` exercises the entire reproduction
+//! pipeline.
+
+use anonroute_experiments::figures;
+use anonroute_experiments::validation::theorem_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig3a_full_sweep", |b| b.iter(|| black_box(figures::fig3a())));
+    group.bench_function("fig4_all_panels", |b| b.iter(|| black_box(figures::fig4())));
+    group.bench_function("fig5_all_panels", |b| b.iter(|| black_box(figures::fig5())));
+    group.finish();
+}
+
+fn bench_fig6_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_opt");
+    group.sample_size(10);
+    // a compact slice of Figure 6 (the full figure runs the optimizer 49x)
+    group.bench_function("fig6_L3to8_lmax30", |b| {
+        b.iter(|| black_box(figures::fig6(3, 8, 30)))
+    });
+    group.finish();
+}
+
+fn bench_theorem_validation(c: &mut Criterion) {
+    c.bench_function("theorem_table", |b| b.iter(|| black_box(theorem_table())));
+}
+
+criterion_group!(benches, bench_figures, bench_fig6_optimization, bench_theorem_validation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks of the simulation stack: event throughput with the full
+//! onion protocol, Crowds forwarding, and the adversary attack.
+
+use anonroute_adversary::{attack_trace, Adversary};
+use anonroute_core::{PathKind, PathLengthDist, SystemModel};
+use anonroute_protocols::crowds::crowd;
+use anonroute_protocols::onion_routing::onion_network;
+use anonroute_protocols::RouteSampler;
+use anonroute_sim::{LatencyModel, SimTime, Simulation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn onion_sim(n: usize, messages: u64, seed: u64) -> Simulation<anonroute_protocols::onion_routing::OnionNode> {
+    let sampler =
+        RouteSampler::new(n, PathLengthDist::uniform(1, 6).unwrap(), PathKind::Simple).unwrap();
+    let nodes = onion_network(n, &sampler, 2048, b"bench").unwrap();
+    let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 10, hi: 200 }, seed);
+    for i in 0..messages {
+        sim.schedule_origination(SimTime::from_micros(i * 40), (i % n as u64) as usize, vec![0; 16]);
+    }
+    sim
+}
+
+fn bench_onion_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("onion_n30_500_messages", |b| {
+        b.iter(|| {
+            let mut sim = onion_sim(30, 500, 3);
+            sim.run();
+            black_box(sim.deliveries().len())
+        })
+    });
+    group.bench_function("crowds_n30_500_messages", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(crowd(30, 0.7).unwrap(), LatencyModel::Constant(20), 5);
+            for i in 0..500u64 {
+                sim.schedule_origination(SimTime::from_micros(i * 40), (i % 30) as usize, vec![]);
+            }
+            sim.run();
+            black_box(sim.deliveries().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_adversary_attack(c: &mut Criterion) {
+    let n = 30;
+    let mut sim = onion_sim(n, 500, 9);
+    sim.run();
+    let model = SystemModel::new(n, 2).unwrap();
+    let dist = PathLengthDist::uniform(1, 6).unwrap();
+    let adv = Adversary::new(n, &[0, 1]).unwrap();
+    let mut group = c.benchmark_group("adversary");
+    group.sample_size(10);
+    group.bench_function("attack_500_messages", |b| {
+        b.iter(|| {
+            attack_trace(&adv, &model, &dist, black_box(sim.trace()), sim.originations()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_onion_simulation, bench_adversary_attack);
+criterion_main!(benches);

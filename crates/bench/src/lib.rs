@@ -1,0 +1,11 @@
+//! # anonroute-bench
+//!
+//! Criterion benchmarks for the `anonroute` workspace. The crate body is
+//! empty — see the `benches/` directory:
+//!
+//! * `engine` — exact anonymity-degree engines, posteriors, optimizer;
+//! * `crypto` — SHA-256 / ChaCha20 throughput, onion build/peel;
+//! * `simulation` — discrete-event throughput with full onion protocol;
+//! * `figures` — wall-clock cost of regenerating each paper figure.
+
+#![forbid(unsafe_code)]

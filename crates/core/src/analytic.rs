@@ -1,0 +1,324 @@
+//! Closed-form anonymity degrees for the paper's special cases
+//! (Section 5.3, Theorems 1–3), plus the general single-compromised-node
+//! closed form they all specialize.
+//!
+//! All formulas assume the paper's default setting: **simple paths** and
+//! **exactly one compromised node** (`c = 1`). They are implemented
+//! independently of [`crate::engine`] — the test suites of both modules
+//! check them against each other and against brute-force enumeration,
+//! which pins down the re-derivation of the paper's OCR-garbled equations.
+//!
+//! # The five observation classes for `c = 1`
+//!
+//! Writing `q(l)` for the path-length pmf, `a` for the compromised node and
+//! `n` for the system size, the adversary's observation falls into exactly
+//! one of:
+//!
+//! | class | probability | posterior entropy |
+//! |-------|-------------|-------------------|
+//! | sender is `a` | `1/n` | `0` |
+//! | `a` is the last intermediate | `P[L≥1]/n` | `h(α) + (1-α)·log2(n-2)`, `α = q(1)/P[L≥1]` |
+//! | `a` is second-to-last | `P[L≥2]/n` | `h(β) + (1-β)·log2(n-3)`, `β = q(2)/P[L≥2]` |
+//! | `a` is in the ambiguous middle | `E[(L-2)⁺]/n` | `h(γ) + (1-γ)·log2(n-4)`, `γ = P[L≥3]/E[(L-2)⁺]` |
+//! | `a` is off the path | `(n-1-E[L])/n` | entropy of `{q(0)} ∪ (n-2)×{W}` |
+//!
+//! where `h` is the binary entropy and
+//! `W = Σ_{l≥1} q(l)·(n-3)_{l-1}/(n-1)_l` is the per-candidate weight of a
+//! hidden sender in the off-path class.
+
+use crate::dist::PathLengthDist;
+use crate::error::{Error, Result};
+use crate::mathutil::{binary_entropy_bits, entropy_bits_grouped, LnFact};
+
+fn check_n(n: usize) -> Result<()> {
+    if n < 5 {
+        return Err(Error::InvalidModel(format!(
+            "closed forms assume n >= 5 so that all candidate pools are nonempty (got n={n})"
+        )));
+    }
+    Ok(())
+}
+
+/// General closed-form anonymity degree for `c = 1` and an arbitrary
+/// path-length distribution on simple paths.
+///
+/// This is an independent implementation of the same quantity that
+/// [`crate::engine::anonymity_degree`] computes for `c = 1`; the two agree
+/// to floating-point precision (see tests).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidModel`] for `n < 5` and
+/// [`Error::InvalidDistribution`] if the support exceeds `n - 1`.
+pub fn anonymity_degree_c1(n: usize, dist: &PathLengthDist) -> Result<f64> {
+    check_n(n)?;
+    if dist.max_len() > n - 1 {
+        return Err(Error::InvalidDistribution(format!(
+            "support exceeds n-1={} for simple paths",
+            n - 1
+        )));
+    }
+    let nf = n as f64;
+    let q1 = dist.prob(1);
+    let q2 = dist.prob(2);
+    let t1 = dist.tail(1);
+    let t2 = dist.tail(2);
+    let t3 = dist.tail(3);
+    let mid_mass = dist.expected_excess(2); // E[(L-2)+]
+    let mean = dist.mean();
+
+    let mut h_star = 0.0;
+
+    // a is the last intermediate node (it forwarded to the receiver)
+    if t1 > 0.0 {
+        let alpha = q1 / t1;
+        let h = binary_entropy_bits(alpha) + (1.0 - alpha) * ((nf - 2.0).log2());
+        h_star += t1 / nf * h;
+    }
+    // a is second-to-last (its successor equals the receiver's predecessor)
+    if t2 > 0.0 {
+        let beta = q2 / t2;
+        let h = binary_entropy_bits(beta) + (1.0 - beta) * ((nf - 3.0).log2());
+        h_star += t2 / nf * h;
+    }
+    // a is somewhere in positions 1..=L-2: ambiguous between "first hop"
+    // (its predecessor is the sender) and a true middle position
+    if mid_mass > 0.0 {
+        let gamma = t3 / mid_mass;
+        let h = binary_entropy_bits(gamma) + (1.0 - gamma) * ((nf - 4.0).log2());
+        h_star += mid_mass / nf * h;
+    }
+    // a is off the path: the receiver's predecessor might be the sender
+    // (length-0 hypothesis) or an intermediate hiding the true sender
+    let p_clean = (nf - 1.0 - mean) / nf;
+    if p_clean > 0.0 {
+        let lf = LnFact::new(n + 2);
+        let mut w_hidden = 0.0;
+        for (l, &ql) in dist.pmf().iter().enumerate().skip(1) {
+            if ql == 0.0 {
+                continue;
+            }
+            if let (Some(num), Some(den)) = (lf.ln_falling(n - 3, l - 1), lf.ln_falling(n - 1, l))
+            {
+                w_hidden += ql * (num - den).exp();
+            }
+        }
+        let h = entropy_bits_grouped(&[(dist.prob(0), 1), (w_hidden, n - 2)]);
+        h_star += p_clean * h;
+    }
+    Ok(h_star)
+}
+
+/// **Theorem 1** — fixed-length simple paths with one compromised node.
+///
+/// * `l = 0`: `H* = 0` (the receiver sees the sender directly);
+/// * `l ∈ {1, 2}`: `H* = (n-2)/n · log2(n-2)` — the two lengths coincide
+///   (the paper's counterintuitive short-path observation);
+/// * `l ≥ 3`: the compromised node is either locatable (positions `l-1`,
+///   `l`) or ambiguous among positions `1..=l-2`, giving
+///
+/// ```text
+/// H* = (l-2)/n · [ h(1/(l-2)) + (l-3)/(l-2) · log2(n-4) ]
+///    + 1/n · log2(n-3) + (n-l)/n · log2(n-2).
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidModel`] for `n < 5` and
+/// [`Error::InvalidDistribution`] for `l > n - 1`.
+pub fn theorem1_fixed(n: usize, l: usize) -> Result<f64> {
+    check_n(n)?;
+    if l > n - 1 {
+        return Err(Error::InvalidDistribution(format!(
+            "fixed length {l} exceeds n-1={}",
+            n - 1
+        )));
+    }
+    let nf = n as f64;
+    Ok(match l {
+        0 => 0.0,
+        1 | 2 => (nf - 2.0) / nf * (nf - 2.0).log2(),
+        _ => {
+            let lf = l as f64;
+            let mid = lf - 2.0;
+            let gamma = 1.0 / mid;
+            let h_mid = binary_entropy_bits(gamma) + (1.0 - gamma) * (nf - 4.0).log2();
+            mid / nf * h_mid + (nf - 3.0).log2() / nf + (nf - lf) / nf * (nf - 2.0).log2()
+        }
+    })
+}
+
+/// **Theorem 2** — two-point length distribution
+/// `P[L = l1] = p`, `P[L = l2] = 1 - p`, one compromised node.
+///
+/// The paper gives this case a closed form (its eq. 13); here it is
+/// evaluated through the general five-class `c = 1` formula, which reduces
+/// to finitely many binary-entropy terms for a two-point distribution.
+///
+/// # Errors
+///
+/// Propagates the conditions of [`anonymity_degree_c1`] and of
+/// [`PathLengthDist::two_point`].
+pub fn theorem2_two_point(n: usize, l1: usize, p: f64, l2: usize) -> Result<f64> {
+    let dist = PathLengthDist::two_point(l1, p, l2)?;
+    anonymity_degree_c1(n, &dist)
+}
+
+/// **Theorem 3** — uniform length distribution `U(a, b)` with `3 ≤ a ≤ b`,
+/// one compromised node.
+///
+/// With the lower bound at least 3 the anonymity degree depends on the
+/// distribution **only through its mean** `Λ = (a+b)/2`:
+///
+/// ```text
+/// H* = 1/n · [log2(n-2) + log2(n-3)]
+///    + (Λ-2)/n · [ h(1/(Λ-2)) + (Λ-3)/(Λ-2) · log2(n-4) ]
+///    + (n-1-Λ)/n · log2(n-2)
+/// ```
+///
+/// In particular `U(a, b)` is exactly as anonymous as the fixed strategy
+/// `F((a+b)/2)` — the paper's conclusion 2.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDistribution`] if `a < 3`, `a > b`, or
+/// `b > n - 1`, and [`Error::InvalidModel`] for `n < 5`.
+pub fn theorem3_uniform(n: usize, a: usize, b: usize) -> Result<f64> {
+    check_n(n)?;
+    if a < 3 {
+        return Err(Error::InvalidDistribution(
+            "theorem 3 requires the lower bound a >= 3".into(),
+        ));
+    }
+    if a > b || b > n - 1 {
+        return Err(Error::InvalidDistribution(format!(
+            "bounds out of range: a={a} b={b} n={n}"
+        )));
+    }
+    let nf = n as f64;
+    let mean = (a + b) as f64 / 2.0;
+    let mid = mean - 2.0;
+    let gamma = 1.0 / mid;
+    let h_mid = binary_entropy_bits(gamma) + (1.0 - gamma) * (nf - 4.0).log2();
+    Ok((nf - 2.0).log2() / nf
+        + (nf - 3.0).log2() / nf
+        + mid / nf * h_mid
+        + (nf - 1.0 - mean) / nf * (nf - 2.0).log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine;
+    use crate::model::SystemModel;
+
+    fn engine_h(n: usize, dist: &PathLengthDist) -> f64 {
+        engine::anonymity_degree(&SystemModel::new(n, 1).unwrap(), dist).unwrap()
+    }
+
+    #[test]
+    fn general_c1_formula_matches_engine() {
+        for n in [10usize, 37, 100] {
+            for dist in [
+                PathLengthDist::fixed(0),
+                PathLengthDist::fixed(1),
+                PathLengthDist::fixed(5),
+                PathLengthDist::uniform(0, 9).unwrap(),
+                PathLengthDist::uniform(1, 6).unwrap(),
+                PathLengthDist::two_point(2, 0.4, 8).unwrap(),
+                PathLengthDist::geometric(0.7, 9).unwrap(),
+            ] {
+                let closed = anonymity_degree_c1(n, &dist).unwrap();
+                let exact = engine_h(n, &dist);
+                assert!(
+                    (closed - exact).abs() < 1e-12,
+                    "n={n} dist={dist}: closed={closed} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_matches_engine_for_all_lengths() {
+        let n = 100;
+        for l in 0..=99 {
+            let t = theorem1_fixed(n, l).unwrap();
+            let e = engine_h(n, &PathLengthDist::fixed(l));
+            assert!((t - e).abs() < 1e-12, "l={l}: theorem={t} engine={e}");
+        }
+    }
+
+    #[test]
+    fn theorem1_short_path_effect() {
+        let n = 100;
+        let h0 = theorem1_fixed(n, 0).unwrap();
+        let h1 = theorem1_fixed(n, 1).unwrap();
+        let h2 = theorem1_fixed(n, 2).unwrap();
+        let h3 = theorem1_fixed(n, 3).unwrap();
+        let h4 = theorem1_fixed(n, 4).unwrap();
+        assert_eq!(h0, 0.0);
+        assert!((h1 - h2).abs() < 1e-15);
+        assert!(h3 < h2 && h2 - h3 < 1e-3);
+        assert!(h4 > h2);
+    }
+
+    #[test]
+    fn theorem1_long_path_effect_peak_location() {
+        // the curve must rise, peak strictly inside (0, n-1), and fall
+        let n = 100;
+        let values: Vec<f64> = (1..=99).map(|l| theorem1_fixed(n, l).unwrap()).collect();
+        let (argmax, _) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let peak = argmax + 1;
+        assert!(
+            (20..=80).contains(&peak),
+            "peak at unexpected l={peak}"
+        );
+        assert!(values[98] < values[peak - 1]);
+    }
+
+    #[test]
+    fn theorem2_matches_engine() {
+        let n = 60;
+        for (l1, p, l2) in [(1, 0.5, 4), (2, 0.25, 9), (0, 0.1, 5), (3, 0.8, 3)] {
+            let t = theorem2_two_point(n, l1, p, l2).unwrap();
+            let e = engine_h(n, &PathLengthDist::two_point(l1, p, l2).unwrap());
+            assert!((t - e).abs() < 1e-12, "({l1},{p},{l2}): {t} vs {e}");
+        }
+    }
+
+    #[test]
+    fn theorem3_matches_engine_and_depends_on_mean_only() {
+        let n = 100;
+        for (a, b) in [(3, 9), (4, 8), (5, 7), (6, 6), (3, 21), (10, 40)] {
+            let t = theorem3_uniform(n, a, b).unwrap();
+            let e = engine_h(n, &PathLengthDist::uniform(a, b).unwrap());
+            assert!((t - e).abs() < 1e-12, "U({a},{b}): {t} vs {e}");
+        }
+        // same mean, different spreads → identical value
+        let h1 = theorem3_uniform(n, 3, 9).unwrap();
+        let h2 = theorem3_uniform(n, 6, 6).unwrap();
+        assert!((h1 - h2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn theorem3_equals_fixed_strategy_of_same_mean() {
+        let n = 100;
+        let t = theorem3_uniform(n, 4, 12).unwrap(); // mean 8
+        let f = theorem1_fixed(n, 8).unwrap();
+        assert!((t - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_forms_validate_inputs() {
+        assert!(theorem1_fixed(4, 1).is_err());
+        assert!(theorem1_fixed(10, 10).is_err());
+        assert!(theorem3_uniform(100, 2, 9).is_err());
+        assert!(theorem3_uniform(100, 9, 3).is_err());
+        assert!(theorem3_uniform(100, 3, 100).is_err());
+        assert!(anonymity_degree_c1(100, &PathLengthDist::fixed(100)).is_err());
+    }
+}

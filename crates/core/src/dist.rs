@@ -1,0 +1,397 @@
+//! Path-length distributions (Section 3.2 of the paper).
+//!
+//! A rerouting strategy is characterized by the probability distribution of
+//! the number of intermediate nodes on the rerouting path. Fixed-length
+//! strategies are the degenerate case; the paper's evaluation sweeps
+//! uniform, two-point, and optimized distributions.
+
+use crate::error::{Error, Result};
+use rand::Rng;
+
+/// A probability distribution over rerouting path lengths.
+///
+/// The support is `0..=max_len()`, where a length of `0` means the sender
+/// transmits directly to the receiver (used by the paper's `U(0, L)`
+/// strategies in Figure 4(d)).
+///
+/// # Invariants
+///
+/// * every entry is finite and nonnegative,
+/// * the entries sum to 1 (enforced by normalization on construction),
+/// * the last entry is nonzero (the vector is trimmed).
+///
+/// # Examples
+///
+/// ```
+/// use anonroute_core::PathLengthDist;
+///
+/// let fixed = PathLengthDist::fixed(5);
+/// assert_eq!(fixed.mean(), 5.0);
+///
+/// let uniform = PathLengthDist::uniform(2, 8)?;
+/// assert_eq!(uniform.mean(), 5.0);
+/// assert!(uniform.variance() > 0.0);
+/// # Ok::<(), anonroute_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathLengthDist {
+    /// `pmf[l]` = P[L = l].
+    pmf: Vec<f64>,
+}
+
+impl PathLengthDist {
+    /// The fixed-length strategy `F(l)`: every path has exactly `l`
+    /// intermediate nodes.
+    pub fn fixed(l: usize) -> Self {
+        let mut pmf = vec![0.0; l + 1];
+        pmf[l] = 1.0;
+        PathLengthDist { pmf }
+    }
+
+    /// The uniform strategy `U(a, b)`: the length is drawn uniformly from
+    /// the integers `a..=b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if `a > b`.
+    pub fn uniform(a: usize, b: usize) -> Result<Self> {
+        if a > b {
+            return Err(Error::InvalidDistribution(format!(
+                "uniform bounds out of order: a={a} > b={b}"
+            )));
+        }
+        let mut pmf = vec![0.0; b + 1];
+        let p = 1.0 / (b - a + 1) as f64;
+        for slot in pmf.iter_mut().take(b + 1).skip(a) {
+            *slot = p;
+        }
+        Ok(PathLengthDist { pmf })
+    }
+
+    /// A two-point strategy: length `l1` with probability `p`, length `l2`
+    /// with probability `1 - p` (Theorem 2's family).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if `p` is outside `[0, 1]` or
+    /// not finite.
+    pub fn two_point(l1: usize, p: f64, l2: usize) -> Result<Self> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(Error::InvalidDistribution(format!(
+                "two-point weight must lie in [0, 1], got {p}"
+            )));
+        }
+        let max = l1.max(l2);
+        let mut pmf = vec![0.0; max + 1];
+        pmf[l1] += p;
+        pmf[l2] += 1.0 - p;
+        Self::from_pmf(pmf)
+    }
+
+    /// The Crowds-style geometric strategy: after the first intermediate
+    /// node, each node forwards to another intermediate with probability
+    /// `forward_prob` and to the receiver otherwise, so
+    /// `P[L = k] = (1 - pf) · pf^(k-1)` for `k ≥ 1`.
+    ///
+    /// The distribution is truncated at `lmax` and renormalized; the
+    /// truncated tail mass is folded into `lmax` so that the expected length
+    /// of the modelled strategy is preserved as closely as possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if `forward_prob` is outside
+    /// `[0, 1)` or `lmax == 0`.
+    pub fn geometric(forward_prob: f64, lmax: usize) -> Result<Self> {
+        if !forward_prob.is_finite() || !(0.0..1.0).contains(&forward_prob) {
+            return Err(Error::InvalidDistribution(format!(
+                "forwarding probability must lie in [0, 1), got {forward_prob}"
+            )));
+        }
+        if lmax == 0 {
+            return Err(Error::InvalidDistribution(
+                "geometric strategy needs at least one intermediate node".into(),
+            ));
+        }
+        let pf = forward_prob;
+        let mut pmf = vec![0.0; lmax + 1];
+        let mut tail = 1.0;
+        for (k, slot) in pmf.iter_mut().enumerate().take(lmax).skip(1) {
+            let p = (1.0 - pf) * pf.powi(k as i32 - 1);
+            *slot = p;
+            tail -= p;
+        }
+        pmf[lmax] = tail.max(0.0);
+        Self::from_pmf(pmf)
+    }
+
+    /// Builds a distribution from raw probability masses indexed by length.
+    ///
+    /// The vector is normalized to sum to 1 and trailing zero mass is
+    /// trimmed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] if any entry is negative or
+    /// non-finite, or if the total mass is zero.
+    pub fn from_pmf(pmf: Vec<f64>) -> Result<Self> {
+        if pmf.iter().any(|&p| !p.is_finite() || p < 0.0) {
+            return Err(Error::InvalidDistribution(
+                "probability masses must be finite and nonnegative".into(),
+            ));
+        }
+        let total: f64 = pmf.iter().sum();
+        if total <= 0.0 {
+            return Err(Error::InvalidDistribution("total mass is zero".into()));
+        }
+        let mut pmf: Vec<f64> = pmf.into_iter().map(|p| p / total).collect();
+        while pmf.len() > 1 && *pmf.last().unwrap() == 0.0 {
+            pmf.pop();
+        }
+        Ok(PathLengthDist { pmf })
+    }
+
+    /// The probability mass function, indexed by path length.
+    #[inline]
+    pub fn pmf(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// `P[L = l]` (zero outside the stored support).
+    #[inline]
+    pub fn prob(&self, l: usize) -> f64 {
+        self.pmf.get(l).copied().unwrap_or(0.0)
+    }
+
+    /// Largest length with nonzero mass.
+    #[inline]
+    pub fn max_len(&self) -> usize {
+        self.pmf.len() - 1
+    }
+
+    /// Smallest length with nonzero mass.
+    pub fn min_len(&self) -> usize {
+        self.pmf
+            .iter()
+            .position(|&p| p > 0.0)
+            .expect("invariant: distribution has positive total mass")
+    }
+
+    /// Expected path length `E[L]`.
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(l, &p)| l as f64 * p)
+            .sum()
+    }
+
+    /// Variance of the path length.
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(l, &p)| (l as f64 - mean).powi(2) * p)
+            .sum()
+    }
+
+    /// Tail probability `P[L ≥ l]`.
+    pub fn tail(&self, l: usize) -> f64 {
+        self.pmf.iter().skip(l).sum()
+    }
+
+    /// Expected excess `E[(L - k)⁺]`, the mean number of intermediate nodes
+    /// beyond the first `k`.
+    pub fn expected_excess(&self, k: usize) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .skip(k + 1)
+            .map(|(l, &p)| (l - k) as f64 * p)
+            .sum()
+    }
+
+    /// Draws a path length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut u: f64 = rng.gen();
+        for (l, &p) in self.pmf.iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                return l;
+            }
+        }
+        self.max_len()
+    }
+}
+
+impl std::fmt::Display for PathLengthDist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let support: Vec<usize> = self
+            .pmf
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(l, _)| l)
+            .collect();
+        if support.len() == 1 {
+            write!(f, "F({})", support[0])
+        } else {
+            write!(
+                f,
+                "dist[{}..={}] mean={:.3}",
+                support[0],
+                support[support.len() - 1],
+                self.mean()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn fixed_is_point_mass() {
+        let d = PathLengthDist::fixed(4);
+        assert_eq!(d.max_len(), 4);
+        assert_eq!(d.min_len(), 4);
+        assert!(close(d.prob(4), 1.0));
+        assert!(close(d.mean(), 4.0));
+        assert!(close(d.variance(), 0.0));
+        assert!(close(d.tail(4), 1.0));
+        assert!(close(d.tail(5), 0.0));
+    }
+
+    #[test]
+    fn fixed_zero_length_allowed() {
+        let d = PathLengthDist::fixed(0);
+        assert_eq!(d.max_len(), 0);
+        assert!(close(d.mean(), 0.0));
+    }
+
+    #[test]
+    fn uniform_statistics() {
+        let d = PathLengthDist::uniform(2, 8).unwrap();
+        assert!(close(d.mean(), 5.0));
+        // discrete uniform variance on k points: (k²-1)/12 with k = 7
+        assert!(close(d.variance(), 48.0 / 12.0));
+        assert!(close(d.prob(2), 1.0 / 7.0));
+        assert!(close(d.prob(1), 0.0));
+        assert!(close(d.tail(3), 6.0 / 7.0));
+    }
+
+    #[test]
+    fn uniform_rejects_inverted_bounds() {
+        assert!(PathLengthDist::uniform(5, 4).is_err());
+    }
+
+    #[test]
+    fn uniform_single_point_equals_fixed() {
+        assert_eq!(PathLengthDist::uniform(3, 3).unwrap(), PathLengthDist::fixed(3));
+    }
+
+    #[test]
+    fn two_point_mass_and_mean() {
+        let d = PathLengthDist::two_point(3, 0.25, 7).unwrap();
+        assert!(close(d.prob(3), 0.25));
+        assert!(close(d.prob(7), 0.75));
+        assert!(close(d.mean(), 6.0));
+    }
+
+    #[test]
+    fn two_point_same_support_collapses() {
+        let d = PathLengthDist::two_point(4, 0.3, 4).unwrap();
+        assert_eq!(d, PathLengthDist::fixed(4));
+    }
+
+    #[test]
+    fn two_point_rejects_bad_weight() {
+        assert!(PathLengthDist::two_point(1, -0.1, 2).is_err());
+        assert!(PathLengthDist::two_point(1, 1.5, 2).is_err());
+        assert!(PathLengthDist::two_point(1, f64::NAN, 2).is_err());
+    }
+
+    #[test]
+    fn geometric_matches_crowds_formula() {
+        let pf = 0.75;
+        let d = PathLengthDist::geometric(pf, 200).unwrap();
+        assert!(close(d.prob(0), 0.0));
+        assert!((d.prob(1) - 0.25).abs() < 1e-12);
+        assert!((d.prob(2) - 0.25 * 0.75).abs() < 1e-12);
+        // E[L] = 1/(1-pf) = 4 (truncation error is tiny at lmax = 200)
+        assert!((d.mean() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_truncation_mass_conserved() {
+        let d = PathLengthDist::geometric(0.9, 5).unwrap();
+        let total: f64 = d.pmf().iter().sum();
+        assert!(close(total, 1.0));
+        // tail folded into the last bucket
+        assert!(d.prob(5) > 0.9f64.powi(4) * 0.1);
+    }
+
+    #[test]
+    fn geometric_rejects_bad_params() {
+        assert!(PathLengthDist::geometric(1.0, 10).is_err());
+        assert!(PathLengthDist::geometric(-0.1, 10).is_err());
+        assert!(PathLengthDist::geometric(0.5, 0).is_err());
+    }
+
+    #[test]
+    fn from_pmf_normalizes_and_trims() {
+        let d = PathLengthDist::from_pmf(vec![2.0, 2.0, 0.0, 0.0]).unwrap();
+        assert_eq!(d.max_len(), 1);
+        assert!(close(d.prob(0), 0.5));
+        assert!(close(d.prob(1), 0.5));
+    }
+
+    #[test]
+    fn from_pmf_rejects_invalid() {
+        assert!(PathLengthDist::from_pmf(vec![0.0, -1.0]).is_err());
+        assert!(PathLengthDist::from_pmf(vec![0.0, 0.0]).is_err());
+        assert!(PathLengthDist::from_pmf(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn expected_excess_consistency() {
+        let d = PathLengthDist::uniform(1, 9).unwrap();
+        // E[(L-0)+] = E[L]
+        assert!(close(d.expected_excess(0), d.mean()));
+        // E[(L-2)+] = Σ_{l=3..9} (l-2)/9 = 28/9
+        assert!(close(d.expected_excess(2), 28.0 / 9.0));
+        // identity: E[(L-k)+] = Σ_{j>k} P[L ≥ j]
+        let direct: f64 = (3..=9).map(|j| d.tail(j)).sum();
+        assert!(close(d.expected_excess(2), direct));
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let d = PathLengthDist::uniform(1, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        for &c in &counts[1..] {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.25).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PathLengthDist::fixed(5).to_string(), "F(5)");
+        let u = PathLengthDist::uniform(2, 8).unwrap();
+        assert!(u.to_string().contains("2..=8"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Exact anonymity-degree computation for *complicated* (cyclic) paths.
+//!
+//! Crowds and Onion Routing II select every hop independently and uniformly
+//! from all `n` member nodes, so paths may revisit nodes — including the
+//! sender. The paper calls these "complicated paths" and analyzes the
+//! simple-path case numerically; this module extends the exact treatment to
+//! the cyclic case.
+//!
+//! The structure mirrors [`crate::engine::simple`] with two differences:
+//!
+//! 1. **Everyone stays a candidate.** Because the sender may reappear as an
+//!    intermediate, observing a node forwarding a message no longer rules
+//!    it out as the sender. The posterior has exactly two levels: the first
+//!    run's reported predecessor `u` (boosted by the hypothesis that the
+//!    leading gap is zero) and every other honest node.
+//! 2. **Boundary coincidences.** Two runs reporting the same boundary node
+//!    may be separated by one honest node *or* by a longer gap whose two
+//!    boundary slots happen to hold the same node. Observation classes are
+//!    therefore defined by what the adversary *sees* (`eq`-looking vs
+//!    distinct boundaries), and the engine sums over both explanations.
+
+use crate::dist::PathLengthDist;
+use crate::engine::observation::Observation;
+use crate::engine::posterior::signature_of;
+use crate::engine::simple::{AnonymityAnalysis, ClassReport, EndGap, ObservationClass};
+use crate::error::{Error, Result};
+use crate::mathutil::{entropy_bits_grouped, LnFact};
+use crate::model::SystemModel;
+
+/// Computes the anonymity degree `H*(S)` for cyclic (Crowds-style) paths.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDistribution`] for distributions the model
+/// rejects.
+pub fn anonymity_degree(model: &SystemModel, dist: &PathLengthDist) -> Result<f64> {
+    Ok(analysis(model, dist)?.h_star)
+}
+
+/// Full class-by-class decomposition of `H*(S)` for cyclic paths.
+///
+/// The [`ObservationClass::Runs`] rows reuse the simple-path vocabulary:
+/// `unit_gaps` counts *eq-looking* inter-run boundaries and [`EndGap::One`]
+/// means the last run's successor equals the receiver's predecessor.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidDistribution`] for distributions the model
+/// rejects.
+pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityAnalysis> {
+    model.validate_dist(dist)?;
+    let n = model.n();
+    let c = model.c();
+    let nh = model.honest();
+    let q = dist.pmf();
+    let lmax = dist.max_len();
+    let lf = LnFact::new(2 * lmax + 8);
+    let ln_n = (n as f64).ln();
+    let ln_nh = if nh > 0 { (nh as f64).ln() } else { f64::NEG_INFINITY };
+
+    let mut classes = Vec::new();
+    let mut h_star = 0.0;
+    let mut p_exposed = 0.0;
+
+    if c > 0 {
+        let p = c as f64 / n as f64;
+        p_exposed += p;
+        classes.push(ClassReport {
+            class: ObservationClass::SenderCompromised,
+            probability: p,
+            entropy_bits: 0.0,
+            suspect_posterior: 1.0,
+        });
+    }
+    if nh == 0 {
+        return Ok(AnonymityAnalysis { h_star: 0.0, p_exposed, classes });
+    }
+
+    // --- clean class ------------------------------------------------------
+    {
+        let (w_a, w_b) = clean_weights(q, lmax, ln_n, ln_nh);
+        let entropy = entropy_bits_grouped(&[(w_a + w_b, 1), (w_b, nh - 1)]);
+        let z = w_a + w_b * nh as f64;
+        let suspect = if z > 0.0 { (w_a + w_b) / z } else { 0.0 };
+        // probability: honest sender, all hops honest
+        let mut p = 0.0;
+        for (l, &ql) in q.iter().enumerate() {
+            if ql > 0.0 {
+                p += ql * ((l as f64) * (ln_nh - ln_n)).exp();
+            }
+        }
+        p *= nh as f64 / n as f64;
+        h_star += p * entropy;
+        if entropy == 0.0 {
+            p_exposed += p;
+        }
+        classes.push(ClassReport {
+            class: ObservationClass::Clean,
+            probability: p,
+            entropy_bits: entropy,
+            suspect_posterior: suspect,
+        });
+    }
+
+    // --- run classes -------------------------------------------------------
+    // Sightings can exceed c on cyclic paths (the same compromised node may
+    // be revisited), so s is bounded by the path length, not by c.
+    for s in 1..=(if c > 0 { lmax } else { 0 }) {
+        for m in 1..=s {
+            let ln_rs = lf.ln_binom(s - 1, m - 1).expect("m <= s");
+            for j_eq in 0..m {
+                let ln_mf = lf.ln_binom(m - 1, j_eq).expect("j_eq <= m-1");
+                for end in EndGap::ALL {
+                    let (w_a, w_b) =
+                        run_weights(&lf, q, lmax, ln_n, ln_nh, nh, s, m, j_eq, end);
+                    let p_cls = class_probability(
+                        &lf, q, lmax, ln_n, ln_nh, n, nh, c, s, m, j_eq, end,
+                        ln_rs + ln_mf,
+                    );
+                    if p_cls <= 0.0 {
+                        continue;
+                    }
+                    let entropy = entropy_bits_grouped(&[(w_a + w_b, 1), (w_b, nh - 1)]);
+                    let z = w_a + w_b * nh as f64;
+                    let suspect = if z > 0.0 { (w_a + w_b) / z } else { 0.0 };
+                    h_star += p_cls * entropy;
+                    if entropy == 0.0 {
+                        p_exposed += p_cls;
+                    }
+                    classes.push(ClassReport {
+                        class: ObservationClass::Runs { on_path: s, runs: m, unit_gaps: j_eq, end },
+                        probability: p_cls,
+                        entropy_bits: entropy,
+                        suspect_posterior: suspect,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(AnonymityAnalysis { h_star, p_exposed, classes })
+}
+
+/// `(w_a, w_b)` for the clean class: `w_a` is the extra weight on the
+/// receiver's predecessor (the `l = 0` hypothesis), `w_b` the common weight
+/// of every honest candidate.
+fn clean_weights(q: &[f64], lmax: usize, ln_n: f64, ln_nh: f64) -> (f64, f64) {
+    let w_a = q.first().copied().unwrap_or(0.0);
+    let mut w_b = 0.0;
+    for (l, &ql) in q.iter().enumerate().take(lmax + 1).skip(1) {
+        if ql > 0.0 {
+            // one fixed slot (the observed predecessor), l-1 hidden honest
+            w_b += ql * ((l as f64 - 1.0) * ln_nh - l as f64 * ln_n).exp();
+        }
+    }
+    (w_a, w_b)
+}
+
+/// Hypothesis weights for a run class.
+///
+/// `w_a`: extra posterior weight on `u = pred(run₁)` from the
+/// "leading gap = 0" hypothesis. `w_b`: common weight of every honest
+/// candidate (the sender is unconstrained once the leading gap is ≥ 1).
+#[allow(clippy::too_many_arguments)]
+fn run_weights(
+    lf: &LnFact,
+    q: &[f64],
+    lmax: usize,
+    ln_n: f64,
+    ln_nh: f64,
+    nh: usize,
+    s: usize,
+    m: usize,
+    j_eq: usize,
+    end: EndGap,
+) -> (f64, f64) {
+    let mut w_a = 0.0;
+    let mut w_b = 0.0;
+    // Enumerate branch patterns: t of the j_eq eq-looking middle gaps are
+    // "wide" (length >= 2 with coinciding boundaries); the rest are true
+    // unit gaps. An eq-looking end gap has the same two explanations.
+    let neq_mid = m - 1 - j_eq;
+    for t in 0..=j_eq {
+        let ln_choose_t = lf.ln_binom(j_eq, t).expect("t <= j_eq");
+        let end_branches: &[(usize, usize)] = match end {
+            // (fixed honest slots, free gaps) contributed by the end gap
+            EndGap::Touching => &[(0, 0)],
+            EndGap::One => &[(1, 0), (2, 1)],
+            EndGap::TwoPlus => &[(2, 1)],
+        };
+        for &(end_fixed, end_free) in end_branches {
+            // fixed honest slots and free gaps excluding the leading gap
+            let fixed0 = (j_eq - t) + 2 * t + 2 * neq_mid + end_fixed;
+            let k0 = t + neq_mid + end_free;
+            for (l, &ql) in q.iter().enumerate().take(lmax + 1).skip(s) {
+                if ql == 0.0 {
+                    continue;
+                }
+                // hypothesis A: leading gap 0 (no slots)
+                let h_a = l as i64 - s as i64 - fixed0 as i64;
+                if h_a >= 0 {
+                    if let Some(sb) = lf.ln_stars_bars(h_a, k0) {
+                        w_a += ql
+                            * (ln_choose_t + sb + h_a as f64 * ln_nh - l as f64 * ln_n).exp();
+                    }
+                }
+                // hypothesis B: leading gap >= 1 (one fixed slot u, free excess)
+                let h_b = h_a - 1;
+                if h_b >= 0 {
+                    if let Some(sb) = lf.ln_stars_bars(h_b, k0 + 1) {
+                        w_b += ql
+                            * (ln_choose_t + sb + h_b as f64 * ln_nh - l as f64 * ln_n).exp();
+                    }
+                }
+            }
+        }
+    }
+    // degenerate guard: with a single honest node there are no hidden ids
+    // to place, but the formulas above already handle that via nh^h.
+    let _ = nh;
+    (w_a, w_b)
+}
+
+/// Probability of observing a run class.
+#[allow(clippy::too_many_arguments)]
+fn class_probability(
+    lf: &LnFact,
+    q: &[f64],
+    lmax: usize,
+    ln_n: f64,
+    ln_nh: f64,
+    n: usize,
+    nh: usize,
+    c: usize,
+    s: usize,
+    m: usize,
+    j_eq: usize,
+    end: EndGap,
+    ln_multiplicity: f64,
+) -> f64 {
+    let ln_c = (c as f64).ln();
+    let neq_mid = m - 1 - j_eq;
+    // corrections relative to nh^(l-s) per gap:
+    //   eq gap, wide branch: 1/nh; neq gap: (nh-1)/nh;
+    //   end One wide branch: 1/nh; end TwoPlus: (nh-1)/nh.
+    let ln_neq_corr = if nh >= 2 {
+        ((nh - 1) as f64 / nh as f64).ln()
+    } else {
+        f64::NEG_INFINITY
+    };
+    let ln_wide_corr = -ln_nh;
+    let mut p = 0.0;
+    for t in 0..=j_eq {
+        let ln_choose_t = lf.ln_binom(j_eq, t).expect("t <= j_eq");
+        // (min gap mass, fixed-correction, free gaps) per end branch
+        let end_branches: &[(usize, f64, usize)] = match end {
+            EndGap::Touching => &[(0, 0.0, 0)],
+            EndGap::One => &[(1, 0.0, 0), (2, ln_wide_corr, 1)],
+            EndGap::TwoPlus => &[(2, ln_neq_corr, 1)],
+        };
+        for &(end_min, end_corr, end_free) in end_branches {
+            if end_corr == f64::NEG_INFINITY {
+                continue;
+            }
+            let minsum = (j_eq - t) + 2 * t + 2 * neq_mid + end_min;
+            let kfree = t + neq_mid + end_free + 1; // +1: leading gap, min 0
+            let corr = ln_choose_t
+                + t as f64 * ln_wide_corr
+                + neq_mid as f64 * ln_neq_corr
+                + end_corr;
+            if corr == f64::NEG_INFINITY {
+                continue;
+            }
+            for (l, &ql) in q.iter().enumerate().take(lmax + 1).skip(s) {
+                if ql == 0.0 {
+                    continue;
+                }
+                let excess = l as i64 - s as i64 - minsum as i64;
+                if let Some(sb) = lf.ln_stars_bars(excess, kfree) {
+                    p += ql
+                        * (ln_multiplicity
+                            + corr
+                            + s as f64 * ln_c
+                            + (l - s) as f64 * ln_nh
+                            - l as f64 * ln_n
+                            + sb)
+                            .exp();
+                }
+            }
+        }
+    }
+    p * nh as f64 / n as f64
+}
+
+/// Posterior over senders for one concrete cyclic-path observation.
+///
+/// Called through [`crate::engine::sender_posterior`]; see there for the
+/// contract.
+pub(crate) fn cyclic_posterior(
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    obs: &Observation,
+    compromised: &[bool],
+) -> Result<Vec<f64>> {
+    let n = model.n();
+    let nh = model.honest();
+    let q = dist.pmf();
+    let lmax = dist.max_len();
+    let lf = LnFact::new(2 * lmax + 8);
+    let ln_n = (n as f64).ln();
+    let ln_nh = if nh > 0 { (nh as f64).ln() } else { f64::NEG_INFINITY };
+
+    let (w_a, w_b, suspect) = if obs.runs.is_empty() {
+        let (w_a, w_b) = clean_weights(q, lmax, ln_n, ln_nh);
+        (w_a, w_b, obs.receiver_pred)
+    } else {
+        // s here counts *sightings*, which can exceed c through revisits.
+        let (s, m, j_eq, end) = signature_of(obs);
+        let (w_a, w_b) = run_weights(&lf, q, lmax, ln_n, ln_nh, nh, s, m, j_eq, end);
+        (w_a, w_b, obs.runs[0].pred)
+    };
+
+    let mut post = vec![0.0; n];
+    let mut z = 0.0;
+    for i in 0..n {
+        if compromised[i] {
+            continue;
+        }
+        let w = if i == suspect { w_a + w_b } else { w_b };
+        post[i] = w;
+        z += w;
+    }
+    if z <= 0.0 {
+        return Err(Error::InvalidObservation(
+            "observation has zero likelihood under the strategy".into(),
+        ));
+    }
+    for p in &mut post {
+        *p /= z;
+    }
+    Ok(post)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::brute::{anonymity_degree_brute, enumerate_outcomes};
+    use crate::engine::posterior::sender_posterior;
+    use crate::model::PathKind;
+
+    fn model(n: usize, c: usize) -> SystemModel {
+        SystemModel::with_path_kind(n, c, PathKind::Cyclic).unwrap()
+    }
+
+    #[test]
+    fn cyclic_class_probabilities_sum_to_one() {
+        for (n, c) in [(6usize, 1usize), (6, 2), (8, 3), (5, 0)] {
+            for dist in [
+                PathLengthDist::fixed(3),
+                PathLengthDist::uniform(0, 5).unwrap(),
+                PathLengthDist::geometric(0.6, 6).unwrap(),
+            ] {
+                let a = analysis(&model(n, c), &dist).unwrap();
+                let total: f64 = a.classes.iter().map(|r| r.probability).sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-10,
+                    "n={n} c={c} dist={dist}: total={total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_engine_matches_brute_force() {
+        for (n, c) in [(4usize, 1usize), (5, 1), (5, 2), (4, 2)] {
+            for dist in [
+                PathLengthDist::fixed(1),
+                PathLengthDist::fixed(3),
+                PathLengthDist::uniform(0, 3).unwrap(),
+                PathLengthDist::uniform(1, 4).unwrap(),
+                PathLengthDist::two_point(1, 0.25, 3).unwrap(),
+            ] {
+                let m = model(n, c);
+                let brute = anonymity_degree_brute(&m, &dist).unwrap();
+                let exact = anonymity_degree(&m, &dist).unwrap();
+                assert!(
+                    (brute - exact).abs() < 1e-10,
+                    "n={n} c={c} dist={dist}: brute={brute} exact={exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_posterior_matches_brute_force() {
+        for (n, c) in [(4usize, 1usize), (5, 2)] {
+            let m = model(n, c);
+            let compromised: Vec<bool> = (0..n).map(|i| i < c).collect();
+            for dist in [
+                PathLengthDist::uniform(0, 3).unwrap(),
+                PathLengthDist::uniform(1, 4).unwrap(),
+            ] {
+                let outcomes = enumerate_outcomes(&m, &dist).unwrap();
+                for (obs, masses) in &outcomes {
+                    let z: f64 = masses.iter().sum();
+                    let got = sender_posterior(&m, &dist, obs, &compromised).unwrap();
+                    for i in 0..n {
+                        assert!(
+                            (masses[i] / z - got[i]).abs() < 1e-10,
+                            "n={n} c={c} dist={dist} obs={obs:?} node {i}: \
+                             brute={} engine={}",
+                            masses[i] / z,
+                            got[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_paths_leak_less_than_simple_at_same_length() {
+        // On cyclic paths observed intermediates stay candidates, so the
+        // posterior is flatter than for simple paths.
+        let dist = PathLengthDist::fixed(5);
+        let m_cyc = model(30, 2);
+        let m_sim = SystemModel::new(30, 2).unwrap();
+        let h_cyc = anonymity_degree(&m_cyc, &dist).unwrap();
+        let h_sim = crate::engine::simple::anonymity_degree(&m_sim, &dist).unwrap();
+        assert!(h_cyc > h_sim, "cyclic={h_cyc} simple={h_sim}");
+    }
+
+    #[test]
+    fn cyclic_supports_paths_longer_than_n() {
+        let m = model(5, 1);
+        let dist = PathLengthDist::fixed(12);
+        let h = anonymity_degree(&m, &dist).unwrap();
+        assert!(h > 0.0 && h <= 5f64.log2());
+    }
+}

@@ -1,0 +1,204 @@
+//! The adversary's view of a single message (Section 4 of the paper).
+//!
+//! Every compromised node on a rerouting path reports the tuple
+//! `(time, predecessor, successor)`; compromised nodes off the path
+//! implicitly report silence; the (always compromised) receiver reports its
+//! immediate predecessor. Sorting the tuples by time and merging adjacent
+//! reports yields the [`Observation`] structure below: maximal *runs* of
+//! compromised nodes, each with the honest neighbours that delivered and
+//! received the message, in path order.
+
+/// Identifier of a member node, in `0..n`.
+pub type NodeId = usize;
+
+/// Where a run of compromised nodes forwarded the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Succ {
+    /// Forwarded to another member node (observed by identity).
+    Node(NodeId),
+    /// Delivered to the receiver.
+    Receiver,
+}
+
+/// One maximal run of consecutive compromised nodes on the path, in time
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunObservation {
+    /// The compromised nodes of the run, in path order.
+    pub nodes: Vec<NodeId>,
+    /// The node that handed the message to the first node of the run.
+    /// This may be the sender — the adversary cannot tell.
+    pub pred: NodeId,
+    /// Where the last node of the run forwarded the message.
+    pub succ: Succ,
+}
+
+impl RunObservation {
+    /// Number of compromised nodes in the run.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the run is empty (never true for observations produced by
+    /// [`observe`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Everything the adversary learns about one message.
+///
+/// Instances are produced by [`observe`] (or by the `anonroute-adversary`
+/// crate from raw simulator taps) and consumed by
+/// [`sender_posterior`](crate::engine::sender_posterior).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Observation {
+    /// `Some(s)` if a compromised agent watched the message *originate*
+    /// (i.e. the sender itself is compromised — the paper's "local
+    /// eavesdropper" case).
+    pub origin: Option<NodeId>,
+    /// Time-ordered maximal runs of compromised nodes on the path.
+    pub runs: Vec<RunObservation>,
+    /// The receiver's immediate predecessor (the receiver is always
+    /// compromised). Equal to the sender when the path length is zero.
+    pub receiver_pred: NodeId,
+}
+
+impl Observation {
+    /// Total number of compromised sightings on the path (sum of run
+    /// lengths; counts repeat visits separately on cyclic paths).
+    pub fn compromised_sightings(&self) -> usize {
+        self.runs.iter().map(RunObservation::len).sum()
+    }
+}
+
+/// Simulates the adversary's collection procedure for one message.
+///
+/// `path` holds the intermediate nodes in order (`path.len()` is the path
+/// length `l`; it may be empty). `compromised[i]` tells whether member `i`
+/// is compromised; its length must be at least every node id used.
+///
+/// This function is the *generative* counterpart of the analysis engines:
+/// the brute-force validator, the Monte-Carlo estimator, and the
+/// discrete-event simulator all funnel through it (or reproduce it bit for
+/// bit), which is what ties the analytical results to the simulated system.
+///
+/// # Panics
+///
+/// Panics if a node id in `path` (or `sender`) is out of range of
+/// `compromised`.
+pub fn observe(sender: NodeId, path: &[NodeId], compromised: &[bool]) -> Observation {
+    let origin = compromised[sender].then_some(sender);
+    let receiver_pred = path.last().copied().unwrap_or(sender);
+    let mut runs = Vec::new();
+    let mut current: Option<RunObservation> = None;
+    for (k, &node) in path.iter().enumerate() {
+        if compromised[node] {
+            let pred = if k == 0 { sender } else { path[k - 1] };
+            match current.as_mut() {
+                Some(run) => run.nodes.push(node),
+                None => {
+                    current = Some(RunObservation { nodes: vec![node], pred, succ: Succ::Receiver });
+                }
+            }
+        } else if let Some(mut run) = current.take() {
+            run.succ = Succ::Node(node);
+            runs.push(run);
+        }
+    }
+    if let Some(run) = current.take() {
+        // the run reaches the end of the path: forwarded to the receiver
+        runs.push(run);
+    }
+    Observation { origin, runs, receiver_pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(n: usize, ids: &[usize]) -> Vec<bool> {
+        let mut v = vec![false; n];
+        for &i in ids {
+            v[i] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn clean_path_reports_only_receiver_pred() {
+        let obs = observe(0, &[1, 2, 3], &comp(6, &[5]));
+        assert_eq!(obs.origin, None);
+        assert!(obs.runs.is_empty());
+        assert_eq!(obs.receiver_pred, 3);
+    }
+
+    #[test]
+    fn zero_length_path_exposes_sender_to_receiver() {
+        let obs = observe(4, &[], &comp(6, &[1]));
+        assert_eq!(obs.receiver_pred, 4);
+        assert!(obs.runs.is_empty());
+    }
+
+    #[test]
+    fn compromised_sender_is_origin() {
+        let obs = observe(1, &[2, 3], &comp(6, &[1]));
+        assert_eq!(obs.origin, Some(1));
+    }
+
+    #[test]
+    fn single_compromised_first_hop_sees_sender() {
+        let obs = observe(0, &[5, 2, 3], &comp(6, &[5]));
+        assert_eq!(obs.runs.len(), 1);
+        assert_eq!(obs.runs[0].nodes, vec![5]);
+        assert_eq!(obs.runs[0].pred, 0); // this IS the sender, unbeknownst to the adversary
+        assert_eq!(obs.runs[0].succ, Succ::Node(2));
+    }
+
+    #[test]
+    fn run_touching_receiver() {
+        let obs = observe(0, &[1, 2, 5], &comp(6, &[5]));
+        assert_eq!(obs.runs[0].pred, 2);
+        assert_eq!(obs.runs[0].succ, Succ::Receiver);
+        assert_eq!(obs.receiver_pred, 5);
+    }
+
+    #[test]
+    fn adjacent_compromised_nodes_merge_into_one_run() {
+        let obs = observe(0, &[1, 4, 5, 2], &comp(6, &[4, 5]));
+        assert_eq!(obs.runs.len(), 1);
+        assert_eq!(obs.runs[0].nodes, vec![4, 5]);
+        assert_eq!(obs.runs[0].pred, 1);
+        assert_eq!(obs.runs[0].succ, Succ::Node(2));
+    }
+
+    #[test]
+    fn separated_runs_are_kept_apart_in_order() {
+        let obs = observe(0, &[4, 1, 2, 5, 3], &comp(6, &[4, 5]));
+        assert_eq!(obs.runs.len(), 2);
+        assert_eq!(obs.runs[0].nodes, vec![4]);
+        assert_eq!(obs.runs[0].succ, Succ::Node(1));
+        assert_eq!(obs.runs[1].nodes, vec![5]);
+        assert_eq!(obs.runs[1].pred, 2);
+        assert_eq!(obs.runs[1].succ, Succ::Node(3));
+        assert_eq!(obs.compromised_sightings(), 2);
+    }
+
+    #[test]
+    fn gap_of_one_shares_the_boundary_node() {
+        let obs = observe(0, &[4, 1, 5], &comp(6, &[4, 5]));
+        assert_eq!(obs.runs[0].succ, Succ::Node(1));
+        assert_eq!(obs.runs[1].pred, 1);
+        assert_eq!(obs.runs[1].succ, Succ::Receiver);
+    }
+
+    #[test]
+    fn cyclic_path_revisits_create_separate_runs() {
+        // node 4 appears twice with an honest node in between
+        let obs = observe(0, &[4, 1, 4], &comp(6, &[4]));
+        assert_eq!(obs.runs.len(), 2);
+        assert_eq!(obs.runs[0].nodes, vec![4]);
+        assert_eq!(obs.runs[1].nodes, vec![4]);
+        assert_eq!(obs.compromised_sightings(), 2);
+    }
+}

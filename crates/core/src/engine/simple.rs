@@ -1,0 +1,652 @@
+//! Exact anonymity-degree computation for simple (cycle-free) paths.
+//!
+//! # How the computation works
+//!
+//! The paper defines the anonymity degree as the expected posterior entropy
+//! over all observations the adversary can make (eq. 5). Because nodes are
+//! interchangeable, observations collapse into *classes* described by a
+//! node-identity-free [`ObservationClass`]: how many compromised sightings
+//! occurred (`s`), in how many maximal runs (`m`), how many of the `m - 1`
+//! inter-run gaps consist of exactly one honest node (`unit_gaps`, detected
+//! by the adversary because the two runs report the same boundary node),
+//! and how far the last run is from the receiver ([`EndGap`]).
+//!
+//! Crucially, the *leading* gap — the number of honest nodes between the
+//! sender and the first compromised run — is invisible: a leading gap of
+//! zero (the run's reported predecessor **is** the sender) produces exactly
+//! the same observation as a positive leading gap. The posterior therefore
+//! splits between the hypothesis "`pred(run₁)` is the sender" and the
+//! hypotheses "the sender is one of the unobserved honest nodes", which by
+//! symmetry are all equally likely.
+//!
+//! For a given path length `l` the number of gap compositions consistent
+//! with a class is a stars-and-bars binomial and the number of ways to fill
+//! the hidden honest slots is a falling factorial, so both class
+//! probabilities and class posteriors have closed forms — the engine is
+//! exact for **any** number of compromised nodes `c`, not just the paper's
+//! `c = 1`.
+
+use crate::dist::PathLengthDist;
+use crate::error::Result;
+use crate::mathutil::{entropy_bits_grouped, LnFact};
+use crate::model::SystemModel;
+
+/// Distance (in honest nodes) from the last compromised run to the
+/// receiver, as far as the adversary can resolve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndGap {
+    /// The run forwarded directly to the receiver (`g = 0`).
+    Touching,
+    /// Exactly one honest node separates the run from the receiver: the
+    /// run's successor equals the receiver's reported predecessor (`g = 1`).
+    One,
+    /// At least two honest nodes (`g ≥ 2`); only the two boundary nodes
+    /// are observed.
+    TwoPlus,
+}
+
+impl EndGap {
+    /// Honest nodes of the end gap whose identity the adversary observes.
+    #[inline]
+    pub(crate) fn observed(self) -> usize {
+        match self {
+            EndGap::Touching => 0,
+            EndGap::One => 1,
+            EndGap::TwoPlus => 2,
+        }
+    }
+
+    /// Whether the gap has unbounded extra (hidden) honest nodes.
+    #[inline]
+    pub(crate) fn is_free(self) -> bool {
+        matches!(self, EndGap::TwoPlus)
+    }
+
+    pub(crate) const ALL: [EndGap; 3] = [EndGap::Touching, EndGap::One, EndGap::TwoPlus];
+}
+
+/// Node-identity-free description of one adversary observation class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObservationClass {
+    /// The sender itself is compromised: its agent watched the message
+    /// originate. Posterior entropy is zero.
+    SenderCompromised,
+    /// No compromised node lay on the path; the adversary only knows the
+    /// receiver's predecessor (which *is* the sender if the path length
+    /// was zero — the short-path effect of Figure 4(d)).
+    Clean,
+    /// At least one compromised run on the path.
+    Runs {
+        /// Total compromised sightings `s ≥ 1`.
+        on_path: usize,
+        /// Number of maximal runs `m`, `1 ≤ m ≤ s`.
+        runs: usize,
+        /// Inter-run gaps of exactly one honest node (`0 ≤ unit_gaps ≤ m-1`).
+        unit_gaps: usize,
+        /// End-gap class.
+        end: EndGap,
+    },
+}
+
+/// Probability, entropy and posterior shape of one observation class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassReport {
+    /// Which class this row describes.
+    pub class: ObservationClass,
+    /// Probability that the adversary observes this class.
+    pub probability: f64,
+    /// Posterior sender entropy `H(·|E)` in bits, identical for every
+    /// observation in the class.
+    pub entropy_bits: f64,
+    /// Posterior probability assigned to the *reported predecessor* of the
+    /// first run (or of the receiver, for [`ObservationClass::Clean`]) —
+    /// the node the adversary suspects most or least depending on the
+    /// strategy. `1.0` for [`ObservationClass::SenderCompromised`].
+    pub suspect_posterior: f64,
+}
+
+/// Full decomposition of the anonymity degree of a strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnonymityAnalysis {
+    /// The anonymity degree `H*(S)` in bits (eq. 5 of the paper).
+    pub h_star: f64,
+    /// Probability that the adversary identifies the sender outright
+    /// (posterior is a point mass): compromised senders plus
+    /// zero-entropy observation classes.
+    pub p_exposed: f64,
+    /// Per-class breakdown; probabilities sum to 1.
+    pub classes: Vec<ClassReport>,
+}
+
+impl AnonymityAnalysis {
+    /// Normalized anonymity degree `H*(S) / log2(n) ∈ [0, 1]`.
+    pub fn normalized(&self, model: &SystemModel) -> f64 {
+        if model.n() == 1 {
+            return 0.0;
+        }
+        self.h_star / model.max_entropy_bits()
+    }
+}
+
+/// Computes the anonymity degree `H*(S)` for simple paths.
+///
+/// # Errors
+///
+/// Returns an error when the distribution places mass on lengths a simple
+/// path cannot realize (`l > n - 1`).
+pub fn anonymity_degree(model: &SystemModel, dist: &PathLengthDist) -> Result<f64> {
+    Ok(analysis(model, dist)?.h_star)
+}
+
+/// Posterior hypothesis weights for a run class on simple paths:
+/// `(w_first_pred, w_hidden)` — the unnormalized posterior weight of the
+/// first run's reported predecessor and of *each* unobserved honest node.
+///
+/// `s` is the number of compromised sightings, `obs0` the number of honest
+/// intermediates observed by identity excluding the leading boundary, and
+/// `k0` the number of gaps (excluding the leading one) that can hide extra
+/// honest nodes.
+pub(crate) fn run_hypothesis_weights(
+    lf: &LnFact,
+    q: &[f64],
+    lmax: usize,
+    n: usize,
+    nh: usize,
+    s: usize,
+    obs0: usize,
+    k0: usize,
+) -> (f64, f64) {
+    let mut w_a = 0.0;
+    let mut w_b = 0.0;
+    for (l, &ql) in q.iter().enumerate().take(lmax + 1).skip(s) {
+        if ql == 0.0 {
+            continue;
+        }
+        let den = lf.ln_falling(n - 1, l).expect("l <= n-1 by validation");
+        let h_a = l as i64 - s as i64 - obs0 as i64;
+
+        // Hypothesis A: leading gap = 0, the reported predecessor is the
+        // sender.
+        if h_a >= 0 && nh > obs0 {
+            if let (Some(sb), Some(fall)) = (
+                lf.ln_stars_bars(h_a, k0),
+                lf.ln_falling(nh - obs0 - 1, h_a as usize),
+            ) {
+                w_a += ql * (sb + fall - den).exp();
+            }
+        }
+        // Hypothesis B: leading gap >= 1; the reported predecessor is one
+        // more observed honest intermediate and the sender is hidden.
+        let h_b = h_a - 1;
+        if h_b >= 0 && nh >= obs0 + 2 {
+            if let (Some(sb), Some(fall)) = (
+                lf.ln_stars_bars(h_b, k0 + 1),
+                lf.ln_falling(nh - obs0 - 2, h_b as usize),
+            ) {
+                w_b += ql * (sb + fall - den).exp();
+            }
+        }
+    }
+    (w_a, w_b)
+}
+
+/// Posterior hypothesis weights for the clean class (no compromised node on
+/// the path): `(w_receiver_pred, w_hidden)`.
+pub(crate) fn clean_hypothesis_weights(
+    lf: &LnFact,
+    q: &[f64],
+    lmax: usize,
+    n: usize,
+    nh: usize,
+) -> (f64, f64) {
+    let w_a = q.first().copied().unwrap_or(0.0);
+    let mut w_b = 0.0;
+    for (l, &ql) in q.iter().enumerate().take(lmax + 1).skip(1) {
+        if ql == 0.0 {
+            continue;
+        }
+        let den = lf.ln_falling(n - 1, l).expect("l <= n-1 by validation");
+        if nh >= 2 {
+            if let Some(num) = lf.ln_falling(nh - 2, l - 1) {
+                w_b += ql * (num - den).exp();
+            }
+        }
+    }
+    (w_a, w_b)
+}
+
+/// Computes the full class-by-class decomposition of `H*(S)` for simple
+/// paths. See the module documentation for the derivation.
+///
+/// # Errors
+///
+/// Returns an error when the distribution places mass on lengths a simple
+/// path cannot realize (`l > n - 1`).
+pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityAnalysis> {
+    model.validate_dist(dist)?;
+    let lmax = dist.max_len().min(model.n().saturating_sub(1));
+    let ev = Evaluator::new(model, lmax)?;
+    Ok(ev.analyze(dist.pmf()))
+}
+
+/// Reusable exact evaluator for simple paths.
+///
+/// Precomputes the log-factorial tables for a `(model, lmax)` pair so that
+/// many distributions over the same support can be scored cheaply — the hot
+/// loop of [`crate::optimize`].
+///
+/// # Examples
+///
+/// ```
+/// use anonroute_core::engine::simple::Evaluator;
+/// use anonroute_core::{PathLengthDist, SystemModel};
+///
+/// let model = SystemModel::new(100, 1)?;
+/// let ev = Evaluator::new(&model, 10)?;
+/// let h = ev.h_star(PathLengthDist::fixed(5).pmf());
+/// assert!(h > 6.0);
+/// # Ok::<(), anonroute_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    n: usize,
+    c: usize,
+    nh: usize,
+    lmax: usize,
+    lf: LnFact,
+}
+
+impl Evaluator {
+    /// Builds an evaluator for distributions supported on `0..=lmax`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model uses cyclic paths or if
+    /// `lmax > n - 1`.
+    pub fn new(model: &SystemModel, lmax: usize) -> Result<Self> {
+        if model.path_kind() != crate::model::PathKind::Simple {
+            return Err(crate::error::Error::InvalidModel(
+                "the simple-path evaluator requires PathKind::Simple".into(),
+            ));
+        }
+        if lmax > model.n() - 1 {
+            return Err(crate::error::Error::InvalidDistribution(format!(
+                "simple paths support at most n-1={} intermediate nodes",
+                model.n() - 1
+            )));
+        }
+        Ok(Evaluator {
+            n: model.n(),
+            c: model.c(),
+            nh: model.honest(),
+            lmax,
+            lf: LnFact::new(model.n() + lmax + 4),
+        })
+    }
+
+    /// Exact `H*` of an (unnormalized) pmf over `0..=lmax`; mass beyond
+    /// `lmax` is ignored.
+    pub fn h_star(&self, pmf: &[f64]) -> f64 {
+        self.analyze(pmf).h_star
+    }
+
+    /// Full class decomposition for an (unnormalized) pmf over `0..=lmax`.
+    pub fn analyze(&self, pmf: &[f64]) -> AnonymityAnalysis {
+        let (n, c, nh, lmax, lf) = (self.n, self.c, self.nh, self.lmax, &self.lf);
+        let mut q: Vec<f64> = pmf.iter().take(lmax + 1).copied().collect();
+        let total: f64 = q.iter().sum();
+        if total > 0.0 && (total - 1.0).abs() > 1e-15 {
+            for v in &mut q {
+                *v /= total;
+            }
+        }
+        let q = &q[..];
+        analyze_normalized(n, c, nh, lmax, lf, q)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_normalized(
+    n: usize,
+    c: usize,
+    nh: usize,
+    lmax: usize,
+    lf: &LnFact,
+    q: &[f64],
+) -> AnonymityAnalysis {
+    let mut classes = Vec::new();
+    let mut h_star = 0.0;
+    let mut p_exposed = 0.0;
+
+    // --- sender compromised (local-eavesdropper case) --------------------
+    if c > 0 {
+        let p = c as f64 / n as f64;
+        p_exposed += p;
+        classes.push(ClassReport {
+            class: ObservationClass::SenderCompromised,
+            probability: p,
+            entropy_bits: 0.0,
+            suspect_posterior: 1.0,
+        });
+    }
+
+    if nh == 0 {
+        return AnonymityAnalysis { h_star: 0.0, p_exposed, classes };
+    }
+
+    // --- clean class: no compromised node on the path --------------------
+    {
+        // Hypothesis A: path length 0 — the receiver's predecessor is the
+        // sender. Hypothesis B (per candidate): the sender is a hidden
+        // honest node; the receiver's predecessor is an honest intermediate
+        // and the remaining l-1 intermediates are hidden honest nodes.
+        let (w_a, w_b) = clean_hypothesis_weights(lf, q, lmax, n, nh);
+        let n_hidden = nh - 1;
+        let entropy = entropy_bits_grouped(&[(w_a, 1), (w_b, n_hidden)]);
+        let z = w_a + w_b * n_hidden as f64;
+        let suspect = if z > 0.0 { w_a / z } else { 0.0 };
+
+        // Class probability: honest sender and an all-honest path.
+        let mut p = 0.0;
+        for (l, &ql) in q.iter().enumerate().take(lmax + 1) {
+            if ql == 0.0 {
+                continue;
+            }
+            let den = lf.ln_falling(n - 1, l).expect("l <= n-1 by validation");
+            if let Some(num) = lf.ln_falling(nh - 1, l) {
+                p += ql * (num - den).exp();
+            }
+        }
+        p *= nh as f64 / n as f64;
+        h_star += p * entropy;
+        if entropy == 0.0 {
+            p_exposed += p;
+        }
+        classes.push(ClassReport {
+            class: ObservationClass::Clean,
+            probability: p,
+            entropy_bits: entropy,
+            suspect_posterior: suspect,
+        });
+    }
+
+    // --- classes with m >= 1 compromised runs ----------------------------
+    for s in 1..=c.min(lmax) {
+        for m in 1..=s {
+            let ln_rs = lf
+                .ln_binom(s - 1, m - 1)
+                .expect("m <= s implies the binomial exists");
+            for unit_gaps in 0..m {
+                let ln_mf = lf
+                    .ln_binom(m - 1, unit_gaps)
+                    .expect("unit_gaps <= m-1 implies the binomial exists");
+                for end in EndGap::ALL {
+                    // Honest nodes observed by identity, excluding the first
+                    // run's predecessor `u`: each unit gap shows 1 node, each
+                    // wide gap its 2 boundaries, the end gap per its class.
+                    let obs0 = unit_gaps + 2 * (m - 1 - unit_gaps) + end.observed();
+                    // Gaps with unbounded hidden mass, excluding the leading gap.
+                    let k0 = (m - 1 - unit_gaps) + usize::from(end.is_free());
+
+                    let (w_a, w_b) = run_hypothesis_weights(lf, q, lmax, n, nh, s, obs0, k0);
+                    let mut p_cls = 0.0;
+                    for (l, &ql) in q.iter().enumerate().take(lmax + 1).skip(s) {
+                        if ql == 0.0 {
+                            continue;
+                        }
+                        let den = lf.ln_falling(n - 1, l).expect("l <= n-1 by validation");
+                        let h_a = l as i64 - s as i64 - obs0 as i64;
+                        // Class probability: gap layouts (leading gap free
+                        // from 0) x compromised and honest id assignments.
+                        if let (Some(lay), Some(fc), Some(fh)) = (
+                            lf.ln_stars_bars(h_a, k0 + 1),
+                            lf.ln_falling(c, s),
+                            lf.ln_falling(nh - 1, l - s),
+                        ) {
+                            p_cls += ql * (lay + fc + fh - den).exp();
+                        }
+                    }
+                    p_cls *= (nh as f64 / n as f64) * (ln_rs + ln_mf).exp();
+                    if p_cls <= 0.0 {
+                        continue;
+                    }
+                    let n_hidden = nh.saturating_sub(obs0 + 1);
+                    let entropy = entropy_bits_grouped(&[(w_a, 1), (w_b, n_hidden)]);
+                    let z = w_a + w_b * n_hidden as f64;
+                    let suspect = if z > 0.0 { w_a / z } else { 0.0 };
+                    h_star += p_cls * entropy;
+                    if entropy == 0.0 {
+                        p_exposed += p_cls;
+                    }
+                    classes.push(ClassReport {
+                        class: ObservationClass::Runs { on_path: s, runs: m, unit_gaps, end },
+                        probability: p_cls,
+                        entropy_bits: entropy,
+                        suspect_posterior: suspect,
+                    });
+                }
+            }
+        }
+    }
+
+    AnonymityAnalysis { h_star, p_exposed, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::PathLengthDist;
+    use crate::mathutil::binary_entropy_bits;
+    use crate::model::SystemModel;
+
+    fn h_of(n: usize, c: usize, dist: &PathLengthDist) -> f64 {
+        let model = SystemModel::new(n, c).unwrap();
+        anonymity_degree(&model, dist).unwrap()
+    }
+
+    #[test]
+    fn class_probabilities_sum_to_one() {
+        for (n, c) in [(10, 0), (10, 1), (10, 3), (25, 5), (100, 1)] {
+            for dist in [
+                PathLengthDist::fixed(0),
+                PathLengthDist::fixed(3),
+                PathLengthDist::uniform(0, 6).unwrap(),
+                PathLengthDist::uniform(2, 8).unwrap(),
+                PathLengthDist::geometric(0.7, 9).unwrap(),
+            ] {
+                let model = SystemModel::new(n, c).unwrap();
+                let a = analysis(&model, &dist).unwrap();
+                let total: f64 = a.classes.iter().map(|r| r.probability).sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-10,
+                    "n={n} c={c} dist={dist}: classes sum to {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_bounded_by_log2_n() {
+        for (n, c) in [(8, 0), (8, 2), (50, 5), (100, 1)] {
+            for dist in [
+                PathLengthDist::fixed(1),
+                PathLengthDist::fixed(5),
+                PathLengthDist::uniform(1, 7).unwrap(),
+            ] {
+                let h = h_of(n, c, &dist);
+                assert!(h >= 0.0 && h <= (n as f64).log2() + 1e-12, "n={n} c={c}: {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_compromised_nodes_still_leaks_via_receiver() {
+        // With c = 0 and l >= 1 fixed, the receiver sees its predecessor,
+        // which cannot be the sender on a simple path: H* = log2(n-1).
+        let h = h_of(20, 0, &PathLengthDist::fixed(3));
+        assert!((h - 19f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_send_exposes_sender() {
+        // l = 0: the receiver's predecessor IS the sender.
+        for c in [0, 1, 4] {
+            let h = h_of(30, c, &PathLengthDist::fixed(0));
+            assert!(h.abs() < 1e-12, "c={c}: {h}");
+        }
+        let model = SystemModel::new(30, 1).unwrap();
+        let a = analysis(&model, &PathLengthDist::fixed(0)).unwrap();
+        assert!((a.p_exposed - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_anchor_fixed_one_and_two_coincide() {
+        // Paper Section 6.1 / Theorem 1: H*(F(1)) = H*(F(2)) = (n-2)/n log2(n-2).
+        let n = 100;
+        let expect = (98.0 / 100.0) * 98f64.log2();
+        let h1 = h_of(n, 1, &PathLengthDist::fixed(1));
+        let h2 = h_of(n, 1, &PathLengthDist::fixed(2));
+        assert!((h1 - expect).abs() < 1e-12, "F(1): {h1} vs {expect}");
+        assert!((h2 - expect).abs() < 1e-12, "F(2): {h2} vs {expect}");
+        // ... and the value the paper plots in Figure 3(b): about 6.4824.
+        assert!((h1 - 6.4824).abs() < 5e-4);
+    }
+
+    #[test]
+    fn paper_anchor_fixed_three_slightly_worse() {
+        // Paper Figure 3(b) bullet 3: F(3) is (slightly) worse than F(1)=F(2).
+        let n = 100;
+        let h2 = h_of(n, 1, &PathLengthDist::fixed(2));
+        let h3 = h_of(n, 1, &PathLengthDist::fixed(3));
+        assert!(h3 < h2);
+        assert!(h2 - h3 < 1e-3, "the gap is tiny: {}", h2 - h3);
+        // closed form: (1/n) log2(n-3) + ((n-3)/n) log2(n-2)
+        let expect = (1.0 / 100.0) * 97f64.log2() + (97.0 / 100.0) * 98f64.log2();
+        assert!((h3 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_anchor_fixed_four_jumps_up() {
+        // Paper Figure 3(b) bullet 1: F(4) beats F(1..3) because the
+        // adversary can no longer locate a mid-path compromised node.
+        let n = 100;
+        let h3 = h_of(n, 1, &PathLengthDist::fixed(3));
+        let h4 = h_of(n, 1, &PathLengthDist::fixed(4));
+        assert!(h4 > h3 + 0.01, "h4={h4} h3={h3}");
+        // closed form for F(4), c=1:
+        let expect = (2.0 / 100.0) * (1.0 + 0.5 * 96f64.log2())
+            + (1.0 / 100.0) * 97f64.log2()
+            + (96.0 / 100.0) * 98f64.log2();
+        assert!((h4 - expect).abs() < 1e-12, "F(4): {h4} vs {expect}");
+    }
+
+    #[test]
+    fn paper_anchor_long_path_effect() {
+        // Paper Figure 3(a): H* rises, peaks, then declines for long paths.
+        let n = 100;
+        let h10 = h_of(n, 1, &PathLengthDist::fixed(10));
+        let h50 = h_of(n, 1, &PathLengthDist::fixed(50));
+        let h99 = h_of(n, 1, &PathLengthDist::fixed(99));
+        assert!(h50 > h10, "rising region");
+        assert!(h99 < h50, "falling region (long-path effect)");
+    }
+
+    #[test]
+    fn paper_anchor_theorem3_mean_only_dependence() {
+        // Theorem 3: for uniform distributions with lower bound >= 3 the
+        // anonymity degree depends only on the mean.
+        let n = 100;
+        let model = SystemModel::new(n, 1).unwrap();
+        let h_f6 = anonymity_degree(&model, &PathLengthDist::fixed(6)).unwrap();
+        let h_u39 = anonymity_degree(&model, &PathLengthDist::uniform(3, 9).unwrap()).unwrap();
+        let h_u48 = anonymity_degree(&model, &PathLengthDist::uniform(4, 8).unwrap()).unwrap();
+        let h_u57 = anonymity_degree(&model, &PathLengthDist::uniform(5, 7).unwrap()).unwrap();
+        assert!((h_f6 - h_u39).abs() < 1e-12);
+        assert!((h_f6 - h_u48).abs() < 1e-12);
+        assert!((h_f6 - h_u57).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_only_dependence_fails_below_three() {
+        // The equivalence breaks when mass reaches lengths <= 2.
+        let n = 100;
+        let model = SystemModel::new(n, 1).unwrap();
+        let h_f5 = anonymity_degree(&model, &PathLengthDist::fixed(5)).unwrap();
+        let h_u19 = anonymity_degree(&model, &PathLengthDist::uniform(1, 9).unwrap()).unwrap();
+        assert!((h_f5 - h_u19).abs() > 1e-4);
+    }
+
+    #[test]
+    fn variable_length_beats_fixed_at_small_mean() {
+        // Paper conclusion 4 (after optimization; already visible for
+        // uniform spreads at small expected length).
+        let n = 100;
+        let h_f5 = h_of(n, 1, &PathLengthDist::fixed(5));
+        let h_u28 = h_of(n, 1, &PathLengthDist::uniform(2, 8).unwrap());
+        assert!(h_u28 > h_f5);
+    }
+
+    #[test]
+    fn more_compromised_nodes_never_help() {
+        let n = 40;
+        let dist = PathLengthDist::uniform(2, 10).unwrap();
+        let mut prev = f64::INFINITY;
+        for c in 0..10 {
+            let h = h_of(n, c, &dist);
+            assert!(h <= prev + 1e-12, "c={c}: {h} > {prev}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn all_compromised_yields_zero() {
+        let h = h_of(12, 12, &PathLengthDist::fixed(4));
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn single_node_system_has_no_anonymity() {
+        let h = h_of(1, 0, &PathLengthDist::fixed(0));
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    fn suspect_posterior_matches_closed_form_for_last_hop_class() {
+        // For c=1, the class "run touches receiver" has
+        // P(sender = pred(run)) = q(1) / P[L >= 1].
+        let model = SystemModel::new(50, 1).unwrap();
+        let dist = PathLengthDist::uniform(1, 5).unwrap();
+        let a = analysis(&model, &dist).unwrap();
+        let touching = a
+            .classes
+            .iter()
+            .find(|r| {
+                matches!(
+                    r.class,
+                    ObservationClass::Runs { on_path: 1, runs: 1, end: EndGap::Touching, .. }
+                )
+            })
+            .expect("class present");
+        let expect = dist.prob(1) / dist.tail(1);
+        assert!((touching.suspect_posterior - expect).abs() < 1e-12);
+        // and its entropy is h(alpha) + (1-alpha) log2(n-2)
+        let h_expect = binary_entropy_bits(expect) + (1.0 - expect) * 48f64.log2();
+        assert!((touching.entropy_bits - h_expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analysis_rejects_unrealizable_support() {
+        let model = SystemModel::new(5, 1).unwrap();
+        let dist = PathLengthDist::fixed(7);
+        assert!(analysis(&model, &dist).is_err());
+    }
+
+    #[test]
+    fn normalized_degree_in_unit_interval() {
+        let model = SystemModel::new(64, 3).unwrap();
+        let a = analysis(&model, &PathLengthDist::uniform(2, 9).unwrap()).unwrap();
+        let nd = a.normalized(&model);
+        assert!((0.0..=1.0).contains(&nd));
+        assert!((a.h_star / 6.0 - nd).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for `anonroute-core`.
+
+use std::fmt;
+
+/// Errors returned by fallible operations in this crate.
+///
+/// All variants carry a human-readable description of the violated
+/// requirement. The error messages are lowercase without trailing
+/// punctuation, per Rust API guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A system-model parameter is invalid (e.g. `c > n`, or `n == 0`).
+    InvalidModel(String),
+    /// A path-length distribution is invalid (negative mass, zero total
+    /// mass, non-finite entries, or support incompatible with the model).
+    InvalidDistribution(String),
+    /// An optimization routine was given inconsistent constraints or
+    /// failed to make progress.
+    Optimization(String),
+    /// A raw adversary observation could not be parsed into a valid
+    /// observation signature.
+    InvalidObservation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidModel(msg) => write!(f, "invalid system model: {msg}"),
+            Error::InvalidDistribution(msg) => {
+                write!(f, "invalid path-length distribution: {msg}")
+            }
+            Error::Optimization(msg) => write!(f, "optimization failed: {msg}"),
+            Error::InvalidObservation(msg) => write!(f, "invalid observation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            Error::InvalidModel("n must be positive".into()),
+            Error::InvalidDistribution("mass sums to zero".into()),
+            Error::Optimization("no feasible point".into()),
+            Error::InvalidObservation("runs out of order".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

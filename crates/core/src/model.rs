@@ -1,0 +1,203 @@
+//! The system and threat model of Sections 3–4 of the paper.
+
+use crate::dist::PathLengthDist;
+use crate::error::{Error, Result};
+
+/// Whether rerouting paths may revisit nodes (Section 3.2).
+///
+/// * [`PathKind::Simple`] — no cycles: the sender and all intermediate
+///   nodes are distinct. Intermediates are a uniformly random sequence of
+///   distinct nodes drawn from the other `n - 1` nodes. This is the model
+///   behind all numeric results in the paper.
+/// * [`PathKind::Cyclic`] — "complicated" paths: every hop is chosen
+///   independently and uniformly from all `n` nodes, so nodes (including
+///   the sender) may appear multiple times. This is the Crowds /
+///   Onion Routing II selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PathKind {
+    /// Distinct intermediate nodes (no cycles).
+    #[default]
+    Simple,
+    /// Independently sampled hops (cycles allowed).
+    Cyclic,
+}
+
+impl std::fmt::Display for PathKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathKind::Simple => write!(f, "simple"),
+            PathKind::Cyclic => write!(f, "cyclic"),
+        }
+    }
+}
+
+/// The clique-topology system model (Section 3.1) plus the passive threat
+/// model (Section 4).
+///
+/// A system has `n` member nodes that all can reach each other directly.
+/// The receiver is *not* one of the `n` nodes and is always assumed
+/// compromised. Of the `n` members, `c` are compromised; their agents
+/// report `(time, predecessor, successor)` for every message they forward
+/// and report silence otherwise. The sender is a priori uniform over all
+/// `n` members (a compromised member may itself be the sender — the
+/// paper's "local eavesdropper" case, in which the adversary learns the
+/// sender trivially).
+///
+/// # Examples
+///
+/// ```
+/// use anonroute_core::SystemModel;
+/// let model = SystemModel::new(100, 1)?;
+/// assert_eq!(model.honest(), 99);
+/// assert!((model.max_entropy_bits() - 100f64.log2()).abs() < 1e-12);
+/// # Ok::<(), anonroute_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemModel {
+    n: usize,
+    c: usize,
+    path_kind: PathKind,
+}
+
+impl SystemModel {
+    /// Creates a model with `n` member nodes of which `c` are compromised,
+    /// using simple (cycle-free) paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidModel`] if `n == 0` or `c > n`.
+    pub fn new(n: usize, c: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::InvalidModel("system must have at least one node".into()));
+        }
+        if c > n {
+            return Err(Error::InvalidModel(format!(
+                "compromised count c={c} exceeds system size n={n}"
+            )));
+        }
+        Ok(SystemModel { n, c, path_kind: PathKind::Simple })
+    }
+
+    /// Creates a model with an explicit [`PathKind`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SystemModel::new`].
+    pub fn with_path_kind(n: usize, c: usize, path_kind: PathKind) -> Result<Self> {
+        let mut m = Self::new(n, c)?;
+        m.path_kind = path_kind;
+        Ok(m)
+    }
+
+    /// Total number of member nodes `n` (the receiver is extra).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of compromised member nodes `c`.
+    #[inline]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Number of honest member nodes, `n - c`.
+    #[inline]
+    pub fn honest(&self) -> usize {
+        self.n - self.c
+    }
+
+    /// The path-construction rule.
+    #[inline]
+    pub fn path_kind(&self) -> PathKind {
+        self.path_kind
+    }
+
+    /// The information-theoretic ceiling `log2 n` on the anonymity degree
+    /// (paper, Section 5.1): with no information, every one of the `n`
+    /// nodes is an equally likely sender.
+    #[inline]
+    pub fn max_entropy_bits(&self) -> f64 {
+        (self.n as f64).log2()
+    }
+
+    /// Checks that a path-length distribution is compatible with this
+    /// model: simple paths cannot be longer than `n - 1` (there are only
+    /// `n - 1` other nodes to visit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] on support overflow.
+    pub fn validate_dist(&self, dist: &PathLengthDist) -> Result<()> {
+        if self.path_kind == PathKind::Simple && dist.max_len() > self.n - 1 {
+            // mass beyond n-1 would be unrealizable
+            let overflow: f64 = dist.pmf().iter().skip(self.n).sum();
+            if overflow > 0.0 {
+                return Err(Error::InvalidDistribution(format!(
+                    "simple paths in an n={} system support at most {} intermediate nodes, \
+                     but the distribution places mass {overflow:.3e} beyond that",
+                    self.n,
+                    self.n - 1,
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for SystemModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SystemModel(n={}, c={}, {})", self.n, self.c, self.path_kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(SystemModel::new(0, 0).is_err());
+        assert!(SystemModel::new(5, 6).is_err());
+        assert!(SystemModel::new(5, 5).is_ok());
+        assert!(SystemModel::new(1, 0).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let m = SystemModel::new(100, 3).unwrap();
+        assert_eq!(m.n(), 100);
+        assert_eq!(m.c(), 3);
+        assert_eq!(m.honest(), 97);
+        assert_eq!(m.path_kind(), PathKind::Simple);
+    }
+
+    #[test]
+    fn max_entropy_is_log2_n() {
+        let m = SystemModel::new(64, 0).unwrap();
+        assert!((m.max_entropy_bits() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_dist_rejects_overlong_simple_paths() {
+        let m = SystemModel::new(5, 1).unwrap();
+        let ok = PathLengthDist::fixed(4);
+        let bad = PathLengthDist::fixed(5);
+        assert!(m.validate_dist(&ok).is_ok());
+        assert!(m.validate_dist(&bad).is_err());
+    }
+
+    #[test]
+    fn validate_dist_allows_long_cyclic_paths() {
+        let m = SystemModel::with_path_kind(5, 1, PathKind::Cyclic).unwrap();
+        let long = PathLengthDist::fixed(20);
+        assert!(m.validate_dist(&long).is_ok());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = SystemModel::with_path_kind(10, 2, PathKind::Cyclic).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("n=10") && s.contains("c=2") && s.contains("cyclic"));
+    }
+}

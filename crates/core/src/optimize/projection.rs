@@ -1,0 +1,237 @@
+//! Euclidean projections onto the feasible sets of the paper's
+//! optimization problem: the probability simplex (constraints 16–17) and
+//! its intersection with a fixed-mean hyperplane (the Figure-6 variant).
+
+/// Projects `y` onto the probability simplex `{q : q ≥ 0, Σq = 1}` in
+/// `O(k log k)` (Held–Wolfe–Crowder / Duchi et al.).
+pub fn project_simplex(y: &[f64]) -> Vec<f64> {
+    let k = y.len();
+    assert!(k > 0, "cannot project an empty vector");
+    let mut sorted: Vec<f64> = y.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    let mut cumsum = 0.0;
+    let mut tau = 0.0;
+    for (j, &v) in sorted.iter().enumerate() {
+        cumsum += v;
+        let t = (cumsum - 1.0) / (j + 1) as f64;
+        if j + 1 == k || sorted[j + 1] <= t {
+            tau = t;
+            if j + 1 < k {
+                // check the standard stopping rule: v_{j+1} <= tau < v_j region
+                if sorted[j + 1] <= t {
+                    break;
+                }
+            }
+        }
+    }
+    y.iter().map(|&v| (v - tau).max(0.0)).collect()
+}
+
+/// Projects `y` onto `{q : q ≥ 0, Σq = 1, Σ l·q_l = mean}` — the simplex
+/// intersected with the fixed-expected-length hyperplane.
+///
+/// Uses the KKT form `q_l = max(0, y_l - α - β·l)` and solves the two dual
+/// variables by nested bisection (the total mass is monotone in `α` for
+/// fixed `β`, and the resulting mean is monotone in `β`).
+///
+/// Returns `None` when the constraints are infeasible
+/// (`mean` outside `[0, len-1]`).
+pub fn project_simplex_with_mean(y: &[f64], mean: f64) -> Option<Vec<f64>> {
+    let k = y.len();
+    assert!(k > 0, "cannot project an empty vector");
+    let max_idx = (k - 1) as f64;
+    if !(0.0..=max_idx).contains(&mean) {
+        return None;
+    }
+    // exact boundary cases: all mass pinned to an endpoint
+    if mean == 0.0 {
+        let mut q = vec![0.0; k];
+        q[0] = 1.0;
+        return Some(q);
+    }
+    if mean == max_idx {
+        let mut q = vec![0.0; k];
+        q[k - 1] = 1.0;
+        return Some(q);
+    }
+
+    // inner solve: alpha(beta) such that sum max(0, y - alpha - beta l) = 1
+    let solve_alpha = |beta: f64| -> f64 {
+        let vals: Vec<f64> = y.iter().enumerate().map(|(l, &v)| v - beta * l as f64).collect();
+        let hi0 = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut lo = hi0 - 1.0;
+        // expand until mass(lo) >= 1
+        while vals.iter().map(|&v| (v - lo).max(0.0)).sum::<f64>() < 1.0 {
+            lo -= 1.0 + (hi0 - lo);
+        }
+        let mut hi = hi0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let mass: f64 = vals.iter().map(|&v| (v - mid).max(0.0)).sum();
+            if mass > 1.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    let mean_at = |beta: f64| -> f64 {
+        let alpha = solve_alpha(beta);
+        y.iter()
+            .enumerate()
+            .map(|(l, &v)| l as f64 * (v - alpha - beta * l as f64).max(0.0))
+            .sum()
+    };
+
+    // outer bisection on beta: mean is non-increasing in beta
+    let mut lo = -1.0;
+    let mut hi = 1.0;
+    let mut guard = 0;
+    while mean_at(lo) < mean {
+        lo *= 2.0;
+        guard += 1;
+        if guard > 80 {
+            return None;
+        }
+    }
+    guard = 0;
+    while mean_at(hi) > mean {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 80 {
+            return None;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mean_at(mid) > mean {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let beta = 0.5 * (lo + hi);
+    let alpha = solve_alpha(beta);
+    let q: Vec<f64> =
+        y.iter().enumerate().map(|(l, &v)| (v - alpha - beta * l as f64).max(0.0)).collect();
+    // final cleanup: renormalize tiny numerical drift
+    let total: f64 = q.iter().sum();
+    Some(q.into_iter().map(|v| v / total).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_simplex(q: &[f64]) {
+        assert!(q.iter().all(|&v| v >= -1e-12), "nonnegative: {q:?}");
+        let s: f64 = q.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "sums to one: {s}");
+    }
+
+    fn mean_of(q: &[f64]) -> f64 {
+        q.iter().enumerate().map(|(l, &v)| l as f64 * v).sum()
+    }
+
+    #[test]
+    fn simplex_projection_of_feasible_point_is_identity() {
+        let q = vec![0.2, 0.3, 0.5];
+        let p = project_simplex(&q);
+        for (a, b) in q.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn simplex_projection_basics() {
+        let p = project_simplex(&[10.0, 0.0, 0.0]);
+        assert_simplex(&p);
+        assert!((p[0] - 1.0).abs() < 1e-9);
+
+        let p = project_simplex(&[0.5, 0.5, 0.5]);
+        assert_simplex(&p);
+        for &v in &p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn simplex_projection_matches_brute_force_qp() {
+        // brute-force via dense grid over 3-simplex
+        let y = [0.9, -0.3, 0.45, 0.2];
+        let p = project_simplex(&y);
+        assert_simplex(&p);
+        let dist = |q: &[f64]| -> f64 {
+            y.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let d_star = dist(&p);
+        // random feasible candidates must not beat the projection
+        let mut rng_state = 123456789u64;
+        let mut rand01 = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..5000 {
+            let mut cand: Vec<f64> = (0..4).map(|_| -((1.0 - rand01()).ln())).collect();
+            let s: f64 = cand.iter().sum();
+            for v in &mut cand {
+                *v /= s;
+            }
+            assert!(dist(&cand) >= d_star - 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_projection_satisfies_constraints() {
+        let y = [0.4, 0.1, 0.9, -0.2, 0.3];
+        for target in [0.0, 0.5, 1.7, 2.0, 3.3, 4.0] {
+            let q = project_simplex_with_mean(&y, target).unwrap();
+            assert_simplex(&q);
+            assert!(
+                (mean_of(&q) - target).abs() < 1e-6,
+                "target {target}: got mean {}",
+                mean_of(&q)
+            );
+        }
+    }
+
+    #[test]
+    fn mean_projection_rejects_infeasible_targets() {
+        let y = [0.5, 0.5];
+        assert!(project_simplex_with_mean(&y, -0.1).is_none());
+        assert!(project_simplex_with_mean(&y, 1.5).is_none());
+    }
+
+    #[test]
+    fn mean_projection_of_feasible_point_is_identity() {
+        let q = vec![0.25, 0.25, 0.25, 0.25];
+        let p = project_simplex_with_mean(&q, 1.5).unwrap();
+        for (a, b) in q.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-6, "{q:?} vs {p:?}");
+        }
+    }
+
+    #[test]
+    fn mean_projection_is_closest_point() {
+        let y = [0.8, -0.1, 0.2, 0.6];
+        let target = 1.8;
+        let p = project_simplex_with_mean(&y, target).unwrap();
+        let dist = |q: &[f64]| -> f64 {
+            y.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let d_star = dist(&p);
+        // brute force: sample feasible points by projecting random vectors
+        let mut rng_state = 987654321u64;
+        let mut rand01 = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for _ in 0..2000 {
+            let cand_raw: Vec<f64> = (0..4).map(|_| rand01() * 2.0 - 0.5).collect();
+            if let Some(cand) = project_simplex_with_mean(&cand_raw, target) {
+                assert!(dist(&cand) >= d_star - 1e-6);
+            }
+        }
+    }
+}

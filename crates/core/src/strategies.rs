@@ -1,0 +1,154 @@
+//! Route-selection strategies of the systems surveyed in Section 2 of the
+//! paper, as path-length distributions.
+//!
+//! | system | strategy | source |
+//! |--------|----------|--------|
+//! | Anonymizer / LPWA | fixed, 1 intermediate proxy | Section 2 |
+//! | Freedom | fixed, 3 intermediate proxies | Section 2 / \[21\] |
+//! | Onion Routing I | fixed, 5 hops | Section 2 |
+//! | PipeNet | 3 or 4 intermediate nodes | Section 2 |
+//! | Crowds | geometric with forwarding probability `p_f` | \[14\] |
+//! | Onion Routing II | Crowds-style coin-weight selection | \[19\] |
+
+use crate::dist::PathLengthDist;
+use crate::error::Result;
+use crate::model::PathKind;
+
+/// A named route-selection strategy, pairing a real system with the
+/// path-length distribution and path kind it induces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedStrategy {
+    /// Human-readable system name.
+    pub name: &'static str,
+    /// The induced path-length distribution.
+    pub dist: PathLengthDist,
+    /// Whether the system allows cycles on its paths.
+    pub path_kind: PathKind,
+}
+
+impl std::fmt::Display for NamedStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]", self.name, self.dist)
+    }
+}
+
+/// Anonymizer: a single trusted web proxy filters identifying headers.
+pub fn anonymizer() -> NamedStrategy {
+    NamedStrategy {
+        name: "Anonymizer",
+        dist: PathLengthDist::fixed(1),
+        path_kind: PathKind::Simple,
+    }
+}
+
+/// Lucent Personalized Web Assistant: like Anonymizer, one intermediate.
+pub fn lpwa() -> NamedStrategy {
+    NamedStrategy { name: "LPWA", dist: PathLengthDist::fixed(1), path_kind: PathKind::Simple }
+}
+
+/// Freedom Network: sender-chosen routes of exactly three proxies, no
+/// cycles permitted by the client UI.
+pub fn freedom() -> NamedStrategy {
+    NamedStrategy { name: "Freedom", dist: PathLengthDist::fixed(3), path_kind: PathKind::Simple }
+}
+
+/// Onion Routing I: the five-node NRL deployment with forced five-hop
+/// routes.
+pub fn onion_routing_i() -> NamedStrategy {
+    NamedStrategy {
+        name: "Onion Routing I",
+        dist: PathLengthDist::fixed(5),
+        path_kind: PathKind::Simple,
+    }
+}
+
+/// PipeNet: rerouting paths of three or four intermediate nodes (modelled
+/// as an even two-point mixture).
+pub fn pipenet() -> NamedStrategy {
+    NamedStrategy {
+        name: "PipeNet",
+        dist: PathLengthDist::two_point(3, 0.5, 4).expect("valid two-point parameters"),
+        path_kind: PathKind::Simple,
+    }
+}
+
+/// Crowds: each jondo forwards to a random jondo with probability
+/// `forward_prob` and to the receiver otherwise; cycles are allowed.
+///
+/// The induced length distribution is geometric with support `1..`,
+/// truncated at `lmax`.
+///
+/// # Errors
+///
+/// Propagates [`PathLengthDist::geometric`] validation.
+pub fn crowds(forward_prob: f64, lmax: usize) -> Result<NamedStrategy> {
+    Ok(NamedStrategy {
+        name: "Crowds",
+        dist: PathLengthDist::geometric(forward_prob, lmax)?,
+        path_kind: PathKind::Cyclic,
+    })
+}
+
+/// Onion Routing II: hop count decided by repeated weighted coin flips, as
+/// borrowed from Crowds; cycles may occur.
+///
+/// # Errors
+///
+/// Propagates [`PathLengthDist::geometric`] validation.
+pub fn onion_routing_ii(coin_weight: f64, lmax: usize) -> Result<NamedStrategy> {
+    Ok(NamedStrategy {
+        name: "Onion Routing II",
+        dist: PathLengthDist::geometric(coin_weight, lmax)?,
+        path_kind: PathKind::Cyclic,
+    })
+}
+
+/// All surveyed systems with their default parameters (Crowds uses the
+/// original paper's `p_f = 3/4`; Onion Routing II a fair coin).
+///
+/// `lmax` truncates the geometric strategies.
+pub fn surveyed_systems(lmax: usize) -> Vec<NamedStrategy> {
+    vec![
+        anonymizer(),
+        lpwa(),
+        freedom(),
+        onion_routing_i(),
+        pipenet(),
+        crowds(0.75, lmax).expect("default parameters are valid"),
+        onion_routing_ii(0.5, lmax).expect("default parameters are valid"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_strategies_have_documented_lengths() {
+        assert_eq!(anonymizer().dist.mean(), 1.0);
+        assert_eq!(lpwa().dist.mean(), 1.0);
+        assert_eq!(freedom().dist.mean(), 3.0);
+        assert_eq!(onion_routing_i().dist.mean(), 5.0);
+        assert_eq!(pipenet().dist.mean(), 3.5);
+    }
+
+    #[test]
+    fn crowds_expected_length_matches_formula() {
+        // E[L] = 1/(1 - p_f) = 4 for p_f = 3/4
+        let c = crowds(0.75, 300).unwrap();
+        assert!((c.dist.mean() - 4.0).abs() < 1e-4);
+        assert_eq!(c.path_kind, PathKind::Cyclic);
+    }
+
+    #[test]
+    fn surveyed_list_is_complete_and_named() {
+        let systems = surveyed_systems(50);
+        assert_eq!(systems.len(), 7);
+        let names: Vec<&str> = systems.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"Crowds"));
+        assert!(names.contains(&"Freedom"));
+        for s in &systems {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

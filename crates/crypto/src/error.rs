@@ -1,0 +1,48 @@
+//! Error types for `anonroute-crypto`.
+
+use std::fmt;
+
+/// Errors from onion construction and peeling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The route/payload combination does not fit the cell, or routing
+    /// parameters are inconsistent.
+    PathTooLong(String),
+    /// A cell failed structural validation (too short, bad length field).
+    Malformed(String),
+    /// MAC verification failed: wrong key, corruption, or forgery.
+    BadMac,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PathTooLong(msg) => write!(f, "onion construction failed: {msg}"),
+            Error::Malformed(msg) => write!(f, "malformed cell: {msg}"),
+            Error::BadMac => write!(f, "message authentication failed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::BadMac.to_string().contains("authentication"));
+        assert!(Error::Malformed("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,165 @@
+//! Ephemeral→static key agreement for onion layers.
+//!
+//! Deployed onion systems do not pre-share symmetric keys: the sender
+//! learns each router's long-term *public* key from a directory and
+//! derives per-hop layer keys with an ephemeral Diffie–Hellman exchange
+//! (the design of Tor's original onions and of Sphinx). This module builds
+//! that flow on [`crate::x25519`]:
+//!
+//! * each node holds a static X25519 key pair ([`NodeIdentity`]);
+//! * the sender generates one ephemeral key pair per hop, derives
+//!   `k = HKDF(X25519(ephemeral, node_static), "layer")`, and places the
+//!   ephemeral public key in the clear next to the layer nonce;
+//! * the node recomputes `k` from its static private key and the received
+//!   ephemeral public key.
+
+use crate::hkdf;
+use crate::keys::MasterKey;
+use crate::x25519::{public_key, shared_secret};
+
+/// A node's static X25519 identity.
+#[derive(Clone)]
+pub struct NodeIdentity {
+    private: [u8; 32],
+    public: [u8; 32],
+}
+
+impl std::fmt::Debug for NodeIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeIdentity(pub {:02x}{:02x}..)", self.public[0], self.public[1])
+    }
+}
+
+impl NodeIdentity {
+    /// Creates an identity from 32 bytes of private entropy.
+    pub fn from_private(private: [u8; 32]) -> Self {
+        let public = public_key(&private);
+        NodeIdentity { private, public }
+    }
+
+    /// Deterministically derives the identity of node `id` from a
+    /// directory seed (for tests and reproducible deployments).
+    pub fn derive(directory_seed: &[u8], id: u64) -> Self {
+        let mut private = [0u8; 32];
+        let info = [b"anonroute-identity-v1" as &[u8], &id.to_be_bytes()].concat();
+        hkdf::derive(b"anonroute-directory", directory_seed, &info, &mut private);
+        Self::from_private(private)
+    }
+
+    /// The public key published in the directory.
+    pub fn public(&self) -> &[u8; 32] {
+        &self.public
+    }
+
+    /// Node side of the handshake: recomputes the layer master key from a
+    /// sender's ephemeral public key.
+    pub fn recv_layer_key(&self, ephemeral_public: &[u8; 32]) -> MasterKey {
+        derive_layer_key(&shared_secret(&self.private, ephemeral_public), ephemeral_public)
+    }
+}
+
+/// Sender side of the handshake: derives the layer master key for one hop
+/// and returns it with the ephemeral public key to embed in the packet.
+///
+/// `ephemeral_private` must be fresh random bytes per hop per message.
+pub fn send_layer_key(
+    ephemeral_private: &[u8; 32],
+    node_public: &[u8; 32],
+) -> (MasterKey, [u8; 32]) {
+    let eph_pub = public_key(ephemeral_private);
+    let shared = shared_secret(ephemeral_private, node_public);
+    (derive_layer_key(&shared, &eph_pub), eph_pub)
+}
+
+fn derive_layer_key(shared: &[u8; 32], ephemeral_public: &[u8; 32]) -> MasterKey {
+    let mut key = [0u8; 32];
+    hkdf::derive(ephemeral_public, shared, b"anonroute-layer-key-v1", &mut key);
+    MasterKey(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_and_node_derive_the_same_layer_key() {
+        let node = NodeIdentity::derive(b"dir", 7);
+        let eph_priv = [0x5au8; 32];
+        let (k_sender, eph_pub) = send_layer_key(&eph_priv, node.public());
+        let k_node = node.recv_layer_key(&eph_pub);
+        assert_eq!(k_sender, k_node);
+    }
+
+    #[test]
+    fn different_ephemerals_give_different_keys() {
+        let node = NodeIdentity::derive(b"dir", 7);
+        let (k1, _) = send_layer_key(&[1u8; 32], node.public());
+        let (k2, _) = send_layer_key(&[2u8; 32], node.public());
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn different_nodes_give_different_keys() {
+        let a = NodeIdentity::derive(b"dir", 1);
+        let b = NodeIdentity::derive(b"dir", 2);
+        assert_ne!(a.public(), b.public());
+        let eph = [9u8; 32];
+        let (ka, _) = send_layer_key(&eph, a.public());
+        let (kb, _) = send_layer_key(&eph, b.public());
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn wrong_node_cannot_recover_the_key() {
+        let a = NodeIdentity::derive(b"dir", 1);
+        let b = NodeIdentity::derive(b"dir", 2);
+        let (k_for_a, eph_pub) = send_layer_key(&[3u8; 32], a.public());
+        assert_ne!(b.recv_layer_key(&eph_pub), k_for_a);
+    }
+
+    #[test]
+    fn identity_derivation_is_deterministic() {
+        let a = NodeIdentity::derive(b"dir", 42);
+        let b = NodeIdentity::derive(b"dir", 42);
+        assert_eq!(a.public(), b.public());
+    }
+
+    #[test]
+    fn debug_does_not_print_private_key() {
+        let id = NodeIdentity::from_private([0xEE; 32]);
+        let s = format!("{id:?}");
+        assert!(!s.contains("eeee"));
+    }
+
+    #[test]
+    fn layer_keys_work_with_the_onion_format() {
+        use crate::onion::{peel, Peeled};
+        // one hop sealed with a handshake-derived key instead of a
+        // pre-shared one
+        let node = NodeIdentity::derive(b"dir", 3);
+        let (layer_key, eph_pub) = send_layer_key(&[0x11u8; 32], node.public());
+        // seal manually via a single-hop keystore substitute
+        let nonce = [4u8; 12];
+        let plaintext = b"end-to-end payload";
+        // reuse the onion primitives through a one-node KeyStore facade:
+        // build expects a KeyStore, so seal by constructing the layer here
+        let (enc, mac) = layer_key.layer_keys(&nonce);
+        let mut body = Vec::new();
+        body.extend_from_slice(&[0u8; 16]);
+        body.extend_from_slice(&u16::MAX.to_be_bytes());
+        body.extend_from_slice(&(plaintext.len() as u16).to_be_bytes());
+        body.extend_from_slice(plaintext);
+        let tag = crate::hmac::hmac_sha256(&mac, &body[16..]);
+        body[..16].copy_from_slice(&tag[..16]);
+        crate::chacha20::xor_stream(&enc, &nonce, 1, &mut body);
+        let mut cell = nonce.to_vec();
+        cell.extend_from_slice(&body);
+
+        // node side: recompute the key from the ephemeral and peel
+        let recovered = node.recv_layer_key(&eph_pub);
+        match peel(&recovered, &cell).unwrap() {
+            Peeled::Deliver { payload } => assert_eq!(payload, plaintext),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

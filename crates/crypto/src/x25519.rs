@@ -1,0 +1,396 @@
+//! X25519 Diffie–Hellman (RFC 7748), implemented from scratch.
+//!
+//! The deployed systems the paper surveys (Onion Routing, Freedom) use
+//! public-key cryptography to establish per-hop keys; the offline build
+//! environment has no crypto crates, so this module provides Curve25519
+//! scalar multiplication over GF(2²⁵⁵ − 19) with 51-bit limbs and the
+//! constant-structure Montgomery ladder, validated against the RFC 7748
+//! test vectors (including the iterated vector).
+//!
+//! [`crate::handshake`] builds ephemeral→static key agreement for onion
+//! layer keys on top of this primitive.
+
+#![allow(clippy::needless_range_loop)] // fixed-width limb arithmetic
+
+/// A field element of GF(2^255 - 19) in radix-2^51 representation.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+const MASK51: u64 = (1u64 << 51) - 1;
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |b: &[u8]| -> u64 {
+            let mut x = [0u8; 8];
+            x[..b.len()].copy_from_slice(b);
+            u64::from_le_bytes(x)
+        };
+        let mut h = [0u64; 5];
+        h[0] = load(&bytes[0..8]) & MASK51;
+        h[1] = (load(&bytes[6..14]) >> 3) & MASK51;
+        h[2] = (load(&bytes[12..20]) >> 6) & MASK51;
+        h[3] = (load(&bytes[19..27]) >> 1) & MASK51;
+        h[4] = (load(&bytes[24..32]) >> 12) & MASK51;
+        Fe(h)
+    }
+
+    fn to_bytes(mut self) -> [u8; 32] {
+        self = self.reduce();
+        // final canonical reduction: subtract p if >= p
+        let mut h = self.0;
+        // compute h + 19, see if it carries past 2^255
+        let mut q = (h[0] + 19) >> 51;
+        q = (h[1] + q) >> 51;
+        q = (h[2] + q) >> 51;
+        q = (h[3] + q) >> 51;
+        q = (h[4] + q) >> 51;
+        h[0] += 19 * q;
+        let mut carry = h[0] >> 51;
+        h[0] &= MASK51;
+        for i in 1..5 {
+            h[i] += carry;
+            carry = h[i] >> 51;
+            h[i] &= MASK51;
+        }
+        // now h is canonical (the overflow bit was discarded mod 2^255)
+        let mut out = [0u8; 32];
+        let w0 = h[0] | (h[1] << 51);
+        let w1 = (h[1] >> 13) | (h[2] << 38);
+        let w2 = (h[2] >> 26) | (h[3] << 25);
+        let w3 = (h[3] >> 39) | (h[4] << 12);
+        out[0..8].copy_from_slice(&w0.to_le_bytes());
+        out[8..16].copy_from_slice(&w1.to_le_bytes());
+        out[16..24].copy_from_slice(&w2.to_le_bytes());
+        out[24..32].copy_from_slice(&w3.to_le_bytes());
+        out
+    }
+
+    /// Weak reduction: brings limbs below 2^52.
+    fn reduce(self) -> Fe {
+        let mut h = self.0;
+        let mut carry = h[4] >> 51;
+        h[4] &= MASK51;
+        h[0] += 19 * carry;
+        for i in 0..4 {
+            carry = h[i] >> 51;
+            h[i] &= MASK51;
+            h[i + 1] += carry;
+        }
+        carry = h[4] >> 51;
+        h[4] &= MASK51;
+        h[0] += 19 * carry;
+        Fe(h)
+    }
+
+    fn add(self, rhs: Fe) -> Fe {
+        let mut h = [0u64; 5];
+        for i in 0..5 {
+            h[i] = self.0[i] + rhs.0[i];
+        }
+        Fe(h).reduce()
+    }
+
+    fn sub(self, rhs: Fe) -> Fe {
+        // add 2p (limbs [2^52-38, 2^52-2, ...]) to avoid underflow; valid
+        // because weakly reduced operands stay below 2^52 per limb
+        let mut h = [0u64; 5];
+        h[0] = self.0[0] + 0xFFFFFFFFFFFDA - rhs.0[0];
+        h[1] = self.0[1] + 0xFFFFFFFFFFFFE - rhs.0[1];
+        h[2] = self.0[2] + 0xFFFFFFFFFFFFE - rhs.0[2];
+        h[3] = self.0[3] + 0xFFFFFFFFFFFFE - rhs.0[3];
+        h[4] = self.0[4] + 0xFFFFFFFFFFFFE - rhs.0[4];
+        Fe(h).reduce()
+    }
+
+    fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        let a1_19 = a[1] * 19;
+        let a2_19 = a[2] * 19;
+        let a3_19 = a[3] * 19;
+        let a4_19 = a[4] * 19;
+        let m = |x: u64, y: u64| x as u128 * y as u128;
+        let mut t = [0u128; 5];
+        t[0] = m(a[0], b[0]) + m(a4_19, b[1]) + m(a3_19, b[2]) + m(a2_19, b[3]) + m(a1_19, b[4]);
+        t[1] = m(a[0], b[1]) + m(a[1], b[0]) + m(a4_19, b[2]) + m(a3_19, b[3]) + m(a2_19, b[4]);
+        t[2] = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a4_19, b[3]) + m(a3_19, b[4]);
+        t[3] = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a4_19, b[4]);
+        t[4] = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        let mut h = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + carry;
+            h[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        h[0] += (carry as u64) * 19;
+        let c = h[0] >> 51;
+        h[0] &= MASK51;
+        h[1] += c;
+        Fe(h)
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, k: u64) -> Fe {
+        let mut t = [0u128; 5];
+        for i in 0..5 {
+            t[i] = self.0[i] as u128 * k as u128;
+        }
+        let mut h = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = t[i] + carry;
+            h[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        h[0] += (carry as u64) * 19;
+        Fe(h).reduce()
+    }
+
+    /// Inversion via Fermat: x^(p-2).
+    fn invert(self) -> Fe {
+        // addition chain from the curve25519 reference implementation
+        let z = self;
+        let z2 = z.square(); // 2
+        let z9 = z2.square().square().mul(z); // 9
+        let z11 = z9.mul(z2); // 11
+        let z2_5_0 = z11.square().mul(z9); // 2^5 - 2^0 = 31
+        let mut t = z2_5_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        let z2_10_0 = t.mul(z2_5_0);
+        t = z2_10_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z2_20_0 = t.mul(z2_10_0);
+        t = z2_20_0;
+        for _ in 0..20 {
+            t = t.square();
+        }
+        let z2_40_0 = t.mul(z2_20_0);
+        t = z2_40_0;
+        for _ in 0..10 {
+            t = t.square();
+        }
+        let z2_50_0 = t.mul(z2_10_0);
+        t = z2_50_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z2_100_0 = t.mul(z2_50_0);
+        t = z2_100_0;
+        for _ in 0..100 {
+            t = t.square();
+        }
+        let z2_200_0 = t.mul(z2_100_0);
+        t = z2_200_0;
+        for _ in 0..50 {
+            t = t.square();
+        }
+        let z2_250_0 = t.mul(z2_50_0);
+        t = z2_250_0;
+        for _ in 0..5 {
+            t = t.square();
+        }
+        t.mul(z11) // 2^255 - 21 = p - 2
+    }
+
+    /// Constant-structure conditional swap.
+    fn cswap(a: &mut Fe, b: &mut Fe, swap: u64) {
+        let mask = 0u64.wrapping_sub(swap);
+        for i in 0..5 {
+            let x = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= x;
+            b.0[i] ^= x;
+        }
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748.
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut s = *scalar;
+    s[0] &= 248;
+    s[31] &= 127;
+    s[31] |= 64;
+    s
+}
+
+/// X25519 scalar multiplication: `scalar · u` on Curve25519
+/// (the `X25519(k, u)` function of RFC 7748 §5).
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let mut u_bytes = *u;
+    u_bytes[31] &= 127; // mask the high bit per RFC 7748
+    let x1 = Fe::from_bytes(&u_bytes);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        Fe::cswap(&mut x2, &mut x3, swap);
+        Fe::cswap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    Fe::cswap(&mut x2, &mut x3, swap);
+    Fe::cswap(&mut z2, &mut z3, swap);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The curve's base point `u = 9`.
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derives the public key for a private scalar.
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    x25519(private, &BASEPOINT)
+}
+
+/// Computes the shared secret between a private scalar and a peer's
+/// public key.
+pub fn shared_secret(private: &[u8; 32], peer_public: &[u8; 32]) -> [u8; 32] {
+    x25519(private, peer_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let k = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&k, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let k = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex(&x25519(&k, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    #[test]
+    fn rfc7748_iterated_vector() {
+        let mut k = unhex("0900000000000000000000000000000000000000000000000000000000000000");
+        let mut u = k;
+        // after 1 iteration
+        let r = x25519(&k, &u);
+        u = k;
+        k = r;
+        assert_eq!(
+            hex(&k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+        // after 1000 iterations
+        for _ in 1..1000 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+        }
+        assert_eq!(
+            hex(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    #[test]
+    fn rfc7748_diffie_hellman() {
+        let alice_priv =
+            unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv =
+            unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            hex(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = shared_secret(&alice_priv, &bob_pub);
+        let s2 = shared_secret(&bob_priv, &alice_pub);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        // encode/decode stability on structured values
+        for seed in 0u8..8 {
+            let mut b = [0u8; 32];
+            for (i, x) in b.iter_mut().enumerate() {
+                *x = seed.wrapping_mul(31).wrapping_add(i as u8);
+            }
+            b[31] &= 0x7f;
+            let fe = Fe::from_bytes(&b);
+            let back = fe.to_bytes();
+            let fe2 = Fe::from_bytes(&back);
+            assert_eq!(fe2.to_bytes(), back);
+        }
+    }
+
+    #[test]
+    fn clamping_is_applied() {
+        // two scalars differing only in clamped bits give the same output
+        let mut a = [0x42u8; 32];
+        let mut b = a;
+        a[0] |= 7;
+        b[0] &= !7;
+        b[31] |= 128;
+        assert_eq!(public_key(&a), public_key(&b));
+    }
+}

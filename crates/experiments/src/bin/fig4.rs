@@ -1,0 +1,15 @@
+//! Regenerates Figure 4: anonymity degree vs the spread of uniform
+//! strategies `U(a, a+Δ)` at fixed lower bounds (`n = 100`, `c = 1`).
+
+use anonroute_experiments::figures::fig4;
+use anonroute_experiments::output::{print_table, results_dir, write_csv};
+
+fn main() {
+    let dir = results_dir();
+    for (i, (title, series)) in fig4().into_iter().enumerate() {
+        print_table(&title, "D", &series);
+        let file = dir.join(format!("fig4{}.csv", char::from(b'a' + i as u8)));
+        write_csv(&file, "D", &series).expect("write csv");
+    }
+    println!("\nCSV written to {}", dir.display());
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figure 5: equal-mean comparison of fixed vs uniform
+//! strategies — the variance effect and inequality (18)
+//! (`n = 100`, `c = 1`).
+
+use anonroute_experiments::figures::fig5;
+use anonroute_experiments::output::{print_table, results_dir, write_csv};
+
+fn main() {
+    let dir = results_dir();
+    for (i, (title, series)) in fig5().into_iter().enumerate() {
+        print_table(&title, "L", &series);
+        let file = dir.join(format!("fig5{}.csv", char::from(b'a' + i as u8)));
+        write_csv(&file, "L", &series).expect("write csv");
+    }
+    // measured ordering at small means (the paper's ineq. 18 region)
+    let d_panel = fig5()[3].1.clone();
+    println!("\nMeasured ordering at L = 5 (panel d):");
+    let mut at5: Vec<(String, f64)> = d_panel
+        .iter()
+        .filter_map(|s| {
+            s.points
+                .iter()
+                .find(|p| p.0 == 5.0)
+                .and_then(|p| p.1)
+                .map(|y| (s.name.clone(), y))
+        })
+        .collect();
+    at5.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (name, y) in at5 {
+        println!("  {name:<12} H* = {y:.6}");
+    }
+    println!("\nCSV written to {}", dir.display());
+}

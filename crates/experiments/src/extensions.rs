@@ -1,0 +1,165 @@
+//! Extension experiments beyond the paper's `c = 1` numerics: the effect
+//! of heavier compromise, and simple vs cyclic (Crowds-style) paths.
+
+use anonroute_core::engine::simple::Evaluator;
+use anonroute_core::{engine, PathKind, PathLengthDist, SystemModel};
+
+use crate::output::Series;
+
+/// EXT-C: for each number of compromised nodes `c`, the best fixed path
+/// length and its anonymity degree (`n = 100`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompromiseRow {
+    /// Compromised node count.
+    pub c: usize,
+    /// Fixed length maximizing `H*`.
+    pub best_fixed_len: usize,
+    /// The maximum `H*` over fixed lengths.
+    pub best_h: f64,
+    /// `H*` of the paper's long-path regime, `F(80)`, for contrast.
+    pub h_long: f64,
+}
+
+/// Sweeps `c ∈ cs` and locates the fixed-length optimum for each.
+pub fn compromise_sweep(cs: &[usize]) -> Vec<CompromiseRow> {
+    let n = 100;
+    cs.iter()
+        .map(|&c| {
+            let model = SystemModel::new(n, c).expect("valid");
+            let ev = Evaluator::new(&model, n - 1).expect("valid");
+            let mut best = (0usize, f64::NEG_INFINITY);
+            let mut pmf = vec![0.0; n];
+            for l in 0..n {
+                pmf.iter_mut().for_each(|v| *v = 0.0);
+                pmf[l] = 1.0;
+                let h = ev.h_star(&pmf);
+                if h > best.1 {
+                    best = (l, h);
+                }
+            }
+            pmf.iter_mut().for_each(|v| *v = 0.0);
+            pmf[80] = 1.0;
+            CompromiseRow { c, best_fixed_len: best.0, best_h: best.1, h_long: ev.h_star(&pmf) }
+        })
+        .collect()
+}
+
+/// EXT-CY: anonymity degree of fixed-length strategies on simple vs
+/// cyclic paths (`n = 100`, `c = 1`), `l ∈ 1..=max_len`.
+pub fn cyclic_vs_simple(max_len: usize) -> Vec<Series> {
+    let simple_model = SystemModel::new(100, 1).expect("valid");
+    let cyclic_model = SystemModel::with_path_kind(100, 1, PathKind::Cyclic).expect("valid");
+    let simple_pts = (1..=max_len)
+        .map(|l| {
+            let h = engine::anonymity_degree(&simple_model, &PathLengthDist::fixed(l))
+                .expect("valid");
+            (l as f64, h)
+        })
+        .collect();
+    let cyclic_pts = (1..=max_len)
+        .map(|l| {
+            let h = engine::anonymity_degree(&cyclic_model, &PathLengthDist::fixed(l))
+                .expect("valid");
+            (l as f64, h)
+        })
+        .collect();
+    vec![Series::new("simple", simple_pts), Series::new("cyclic", cyclic_pts)]
+}
+
+/// EXT-PRED: one row of the predecessor-attack degradation experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredecessorRow {
+    /// Path reformations observed by the adversary.
+    pub rounds: usize,
+    /// Fraction of independent trials in which the attack's top suspect
+    /// was the true sender.
+    pub hit_rate: f64,
+    /// Mean final margin between the top suspect and the runner-up.
+    pub mean_margin: f64,
+}
+
+/// Runs the predecessor attack (the paper's reference \[23\]) against a
+/// persistent sender that reforms its path every round, for increasing
+/// numbers of observed rounds. Each data point averages `trials`
+/// independent deployments.
+pub fn predecessor_degradation(
+    n: usize,
+    c: usize,
+    rounds_schedule: &[usize],
+    trials: usize,
+) -> Vec<PredecessorRow> {
+    use anonroute_adversary::{predecessor_attack, Adversary};
+    use anonroute_core::engine::{observe, sample_path};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let dist = PathLengthDist::uniform(2, 6).expect("valid");
+    let model = SystemModel::new(n, c).expect("valid");
+    let adv_ids: Vec<usize> = (n - c..n).collect();
+    let adv = Adversary::new(n, &adv_ids).expect("valid");
+    rounds_schedule
+        .iter()
+        .map(|&rounds| {
+            let mut hits = 0usize;
+            let mut margin_sum = 0.0;
+            for trial in 0..trials {
+                let mut rng = StdRng::seed_from_u64(trial as u64 * 7919 + rounds as u64);
+                let sender = trial % (n - c); // always an honest sender
+                let mut scratch: Vec<usize> = (0..n).collect();
+                let obs: Vec<_> = (0..rounds)
+                    .map(|_| {
+                        let l = dist.sample(&mut rng);
+                        let path = sample_path(&model, sender, l, &mut rng, &mut scratch);
+                        observe(sender, &path, adv.compromised())
+                    })
+                    .collect();
+                let outcome = predecessor_attack(&adv, &obs, sender).expect("nonempty");
+                hits += outcome.correct as usize;
+                margin_sum += outcome.final_margin;
+            }
+            PredecessorRow {
+                rounds,
+                hit_rate: hits as f64 / trials as f64,
+                mean_margin: margin_sum / trials as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavier_compromise_shortens_the_optimal_path() {
+        let rows = compromise_sweep(&[1, 5, 10, 20]);
+        // monotone: more compromised nodes → shorter optimal paths and
+        // lower anonymity
+        for w in rows.windows(2) {
+            assert!(w[1].best_fixed_len <= w[0].best_fixed_len, "{w:?}");
+            assert!(w[1].best_h < w[0].best_h, "{w:?}");
+        }
+        // and the long-path penalty grows with c
+        let gap = |r: &CompromiseRow| r.best_h - r.h_long;
+        assert!(gap(&rows[3]) > gap(&rows[0]));
+    }
+
+    #[test]
+    fn predecessor_hit_rate_grows_with_rounds() {
+        let rows = predecessor_degradation(15, 2, &[1, 50, 300], 30);
+        assert!(rows[0].hit_rate < rows[2].hit_rate);
+        assert!(rows[2].hit_rate > 0.9, "300 rounds: {}", rows[2].hit_rate);
+    }
+
+    #[test]
+    fn cyclic_paths_weakly_dominate_simple_paths() {
+        // observed intermediates stay sender candidates on cyclic paths
+        for (s, c) in cyclic_vs_simple(12)[0]
+            .points
+            .iter()
+            .zip(&cyclic_vs_simple(12)[1].points)
+        {
+            assert!(c.1.unwrap() >= s.1.unwrap() - 1e-9, "l={}", s.0);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # anonroute-experiments
+//!
+//! The harness that regenerates every figure in the evaluation section of
+//! Guan et al. (ICDCS 2002), plus validation and extension experiments.
+//! Each experiment is a library function (testable) with a thin binary
+//! wrapper; binaries print aligned tables to stdout and write CSVs under
+//! `results/` (override with the `ANONROUTE_RESULTS` environment
+//! variable).
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `fig3` | Figure 3(a)/(b): H* vs fixed path length (short/long-path effects) |
+//! | `fig4` | Figure 4(a)–(d): H* vs spread of `U(a, a+Δ)` |
+//! | `fig5` | Figure 5(a)–(d): equal-mean variance comparison, ineq. (18) |
+//! | `fig6` | Figure 6: optimal path-length distribution vs uniform/fixed |
+//! | `theorems` | Theorems 1–3 closed forms vs the general engine |
+//! | `systems` | Section 2 survey quantified + DC-Net baseline |
+//! | `validate` | exact vs Monte-Carlo vs simulated-protocol attack |
+//! | `extensions` | c-sweep and cyclic-vs-simple paths |
+//! | `all` | everything above |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod figures;
+pub mod output;
+pub mod systems;
+pub mod validation;
+
+pub use output::{print_table, write_csv, Series};

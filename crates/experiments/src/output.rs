@@ -1,0 +1,132 @@
+//! Table printing and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// One plotted curve: a name and `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"U(4,4+D)"`.
+    pub name: String,
+    /// Points in x order. `None` marks x values where the series is not
+    /// defined (e.g. infeasible parameter combinations).
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+impl Series {
+    /// Builds a series from defined points only.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points: points.into_iter().map(|(x, y)| (x, Some(y))).collect() }
+    }
+
+    /// Largest y value and its x, ignoring gaps.
+    pub fn argmax(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .filter_map(|&(x, y)| y.map(|y| (x, y)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"))
+    }
+}
+
+/// Prints an aligned table of one x column plus one column per series.
+pub fn print_table(title: &str, x_label: &str, series: &[Series]) {
+    println!("\n== {title} ==");
+    print!("{x_label:>10}");
+    for s in series {
+        print!("  {:>16}", truncate(&s.name, 16));
+    }
+    println!();
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(f64::NAN);
+        print!("{x:>10.2}");
+        for s in series {
+            match s.points.get(i).and_then(|p| p.1) {
+                Some(y) => print!("  {y:>16.6}"),
+                None => print!("  {:>16}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        s
+    } else {
+        &s[..max]
+    }
+}
+
+/// Writes the series to `path` as CSV (x column plus one column per
+/// series; blank cells for gaps).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv(path: &Path, x_label: &str, series: &[Series]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::File::create(path)?;
+    write!(f, "{x_label}")?;
+    for s in series {
+        write!(f, ",{}", s.name.replace(',', ";"))?;
+    }
+    writeln!(f)?;
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(f64::NAN);
+        write!(f, "{x}")?;
+        for s in series {
+            match s.points.get(i).and_then(|p| p.1) {
+                Some(y) => write!(f, ",{y}")?,
+                None => write!(f, ",")?,
+            }
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Default output directory for experiment CSVs.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("ANONROUTE_RESULTS")
+        .map(Into::into)
+        .unwrap_or_else(|| "results".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_argmax() {
+        let s = Series::new("t", vec![(1.0, 2.0), (2.0, 5.0), (3.0, 4.0)]);
+        assert_eq!(s.argmax(), Some((2.0, 5.0)));
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let dir = std::env::temp_dir().join("anonroute-test-csv");
+        let path = dir.join("t.csv");
+        let series = vec![
+            Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]),
+            Series { name: "b".into(), points: vec![(0.0, Some(3.0)), (1.0, None)] },
+        ];
+        write_csv(&path, "x", &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,206 @@
+//! Validation experiments: theorem closed forms vs the engine, and the
+//! exact analysis vs Monte-Carlo vs full protocol simulation.
+
+use anonroute_adversary::{attack_trace, Adversary};
+use anonroute_core::engine::{estimate_anonymity_degree, MonteCarloEstimate};
+use anonroute_core::{analytic, engine, PathKind, PathLengthDist, SystemModel};
+use anonroute_protocols::crowds::crowd;
+use anonroute_protocols::onion_routing::onion_network;
+use anonroute_protocols::RouteSampler;
+use anonroute_sim::{LatencyModel, SimTime, Simulation};
+
+/// One row of the theorem-validation table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoremRow {
+    /// Human-readable case description.
+    pub case: String,
+    /// Closed-form value.
+    pub closed_form: f64,
+    /// General-engine value.
+    pub engine: f64,
+}
+
+impl TheoremRow {
+    /// Absolute disagreement.
+    pub fn error(&self) -> f64 {
+        (self.closed_form - self.engine).abs()
+    }
+}
+
+/// Validates Theorems 1–3 against the general engine on the paper's
+/// `n = 100`, `c = 1` configuration.
+pub fn theorem_table() -> Vec<TheoremRow> {
+    let n = 100;
+    let model = SystemModel::new(n, 1).expect("valid");
+    let mut rows = Vec::new();
+    for l in [0usize, 1, 2, 3, 4, 5, 10, 31, 51, 99] {
+        rows.push(TheoremRow {
+            case: format!("Thm 1: F({l})"),
+            closed_form: analytic::theorem1_fixed(n, l).expect("valid l"),
+            engine: engine::anonymity_degree(&model, &PathLengthDist::fixed(l)).expect("valid"),
+        });
+    }
+    for (l1, p, l2) in [(1usize, 0.5, 4usize), (2, 0.25, 9), (3, 0.8, 7), (0, 0.1, 5)] {
+        rows.push(TheoremRow {
+            case: format!("Thm 2: {{{l1} w.p. {p}, {l2}}}"),
+            closed_form: analytic::theorem2_two_point(n, l1, p, l2).expect("valid"),
+            engine: engine::anonymity_degree(
+                &model,
+                &PathLengthDist::two_point(l1, p, l2).expect("valid"),
+            )
+            .expect("valid"),
+        });
+    }
+    for (a, b) in [(3usize, 9usize), (4, 8), (6, 6), (3, 21), (10, 40), (25, 75)] {
+        rows.push(TheoremRow {
+            case: format!("Thm 3: U({a},{b})"),
+            closed_form: analytic::theorem3_uniform(n, a, b).expect("valid"),
+            engine: engine::anonymity_degree(&model, &PathLengthDist::uniform(a, b).expect("ok"))
+                .expect("valid"),
+        });
+    }
+    rows
+}
+
+/// One row of the three-way validation: exact engine, core Monte-Carlo,
+/// and the full protocol-simulation attack.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Scenario description.
+    pub case: String,
+    /// Exact engine value.
+    pub exact: f64,
+    /// Core Monte-Carlo estimate (samples observations directly).
+    pub monte_carlo: MonteCarloEstimate,
+    /// Empirical value from attacking the simulated protocol, with its
+    /// standard error, when the scenario has a protocol implementation.
+    pub simulated: Option<(f64, f64)>,
+}
+
+impl ValidationRow {
+    /// Whether both estimates agree with the exact value at ~4 sigma.
+    pub fn consistent(&self) -> bool {
+        let mc_ok = (self.monte_carlo.mean - self.exact).abs()
+            <= 4.0 * self.monte_carlo.std_error + 1e-9;
+        let sim_ok = self
+            .simulated
+            .is_none_or(|(m, se)| (m - self.exact).abs() <= 4.0 * se + 1e-9);
+        mc_ok && sim_ok
+    }
+}
+
+/// Runs the analysis/simulation cross-validation suite.
+///
+/// `messages` controls the protocol-simulation sample size (3 000 is a
+/// good default; the Monte-Carlo estimator uses 4x that).
+pub fn validation_table(messages: usize, seed: u64) -> Vec<ValidationRow> {
+    let mut rows = Vec::new();
+
+    // --- onion routing, simple paths, several strategies -----------------
+    for (name, n, c, dist) in [
+        ("onion F(5), n=30, c=1", 30usize, 1usize, PathLengthDist::fixed(5)),
+        ("onion U(1,6), n=30, c=1", 30, 1, PathLengthDist::uniform(1, 6).expect("ok")),
+        ("onion U(2,8), n=25, c=3", 25, 3, PathLengthDist::uniform(2, 8).expect("ok")),
+    ] {
+        let model = SystemModel::new(n, c).expect("valid");
+        let exact = engine::anonymity_degree(&model, &dist).expect("valid");
+        let mc = estimate_anonymity_degree(&model, &dist, messages * 4, seed).expect("valid");
+
+        let sampler = RouteSampler::new(n, dist.clone(), PathKind::Simple).expect("valid");
+        let nodes = onion_network(n, &sampler, 2048, b"validate").expect("valid");
+        let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 50, hi: 500 }, seed);
+        let mut salt = seed | 1;
+        for i in 0..messages as u64 {
+            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sim.schedule_origination(
+                SimTime::from_micros(i * 100),
+                (salt >> 33) as usize % n,
+                vec![0u8; 4],
+            );
+        }
+        sim.run();
+        let compromised: Vec<usize> = (0..c).map(|k| n - 1 - k).collect();
+        let adv = Adversary::new(n, &compromised).expect("valid");
+        let report =
+            attack_trace(&adv, &model, &dist, sim.trace(), sim.originations()).expect("valid");
+        rows.push(ValidationRow {
+            case: name.into(),
+            exact,
+            monte_carlo: mc,
+            simulated: Some((report.empirical_h_star, report.std_error)),
+        });
+    }
+
+    // --- Crowds, cyclic paths --------------------------------------------
+    {
+        let n = 20;
+        let pf = 0.6;
+        let dist = PathLengthDist::geometric(pf, 40).expect("valid");
+        let model = SystemModel::with_path_kind(n, 1, PathKind::Cyclic).expect("valid");
+        let exact = engine::anonymity_degree(&model, &dist).expect("valid");
+        let mc = estimate_anonymity_degree(&model, &dist, messages * 4, seed).expect("valid");
+        let mut sim = Simulation::new(
+            crowd(n, pf).expect("valid"),
+            LatencyModel::Constant(100),
+            seed,
+        );
+        let mut salt = seed | 1;
+        for i in 0..messages as u64 {
+            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sim.schedule_origination(
+                SimTime::from_micros(i * 1000),
+                (salt >> 33) as usize % n,
+                vec![1],
+            );
+        }
+        sim.run();
+        let adv = Adversary::new(n, &[0]).expect("valid");
+        let report =
+            attack_trace(&adv, &model, &dist, sim.trace(), sim.originations()).expect("valid");
+        rows.push(ValidationRow {
+            case: format!("Crowds pf={pf}, n={n}, c=1"),
+            exact,
+            monte_carlo: mc,
+            simulated: Some((report.empirical_h_star, report.std_error)),
+        });
+    }
+
+    // --- pure Monte-Carlo checks at the paper's scale ---------------------
+    for (name, dist) in [
+        ("paper n=100 c=1, F(31)", PathLengthDist::fixed(31)),
+        ("paper n=100 c=1, U(2,60)", PathLengthDist::uniform(2, 60).expect("ok")),
+    ] {
+        let model = SystemModel::new(100, 1).expect("valid");
+        let exact = engine::anonymity_degree(&model, &dist).expect("valid");
+        let mc = estimate_anonymity_degree(&model, &dist, messages * 4, seed).expect("valid");
+        rows.push(ValidationRow { case: name.into(), exact, monte_carlo: mc, simulated: None });
+    }
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorems_agree_with_engine_to_machine_precision() {
+        for row in theorem_table() {
+            assert!(row.error() < 1e-11, "{}: error {}", row.case, row.error());
+        }
+    }
+
+    #[test]
+    fn three_way_validation_is_consistent() {
+        for row in validation_table(1500, 99) {
+            assert!(
+                row.consistent(),
+                "{}: exact={} mc={:?} sim={:?}",
+                row.case,
+                row.exact,
+                row.monte_carlo,
+                row.simulated
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for `anonroute-protocols`.
+
+use std::fmt;
+
+/// Errors from protocol construction and configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Invalid protocol parameters (threshold, probability, cell size…).
+    Config(String),
+    /// An underlying strategy/distribution was rejected by the core model.
+    Core(String),
+    /// The crypto substrate rejected an operation.
+    Crypto(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "protocol configuration error: {msg}"),
+            Error::Core(msg) => write!(f, "strategy error: {msg}"),
+            Error::Crypto(msg) => write!(f, "crypto error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<anonroute_core::Error> for Error {
+    fn from(e: anonroute_core::Error) -> Self {
+        Error::Core(e.to_string())
+    }
+}
+
+impl From<anonroute_crypto::Error> for Error {
+    fn from(e: anonroute_crypto::Error) -> Self {
+        Error::Crypto(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let core_err = anonroute_core::Error::InvalidModel("n is zero".into());
+        let e: Error = core_err.into();
+        assert!(e.to_string().contains("n is zero"));
+        let crypto_err = anonroute_crypto::Error::BadMac;
+        let e: Error = crypto_err.into();
+        assert!(e.to_string().contains("authentication"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Hordes (Shields & Levine): Crowds-style forward paths with a
+//! multicast reply channel.
+//!
+//! Forward traffic travels through jondos exactly like Crowds; the reply,
+//! however, is *multicast* by the receiver to the whole horde, and only
+//! the initiator (who knows the session tag) picks it up. This removes the
+//! reverse path entirely — the paper's threat model only observes the
+//! forward path, so Hordes' sender anonymity matches Crowds' while its
+//! reply latency drops to one multicast hop.
+
+use anonroute_sim::{Ctx, Endpoint, Message, MsgId, NodeBehavior};
+use rand::Rng;
+
+use crate::error::{Error, Result};
+
+/// A Hordes member node: forwards requests like a jondo and listens to
+/// the multicast reply channel for sessions it initiated.
+#[derive(Debug, Clone, Default)]
+pub struct HordeNode {
+    n: usize,
+    forward_prob: f64,
+    /// Sessions this node initiated (it will claim their replies).
+    initiated: Vec<MsgId>,
+    /// Replies this node successfully picked up off the multicast.
+    claimed: u64,
+    /// Multicast frames this node discarded (not the initiator).
+    discarded: u64,
+}
+
+impl HordeNode {
+    /// Creates a member of a horde of `n` with the given forwarding
+    /// probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] unless `0 ≤ forward_prob < 1` and `n > 0`.
+    pub fn new(n: usize, forward_prob: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&forward_prob) || !forward_prob.is_finite() {
+            return Err(Error::Config(format!(
+                "forwarding probability must be in [0, 1), got {forward_prob}"
+            )));
+        }
+        if n == 0 {
+            return Err(Error::Config("a horde needs at least one member".into()));
+        }
+        Ok(HordeNode { n, forward_prob, ..Default::default() })
+    }
+
+    /// Replies this node claimed from the multicast channel.
+    pub fn claimed(&self) -> u64 {
+        self.claimed
+    }
+
+    /// Multicast frames discarded as not-for-us.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Whether this node initiated the given session.
+    pub fn initiated(&self, msg: MsgId) -> bool {
+        self.initiated.contains(&msg)
+    }
+}
+
+/// Marker prefix distinguishing reply multicast frames from forward
+/// traffic inside the payload.
+const REPLY_TAG: u8 = b'R';
+const FORWARD_TAG: u8 = b'F';
+
+impl HordeNode {
+    /// Handles one frame from the receiver's multicast reply channel.
+    /// Returns whether this node claimed the reply (it initiated the
+    /// session).
+    pub fn receive_multicast(&mut self, msg: &Message) -> bool {
+        if msg.bytes.first() == Some(&REPLY_TAG) && self.initiated(msg.id) {
+            self.claimed += 1;
+            true
+        } else {
+            self.discarded += 1;
+            false
+        }
+    }
+}
+
+impl NodeBehavior for HordeNode {
+    fn on_originate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        self.initiated.push(msg.id);
+        let mut bytes = Vec::with_capacity(msg.bytes.len() + 1);
+        bytes.push(FORWARD_TAG);
+        bytes.extend_from_slice(&msg.bytes);
+        let first = ctx.rng().gen_range(0..self.n);
+        ctx.send(first, Message::new(msg.id, bytes));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Endpoint, msg: Message) {
+        match msg.bytes.first().copied() {
+            Some(FORWARD_TAG) => {
+                let coin: f64 = ctx.rng().gen();
+                if coin < self.forward_prob {
+                    let next = ctx.rng().gen_range(0..self.n);
+                    ctx.send(next, msg);
+                } else {
+                    ctx.send_to_receiver(msg);
+                }
+            }
+            Some(REPLY_TAG) => {
+                self.receive_multicast(&msg);
+            }
+            _ => self.discarded += 1,
+        }
+    }
+}
+
+/// Builds a horde of `n` members.
+///
+/// # Errors
+///
+/// Propagates [`HordeNode::new`] validation.
+pub fn horde(n: usize, forward_prob: f64) -> Result<Vec<HordeNode>> {
+    (0..n).map(|_| HordeNode::new(n, forward_prob)).collect()
+}
+
+/// Simulates the receiver's reply step for delivered requests: multicasts
+/// a reply frame for each delivered message to every member (the
+/// receiver is outside the member set, so this is modelled as direct
+/// scheduling of reply messages).
+///
+/// Returns the reply frames to inject, one per member per reply.
+pub fn multicast_replies(delivered: &[MsgId], n: usize) -> Vec<(usize, Message)> {
+    let mut frames = Vec::with_capacity(delivered.len() * n);
+    for &msg in delivered {
+        for member in 0..n {
+            frames.push((member, Message::new(msg, vec![REPLY_TAG])));
+        }
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonroute_sim::{LatencyModel, SimTime, Simulation};
+
+    #[test]
+    fn forward_path_reaches_the_receiver() {
+        let mut sim = Simulation::new(horde(8, 0.5).unwrap(), LatencyModel::Constant(100), 3);
+        for i in 0..30u64 {
+            sim.schedule_origination(SimTime::from_micros(i * 50), (i % 8) as usize, vec![i as u8]);
+        }
+        sim.run();
+        assert_eq!(sim.deliveries().len(), 30);
+        // delivered payloads carry the forward tag plus original byte
+        for d in sim.deliveries() {
+            assert_eq!(d.payload[0], FORWARD_TAG);
+        }
+    }
+
+    #[test]
+    fn only_the_initiator_claims_the_multicast_reply() {
+        let n = 6;
+        let msg = MsgId(0);
+        let frames = multicast_replies(&[msg], n);
+        assert_eq!(frames.len(), n);
+
+        let mut nodes = horde(n, 0.0).unwrap();
+        nodes[2].initiated.push(msg); // node 2 initiated this session
+        let mut claimed = 0;
+        for (member, frame) in frames {
+            if nodes[member].receive_multicast(&frame) {
+                claimed += 1;
+            }
+        }
+        assert_eq!(claimed, 1, "exactly the initiator claims");
+        assert!(nodes[2].initiated(msg));
+        assert_eq!(nodes[2].claimed(), 1);
+        let discarded: u64 = nodes.iter().map(HordeNode::discarded).sum();
+        assert_eq!(discarded, (n - 1) as u64);
+    }
+
+    #[test]
+    fn non_reply_frames_are_discarded_by_multicast_handler() {
+        let mut node = HordeNode::new(4, 0.5).unwrap();
+        assert!(!node.receive_multicast(&Message::new(MsgId(9), vec![FORWARD_TAG])));
+        assert!(!node.receive_multicast(&Message::new(MsgId(9), vec![])));
+        assert_eq!(node.discarded(), 2);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HordeNode::new(0, 0.5).is_err());
+        assert!(HordeNode::new(5, 1.0).is_err());
+        assert!(HordeNode::new(5, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,234 @@
+//! Threshold (Chaum) mixes: onion routers that additionally batch and
+//! reorder traffic to destroy timing correlation.
+//!
+//! A mix collects incoming cells until its batch reaches `threshold` (or a
+//! straggler timer fires), then flushes the whole batch in a random order.
+//! The paper's adversary assumes messages *can* be correlated across hops;
+//! mixes are the classic countermeasure, and the extension experiments use
+//! this node type to quantify how much the correlation assumption matters.
+
+use std::sync::Arc;
+
+use anonroute_crypto::keys::KeyStore;
+use anonroute_crypto::onion::{self, Peeled};
+use anonroute_sim::{Ctx, Endpoint, Message, NodeBehavior, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{Error, Result};
+use crate::route::RouteSampler;
+
+/// A batching mix node.
+#[derive(Debug, Clone)]
+pub struct MixNode {
+    id: NodeId,
+    keys: Arc<KeyStore>,
+    sampler: RouteSampler,
+    cell_size: usize,
+    threshold: usize,
+    flush_timeout_us: u64,
+    pool: Vec<(Option<NodeId>, Message)>, // None = deliver to receiver
+    timer_armed: bool,
+    flushes: u64,
+}
+
+impl MixNode {
+    /// Creates a mix for node `id` flushing every `threshold` cells or
+    /// after `flush_timeout_us` microseconds, whichever comes first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a zero threshold or an unrealizable
+    /// route/cell combination.
+    pub fn new(
+        id: NodeId,
+        keys: Arc<KeyStore>,
+        sampler: RouteSampler,
+        cell_size: usize,
+        threshold: usize,
+        flush_timeout_us: u64,
+    ) -> Result<Self> {
+        if threshold == 0 {
+            return Err(Error::Config("mix threshold must be at least 1".into()));
+        }
+        let worst = onion::wire_len(sampler.dist().max_len().max(1), 0);
+        if worst > cell_size {
+            return Err(Error::Config(format!(
+                "cell size {cell_size} cannot carry {} hops (needs {worst} bytes)",
+                sampler.dist().max_len()
+            )));
+        }
+        Ok(MixNode {
+            id,
+            keys,
+            sampler,
+            cell_size,
+            threshold,
+            flush_timeout_us,
+            pool: Vec::new(),
+            timer_armed: false,
+            flushes: 0,
+        })
+    }
+
+    /// Number of batch flushes performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Cells currently held in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pool.is_empty() {
+            return;
+        }
+        self.flushes += 1;
+        let mut batch = std::mem::take(&mut self.pool);
+        batch.shuffle(ctx.rng());
+        for (dest, msg) in batch {
+            match dest {
+                Some(next) => ctx.send(next, msg),
+                None => ctx.send_to_receiver(msg),
+            }
+        }
+    }
+}
+
+impl NodeBehavior for MixNode {
+    fn on_originate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let route = {
+            let rng = ctx.rng();
+            self.sampler.sample(self.id, rng)
+        };
+        if route.is_empty() {
+            ctx.send_to_receiver(msg);
+            return;
+        }
+        let hops: Vec<u16> = route.iter().map(|&h| h as u16).collect();
+        let nonces: Vec<[u8; 12]> = (0..hops.len()).map(|_| ctx.rng().gen()).collect();
+        let wire = onion::build(&self.keys, &hops, &msg.bytes, &nonces)
+            .expect("route and payload validated against the cell size");
+        let cell = {
+            let rng = ctx.rng();
+            let mut junk = || rng.gen::<u8>();
+            onion::frame(&wire, self.cell_size, &mut junk).expect("fits by construction")
+        };
+        ctx.send(route[0], Message::new(msg.id, cell));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: Endpoint, msg: Message) {
+        let entry = match onion::peel(&self.keys.key(self.id), &msg.bytes) {
+            Ok(Peeled::Forward { next, content }) => {
+                let cell = {
+                    let rng = ctx.rng();
+                    let mut junk = || rng.gen::<u8>();
+                    onion::frame(&content, self.cell_size, &mut junk)
+                        .expect("peeled content shrinks")
+                };
+                (Some(next as NodeId), Message::new(msg.id, cell))
+            }
+            Ok(Peeled::Deliver { payload }) => (None, Message::new(msg.id, payload)),
+            Err(_) => return, // drop unauthenticated traffic
+        };
+        self.pool.push(entry);
+        if self.pool.len() >= self.threshold {
+            self.flush(ctx);
+            self.timer_armed = false;
+        } else if !self.timer_armed {
+            self.timer_armed = true;
+            ctx.set_timer(self.flush_timeout_us, 1);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        // straggler flush so the network always drains
+        self.timer_armed = false;
+        self.flush(ctx);
+    }
+}
+
+/// Builds a network of threshold mixes with a shared key store.
+///
+/// # Errors
+///
+/// Propagates per-node configuration errors.
+pub fn mix_network(
+    n: usize,
+    sampler: &RouteSampler,
+    cell_size: usize,
+    threshold: usize,
+    flush_timeout_us: u64,
+    key_seed: &[u8],
+) -> Result<Vec<MixNode>> {
+    let keys = Arc::new(KeyStore::from_seed(key_seed, n));
+    (0..n)
+        .map(|id| {
+            MixNode::new(
+                id,
+                Arc::clone(&keys),
+                sampler.clone(),
+                cell_size,
+                threshold,
+                flush_timeout_us,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonroute_core::{PathKind, PathLengthDist};
+    use anonroute_sim::{LatencyModel, SimTime, Simulation};
+
+    fn network(n: usize, threshold: usize) -> Simulation<MixNode> {
+        let sampler = RouteSampler::new(n, PathLengthDist::fixed(3), PathKind::Simple).unwrap();
+        let nodes = mix_network(n, &sampler, 2048, threshold, 50_000, b"mix").unwrap();
+        Simulation::new(nodes, LatencyModel::Constant(1_000), 11)
+    }
+
+    #[test]
+    fn all_messages_drain_despite_batching() {
+        let mut sim = network(10, 3);
+        for i in 0..25 {
+            sim.schedule_origination(SimTime::from_micros(i * 200), (i as usize) % 10, vec![i as u8]);
+        }
+        sim.run();
+        assert_eq!(sim.deliveries().len(), 25);
+    }
+
+    #[test]
+    fn straggler_timer_flushes_partial_batches() {
+        let mut sim = network(6, 100); // threshold never reached
+        sim.schedule_origination(SimTime::ZERO, 1, b"lonely".to_vec());
+        sim.run();
+        assert_eq!(sim.deliveries().len(), 1);
+        // delivery had to wait for at least one flush timeout
+        assert!(sim.deliveries()[0].time.as_micros() >= 50_000);
+    }
+
+    #[test]
+    fn batching_collapses_departure_times() {
+        // with a high threshold, messages entering a mix within the window
+        // leave it at the same instant (the flush), unlike plain onions
+        let mut sim = network(4, 4);
+        for i in 0..4 {
+            sim.schedule_origination(SimTime::from_micros(i * 10), 0, vec![i as u8]);
+        }
+        sim.run();
+        assert_eq!(sim.deliveries().len(), 4);
+        let flushes: u64 = (0..4).map(|i| sim.node(i).flushes()).sum();
+        assert!(flushes > 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let sampler = RouteSampler::new(8, PathLengthDist::fixed(2), PathKind::Simple).unwrap();
+        let keys = Arc::new(KeyStore::from_seed(b"k", 8));
+        assert!(MixNode::new(0, Arc::clone(&keys), sampler.clone(), 2048, 0, 1).is_err());
+        assert!(MixNode::new(0, keys, sampler, 2048, 3, 1).is_ok());
+    }
+}

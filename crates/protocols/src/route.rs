@@ -1,0 +1,122 @@
+//! Route sampling: turning a path-length strategy into concrete paths.
+
+use anonroute_core::engine::sample_path;
+use anonroute_core::{PathKind, PathLengthDist, SystemModel};
+use anonroute_sim::NodeId;
+use rand::Rng;
+
+/// Samples rerouting routes according to a path-length distribution and a
+/// path kind (the two knobs of the paper's Figure-2 selection algorithm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSampler {
+    dist: PathLengthDist,
+    kind: PathKind,
+    n: usize,
+    scratch: Vec<NodeId>,
+}
+
+impl RouteSampler {
+    /// Creates a sampler for an `n`-node system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemModel`] validation (e.g. simple-path supports
+    /// longer than `n - 1`).
+    pub fn new(n: usize, dist: PathLengthDist, kind: PathKind) -> anonroute_core::Result<Self> {
+        let model = SystemModel::with_path_kind(n, 0, kind)?;
+        model.validate_dist(&dist)?;
+        Ok(RouteSampler { dist, kind, n, scratch: (0..n).collect() })
+    }
+
+    /// The induced path-length distribution.
+    pub fn dist(&self) -> &PathLengthDist {
+        &self.dist
+    }
+
+    /// The path kind.
+    pub fn kind(&self) -> PathKind {
+        self.kind
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Draws a route (sequence of intermediate nodes) for `sender`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, sender: NodeId, rng: &mut R) -> Vec<NodeId> {
+        let l = self.dist.sample(rng);
+        // SystemModel::with_path_kind(n, 0, …) cannot fail here: n >= 1 was
+        // validated at construction.
+        let model = SystemModel::with_path_kind(self.n, 0, self.kind)
+            .expect("validated at construction");
+        sample_path(&model, sender, l, rng, &mut self.scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_routes_avoid_sender_and_repeats() {
+        let mut s =
+            RouteSampler::new(10, PathLengthDist::uniform(1, 6).unwrap(), PathKind::Simple)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let route = s.sample(3, &mut rng);
+            assert!((1..=6).contains(&route.len()));
+            assert!(!route.contains(&3));
+            let mut dedup = route.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), route.len());
+        }
+    }
+
+    #[test]
+    fn cyclic_routes_may_repeat_and_include_sender() {
+        let mut s = RouteSampler::new(4, PathLengthDist::fixed(8), PathKind::Cyclic).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_repeat = false;
+        let mut saw_sender = false;
+        for _ in 0..200 {
+            let route = s.sample(0, &mut rng);
+            assert_eq!(route.len(), 8);
+            let mut dedup = route.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            saw_repeat |= dedup.len() < route.len();
+            saw_sender |= route.contains(&0);
+        }
+        assert!(saw_repeat && saw_sender);
+    }
+
+    #[test]
+    fn sampled_lengths_match_distribution() {
+        let mut s =
+            RouteSampler::new(30, PathLengthDist::two_point(2, 0.3, 5).unwrap(), PathKind::Simple)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 20_000;
+        let mut twos = 0;
+        for _ in 0..trials {
+            match s.sample(0, &mut rng).len() {
+                2 => twos += 1,
+                5 => {}
+                other => panic!("unexpected length {other}"),
+            }
+        }
+        let freq = twos as f64 / trials as f64;
+        assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn rejects_unrealizable_support() {
+        assert!(RouteSampler::new(5, PathLengthDist::fixed(5), PathKind::Simple).is_err());
+        assert!(RouteSampler::new(5, PathLengthDist::fixed(5), PathKind::Cyclic).is_ok());
+    }
+}

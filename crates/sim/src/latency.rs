@@ -1,0 +1,102 @@
+//! Per-hop link latency models for the clique network.
+
+use rand::Rng;
+
+/// Distribution of one-hop transmission delays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every hop takes exactly this many microseconds.
+    Constant(u64),
+    /// Uniform in `[lo, hi]` microseconds.
+    Uniform {
+        /// Lower bound (inclusive), microseconds.
+        lo: u64,
+        /// Upper bound (inclusive), microseconds.
+        hi: u64,
+    },
+    /// Exponentially distributed with the given mean in microseconds
+    /// (memoryless queueing-style jitter).
+    Exponential {
+        /// Mean delay in microseconds.
+        mean: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples one hop delay in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a `Uniform` model has `lo > hi`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LatencyModel::Constant(us) => us,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(lo <= hi, "uniform bounds out of order");
+                rng.gen_range(lo..=hi)
+            }
+            LatencyModel::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-(u.ln()) * mean as f64).round() as u64
+            }
+        }
+    }
+
+    /// Expected hop delay in microseconds.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant(us) => us as f64,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            LatencyModel::Exponential { mean } => mean as f64,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// 10 ms constant per hop — a round internet-like default.
+    fn default() -> Self {
+        LatencyModel::Constant(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::Constant(42);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 42);
+        }
+        assert_eq!(m.mean(), 42.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform { lo: 10, hi: 20 };
+        let mut sum = 0.0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let s = m.sample(&mut rng);
+            assert!((10..=20).contains(&s));
+            sum += s as f64;
+        }
+        assert!((sum / trials as f64 - 15.0).abs() < 0.2);
+        assert_eq!(m.mean(), 15.0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::Exponential { mean: 1000 };
+        let trials = 50_000;
+        let sum: f64 = (0..trials).map(|_| m.sample(&mut rng) as f64).sum();
+        let emp = sum / trials as f64;
+        assert!((emp - 1000.0).abs() < 30.0, "empirical mean {emp}");
+    }
+}

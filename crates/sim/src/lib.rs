@@ -1,0 +1,51 @@
+//! # anonroute-sim
+//!
+//! A deterministic discrete-event simulator for clique-topology anonymous
+//! communication systems — the substrate on which the `anonroute`
+//! reproduction of Guan et al. (ICDCS 2002) runs its protocols.
+//!
+//! The simulator is deliberately protocol-agnostic: member nodes implement
+//! [`NodeBehavior`] (the protocol logic — Crowds forwarding, onion peeling,
+//! mix batching, … — lives in `anonroute-protocols`), while this crate
+//! provides:
+//!
+//! * a seeded, reproducible **event engine** ([`Simulation`]) with virtual
+//!   time, link-latency models, timers, and a complete ground-truth
+//!   [`TransferRecord`] trace (what an omniscient observer would see; the
+//!   `anonroute-adversary` crate filters it down to the threat model);
+//! * **workload generators** ([`traffic`]): Poisson and fixed-interval
+//!   arrivals with uniformly random senders, matching the paper's a-priori
+//!   sender distribution;
+//! * **run statistics** ([`stats::RunStats`]): delivery ratio and latency
+//!   percentiles — the overhead side of the anonymity/overhead trade-off;
+//! * a **live multi-threaded runtime** ([`runtime::run_live`]) executing
+//!   the identical behaviors over `crossbeam` channels, demonstrating the
+//!   protocols under real concurrency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod message;
+pub mod node;
+pub mod runtime;
+pub mod simulation;
+pub mod stats;
+pub mod time;
+pub mod traffic;
+
+pub use latency::LatencyModel;
+pub use message::{Delivery, Endpoint, Message, MsgId, NodeId, TransferRecord};
+pub use node::{Action, Ctx, NodeBehavior};
+pub use simulation::{Origination, Simulation};
+pub use time::SimTime;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::latency::LatencyModel;
+    pub use crate::message::{Delivery, Endpoint, Message, MsgId, NodeId, TransferRecord};
+    pub use crate::node::{Action, Ctx, NodeBehavior};
+    pub use crate::simulation::{Origination, Simulation};
+    pub use crate::time::SimTime;
+    pub use crate::traffic::{Arrival, PoissonTraffic, UniformTraffic};
+}

@@ -1,0 +1,97 @@
+//! Messages and trace records.
+
+use crate::time::SimTime;
+
+/// Member node identifier, `0..n`.
+pub type NodeId = usize;
+
+/// Globally unique message identifier within one simulation run.
+///
+/// Identifiers follow the *message*, not the cell bytes: when an onion hop
+/// re-encrypts a cell the id is preserved, modelling the paper's worst-case
+/// assumption that the adversary can correlate sightings of the same
+/// message (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub u64);
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Correlation identifier (see [`MsgId`]).
+    pub id: MsgId,
+    /// Opaque bytes — typically an onion cell built by
+    /// `anonroute-protocols`, but plain payloads are fine for abstract
+    /// simulations.
+    pub bytes: Vec<u8>,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(id: MsgId, bytes: Vec<u8>) -> Self {
+        Message { id, bytes }
+    }
+}
+
+/// A communication endpoint: a member node or the (external) receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Member node.
+    Node(NodeId),
+    /// The destination server (always compromised in the threat model).
+    Receiver,
+}
+
+/// One edge traversal in the ground-truth trace: `from` handed message
+/// `msg` to `to`, arriving at `time`.
+///
+/// The simulator records *everything*; the `anonroute-adversary` crate then
+/// filters this trace down to what compromised agents may legitimately see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Arrival time at `to`.
+    pub time: SimTime,
+    /// Sending endpoint.
+    pub from: Endpoint,
+    /// Receiving endpoint.
+    pub to: Endpoint,
+    /// Message identity.
+    pub msg: MsgId,
+}
+
+/// A payload delivered to the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Message identity.
+    pub msg: MsgId,
+    /// The node that handed the message to the receiver (or the sender
+    /// itself for direct sends).
+    pub last_hop: Endpoint,
+    /// Delivered bytes.
+    pub payload: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_construction() {
+        let m = Message::new(MsgId(7), vec![1, 2, 3]);
+        assert_eq!(m.id, MsgId(7));
+        assert_eq!(m.bytes.len(), 3);
+    }
+
+    #[test]
+    fn endpoint_equality() {
+        assert_eq!(Endpoint::Node(3), Endpoint::Node(3));
+        assert_ne!(Endpoint::Node(3), Endpoint::Node(4));
+        assert_ne!(Endpoint::Node(3), Endpoint::Receiver);
+    }
+
+    #[test]
+    fn msg_ids_are_ordered() {
+        assert!(MsgId(1) < MsgId(2));
+    }
+}

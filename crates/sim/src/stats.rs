@@ -1,0 +1,134 @@
+//! Run statistics: delivery latency and throughput summaries.
+
+use std::collections::HashMap;
+
+use crate::message::MsgId;
+use crate::simulation::Origination;
+use crate::message::Delivery;
+
+/// Summary statistics of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Messages originated.
+    pub originated: usize,
+    /// Messages delivered to the receiver.
+    pub delivered: usize,
+    /// Mean end-to-end latency in microseconds over delivered messages.
+    pub mean_latency_us: f64,
+    /// Maximum end-to-end latency in microseconds.
+    pub max_latency_us: u64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_latency_us: u64,
+}
+
+impl RunStats {
+    /// Computes statistics from origination and delivery logs.
+    ///
+    /// Messages that never reached the receiver (e.g. cut off by a run
+    /// horizon) count toward `originated` only.
+    pub fn compute(originations: &[Origination], deliveries: &[Delivery]) -> RunStats {
+        let start: HashMap<MsgId, u64> =
+            originations.iter().map(|o| (o.msg, o.time.as_micros())).collect();
+        let mut latencies: Vec<u64> = deliveries
+            .iter()
+            .filter_map(|d| start.get(&d.msg).map(|&s| d.time.as_micros().saturating_sub(s)))
+            .collect();
+        latencies.sort_unstable();
+        let delivered = latencies.len();
+        let mean = if delivered == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / delivered as f64
+        };
+        let max = latencies.last().copied().unwrap_or(0);
+        let p95 = if delivered == 0 {
+            0
+        } else {
+            latencies[((delivered as f64 * 0.95).ceil() as usize).min(delivered) - 1]
+        };
+        RunStats {
+            originated: originations.len(),
+            delivered,
+            mean_latency_us: mean,
+            max_latency_us: max,
+            p95_latency_us: p95,
+        }
+    }
+
+    /// Delivery ratio in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.originated == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.originated as f64
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} delivered, latency mean={:.0}us p95={}us max={}us",
+            self.delivered,
+            self.originated,
+            self.mean_latency_us,
+            self.p95_latency_us,
+            self.max_latency_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Endpoint;
+    use crate::time::SimTime;
+
+    fn orig(t: u64, msg: u64) -> Origination {
+        Origination { time: SimTime::from_micros(t), sender: 0, msg: MsgId(msg) }
+    }
+
+    fn deliv(t: u64, msg: u64) -> Delivery {
+        Delivery {
+            time: SimTime::from_micros(t),
+            msg: MsgId(msg),
+            last_hop: Endpoint::Node(0),
+            payload: vec![],
+        }
+    }
+
+    #[test]
+    fn basic_latency_stats() {
+        let o = vec![orig(0, 1), orig(100, 2), orig(200, 3)];
+        let d = vec![deliv(1000, 1), deliv(1100, 2)];
+        let s = RunStats::compute(&o, &d);
+        assert_eq!(s.originated, 3);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.mean_latency_us, 1000.0);
+        assert_eq!(s.max_latency_us, 1000);
+        assert!((s.delivery_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_runs_do_not_divide_by_zero() {
+        let s = RunStats::compute(&[], &[]);
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.mean_latency_us, 0.0);
+        assert_eq!(s.delivery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn p95_of_uniform_ladder() {
+        let o: Vec<Origination> = (0..100).map(|i| orig(0, i)).collect();
+        let d: Vec<Delivery> = (0..100).map(|i| deliv((i + 1) * 10, i)).collect();
+        let s = RunStats::compute(&o, &d);
+        assert_eq!(s.p95_latency_us, 950);
+        assert_eq!(s.max_latency_us, 1000);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RunStats::compute(&[orig(0, 1)], &[deliv(10, 1)]);
+        assert!(s.to_string().contains("1/1 delivered"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Workload generators: who sends when.
+
+use rand::Rng;
+
+use crate::message::NodeId;
+use crate::time::SimTime;
+
+/// One planned message origination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Origination time.
+    pub at: SimTime,
+    /// Sending node (uniform over members — the paper's a-priori model).
+    pub sender: NodeId,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Poisson arrival process: exponential inter-arrival times at `rate`
+/// messages per second, senders uniform over the `n` members.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonTraffic {
+    /// Mean arrival rate in messages per second.
+    pub rate_per_sec: f64,
+    /// Generation stops at this time.
+    pub horizon: SimTime,
+    /// Payload size per message in bytes.
+    pub payload_len: usize,
+}
+
+impl PoissonTraffic {
+    /// Generates the arrival schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive or `n == 0`.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Arrival> {
+        assert!(self.rate_per_sec > 0.0, "rate must be positive");
+        assert!(n > 0, "need at least one sender");
+        let mut arrivals = Vec::new();
+        let mut t_us = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t_us += -u.ln() / self.rate_per_sec * 1e6;
+            let at = SimTime::from_micros(t_us as u64);
+            if at > self.horizon {
+                break;
+            }
+            let sender = rng.gen_range(0..n);
+            let mut payload = vec![0u8; self.payload_len];
+            rng.fill(payload.as_mut_slice());
+            arrivals.push(Arrival { at, sender, payload });
+        }
+        arrivals
+    }
+}
+
+/// Deterministic workload: `count` messages at a fixed interval, senders
+/// drawn uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformTraffic {
+    /// Total messages to emit.
+    pub count: usize,
+    /// Spacing between consecutive originations in microseconds.
+    pub interval_us: u64,
+    /// Payload size per message in bytes.
+    pub payload_len: usize,
+}
+
+impl UniformTraffic {
+    /// Generates the arrival schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Arrival> {
+        assert!(n > 0, "need at least one sender");
+        (0..self.count)
+            .map(|i| {
+                let mut payload = vec![0u8; self.payload_len];
+                rng.fill(payload.as_mut_slice());
+                Arrival {
+                    at: SimTime::from_micros(i as u64 * self.interval_us),
+                    sender: rng.gen_range(0..n),
+                    payload,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let traffic = PoissonTraffic {
+            rate_per_sec: 100.0,
+            horizon: SimTime::from_secs(50),
+            payload_len: 8,
+        };
+        let arrivals = traffic.generate(10, &mut rng);
+        // expect ~5000 arrivals; Poisson sd ~ 71
+        assert!(
+            (arrivals.len() as f64 - 5000.0).abs() < 300.0,
+            "got {} arrivals",
+            arrivals.len()
+        );
+        // times sorted and within horizon
+        for w in arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(arrivals.last().unwrap().at <= SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn poisson_senders_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let traffic = PoissonTraffic {
+            rate_per_sec: 1000.0,
+            horizon: SimTime::from_secs(20),
+            payload_len: 0,
+        };
+        let arrivals = traffic.generate(4, &mut rng);
+        let mut counts = [0usize; 4];
+        for a in &arrivals {
+            counts[a.sender] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        for &c in &counts {
+            let freq = c as f64 / total as f64;
+            assert!((freq - 0.25).abs() < 0.03, "sender freq {freq}");
+        }
+    }
+
+    #[test]
+    fn uniform_traffic_is_evenly_spaced() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let arrivals =
+            UniformTraffic { count: 5, interval_us: 250, payload_len: 4 }.generate(3, &mut rng);
+        assert_eq!(arrivals.len(), 5);
+        for (i, a) in arrivals.iter().enumerate() {
+            assert_eq!(a.at, SimTime::from_micros(i as u64 * 250));
+            assert_eq!(a.payload.len(), 4);
+            assert!(a.sender < 3);
+        }
+    }
+}

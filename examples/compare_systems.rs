@@ -1,0 +1,46 @@
+//! Ranks the anonymous communication systems surveyed by the paper
+//! (Section 2) by the anonymity their route-selection strategies achieve.
+//!
+//! Run with: `cargo run --release --example compare_systems`
+
+use anonroute::prelude::*;
+use anonroute::protocols::dcnet;
+
+fn main() -> Result<(), Error> {
+    let n = 100;
+    let c = 1;
+    println!("ranking surveyed systems at n={n}, c={c} (+ compromised receiver)\n");
+
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for s in strategies::surveyed_systems(99) {
+        let model = SystemModel::with_path_kind(n, c, s.path_kind)?;
+        let report = AnonymityReport::evaluate(&model, &s.dist)?;
+        rows.push((
+            format!("{} [{}]", s.name, s.dist),
+            report.h_star,
+            report.expected_path_length,
+            report.p_exposed,
+        ));
+    }
+    // the non-rerouting baseline
+    rows.push((
+        "DC-Net [broadcast]".into(),
+        dcnet::anonymity_degree(n, c),
+        0.0,
+        c as f64 / n as f64,
+    ));
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    println!("{:<38} {:>10} {:>8} {:>11}", "system", "H* (bits)", "E[len]", "P[exposed]");
+    for (name, h, len, exposed) in &rows {
+        println!("{name:<38} {h:>10.4} {len:>8.2} {exposed:>11.4}");
+    }
+
+    println!("\nnotes:");
+    println!("- DC-Net wins on anonymity but costs O(n^2) broadcast traffic per message;");
+    println!("  the paper dismisses it as unscalable (Section 2).");
+    println!("- Freedom's F(3) trails the single-proxy F(1): the paper's short-path effect.");
+    println!("- Crowds' geometric lengths on cyclic paths keep observed forwarders in the");
+    println!("  anonymity set, which lifts it above fixed strategies of similar cost.");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! The DC-Net baseline: unconditional sender anonymity without rerouting,
+//! at quadratic broadcast cost (the trade-off the paper uses to dismiss
+//! DC-Nets for large systems).
+//!
+//! Run with: `cargo run --release --example dcnet_demo`
+
+use anonroute::core::{engine, PathLengthDist, SystemModel};
+use anonroute::protocols::dcnet::{anonymity_degree, DcNet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // one round of dining cryptographers
+    let n = 8;
+    let mut net = DcNet::new(b"dinner-at-the-three-star", n)?;
+    let message = b"I paid for dinner";
+    let round = net.run_round(Some(3), message)?;
+    println!("participants: {n}");
+    println!("round decodes to: {:?}", String::from_utf8_lossy(&round.decode()));
+    println!("announcement of participant 0 (looks random): {:02x?}...", &round.announcements[0][..8]);
+
+    // anonymity vs cost against the rerouting approach, as n grows
+    println!("\n{:>6} {:>14} {:>14} {:>16} {:>14}", "n", "DC-Net H*", "rerouting H*", "DC-Net bytes/msg", "rerouting bytes");
+    for n in [10usize, 50, 100, 500] {
+        let c = 1;
+        let dc_h = anonymity_degree(n, c);
+        let model = SystemModel::new(n, c)?;
+        // a well-chosen rerouting strategy at modest cost
+        let reroute_h = engine::anonymity_degree(&model, &PathLengthDist::uniform(3, 15)?)?;
+        let payload = 512usize;
+        let dc_bytes = n * n * payload; // every participant broadcasts
+        let reroute_bytes = payload * 10; // ~E[len]+1 unicast hops
+        println!(
+            "{n:>6} {dc_h:>14.4} {reroute_h:>14.4} {dc_bytes:>16} {reroute_bytes:>14}"
+        );
+    }
+    println!("\nDC-Nets hold anonymity near log2(n-c) regardless of routing, but their");
+    println!("per-message traffic grows as n^2 — the scalability wall the paper cites.");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Designs the optimal route-selection strategy for a deployment: solves
+//! the paper's optimization problem (eqs. 15–17) under a latency budget
+//! and prints the resulting distribution.
+//!
+//! Run with: `cargo run --release --example optimal_design [n] [c] [budget]`
+
+use anonroute::prelude::*;
+
+fn main() -> Result<(), Error> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let c: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let budget: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(8.0);
+
+    let model = SystemModel::new(n, c)?;
+    let lmax = (n - 1).min(2 * budget.ceil() as usize + 20);
+    println!("designing for {model}, expected-length budget {budget}, support 0..={lmax}\n");
+
+    // 1. the best fixed-length strategy within budget
+    let mut best_fixed = (0usize, f64::NEG_INFINITY);
+    for l in 0..=budget.floor() as usize {
+        let h = engine::anonymity_degree(&model, &PathLengthDist::fixed(l))?;
+        if h > best_fixed.1 {
+            best_fixed = (l, h);
+        }
+    }
+    println!("best fixed strategy within budget: F({}) with H* = {:.6}", best_fixed.0, best_fixed.1);
+
+    // 2. the best uniform family member at exactly the budget
+    let (delta, family) = optimize::best_uniform_with_mean(&model, lmax, budget as usize)?;
+    println!(
+        "best uniform at E[len]={budget}: U({},{}) with H* = {:.6}",
+        budget as usize - delta,
+        budget as usize + delta,
+        family.h_star
+    );
+
+    // 3. the unconstrained-shape optimum at the same expected length
+    let optimal = optimize::maximize_with_mean(&model, lmax, budget)?;
+    println!("general optimum at E[len]={budget}: H* = {:.6}", optimal.h_star);
+    println!("\noptimal pmf (masses > 0.1%):");
+    for (l, &p) in optimal.dist.pmf().iter().enumerate() {
+        if p > 1e-3 {
+            let bar = "#".repeat((p * 200.0).round() as usize);
+            println!("  P[L={l:>3}] = {p:>7.4}  {bar}");
+        }
+    }
+
+    // 4. what the budget buys
+    let report = AnonymityReport::evaluate(&model, &optimal.dist)?;
+    println!("\n{report}");
+    println!("ideal would be log2({n}) = {:.4} bits", model.max_entropy_bits());
+    Ok(())
+}

@@ -1,0 +1,319 @@
+//! `anonroute` — command-line front end for the library.
+//!
+//! ```text
+//! anonroute analyze  --n 100 --c 1 --dist fixed:5 [--cyclic]
+//! anonroute sweep    --n 100 --c 1 --from 0 --to 99
+//! anonroute optimize --n 100 --c 1 [--mean 8] [--lmax 99]
+//! anonroute simulate --n 30 --c 2 --dist uniform:1:6 --messages 2000 [--seed 7]
+//! anonroute frontier --n 100 --c 1 --max-mean 20
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use anonroute::adversary::{attack_trace, Adversary};
+use anonroute::prelude::*;
+use anonroute::protocols::onion_routing::onion_network;
+use anonroute::protocols::RouteSampler;
+use anonroute::sim::{LatencyModel, SimTime, Simulation};
+
+const USAGE: &str = "\
+anonroute — optimal route-selection strategies for anonymous communication
+            (Guan, Fu, Bettati, Zhao — ICDCS 2002)
+
+USAGE:
+    anonroute <command> [--flag value]...
+
+COMMANDS:
+    analyze    exact anonymity degree and class breakdown of a strategy
+               --n <nodes> --c <compromised> --dist <spec> [--cyclic]
+    sweep      fixed-length sweep F(l) for l in --from..=--to
+               --n <nodes> --c <compromised> [--from 0] [--to n-1]
+    optimize   solve the paper's optimization problem
+               --n <nodes> --c <compromised> [--mean <E[L]>] [--lmax <max>]
+    simulate   run the onion-routing stack and attack it
+               --n <nodes> --c <compromised> --dist <spec>
+               [--messages 2000] [--seed 7]
+    frontier   anonymity-vs-overhead frontier (optimal H* per mean length)
+               --n <nodes> --c <compromised> [--max-mean 20]
+    help       show this text
+
+DISTRIBUTION SPECS:
+    fixed:L              exactly L intermediate nodes
+    uniform:A:B          uniform over A..=B
+    twopoint:L1:P:L2     L1 with probability P, else L2
+    geometric:PF:LMAX    Crowds-style, forwarding probability PF
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `anonroute help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "analyze" => cmd_analyze(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "optimize" => cmd_optimize(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "frontier" => cmd_frontier(&flags),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{a}`"));
+        };
+        if name == "cyclic" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn require<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<T, String> {
+    let v = flags.get(name).ok_or_else(|| format!("missing required flag --{name}"))?;
+    v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`"))
+}
+
+fn model_from(flags: &Flags) -> Result<SystemModel, String> {
+    let n: usize = require(flags, "n")?;
+    let c: usize = require(flags, "c")?;
+    let kind = if flags.contains_key("cyclic") { PathKind::Cyclic } else { PathKind::Simple };
+    SystemModel::with_path_kind(n, c, kind).map_err(|e| e.to_string())
+}
+
+fn dist_from(flags: &Flags) -> Result<PathLengthDist, String> {
+    let spec: String = require(flags, "dist")?;
+    parse_dist(&spec)
+}
+
+fn parse_dist(spec: &str) -> Result<PathLengthDist, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let err = |m: &str| format!("--dist `{spec}`: {m}");
+    let parse_usize =
+        |s: &str| s.parse::<usize>().map_err(|_| err(&format!("bad integer `{s}`")));
+    let parse_f64 = |s: &str| s.parse::<f64>().map_err(|_| err(&format!("bad number `{s}`")));
+    match parts.as_slice() {
+        ["fixed", l] => Ok(PathLengthDist::fixed(parse_usize(l)?)),
+        ["uniform", a, b] => PathLengthDist::uniform(parse_usize(a)?, parse_usize(b)?)
+            .map_err(|e| err(&e.to_string())),
+        ["twopoint", l1, p, l2] => {
+            PathLengthDist::two_point(parse_usize(l1)?, parse_f64(p)?, parse_usize(l2)?)
+                .map_err(|e| err(&e.to_string()))
+        }
+        ["geometric", pf, lmax] => {
+            PathLengthDist::geometric(parse_f64(pf)?, parse_usize(lmax)?)
+                .map_err(|e| err(&e.to_string()))
+        }
+        _ => Err(err("unknown form (see `anonroute help`)")),
+    }
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let model = model_from(flags)?;
+    let dist = dist_from(flags)?;
+    let analysis = engine::analysis(&model, &dist).map_err(|e| e.to_string())?;
+    let report = AnonymityReport::evaluate(&model, &dist).map_err(|e| e.to_string())?;
+    println!("{model}, strategy {dist}");
+    println!("{report}");
+    println!("\nobservation classes:");
+    println!("{:>44}  {:>11}  {:>10}  {:>8}", "class", "probability", "entropy", "suspect");
+    for r in &analysis.classes {
+        println!(
+            "{:>44}  {:>11.6}  {:>10.4}  {:>8.4}",
+            format!("{:?}", r.class),
+            r.probability,
+            r.entropy_bits,
+            r.suspect_posterior
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    let model = model_from(flags)?;
+    let from: usize = get(flags, "from", 0)?;
+    let to: usize = get(flags, "to", model.n() - 1)?;
+    if from > to {
+        return Err("--from exceeds --to".into());
+    }
+    println!("{model}: H* of fixed-length strategies");
+    println!("{:>5}  {:>10}", "l", "H* (bits)");
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for l in from..=to {
+        let h = engine::anonymity_degree(&model, &PathLengthDist::fixed(l))
+            .map_err(|e| e.to_string())?;
+        println!("{l:>5}  {h:>10.6}");
+        if h > best.1 {
+            best = (l, h);
+        }
+    }
+    println!("\nbest: F({}) with H* = {:.6}", best.0, best.1);
+    Ok(())
+}
+
+fn cmd_optimize(flags: &Flags) -> Result<(), String> {
+    let model = model_from(flags)?;
+    if model.path_kind() == PathKind::Cyclic {
+        return Err("the optimizer covers the paper's simple-path design space".into());
+    }
+    let lmax: usize = get(flags, "lmax", model.n() - 1)?;
+    let outcome = match flags.get("mean") {
+        Some(m) => {
+            let mean: f64 = m.parse().map_err(|_| "--mean: bad number".to_string())?;
+            optimize::maximize_with_mean(&model, lmax, mean).map_err(|e| e.to_string())?
+        }
+        None => optimize::maximize(&model, lmax).map_err(|e| e.to_string())?,
+    };
+    println!("{model}: optimal strategy over support 0..={lmax}");
+    println!("H* = {:.6} bits (upper bound log2 n = {:.6})", outcome.h_star, model.max_entropy_bits());
+    println!("E[L] = {:.4}", outcome.dist.mean());
+    println!("\npmf (masses > 0.1%):");
+    for (l, &p) in outcome.dist.pmf().iter().enumerate() {
+        if p > 1e-3 {
+            println!("  P[L={l:>3}] = {p:.4}  {}", "#".repeat((p * 120.0).round() as usize));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let model = model_from(flags)?;
+    if model.path_kind() == PathKind::Cyclic {
+        return Err("simulate runs the onion stack on simple paths; use Crowds via the library for cyclic".into());
+    }
+    let dist = dist_from(flags)?;
+    let messages: usize = get(flags, "messages", 2000)?;
+    let seed: u64 = get(flags, "seed", 7)?;
+    let n = model.n();
+    let c = model.c();
+
+    let sampler =
+        RouteSampler::new(n, dist.clone(), PathKind::Simple).map_err(|e| e.to_string())?;
+    let nodes = onion_network(n, &sampler, 2048, b"anonroute-cli").map_err(|e| e.to_string())?;
+    let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 100, hi: 2000 }, seed);
+    let mut salt = seed | 1;
+    for i in 0..messages as u64 {
+        salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        sim.schedule_origination(SimTime::from_micros(i * 100), (salt >> 33) as usize % n, vec![0u8; 16]);
+    }
+    sim.run();
+
+    let compromised: Vec<usize> = (n - c..n).collect();
+    let adversary = Adversary::new(n, &compromised).map_err(|e| e.to_string())?;
+    let report = attack_trace(&adversary, &model, &dist, sim.trace(), sim.originations())
+        .map_err(|e| e.to_string())?;
+    let exact = engine::anonymity_degree(&model, &dist).map_err(|e| e.to_string())?;
+    let (lo, hi) = report.ci95();
+
+    println!("{model}, strategy {dist}, {messages} messages, seed {seed}");
+    println!("trace edges: {}, deliveries: {}", sim.trace().len(), sim.deliveries().len());
+    println!("\nempirical H*: {:.4} bits (95% CI [{:.4}, {:.4}])", report.empirical_h_star, lo, hi);
+    println!("exact     H*: {exact:.4} bits");
+    println!("identification rate: {:.2}%", report.identification_rate * 100.0);
+    println!("mean posterior on true sender: {:.4}", report.mean_true_sender_prob);
+    Ok(())
+}
+
+fn cmd_frontier(flags: &Flags) -> Result<(), String> {
+    let model = model_from(flags)?;
+    let max_mean: usize = get(flags, "max-mean", 20)?;
+    let lmax = (model.n() - 1).min(2 * max_mean + 20);
+    println!("{model}: anonymity-vs-overhead frontier (optimal H* per expected length)");
+    println!("{:>7}  {:>12}  {:>12}", "E[L]", "optimal H*", "fixed H*");
+    for mean in 1..=max_mean {
+        let opt =
+            optimize::maximize_with_mean(&model, lmax, mean as f64).map_err(|e| e.to_string())?;
+        let fixed = engine::anonymity_degree(&model, &PathLengthDist::fixed(mean))
+            .map_err(|e| e.to_string())?;
+        println!("{mean:>7}  {:>12.6}  {fixed:>12.6}", opt.h_star);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_spec_parsing() {
+        assert_eq!(parse_dist("fixed:5").unwrap(), PathLengthDist::fixed(5));
+        assert_eq!(
+            parse_dist("uniform:2:8").unwrap(),
+            PathLengthDist::uniform(2, 8).unwrap()
+        );
+        assert!(parse_dist("twopoint:3:0.5:4").is_ok());
+        assert!(parse_dist("geometric:0.75:50").is_ok());
+        assert!(parse_dist("nope:1").is_err());
+        assert!(parse_dist("uniform:9:2").is_err());
+        assert!(parse_dist("fixed:x").is_err());
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> =
+            ["--n", "100", "--c", "1", "--cyclic"].iter().map(|s| s.to_string()).collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags.get("n").unwrap(), "100");
+        assert_eq!(flags.get("cyclic").unwrap(), "true");
+        assert!(parse_flags(&["--n".to_string()]).is_err());
+        assert!(parse_flags(&["n".to_string()]).is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        let flags = |pairs: &[(&str, &str)]| -> Flags {
+            pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        };
+        cmd_analyze(&flags(&[("n", "50"), ("c", "1"), ("dist", "fixed:5")])).unwrap();
+        cmd_sweep(&flags(&[("n", "20"), ("c", "1"), ("from", "0"), ("to", "5")])).unwrap();
+        cmd_optimize(&flags(&[("n", "30"), ("c", "1"), ("mean", "4"), ("lmax", "15")])).unwrap();
+        cmd_simulate(&flags(&[("n", "12"), ("c", "1"), ("dist", "uniform:1:4"), ("messages", "200")]))
+            .unwrap();
+        cmd_frontier(&flags(&[("n", "25"), ("c", "1"), ("max-mean", "3")])).unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        let flags = |pairs: &[(&str, &str)]| -> Flags {
+            pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        };
+        assert!(cmd_analyze(&flags(&[("n", "50")])).is_err()); // missing --c / --dist
+        assert!(cmd_analyze(&flags(&[("n", "5"), ("c", "9"), ("dist", "fixed:1")])).is_err());
+        assert!(cmd_sweep(&flags(&[("n", "20"), ("c", "1"), ("from", "9"), ("to", "2")])).is_err());
+        assert!(run(&["bogus".to_string()]).is_err());
+    }
+}

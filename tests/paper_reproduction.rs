@@ -1,0 +1,101 @@
+//! Integration tests pinning the paper's headline results through the
+//! public facade API.
+
+use anonroute::prelude::*;
+
+fn h(model: &SystemModel, dist: &PathLengthDist) -> f64 {
+    engine::anonymity_degree(model, dist).expect("valid configuration")
+}
+
+#[test]
+fn observation_1_long_paths_can_hurt() {
+    // "the anonymity of the system may NOT always be improved as path
+    // length increases" (conclusion 1)
+    let model = SystemModel::new(100, 1).unwrap();
+    let values: Vec<f64> = (1..=99).map(|l| h(&model, &PathLengthDist::fixed(l))).collect();
+    let peak = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let last = *values.last().unwrap();
+    assert!(last < peak - 1e-4, "no long-path decline: last={last} peak={peak}");
+    // and the effect strengthens with more compromised nodes
+    let model5 = SystemModel::new(100, 5).unwrap();
+    let h20 = h(&model5, &PathLengthDist::fixed(20));
+    let h90 = h(&model5, &PathLengthDist::fixed(90));
+    assert!(h90 < h20);
+}
+
+#[test]
+fn observation_2_uniform_lower_bound_three_matches_fixed_of_same_mean() {
+    // conclusion 2
+    let model = SystemModel::new(100, 1).unwrap();
+    for (a, b) in [(3usize, 9usize), (5, 11), (3, 41), (10, 30)] {
+        let mean = (a + b) / 2;
+        let hu = h(&model, &PathLengthDist::uniform(a, b).unwrap());
+        let hf = h(&model, &PathLengthDist::fixed(mean));
+        assert!((hu - hf).abs() < 1e-12, "U({a},{b}) vs F({mean}): {hu} vs {hf}");
+    }
+}
+
+#[test]
+fn observation_3_optimization_is_solvable_and_beats_families() {
+    // conclusion 3: the optimization problem yields an optimal distribution
+    let model = SystemModel::new(60, 1).unwrap();
+    let out = optimize::maximize(&model, 40).unwrap();
+    for l in 0..=40 {
+        assert!(out.h_star >= h(&model, &PathLengthDist::fixed(l)) - 1e-9);
+    }
+    for a in 0..=10 {
+        for b in a..=40 {
+            let hu = h(&model, &PathLengthDist::uniform(a, b).unwrap());
+            assert!(out.h_star >= hu - 1e-9, "beaten by U({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn observation_4_variable_beats_fixed_and_log2n_bounds_everything() {
+    // conclusion 4
+    let model = SystemModel::new(100, 1).unwrap();
+    let bound = model.max_entropy_bits();
+    for mean in [4usize, 8, 15, 30] {
+        let fixed = h(&model, &PathLengthDist::fixed(mean));
+        let opt = optimize::maximize_with_mean(&model, 99, mean as f64).unwrap();
+        assert!(opt.h_star >= fixed - 1e-12, "mean {mean}");
+        assert!(opt.h_star < bound);
+        assert!(fixed < bound);
+    }
+}
+
+#[test]
+fn short_path_effect_full_pattern() {
+    // Figure 3(b): F(0)=0 < F(3) < F(1)=F(2) < F(4)
+    let model = SystemModel::new(100, 1).unwrap();
+    let f: Vec<f64> = (0..=4).map(|l| h(&model, &PathLengthDist::fixed(l))).collect();
+    assert_eq!(f[0], 0.0);
+    assert!((f[1] - f[2]).abs() < 1e-12);
+    assert!(f[3] < f[1]);
+    assert!(f[1] - f[3] < 1e-3);
+    assert!(f[4] > f[1]);
+}
+
+#[test]
+fn named_system_strategies_evaluate_cleanly() {
+    for s in strategies::surveyed_systems(99) {
+        let model = SystemModel::with_path_kind(100, 1, s.path_kind).unwrap();
+        let report = AnonymityReport::evaluate(&model, &s.dist).unwrap();
+        assert!(report.h_star > 0.0, "{}", s.name);
+        assert!(report.h_star < model.max_entropy_bits());
+        assert!(report.p_exposed >= 0.01 - 1e-12); // compromised-sender mass
+    }
+}
+
+#[test]
+fn closed_forms_and_engine_agree_through_the_facade() {
+    use anonroute::core::analytic;
+    let model = SystemModel::new(100, 1).unwrap();
+    for l in [1usize, 7, 31, 80] {
+        let t = analytic::theorem1_fixed(100, l).unwrap();
+        assert!((t - h(&model, &PathLengthDist::fixed(l))).abs() < 1e-12);
+    }
+    let t3 = analytic::theorem3_uniform(100, 4, 16).unwrap();
+    assert!((t3 - h(&model, &PathLengthDist::uniform(4, 16).unwrap())).abs() < 1e-12);
+}

@@ -1,0 +1,132 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use anonroute::core::analytic;
+use anonroute::core::engine::{observe, sender_posterior};
+use anonroute::crypto::keys::KeyStore;
+use anonroute::crypto::onion::{build, frame, peel, Peeled};
+use anonroute::prelude::*;
+use proptest::prelude::*;
+
+fn arb_pmf(lmax: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 1..=lmax + 1).prop_filter(
+        "needs positive mass",
+        |v| v.iter().sum::<f64>() > 1e-6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn h_star_bounded_for_random_distributions(
+        pmf in arb_pmf(20),
+        c in 0usize..8,
+    ) {
+        let n = 30;
+        let model = SystemModel::new(n, c).unwrap();
+        let dist = PathLengthDist::from_pmf(pmf).unwrap();
+        let h = engine::anonymity_degree(&model, &dist).unwrap();
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (n as f64).log2() + 1e-12);
+    }
+
+    #[test]
+    fn closed_form_c1_matches_engine_on_random_distributions(pmf in arb_pmf(15)) {
+        let n = 40;
+        let model = SystemModel::new(n, 1).unwrap();
+        let dist = PathLengthDist::from_pmf(pmf).unwrap();
+        let a = engine::anonymity_degree(&model, &dist).unwrap();
+        let b = analytic::anonymity_degree_c1(n, &dist).unwrap();
+        prop_assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn adding_compromised_nodes_never_helps(pmf in arb_pmf(12)) {
+        let n = 25;
+        let dist = PathLengthDist::from_pmf(pmf).unwrap();
+        let mut prev = f64::INFINITY;
+        for c in 0..6 {
+            let model = SystemModel::new(n, c).unwrap();
+            let h = engine::anonymity_degree(&model, &dist).unwrap();
+            prop_assert!(h <= prev + 1e-9);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn posteriors_are_valid_distributions(
+        sender in 0usize..10,
+        len in 0usize..6,
+        seed in any::<u64>(),
+        c in 1usize..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let n = 10;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // random simple path avoiding the sender
+        let mut pool: Vec<usize> = (0..n).filter(|&x| x != sender).collect();
+        let mut path = Vec::new();
+        for _ in 0..len.min(pool.len()) {
+            let k = rng.gen_range(0..pool.len());
+            path.push(pool.swap_remove(k));
+        }
+        let compromised: Vec<bool> = (0..n).map(|i| i < c).collect();
+        let model = SystemModel::new(n, c).unwrap();
+        let dist = PathLengthDist::uniform(0, 5).unwrap();
+        let obs = observe(sender, &path, &compromised);
+        let post = sender_posterior(&model, &dist, &obs, &compromised).unwrap();
+        let total: f64 = post.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(post.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        // the true sender always keeps nonzero posterior mass
+        prop_assert!(post[sender] > 0.0, "true sender zeroed out");
+    }
+
+    #[test]
+    fn onion_roundtrip_for_random_paths_and_payloads(
+        raw_path in proptest::collection::vec(0u16..12, 1..6),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        junk_seed in any::<u8>(),
+    ) {
+        let keys = KeyStore::from_seed(b"prop", 12);
+        let nonces: Vec<[u8; 12]> = (0..raw_path.len())
+            .map(|i| {
+                let mut x = [0u8; 12];
+                x[0] = i as u8;
+                x[1] = junk_seed;
+                x
+            })
+            .collect();
+        let wire = build(&keys, &raw_path, &payload, &nonces).unwrap();
+        let mut j = junk_seed;
+        let mut junk = move || { j = j.wrapping_mul(13).wrapping_add(7); j };
+        let mut cell = frame(&wire, 2048, &mut junk).unwrap();
+        for (i, &hop) in raw_path.iter().enumerate() {
+            match peel(&keys.key(hop as usize), &cell).unwrap() {
+                Peeled::Forward { next, content } => {
+                    prop_assert_eq!(next, raw_path[i + 1]);
+                    cell = frame(&content, 2048, &mut junk).unwrap();
+                }
+                Peeled::Deliver { payload: got } => {
+                    prop_assert_eq!(i, raw_path.len() - 1);
+                    prop_assert_eq!(&got, &payload);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_strategies_respect_theorem3_for_random_bounds(
+        a in 3usize..20,
+        width in 0usize..20,
+    ) {
+        let n = 60;
+        let b = a + width;
+        prop_assume!(b < n);
+        prop_assume!((a + b) % 2 == 0);
+        let model = SystemModel::new(n, 1).unwrap();
+        let hu = engine::anonymity_degree(&model, &PathLengthDist::uniform(a, b).unwrap()).unwrap();
+        let hf = engine::anonymity_degree(&model, &PathLengthDist::fixed((a + b) / 2)).unwrap();
+        prop_assert!((hu - hf).abs() < 1e-10);
+    }
+}
