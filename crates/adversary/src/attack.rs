@@ -153,7 +153,9 @@ mod tests {
         // senders must be uniform (the model's prior)
         let mut salt = 0u64;
         for i in 0..3000u64 {
-            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            salt = salt
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let sender = (salt >> 33) as usize % n;
             sim.schedule_origination(SimTime::from_micros(i * 50), sender, vec![0u8; 8]);
         }
@@ -179,11 +181,12 @@ mod tests {
         let model = SystemModel::with_path_kind(n, 1, PathKind::Cyclic).unwrap();
         let exact = engine::anonymity_degree(&model, &dist).unwrap();
 
-        let mut sim =
-            Simulation::new(crowd(n, pf).unwrap(), LatencyModel::Constant(100), 8);
+        let mut sim = Simulation::new(crowd(n, pf).unwrap(), LatencyModel::Constant(100), 8);
         let mut salt = 7u64;
         for i in 0..3000u64 {
-            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            salt = salt
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let sender = (salt >> 33) as usize % n;
             sim.schedule_origination(SimTime::from_micros(i * 1000), sender, vec![1]);
         }

@@ -24,6 +24,6 @@ pub mod predecessor;
 pub mod reconstruct;
 
 pub use attack::{attack_trace, AttackReport, MessageVerdict};
-pub use predecessor::{predecessor_attack, PredecessorOutcome, PredecessorTracker};
 pub use error::{Error, Result};
+pub use predecessor::{predecessor_attack, PredecessorOutcome, PredecessorTracker};
 pub use reconstruct::{ground_truth_path, Adversary};

@@ -68,7 +68,10 @@ impl PredecessorTracker {
 
     /// The current top suspect and its count, if any sighting occurred.
     pub fn top_suspect(&self) -> Option<(NodeId, u64)> {
-        self.counts.iter().map(|(&n, &c)| (n, c)).max_by_key(|&(n, c)| (c, std::cmp::Reverse(n)))
+        self.counts
+            .iter()
+            .map(|(&n, &c)| (n, c))
+            .max_by_key(|&(n, c)| (c, std::cmp::Reverse(n)))
     }
 
     /// Normalized predecessor histogram as a posterior-style score over
@@ -139,7 +142,9 @@ pub fn predecessor_attack(
     true_sender: NodeId,
 ) -> Result<PredecessorOutcome> {
     if observations.is_empty() {
-        return Err(Error::BadInput("predecessor attack needs at least one round".into()));
+        return Err(Error::BadInput(
+            "predecessor attack needs at least one round".into(),
+        ));
     }
     let n = adversary.compromised().len();
     let mut tracker = PredecessorTracker::new();
@@ -199,7 +204,11 @@ mod tests {
         let outcome = predecessor_attack(&adv, &obs, 4).unwrap();
         assert!(outcome.correct, "attack failed: {:?}", outcome.top_suspect);
         // the sender's lead over the runner-up is decisive
-        assert!(outcome.final_margin > 0.05, "margin {}", outcome.final_margin);
+        assert!(
+            outcome.final_margin > 0.05,
+            "margin {}",
+            outcome.final_margin
+        );
     }
 
     #[test]
@@ -215,7 +224,10 @@ mod tests {
             // the margin has stabilized at a positive value
             assert!(outcome.final_margin >= 0.0);
         }
-        assert!(correct >= 18, "only {correct}/20 runs identified the sender");
+        assert!(
+            correct >= 18,
+            "only {correct}/20 runs identified the sender"
+        );
     }
 
     #[test]

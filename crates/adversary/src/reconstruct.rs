@@ -36,7 +36,9 @@ impl Adversary {
         let mut compromised = vec![false; n];
         for &id in compromised_ids {
             if id >= n {
-                return Err(Error::BadInput(format!("compromised id {id} out of range (n={n})")));
+                return Err(Error::BadInput(format!(
+                    "compromised id {id} out of range (n={n})"
+                )));
             }
             if compromised[id] {
                 return Err(Error::BadInput(format!("compromised id {id} listed twice")));
@@ -139,33 +141,36 @@ impl Adversary {
                     // (if x is the compromised *sender*, there is no run —
                     // the origin report already covers it)
                 }
-                (from, Endpoint::Receiver) => {
-                    match from {
-                        Endpoint::Node(f) => {
-                            receiver_pred = Some(f);
-                            if self.compromised[f] {
-                                if let Some(mut run) = open.take() {
-                                    run.succ = Succ::Receiver;
-                                    runs.push(run);
-                                }
+                (from, Endpoint::Receiver) => match from {
+                    Endpoint::Node(f) => {
+                        receiver_pred = Some(f);
+                        if self.compromised[f] {
+                            if let Some(mut run) = open.take() {
+                                run.succ = Succ::Receiver;
+                                runs.push(run);
                             }
                         }
-                        Endpoint::Receiver => {
-                            return Err(Error::BadInput(
-                                "the receiver never forwards messages".into(),
-                            ))
-                        }
                     }
-                }
+                    Endpoint::Receiver => {
+                        return Err(Error::BadInput(
+                            "the receiver never forwards messages".into(),
+                        ))
+                    }
+                },
                 _ => {}
             }
         }
         if let Some(run) = open.take() {
             runs.push(run);
         }
-        let receiver_pred = receiver_pred
-            .ok_or_else(|| Error::Incomplete(format!("message {msg:?} never reached the receiver")))?;
-        Ok(Observation { origin, runs, receiver_pred })
+        let receiver_pred = receiver_pred.ok_or_else(|| {
+            Error::Incomplete(format!("message {msg:?} never reached the receiver"))
+        })?;
+        Ok(Observation {
+            origin,
+            runs,
+            receiver_pred,
+        })
     }
 
     /// Reconstructs observations for every delivered message in the trace.
@@ -230,7 +235,10 @@ mod tests {
         let trace = trace_for(sender, path);
         let got = adv.reconstruct(&trace, MsgId(0)).unwrap();
         let want = observe(sender, path, adv.compromised());
-        assert_eq!(got, want, "sender={sender} path={path:?} compromised={compromised:?}");
+        assert_eq!(
+            got, want,
+            "sender={sender} path={path:?} compromised={compromised:?}"
+        );
     }
 
     #[test]
@@ -286,7 +294,13 @@ mod tests {
                     }
                 }
                 let mut out = Vec::new();
-                perms(&others, l, &mut Vec::new(), &mut vec![false; others.len()], &mut out);
+                perms(
+                    &others,
+                    l,
+                    &mut Vec::new(),
+                    &mut vec![false; others.len()],
+                    &mut out,
+                );
                 for path in out {
                     check_agreement(n, &compromised, sender, &path);
                 }
@@ -299,7 +313,10 @@ mod tests {
         let adv = Adversary::new(5, &[4]).unwrap();
         let mut trace = trace_for(0, &[1, 4, 2]);
         trace.pop(); // drop the delivery edge
-        assert!(matches!(adv.reconstruct(&trace, MsgId(0)), Err(Error::Incomplete(_))));
+        assert!(matches!(
+            adv.reconstruct(&trace, MsgId(0)),
+            Err(Error::Incomplete(_))
+        ));
     }
 
     #[test]

@@ -54,5 +54,11 @@ fn bench_onion(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_chacha20, bench_onion);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_chacha20,
+    bench_onion
+);
 criterion_main!(benches);

@@ -16,7 +16,9 @@ fn bench_exact_engine(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("simple", format!("n{n}_c{cc}")),
             &(model, dist),
-            |b, (model, dist)| b.iter(|| engine::anonymity_degree(black_box(model), black_box(dist)).unwrap()),
+            |b, (model, dist)| {
+                b.iter(|| engine::anonymity_degree(black_box(model), black_box(dist)).unwrap())
+            },
         );
     }
     let cyclic = SystemModel::with_path_kind(100, 2, PathKind::Cyclic).unwrap();
@@ -31,7 +33,9 @@ fn bench_evaluator_hot_loop(c: &mut Criterion) {
     let model = SystemModel::new(100, 1).unwrap();
     let ev = Evaluator::new(&model, 99).unwrap();
     let pmf = PathLengthDist::uniform(2, 60).unwrap().pmf().to_vec();
-    c.bench_function("evaluator_h_star_n100", |b| b.iter(|| ev.h_star(black_box(&pmf))));
+    c.bench_function("evaluator_h_star_n100", |b| {
+        b.iter(|| ev.h_star(black_box(&pmf)))
+    });
 }
 
 fn bench_closed_form(c: &mut Criterion) {
@@ -48,7 +52,15 @@ fn bench_posterior(c: &mut Criterion) {
     let path: Vec<usize> = vec![10, 1, 20, 2, 30, 40, 50];
     let obs = observe(5, &path, &compromised);
     c.bench_function("sender_posterior_n100_c3", |b| {
-        b.iter(|| sender_posterior(black_box(&model), black_box(&dist), black_box(&obs), &compromised).unwrap())
+        b.iter(|| {
+            sender_posterior(
+                black_box(&model),
+                black_box(&dist),
+                black_box(&obs),
+                &compromised,
+            )
+            .unwrap()
+        })
     });
 }
 

@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig3a_full_sweep", |b| b.iter(|| black_box(figures::fig3a())));
+    group.bench_function("fig3a_full_sweep", |b| {
+        b.iter(|| black_box(figures::fig3a()))
+    });
     group.bench_function("fig4_all_panels", |b| b.iter(|| black_box(figures::fig4())));
     group.bench_function("fig5_all_panels", |b| b.iter(|| black_box(figures::fig5())));
     group.finish();
@@ -30,5 +32,10 @@ fn bench_theorem_validation(c: &mut Criterion) {
     c.bench_function("theorem_table", |b| b.iter(|| black_box(theorem_table())));
 }
 
-criterion_group!(benches, bench_figures, bench_fig6_optimization, bench_theorem_validation);
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_fig6_optimization,
+    bench_theorem_validation
+);
 criterion_main!(benches);

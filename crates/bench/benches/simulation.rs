@@ -10,13 +10,21 @@ use anonroute_sim::{LatencyModel, SimTime, Simulation};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn onion_sim(n: usize, messages: u64, seed: u64) -> Simulation<anonroute_protocols::onion_routing::OnionNode> {
+fn onion_sim(
+    n: usize,
+    messages: u64,
+    seed: u64,
+) -> Simulation<anonroute_protocols::onion_routing::OnionNode> {
     let sampler =
         RouteSampler::new(n, PathLengthDist::uniform(1, 6).unwrap(), PathKind::Simple).unwrap();
     let nodes = onion_network(n, &sampler, 2048, b"bench").unwrap();
     let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 10, hi: 200 }, seed);
     for i in 0..messages {
-        sim.schedule_origination(SimTime::from_micros(i * 40), (i % n as u64) as usize, vec![0; 16]);
+        sim.schedule_origination(
+            SimTime::from_micros(i * 40),
+            (i % n as u64) as usize,
+            vec![0; 16],
+        );
     }
     sim
 }
@@ -55,7 +63,14 @@ fn bench_adversary_attack(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("attack_500_messages", |b| {
         b.iter(|| {
-            attack_trace(&adv, &model, &dist, black_box(sim.trace()), sim.originations()).unwrap()
+            attack_trace(
+                &adv,
+                &model,
+                &dist,
+                black_box(sim.trace()),
+                sim.originations(),
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -1,0 +1,442 @@
+//! The declarative scenario model: what to evaluate.
+//!
+//! A [`Scenario`] is one fully specified evaluation point — system size,
+//! compromise level, path kind, route-selection strategy, and the engine
+//! used to score it. A [`ScenarioGrid`] is the cartesian product of axis
+//! value lists; [`ScenarioGrid::cells`] expands it in a fixed, documented
+//! order so downstream output is stable across runs and thread counts.
+
+use anonroute_core::{optimize, PathKind, PathLengthDist, SystemModel};
+
+/// A route-selection strategy family member, by parameters rather than by
+/// realized distribution, so one grid can span system sizes (the same
+/// `geometric:0.75:50` cell is infeasible at `n = 20` but fine at
+/// `n = 100`, and `optimal` depends on `n` by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategySpec {
+    /// `F(l)` — exactly `l` intermediate nodes.
+    Fixed(usize),
+    /// `U(a, b)` — uniform over `a..=b` intermediate nodes.
+    Uniform(usize, usize),
+    /// Two-point mixture: `lo` with probability `p`, else `hi`.
+    TwoPoint {
+        /// First support point.
+        lo: usize,
+        /// Probability of `lo`.
+        p: f64,
+        /// Second support point.
+        hi: usize,
+    },
+    /// Crowds-style geometric with forwarding probability `forward_prob`,
+    /// truncated at `lmax`.
+    Geometric {
+        /// Forwarding probability `p_f ∈ [0, 1)`.
+        forward_prob: f64,
+        /// Truncation point of the geometric tail.
+        lmax: usize,
+    },
+    /// The paper's optimization problem: the `H*`-maximizing distribution,
+    /// optionally at a fixed expected path length.
+    Optimal {
+        /// Equal-overhead constraint `E[L] = mean`, when present.
+        mean: Option<f64>,
+    },
+}
+
+impl StrategySpec {
+    /// Parses the CLI/spec-file form (`fixed:5`, `uniform:2:8`,
+    /// `twopoint:3:0.5:7`, `geometric:0.75:50`, `optimal`, `optimal:8`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown forms or bad numbers.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let err = |m: &str| format!("strategy `{spec}`: {m}");
+        let parts: Vec<&str> = spec.split(':').collect();
+        let int = |s: &str| {
+            s.parse::<usize>()
+                .map_err(|_| err(&format!("bad integer `{s}`")))
+        };
+        let num = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|_| err(&format!("bad number `{s}`")))
+        };
+        match parts.as_slice() {
+            ["fixed", l] => Ok(StrategySpec::Fixed(int(l)?)),
+            ["uniform", a, b] => {
+                let (a, b) = (int(a)?, int(b)?);
+                if a > b {
+                    return Err(err("bounds out of order"));
+                }
+                Ok(StrategySpec::Uniform(a, b))
+            }
+            ["twopoint", lo, p, hi] => Ok(StrategySpec::TwoPoint {
+                lo: int(lo)?,
+                p: num(p)?,
+                hi: int(hi)?,
+            }),
+            ["geometric", pf, lmax] => Ok(StrategySpec::Geometric {
+                forward_prob: num(pf)?,
+                lmax: int(lmax)?,
+            }),
+            ["optimal"] => Ok(StrategySpec::Optimal { mean: None }),
+            ["optimal", mean] => Ok(StrategySpec::Optimal { mean: Some(num(mean)?) }),
+            _ => Err(err("unknown form (fixed:L | uniform:A:B | twopoint:L1:P:L2 | geometric:PF:LMAX | optimal[:MEAN])")),
+        }
+    }
+
+    /// The strategy family name (`fixed`, `uniform`, `twopoint`,
+    /// `geometric`, `optimal`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            StrategySpec::Fixed(_) => "fixed",
+            StrategySpec::Uniform(..) => "uniform",
+            StrategySpec::TwoPoint { .. } => "twopoint",
+            StrategySpec::Geometric { .. } => "geometric",
+            StrategySpec::Optimal { .. } => "optimal",
+        }
+    }
+
+    /// Realizes the concrete path-length distribution under `model`.
+    ///
+    /// For [`StrategySpec::Optimal`] this solves the paper's optimization
+    /// problem (deterministically — the solver is seed-free), over support
+    /// `0..=min(n-1, bound)` where the bound keeps sweep cells affordable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution construction/validation errors (e.g. a
+    /// fixed length exceeding `n - 1` on simple paths) as strings so a
+    /// sweep can record infeasible cells instead of aborting.
+    pub fn realize(&self, model: &SystemModel) -> Result<PathLengthDist, String> {
+        let dist = match self {
+            StrategySpec::Fixed(l) => PathLengthDist::fixed(*l),
+            StrategySpec::Uniform(a, b) => {
+                PathLengthDist::uniform(*a, *b).map_err(|e| e.to_string())?
+            }
+            StrategySpec::TwoPoint { lo, p, hi } => {
+                PathLengthDist::two_point(*lo, *p, *hi).map_err(|e| e.to_string())?
+            }
+            StrategySpec::Geometric { forward_prob, lmax } => {
+                PathLengthDist::geometric(*forward_prob, *lmax).map_err(|e| e.to_string())?
+            }
+            StrategySpec::Optimal { mean } => {
+                if model.path_kind() != PathKind::Simple {
+                    return Err(
+                        "optimal strategies cover the paper's simple-path design space".into(),
+                    );
+                }
+                let outcome = match mean {
+                    Some(m) => {
+                        let lmax = (model.n() - 1).min(2 * m.ceil() as usize + 20);
+                        optimize::maximize_with_mean(model, lmax, *m).map_err(|e| e.to_string())?
+                    }
+                    None => {
+                        let lmax = (model.n() - 1).min(60);
+                        optimize::maximize(model, lmax).map_err(|e| e.to_string())?
+                    }
+                };
+                outcome.dist
+            }
+        };
+        model.validate_dist(&dist).map_err(|e| e.to_string())?;
+        Ok(dist)
+    }
+}
+
+impl std::fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategySpec::Fixed(l) => write!(f, "fixed:{l}"),
+            StrategySpec::Uniform(a, b) => write!(f, "uniform:{a}:{b}"),
+            StrategySpec::TwoPoint { lo, p, hi } => write!(f, "twopoint:{lo}:{p}:{hi}"),
+            StrategySpec::Geometric { forward_prob, lmax } => {
+                write!(f, "geometric:{forward_prob}:{lmax}")
+            }
+            StrategySpec::Optimal { mean: None } => write!(f, "optimal"),
+            StrategySpec::Optimal { mean: Some(m) } => write!(f, "optimal:{m}"),
+        }
+    }
+}
+
+/// Which evaluation engine scores a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Closed-form exact `H*` (the paper's analysis).
+    Exact,
+    /// Seeded Monte-Carlo estimation over sampled observations.
+    MonteCarlo,
+    /// Full protocol simulation attacked by the passive adversary
+    /// (onion routing on simple paths, Crowds on cyclic paths).
+    Simulated,
+}
+
+impl EngineKind {
+    /// Parses `exact`, `mc`/`montecarlo`, or `sim`/`simulated`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "exact" => Ok(EngineKind::Exact),
+            "mc" | "montecarlo" | "monte-carlo" => Ok(EngineKind::MonteCarlo),
+            "sim" | "simulated" => Ok(EngineKind::Simulated),
+            other => Err(format!("engine `{other}`: expected exact | mc | sim")),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Exact => write!(f, "exact"),
+            EngineKind::MonteCarlo => write!(f, "mc"),
+            EngineKind::Simulated => write!(f, "sim"),
+        }
+    }
+}
+
+/// Parses a [`PathKind`] axis value (`simple` | `cyclic`).
+///
+/// # Errors
+///
+/// Returns a message naming the accepted forms.
+pub fn parse_path_kind(s: &str) -> Result<PathKind, String> {
+    match s {
+        "simple" => Ok(PathKind::Simple),
+        "cyclic" => Ok(PathKind::Cyclic),
+        other => Err(format!("path kind `{other}`: expected simple | cyclic")),
+    }
+}
+
+/// One fully specified evaluation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// System size `n`.
+    pub n: usize,
+    /// Compromised node count `c`.
+    pub c: usize,
+    /// Path-construction rule.
+    pub path_kind: PathKind,
+    /// Route-selection strategy.
+    pub strategy: StrategySpec,
+    /// Scoring engine.
+    pub engine: EngineKind,
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} c={} {} {} [{}]",
+            self.n, self.c, self.path_kind, self.strategy, self.engine
+        )
+    }
+}
+
+/// A declarative cartesian grid of scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use anonroute_campaign::{EngineKind, ScenarioGrid, StrategySpec};
+///
+/// let grid = ScenarioGrid::new()
+///     .ns([50, 100])
+///     .cs([1, 2, 3])
+///     .strategies((1..=5).map(StrategySpec::Fixed))
+///     .engines([EngineKind::Exact]);
+/// assert_eq!(grid.len(), 2 * 3 * 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// System sizes.
+    pub ns: Vec<usize>,
+    /// Compromised counts.
+    pub cs: Vec<usize>,
+    /// Path kinds (defaults to `[Simple]`).
+    pub path_kinds: Vec<PathKind>,
+    /// Strategies.
+    pub strategies: Vec<StrategySpec>,
+    /// Engines (defaults to `[Exact]`).
+    pub engines: Vec<EngineKind>,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        ScenarioGrid {
+            ns: Vec::new(),
+            cs: Vec::new(),
+            path_kinds: vec![PathKind::Simple],
+            strategies: Vec::new(),
+            engines: vec![EngineKind::Exact],
+        }
+    }
+}
+
+impl ScenarioGrid {
+    /// Empty grid with default path-kind (`simple`) and engine (`exact`)
+    /// axes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the system-size axis.
+    pub fn ns(mut self, ns: impl IntoIterator<Item = usize>) -> Self {
+        self.ns = ns.into_iter().collect();
+        self
+    }
+
+    /// Sets the compromised-count axis.
+    pub fn cs(mut self, cs: impl IntoIterator<Item = usize>) -> Self {
+        self.cs = cs.into_iter().collect();
+        self
+    }
+
+    /// Sets the path-kind axis.
+    pub fn path_kinds(mut self, kinds: impl IntoIterator<Item = PathKind>) -> Self {
+        self.path_kinds = kinds.into_iter().collect();
+        self
+    }
+
+    /// Sets the strategy axis.
+    pub fn strategies(mut self, strategies: impl IntoIterator<Item = StrategySpec>) -> Self {
+        self.strategies = strategies.into_iter().collect();
+        self
+    }
+
+    /// Sets the engine axis.
+    pub fn engines(mut self, engines: impl IntoIterator<Item = EngineKind>) -> Self {
+        self.engines = engines.into_iter().collect();
+        self
+    }
+
+    /// Number of cells in the cartesian product.
+    pub fn len(&self) -> usize {
+        self.ns.len()
+            * self.cs.len()
+            * self.path_kinds.len()
+            * self.strategies.len()
+            * self.engines.len()
+    }
+
+    /// Whether the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid in its canonical order: `n` outermost, then `c`,
+    /// path kind, strategy, and engine innermost. Cell index in this
+    /// expansion is the stable identity used for seeding and output.
+    pub fn cells(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &n in &self.ns {
+            for &c in &self.cs {
+                for &path_kind in &self.path_kinds {
+                    for strategy in &self.strategies {
+                        for &engine in &self.engines {
+                            out.push(Scenario {
+                                n,
+                                c,
+                                path_kind,
+                                strategy: strategy.clone(),
+                                engine,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parse_display_roundtrip() {
+        for s in [
+            "fixed:5",
+            "uniform:2:8",
+            "twopoint:3:0.5:7",
+            "geometric:0.75:50",
+            "optimal",
+            "optimal:8",
+        ] {
+            let spec = StrategySpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(StrategySpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        assert!(StrategySpec::parse("uniform:9:2").is_err());
+        assert!(StrategySpec::parse("bogus:1").is_err());
+        assert!(StrategySpec::parse("fixed:x").is_err());
+    }
+
+    #[test]
+    fn realize_matches_direct_construction() {
+        let model = SystemModel::new(50, 1).unwrap();
+        assert_eq!(
+            StrategySpec::Fixed(5).realize(&model).unwrap(),
+            PathLengthDist::fixed(5)
+        );
+        assert_eq!(
+            StrategySpec::Uniform(2, 8).realize(&model).unwrap(),
+            PathLengthDist::uniform(2, 8).unwrap()
+        );
+    }
+
+    #[test]
+    fn realize_rejects_infeasible_cells() {
+        let model = SystemModel::new(5, 1).unwrap();
+        assert!(StrategySpec::Fixed(5).realize(&model).is_err());
+        let cyclic = SystemModel::with_path_kind(5, 1, PathKind::Cyclic).unwrap();
+        assert!(StrategySpec::Fixed(5).realize(&cyclic).is_ok());
+        assert!(StrategySpec::Optimal { mean: None }
+            .realize(&cyclic)
+            .is_err());
+    }
+
+    #[test]
+    fn optimal_spec_solves_the_optimization_problem() {
+        let model = SystemModel::new(30, 1).unwrap();
+        let dist = StrategySpec::Optimal { mean: Some(4.0) }
+            .realize(&model)
+            .unwrap();
+        assert!((dist.mean() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_expansion_order_is_canonical() {
+        let grid = ScenarioGrid::new()
+            .ns([10, 20])
+            .cs([1, 2])
+            .strategies([StrategySpec::Fixed(1), StrategySpec::Fixed(2)]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(
+            (cells[0].n, cells[0].c, cells[0].strategy.clone()),
+            (10, 1, StrategySpec::Fixed(1))
+        );
+        assert_eq!(
+            (cells[1].n, cells[1].c, cells[1].strategy.clone()),
+            (10, 1, StrategySpec::Fixed(2))
+        );
+        assert_eq!((cells[2].n, cells[2].c), (10, 2));
+        assert_eq!((cells[4].n, cells[4].c), (20, 1));
+        assert!(cells.iter().all(|s| s.engine == EngineKind::Exact));
+        assert!(cells.iter().all(|s| s.path_kind == PathKind::Simple));
+    }
+
+    #[test]
+    fn engine_and_path_parsing() {
+        assert_eq!(EngineKind::parse("exact").unwrap(), EngineKind::Exact);
+        assert_eq!(EngineKind::parse("mc").unwrap(), EngineKind::MonteCarlo);
+        assert_eq!(EngineKind::parse("sim").unwrap(), EngineKind::Simulated);
+        assert!(EngineKind::parse("x").is_err());
+        assert_eq!(parse_path_kind("cyclic").unwrap(), PathKind::Cyclic);
+        assert!(parse_path_kind("loop").is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! Structured campaign output: JSON Lines, CSV, and a human summary.
+//!
+//! The numeric payload of a cell is a pure function of `(grid, config)`,
+//! so rendered lines are byte-identical across runs and thread counts —
+//! the determinism tests pin this. Wall-clock timing is inherently
+//! nondeterministic and is therefore *opt-in* per call (`include_timing`),
+//! keeping the default artifacts diffable.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::runner::{CampaignOutcome, CellResult};
+
+/// Renders one cell as a JSON object (one line, no trailing newline).
+pub fn jsonl_line(cell: &CellResult, include_timing: bool) -> String {
+    let mut out = String::with_capacity(256);
+    let s = &cell.scenario;
+    write!(
+        out,
+        "{{\"cell\":{},\"n\":{},\"c\":{},\"path\":\"{}\",\"strategy\":\"{}\",\"family\":\"{}\",\"engine\":\"{}\",\"seed\":{}",
+        cell.index,
+        s.n,
+        s.c,
+        s.path_kind,
+        json_escape(&s.strategy.to_string()),
+        s.strategy.family(),
+        s.engine,
+        cell.seed,
+    )
+    .expect("writing to a String cannot fail");
+    match &cell.outcome {
+        Ok(m) => {
+            write!(
+                out,
+                ",\"status\":\"ok\",\"h_star\":{},\"normalized\":{},\"mean_len\":{},\"p_exposed\":{},\"std_error\":{},\"samples\":{}",
+                json_f64(m.h_star),
+                json_f64(m.normalized),
+                json_f64(m.mean_len),
+                json_opt_f64(m.p_exposed),
+                json_opt_f64(m.std_error),
+                m.samples.map_or_else(|| "null".into(), |v| v.to_string()),
+            )
+            .expect("writing to a String cannot fail");
+        }
+        Err(e) => {
+            write!(
+                out,
+                ",\"status\":\"error\",\"error\":\"{}\"",
+                json_escape(e)
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    if include_timing {
+        write!(out, ",\"elapsed_us\":{}", cell.elapsed_micros)
+            .expect("writing to a String cannot fail");
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the whole outcome as JSON Lines.
+pub fn render_jsonl(outcome: &CampaignOutcome, include_timing: bool) -> String {
+    let mut out = String::new();
+    for cell in &outcome.cells {
+        out.push_str(&jsonl_line(cell, include_timing));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the outcome to `path` as JSON Lines, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_jsonl(
+    path: &Path,
+    outcome: &CampaignOutcome,
+    include_timing: bool,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_jsonl(outcome, include_timing))
+}
+
+/// CSV column header matching [`render_csv`].
+pub const CSV_HEADER: &str =
+    "cell,n,c,path,strategy,family,engine,seed,status,h_star,normalized,mean_len,p_exposed,std_error,samples,error";
+
+/// Renders the whole outcome as CSV (header + one row per cell).
+pub fn render_csv(outcome: &CampaignOutcome) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for cell in &outcome.cells {
+        let s = &cell.scenario;
+        write!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            cell.index,
+            s.n,
+            s.c,
+            s.path_kind,
+            s.strategy.to_string().replace(',', ";"),
+            s.strategy.family(),
+            s.engine,
+            cell.seed,
+        )
+        .expect("writing to a String cannot fail");
+        match &cell.outcome {
+            Ok(m) => {
+                write!(
+                    out,
+                    ",ok,{},{},{},{},{},{},",
+                    m.h_star,
+                    m.normalized,
+                    m.mean_len,
+                    m.p_exposed.map_or_else(String::new, |v| v.to_string()),
+                    m.std_error.map_or_else(String::new, |v| v.to_string()),
+                    m.samples.map_or_else(String::new, |v| v.to_string()),
+                )
+                .expect("writing to a String cannot fail");
+            }
+            Err(e) => {
+                write!(
+                    out,
+                    ",error,,,,,,,{}",
+                    e.replace(',', ";").replace('\n', " ")
+                )
+                .expect("writing to a String cannot fail");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the outcome to `path` as CSV, creating parent directories as
+/// needed.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv(path: &Path, outcome: &CampaignOutcome) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, render_csv(outcome))
+}
+
+/// Writes per-cell wall times to `path` as CSV — timing lives in its own
+/// artifact so the main results stay byte-reproducible.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_timings_csv(path: &Path, outcome: &CampaignOutcome) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "cell,n,c,path,strategy,engine,elapsed_us")?;
+    for cell in &outcome.cells {
+        let s = &cell.scenario;
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{}",
+            cell.index,
+            s.n,
+            s.c,
+            s.path_kind,
+            s.strategy.to_string().replace(',', ";"),
+            s.engine,
+            cell.elapsed_micros
+        )?;
+    }
+    Ok(())
+}
+
+/// Human-readable run summary with throughput, cache, and the slowest
+/// cells.
+pub fn summary(outcome: &CampaignOutcome) -> String {
+    let mut out = String::new();
+    let wall_s = outcome.wall.as_secs_f64();
+    let cells = outcome.cells.len();
+    writeln!(
+        out,
+        "campaign: {cells} cells ({} ok, {} infeasible) on {} thread(s) in {:.3}s ({:.1} cells/s)",
+        outcome.ok_count(),
+        outcome.error_count(),
+        outcome.threads,
+        wall_s,
+        if wall_s > 0.0 {
+            cells as f64 / wall_s
+        } else {
+            f64::INFINITY
+        },
+    )
+    .expect("writing to a String cannot fail");
+    writeln!(
+        out,
+        "evaluator cache: {} built, {} reused; cell cpu time {:.3}s (speedup ×{:.2})",
+        outcome.cache.misses,
+        outcome.cache.hits,
+        outcome.cpu_micros() as f64 / 1e6,
+        if wall_s > 0.0 {
+            outcome.cpu_micros() as f64 / 1e6 / wall_s
+        } else {
+            f64::NAN
+        },
+    )
+    .expect("writing to a String cannot fail");
+    let mut slowest: Vec<&CellResult> = outcome.cells.iter().collect();
+    slowest.sort_by_key(|c| std::cmp::Reverse(c.elapsed_micros));
+    for cell in slowest.iter().take(3) {
+        writeln!(
+            out,
+            "  slow cell #{}: {} ({:.3}s)",
+            cell.index,
+            cell.scenario,
+            cell.elapsed_micros as f64 / 1e6
+        )
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let text = v.to_string();
+        // JSON requires a fraction or integer form; Rust's shortest-repr
+        // Display of finite f64 already satisfies it
+        text
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), json_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{ScenarioGrid, StrategySpec};
+    use crate::runner::{run, CampaignConfig};
+
+    fn outcome() -> CampaignOutcome {
+        let grid = ScenarioGrid::new()
+            .ns([10])
+            .cs([1])
+            .strategies([StrategySpec::Fixed(3), StrategySpec::Fixed(20)]);
+        run(&grid, &CampaignConfig::default())
+    }
+
+    #[test]
+    fn jsonl_has_one_valid_object_per_cell() {
+        let out = outcome();
+        let text = render_jsonl(&out, false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"cell\":0,"));
+        assert!(lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[0].contains("\"h_star\":"));
+        assert!(lines[1].contains("\"status\":\"error\""));
+        assert!(!lines[0].contains("elapsed_us"));
+        let timed = render_jsonl(&out, true);
+        assert!(timed.lines().next().unwrap().contains("\"elapsed_us\":"));
+        for line in text.lines() {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let out = outcome();
+        let text = render_csv(&out);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].matches(',').count(), lines[1].matches(',').count());
+        assert_eq!(lines[0].matches(',').count(), lines[2].matches(',').count());
+    }
+
+    #[test]
+    fn files_are_written_with_parents_created() {
+        let dir = std::env::temp_dir().join("anonroute-campaign-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = outcome();
+        let jsonl = dir.join("deep/run.jsonl");
+        let csv = dir.join("deep/run.csv");
+        let timings = dir.join("deep/timings.csv");
+        write_jsonl(&jsonl, &out, false).unwrap();
+        write_csv(&csv, &out).unwrap();
+        write_timings_csv(&timings, &out).unwrap();
+        assert!(std::fs::read_to_string(&jsonl).unwrap().lines().count() == 2);
+        assert!(std::fs::read_to_string(&timings)
+            .unwrap()
+            .contains("elapsed_us"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_mentions_cache_and_throughput() {
+        let text = summary(&outcome());
+        assert!(text.contains("cells/s"));
+        assert!(text.contains("evaluator cache"));
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -1,0 +1,461 @@
+//! The parallel sweep executor: how a [`ScenarioGrid`] gets evaluated.
+//!
+//! Design invariants:
+//!
+//! * **Determinism** — every cell derives its RNG seed from the campaign
+//!   seed and the cell's grid index (SplitMix64 mix), and cells never
+//!   share mutable state other than the [`EvaluatorCache`], whose values
+//!   are pure functions of the key. A grid therefore produces bit-for-bit
+//!   identical numeric results at any thread count.
+//! * **Shared tables** — exact-engine cells for the same
+//!   `(n, c, path_kind, lmax)` model reuse one memoized
+//!   [`Evaluator`](anonroute_core::engine::simple::Evaluator) through the
+//!   cache instead of rebuilding the log-factorial tables per cell.
+//! * **Isolation** — an infeasible cell (e.g. `F(7)` in a 5-node system)
+//!   records an error string; it never aborts the sweep.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use anonroute_adversary::{attack_trace, Adversary};
+use anonroute_core::engine::{CacheStats, EvaluatorCache};
+use anonroute_core::{engine, PathKind, PathLengthDist, SystemModel};
+use anonroute_protocols::crowds::crowd;
+use anonroute_protocols::onion_routing::onion_network;
+use anonroute_protocols::RouteSampler;
+use anonroute_sim::{LatencyModel, SimTime, Simulation};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+use crate::grid::{EngineKind, Scenario, ScenarioGrid, StrategySpec};
+
+/// Execution settings of one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Worker threads; `0` auto-detects the machine's parallelism.
+    pub threads: usize,
+    /// Campaign seed; each cell derives its own stream from it.
+    pub seed: u64,
+    /// Sample count for Monte-Carlo engine cells.
+    pub mc_samples: usize,
+    /// Message count for simulated-attack engine cells.
+    pub sim_messages: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            threads: 0,
+            seed: 7,
+            mc_samples: 20_000,
+            sim_messages: 1_500,
+        }
+    }
+}
+
+/// Numeric outcome of one feasible cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Anonymity degree `H*` in bits (exact, estimated, or empirical,
+    /// per the cell's engine).
+    pub h_star: f64,
+    /// `h_star / log2 n`.
+    pub normalized: f64,
+    /// Expected path length of the realized strategy.
+    pub mean_len: f64,
+    /// Probability the adversary identifies the sender outright
+    /// (exact engine only).
+    pub p_exposed: Option<f64>,
+    /// Standard error of `h_star` (sampling engines only).
+    pub std_error: Option<f64>,
+    /// Sample/message count (sampling engines only).
+    pub samples: Option<usize>,
+}
+
+/// One evaluated cell: scenario, derived seed, wall time, and outcome.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Index of the cell in [`ScenarioGrid::cells`] order.
+    pub index: usize,
+    /// The evaluated scenario.
+    pub scenario: Scenario,
+    /// The cell's derived RNG seed.
+    pub seed: u64,
+    /// Wall-clock time spent on this cell, in microseconds.
+    pub elapsed_micros: u64,
+    /// Metrics, or the reason the cell was infeasible.
+    pub outcome: Result<CellMetrics, String>,
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Per-cell results, in grid order.
+    pub cells: Vec<CellResult>,
+    /// Total wall-clock time of the sweep.
+    pub wall: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Evaluator-cache hit/miss counters.
+    pub cache: CacheStats,
+}
+
+impl CampaignOutcome {
+    /// Number of cells that produced metrics.
+    pub fn ok_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.outcome.is_ok()).count()
+    }
+
+    /// Number of infeasible/error cells.
+    pub fn error_count(&self) -> usize {
+        self.cells.len() - self.ok_count()
+    }
+
+    /// Total of the per-cell wall times (exceeds `wall` when parallel).
+    pub fn cpu_micros(&self) -> u64 {
+        self.cells.iter().map(|c| c.elapsed_micros).sum()
+    }
+}
+
+/// Runs every cell of `grid` under `config` and returns results in grid
+/// order.
+pub fn run(grid: &ScenarioGrid, config: &CampaignConfig) -> CampaignOutcome {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(config.threads)
+        .build()
+        .expect("thread pool construction is infallible");
+    let threads = pool.current_num_threads();
+    let cache = Arc::new(EvaluatorCache::new());
+    let scenarios = grid.cells();
+    let start = Instant::now();
+    let cells: Vec<CellResult> = pool.install(|| {
+        scenarios
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|(index, scenario)| {
+                let seed = cell_seed(config.seed, index);
+                let cell_start = Instant::now();
+                let outcome = run_cell(&scenario, seed, config, &cache);
+                CellResult {
+                    index,
+                    scenario,
+                    seed,
+                    elapsed_micros: cell_start.elapsed().as_micros() as u64,
+                    outcome,
+                }
+            })
+            .collect()
+    });
+    CampaignOutcome {
+        cells,
+        wall: start.elapsed(),
+        threads,
+        cache: cache.stats(),
+    }
+}
+
+/// Derives the deterministic per-cell seed: a SplitMix64 mix of the
+/// campaign seed and the cell index.
+pub fn cell_seed(campaign_seed: u64, index: usize) -> u64 {
+    let mut z = campaign_seed.wrapping_add((index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates one scenario.
+fn run_cell(
+    scenario: &Scenario,
+    seed: u64,
+    config: &CampaignConfig,
+    cache: &EvaluatorCache,
+) -> Result<CellMetrics, String> {
+    let model = SystemModel::with_path_kind(scenario.n, scenario.c, scenario.path_kind)
+        .map_err(|e| e.to_string())?;
+    let dist = scenario.strategy.realize(&model)?;
+    match scenario.engine {
+        EngineKind::Exact => exact_cell(&model, &dist, cache),
+        EngineKind::MonteCarlo => monte_carlo_cell(&model, &dist, config.mc_samples, seed),
+        EngineKind::Simulated => {
+            simulated_cell(&model, &dist, &scenario.strategy, config.sim_messages, seed)
+        }
+    }
+}
+
+fn exact_cell(
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    cache: &EvaluatorCache,
+) -> Result<CellMetrics, String> {
+    let analysis = match model.path_kind() {
+        PathKind::Simple => {
+            // one shared evaluator per model covers every strategy on it
+            let ev = cache
+                .evaluator(model, model.n() - 1)
+                .map_err(|e| e.to_string())?;
+            ev.analyze(dist.pmf())
+        }
+        PathKind::Cyclic => engine::analysis(model, dist).map_err(|e| e.to_string())?,
+    };
+    Ok(CellMetrics {
+        h_star: analysis.h_star,
+        normalized: analysis.normalized(model),
+        mean_len: dist.mean(),
+        p_exposed: Some(analysis.p_exposed),
+        std_error: None,
+        samples: None,
+    })
+}
+
+fn monte_carlo_cell(
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    samples: usize,
+    seed: u64,
+) -> Result<CellMetrics, String> {
+    let est =
+        engine::estimate_anonymity_degree(model, dist, samples, seed).map_err(|e| e.to_string())?;
+    Ok(CellMetrics {
+        h_star: est.mean,
+        normalized: est.mean / model.max_entropy_bits(),
+        mean_len: dist.mean(),
+        p_exposed: None,
+        std_error: Some(est.std_error),
+        samples: Some(est.samples),
+    })
+}
+
+/// Runs the full protocol stack and attacks the trace: onion routing for
+/// simple paths, Crowds for cyclic geometric strategies.
+fn simulated_cell(
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    strategy: &StrategySpec,
+    messages: usize,
+    seed: u64,
+) -> Result<CellMetrics, String> {
+    match model.path_kind() {
+        PathKind::Simple => {
+            let sampler = RouteSampler::new(model.n(), dist.clone(), PathKind::Simple)
+                .map_err(|e| e.to_string())?;
+            let nodes = onion_network(model.n(), &sampler, 2048, b"anonroute-campaign")
+                .map_err(|e| e.to_string())?;
+            attack_simulation(
+                nodes,
+                LatencyModel::Uniform { lo: 50, hi: 500 },
+                model,
+                dist,
+                messages,
+                seed,
+            )
+        }
+        PathKind::Cyclic => {
+            let StrategySpec::Geometric { forward_prob, .. } = strategy else {
+                return Err(
+                    "the simulated engine models cyclic paths with Crowds, which requires a \
+                     geometric strategy"
+                        .into(),
+                );
+            };
+            let nodes = crowd(model.n(), *forward_prob).map_err(|e| e.to_string())?;
+            attack_simulation(
+                nodes,
+                LatencyModel::Constant(100),
+                model,
+                dist,
+                messages,
+                seed,
+            )
+        }
+    }
+}
+
+/// Drives `messages` originations through `nodes`, then scores the
+/// passive adversary's attack on the trace.
+fn attack_simulation<B: anonroute_sim::NodeBehavior>(
+    nodes: Vec<B>,
+    latency: LatencyModel,
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    messages: usize,
+    seed: u64,
+) -> Result<CellMetrics, String> {
+    let n = model.n();
+    let mut sim = Simulation::new(nodes, latency, seed);
+    let mut salt = seed | 1;
+    for i in 0..messages as u64 {
+        salt = salt
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        sim.schedule_origination(
+            SimTime::from_micros(i * 100),
+            (salt >> 33) as usize % n,
+            vec![0u8; 4],
+        );
+    }
+    sim.run();
+    let compromised: Vec<usize> = (n - model.c()..n).collect();
+    let adversary = Adversary::new(n, &compromised).map_err(|e| e.to_string())?;
+    let report = attack_trace(&adversary, model, dist, sim.trace(), sim.originations())
+        .map_err(|e| e.to_string())?;
+    Ok(CellMetrics {
+        h_star: report.empirical_h_star,
+        normalized: report.empirical_h_star / model.max_entropy_bits(),
+        mean_len: dist.mean(),
+        p_exposed: None,
+        std_error: Some(report.std_error),
+        samples: Some(messages),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ScenarioGrid;
+    use anonroute_core::PathLengthDist;
+
+    fn small_grid() -> ScenarioGrid {
+        ScenarioGrid::new().ns([20, 30]).cs([1, 2]).strategies([
+            StrategySpec::Fixed(3),
+            StrategySpec::Uniform(1, 6),
+            StrategySpec::Geometric {
+                forward_prob: 0.6,
+                lmax: 12,
+            },
+        ])
+    }
+
+    #[test]
+    fn exact_cells_match_the_direct_engine() {
+        let outcome = run(&small_grid(), &CampaignConfig::default());
+        assert_eq!(outcome.cells.len(), 12);
+        assert_eq!(outcome.error_count(), 0);
+        for cell in &outcome.cells {
+            let model = SystemModel::new(cell.scenario.n, cell.scenario.c).unwrap();
+            let dist = cell.scenario.strategy.realize(&model).unwrap();
+            let expect = engine::anonymity_degree(&model, &dist).unwrap();
+            let got = cell.outcome.as_ref().unwrap().h_star;
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "{}: {got} vs {expect}",
+                cell.scenario
+            );
+        }
+    }
+
+    #[test]
+    fn evaluator_cache_is_shared_across_cells() {
+        let outcome = run(&small_grid(), &CampaignConfig::default());
+        // 4 models × 3 strategies: one build per model, the rest hit
+        assert_eq!(outcome.cache.misses, 4);
+        assert_eq!(outcome.cache.hits, 8);
+    }
+
+    #[test]
+    fn infeasible_cells_report_errors_without_aborting() {
+        let grid = ScenarioGrid::new()
+            .ns([5])
+            .cs([1])
+            .strategies([StrategySpec::Fixed(2), StrategySpec::Fixed(7)]);
+        let outcome = run(&grid, &CampaignConfig::default());
+        assert_eq!(outcome.ok_count(), 1);
+        assert_eq!(outcome.error_count(), 1);
+        assert!(outcome.cells[1]
+            .outcome
+            .as_ref()
+            .unwrap_err()
+            .contains("support"));
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let a: Vec<u64> = (0..16).map(|i| cell_seed(7, i)).collect();
+        let b: Vec<u64> = (0..16).map(|i| cell_seed(7, i)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len());
+        assert_ne!(cell_seed(7, 0), cell_seed(8, 0));
+    }
+
+    #[test]
+    fn monte_carlo_cells_agree_with_exact() {
+        let grid = ScenarioGrid::new()
+            .ns([25])
+            .cs([1])
+            .strategies([StrategySpec::Uniform(1, 6)])
+            .engines([EngineKind::Exact, EngineKind::MonteCarlo]);
+        let config = CampaignConfig {
+            mc_samples: 30_000,
+            ..CampaignConfig::default()
+        };
+        let outcome = run(&grid, &config);
+        let exact = outcome.cells[0].outcome.as_ref().unwrap();
+        let mc = outcome.cells[1].outcome.as_ref().unwrap();
+        let se = mc.std_error.unwrap();
+        assert!(
+            (mc.h_star - exact.h_star).abs() <= 4.0 * se + 1e-9,
+            "mc {} vs exact {} (se {se})",
+            mc.h_star,
+            exact.h_star
+        );
+    }
+
+    #[test]
+    fn simulated_cells_agree_with_exact_for_onion_and_crowds() {
+        let grid = ScenarioGrid::new()
+            .ns([15])
+            .cs([1])
+            .path_kinds([PathKind::Simple, PathKind::Cyclic])
+            .strategies([StrategySpec::Geometric {
+                forward_prob: 0.5,
+                lmax: 10,
+            }])
+            .engines([EngineKind::Exact, EngineKind::Simulated]);
+        let config = CampaignConfig {
+            sim_messages: 1_200,
+            ..CampaignConfig::default()
+        };
+        let outcome = run(&grid, &config);
+        assert_eq!(outcome.error_count(), 0);
+        for pair in outcome.cells.chunks(2) {
+            let exact = pair[0].outcome.as_ref().unwrap();
+            let sim = pair[1].outcome.as_ref().unwrap();
+            let se = sim.std_error.unwrap();
+            assert!(
+                (sim.h_star - exact.h_star).abs() <= 5.0 * se + 1e-9,
+                "{}: sim {} vs exact {} (se {se})",
+                pair[1].scenario,
+                sim.h_star,
+                exact.h_star
+            );
+        }
+    }
+
+    #[test]
+    fn simulated_cyclic_requires_geometric() {
+        let grid = ScenarioGrid::new()
+            .ns([10])
+            .cs([1])
+            .path_kinds([PathKind::Cyclic])
+            .strategies([StrategySpec::Fixed(3)])
+            .engines([EngineKind::Simulated]);
+        let outcome = run(&grid, &CampaignConfig::default());
+        assert_eq!(outcome.error_count(), 1);
+    }
+
+    #[test]
+    fn exact_cell_uses_full_support_evaluator() {
+        // the shared evaluator spans 0..=n-1 regardless of each strategy's
+        // own support; H* must still match a support-sized evaluation
+        let model = SystemModel::new(40, 2).unwrap();
+        let cache = EvaluatorCache::new();
+        let dist = PathLengthDist::uniform(2, 9).unwrap();
+        let via_cell = exact_cell(&model, &dist, &cache).unwrap();
+        let direct = engine::anonymity_degree(&model, &dist).unwrap();
+        assert!((via_cell.h_star - direct).abs() < 1e-12);
+    }
+}

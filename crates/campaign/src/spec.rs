@@ -1,0 +1,399 @@
+//! Grid specification parsing: compact CLI flag values and a TOML-subset
+//! spec file.
+//!
+//! The flag grammar keeps ad-hoc sweeps one-liners:
+//!
+//! ```text
+//! --n 50,100,200   --c 1..=5   --paths simple,cyclic
+//! --strategies fixed:1,fixed:5,uniform:2:8,geometric:0.75:50,optimal:5
+//! --engines exact,mc
+//! ```
+//!
+//! The spec file carries the same axes (plus run settings) in a TOML
+//! subset parsed in-tree — this build environment is offline, so no TOML
+//! crate is available. Supported: `[grid]` / `[run]` tables, `#` comments,
+//! integer / float / quoted-string scalars, and flat arrays thereof.
+
+use anonroute_core::PathKind;
+
+use crate::grid::{parse_path_kind, EngineKind, ScenarioGrid, StrategySpec};
+use crate::runner::CampaignConfig;
+
+/// Parses a list of non-negative integers: comma-separated values and/or
+/// `a..b` (exclusive) / `a..=b` (inclusive) ranges, e.g. `1,2,8..=10`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending token.
+pub fn parse_usize_list(text: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for token in text.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = token.split_once("..=") {
+            let (lo, hi) = (parse_usize(lo)?, parse_usize(hi)?);
+            if lo > hi {
+                return Err(format!("range `{token}` is empty"));
+            }
+            out.extend(lo..=hi);
+        } else if let Some((lo, hi)) = token.split_once("..") {
+            let (lo, hi) = (parse_usize(lo)?, parse_usize(hi)?);
+            if lo >= hi {
+                return Err(format!("range `{token}` is empty"));
+            }
+            out.extend(lo..hi);
+        } else {
+            out.push(parse_usize(token)?);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("`{text}`: expected at least one integer"));
+    }
+    Ok(out)
+}
+
+fn parse_usize(s: &str) -> Result<usize, String> {
+    s.trim()
+        .parse::<usize>()
+        .map_err(|_| format!("bad integer `{}`", s.trim()))
+}
+
+/// Builds a grid from CLI flag values; empty strings fall back to the
+/// grid defaults (`simple` paths, `exact` engine).
+///
+/// # Errors
+///
+/// Returns a message pointing at the failing axis value.
+pub fn grid_from_flags(
+    ns: &str,
+    cs: &str,
+    paths: &str,
+    strategies: &str,
+    engines: &str,
+) -> Result<ScenarioGrid, String> {
+    let mut grid = ScenarioGrid::new()
+        .ns(parse_usize_list(ns)?)
+        .cs(parse_usize_list(cs)?)
+        .strategies(
+            strategies
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(StrategySpec::parse)
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+    if grid.strategies.is_empty() {
+        return Err("expected at least one strategy".into());
+    }
+    if !paths.is_empty() {
+        grid = grid.path_kinds(
+            paths
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(parse_path_kind)
+                .collect::<Result<Vec<PathKind>, _>>()?,
+        );
+    }
+    if !engines.is_empty() {
+        grid = grid.engines(
+            engines
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(EngineKind::parse)
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+    }
+    Ok(grid)
+}
+
+/// One parsed TOML-subset scalar.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn parse(raw: &str) -> Result<Value, String> {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Err("empty value".into());
+        }
+        if let Some(inner) = raw.strip_prefix('[') {
+            let inner = inner
+                .strip_suffix(']')
+                .ok_or_else(|| format!("unterminated array `{raw}`"))?;
+            let mut items = Vec::new();
+            for part in split_top_level(inner) {
+                let part = part.trim();
+                if !part.is_empty() {
+                    items.push(Value::parse(part)?);
+                }
+            }
+            return Ok(Value::Array(items));
+        }
+        if let Some(inner) = raw.strip_prefix('"') {
+            let inner = inner
+                .strip_suffix('"')
+                .ok_or_else(|| format!("unterminated string `{raw}`"))?;
+            return Ok(Value::Str(inner.to_string()));
+        }
+        if let Ok(i) = raw.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(f) = raw.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+        Err(format!("cannot parse value `{raw}`"))
+    }
+
+    fn as_usize_list(&self, key: &str) -> Result<Vec<usize>, String> {
+        match self {
+            Value::Array(items) => {
+                let mut out = Vec::new();
+                for item in items {
+                    match item {
+                        Value::Int(i) if *i >= 0 => out.push(*i as usize),
+                        Value::Str(s) => out.extend(parse_usize_list(s)?),
+                        other => {
+                            return Err(format!(
+                                "{key}: expected non-negative integer, got {other:?}"
+                            ))
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Value::Int(i) if *i >= 0 => Ok(vec![*i as usize]),
+            Value::Str(s) => parse_usize_list(s),
+            other => Err(format!("{key}: expected integer list, got {other:?}")),
+        }
+    }
+
+    fn as_str_list(&self, key: &str) -> Result<Vec<String>, String> {
+        match self {
+            Value::Str(s) => Ok(vec![s.clone()]),
+            Value::Array(items) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => Ok(s.clone()),
+                    other => Err(format!("{key}: expected string, got {other:?}")),
+                })
+                .collect(),
+            other => Err(format!("{key}: expected string list, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, String> {
+        match self {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(format!(
+                "{key}: expected non-negative integer, got {other:?}"
+            )),
+        }
+    }
+}
+
+/// Splits on top-level commas (quotes respected; arrays do not nest in
+/// this subset).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a spec file into a grid plus run-config overrides applied on top
+/// of `base`.
+///
+/// # Errors
+///
+/// Returns `line N: message` for the first offending line, or a message
+/// for missing required axes.
+pub fn parse_spec(
+    text: &str,
+    base: &CampaignConfig,
+) -> Result<(ScenarioGrid, CampaignConfig), String> {
+    let mut grid = ScenarioGrid::new();
+    let mut config = *base;
+    let mut section = String::new();
+    let mut saw_strategies = false;
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |m: String| format!("line {}: {m}", lineno + 1);
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| at(format!("unterminated section header `{line}`")))?;
+            section = name.trim().to_string();
+            if section != "grid" && section != "run" {
+                return Err(at(format!(
+                    "unknown section `[{section}]` (expected [grid] or [run])"
+                )));
+            }
+            continue;
+        }
+        let (key, raw_value) = line
+            .split_once('=')
+            .ok_or_else(|| at(format!("expected `key = value`, got `{line}`")))?;
+        let key = key.trim();
+        let value = Value::parse(raw_value).map_err(at)?;
+        match (section.as_str(), key) {
+            ("grid", "n") => grid.ns = value.as_usize_list(key).map_err(at)?,
+            ("grid", "c") => grid.cs = value.as_usize_list(key).map_err(at)?,
+            ("grid", "path" | "paths") => {
+                grid.path_kinds = value
+                    .as_str_list(key)
+                    .map_err(at)?
+                    .iter()
+                    .map(|s| parse_path_kind(s))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(at)?;
+            }
+            ("grid", "strategy" | "strategies") => {
+                grid.strategies = value
+                    .as_str_list(key)
+                    .map_err(at)?
+                    .iter()
+                    .flat_map(|s| s.split(',').map(str::trim).filter(|t| !t.is_empty()))
+                    .map(StrategySpec::parse)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(at)?;
+                saw_strategies = true;
+            }
+            ("grid", "engine" | "engines") => {
+                grid.engines = value
+                    .as_str_list(key)
+                    .map_err(at)?
+                    .iter()
+                    .map(|s| EngineKind::parse(s))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(at)?;
+            }
+            ("run", "threads") => config.threads = value.as_u64(key).map_err(at)? as usize,
+            ("run", "seed") => config.seed = value.as_u64(key).map_err(at)?,
+            ("run", "mc_samples") => config.mc_samples = value.as_u64(key).map_err(at)? as usize,
+            ("run", "sim_messages") => {
+                config.sim_messages = value.as_u64(key).map_err(at)? as usize
+            }
+            ("", _) => return Err(at(format!("key `{key}` outside [grid]/[run] section"))),
+            (_, _) => return Err(at(format!("unknown key `{key}` in section [{section}]"))),
+        }
+    }
+    if grid.ns.is_empty() || grid.cs.is_empty() || !saw_strategies {
+        return Err("spec must set grid.n, grid.c, and grid.strategies".into());
+    }
+    Ok((grid, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_lists_support_values_and_ranges() {
+        assert_eq!(parse_usize_list("50,100,200").unwrap(), vec![50, 100, 200]);
+        assert_eq!(parse_usize_list("1..=5").unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(parse_usize_list("1..4").unwrap(), vec![1, 2, 3]);
+        assert_eq!(parse_usize_list("7, 1..=2").unwrap(), vec![7, 1, 2]);
+        assert!(parse_usize_list("5..=2").is_err());
+        assert!(parse_usize_list("x").is_err());
+        assert!(parse_usize_list("").is_err());
+    }
+
+    #[test]
+    fn flags_build_the_expected_grid() {
+        let grid = grid_from_flags(
+            "50,100",
+            "1..=3",
+            "simple,cyclic",
+            "fixed:1,uniform:2:8",
+            "exact,mc",
+        )
+        .unwrap();
+        assert_eq!(grid.len(), 2 * 3 * 2 * 2 * 2);
+        assert!(grid_from_flags("10", "1", "", "fixed:1", "").is_ok());
+        assert!(grid_from_flags("10", "1", "", "", "").is_err());
+        assert!(grid_from_flags("10", "1", "spiral", "fixed:1", "").is_err());
+    }
+
+    #[test]
+    fn spec_file_roundtrip() {
+        let text = r#"
+# fig3-style sweep
+[grid]
+n = [50, 100]          # system sizes
+c = "1..=2"
+path = ["simple", "cyclic"]
+strategies = ["fixed:1", "uniform:2:8", "geometric:0.75:50"]
+engines = ["exact", "mc"]
+
+[run]
+threads = 3
+seed = 99
+mc_samples = 5000
+sim_messages = 800
+"#;
+        let (grid, config) = parse_spec(text, &CampaignConfig::default()).unwrap();
+        assert_eq!(grid.ns, vec![50, 100]);
+        assert_eq!(grid.cs, vec![1, 2]);
+        assert_eq!(grid.path_kinds.len(), 2);
+        assert_eq!(grid.strategies.len(), 3);
+        assert_eq!(grid.engines.len(), 2);
+        assert_eq!(grid.len(), 2 * 2 * 2 * 3 * 2);
+        assert_eq!(config.threads, 3);
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.mc_samples, 5000);
+        assert_eq!(config.sim_messages, 800);
+    }
+
+    #[test]
+    fn spec_defaults_apply_when_sections_are_minimal() {
+        let text = "[grid]\nn = 20\nc = 1\nstrategies = \"fixed:3\"\n";
+        let (grid, config) = parse_spec(text, &CampaignConfig::default()).unwrap();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(config.seed, CampaignConfig::default().seed);
+    }
+
+    #[test]
+    fn spec_errors_name_the_line() {
+        let bad = "[grid]\nn = 10\nc = 1\nwat = 3\n";
+        let err = parse_spec(bad, &CampaignConfig::default()).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+        assert!(parse_spec("[nope]\n", &CampaignConfig::default()).is_err());
+        assert!(parse_spec("x = 1\n", &CampaignConfig::default()).is_err());
+        assert!(parse_spec("[grid]\nn = 10\n", &CampaignConfig::default()).is_err());
+    }
+}

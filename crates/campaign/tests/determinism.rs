@@ -1,0 +1,234 @@
+//! Cross-thread-count determinism and golden-value tests for the
+//! campaign runner — the contract that makes parallel sweeps trustworthy.
+
+use anonroute_campaign::{report, run, CampaignConfig, EngineKind, ScenarioGrid, StrategySpec};
+use anonroute_core::PathKind;
+
+/// A mixed grid touching every engine and both path kinds.
+fn mixed_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .ns([15, 25])
+        .cs([1, 2])
+        .path_kinds([PathKind::Simple, PathKind::Cyclic])
+        .strategies([
+            StrategySpec::Fixed(3),
+            StrategySpec::Uniform(1, 5),
+            StrategySpec::Geometric {
+                forward_prob: 0.6,
+                lmax: 10,
+            },
+        ])
+        .engines([EngineKind::Exact, EngineKind::MonteCarlo])
+}
+
+#[test]
+fn one_thread_and_many_threads_yield_identical_jsonl() {
+    let grid = mixed_grid();
+    let serial = run(
+        &grid,
+        &CampaignConfig {
+            threads: 1,
+            mc_samples: 2_000,
+            ..Default::default()
+        },
+    );
+    let parallel = run(
+        &grid,
+        &CampaignConfig {
+            threads: 8,
+            mc_samples: 2_000,
+            ..Default::default()
+        },
+    );
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 8);
+    let a = report::render_jsonl(&serial, false);
+    let b = report::render_jsonl(&parallel, false);
+    assert_eq!(a, b, "JSONL must be byte-identical across thread counts");
+    // ... and the same holds for sorted lines, the acceptance criterion's form
+    let mut sa: Vec<&str> = a.lines().collect();
+    let mut sb: Vec<&str> = b.lines().collect();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    assert_eq!(sa, sb);
+    assert_eq!(report::render_csv(&serial), report::render_csv(&parallel));
+}
+
+#[test]
+fn simulated_engine_is_deterministic_across_thread_counts() {
+    let grid = ScenarioGrid::new()
+        .ns([12])
+        .cs([1])
+        .strategies([StrategySpec::Uniform(1, 4), StrategySpec::Fixed(2)])
+        .engines([EngineKind::Simulated]);
+    let config1 = CampaignConfig {
+        threads: 1,
+        sim_messages: 400,
+        ..Default::default()
+    };
+    let config4 = CampaignConfig {
+        threads: 4,
+        sim_messages: 400,
+        ..Default::default()
+    };
+    let a = report::render_jsonl(&run(&grid, &config1), false);
+    let b = report::render_jsonl(&run(&grid, &config4), false);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn reruns_with_the_same_seed_are_bit_identical() {
+    let grid = mixed_grid();
+    let config = CampaignConfig {
+        threads: 4,
+        mc_samples: 2_000,
+        seed: 123,
+        ..Default::default()
+    };
+    let a = report::render_jsonl(&run(&grid, &config), false);
+    let b = report::render_jsonl(&run(&grid, &config), false);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_campaign_seeds_change_sampling_cells_only() {
+    let grid = mixed_grid();
+    let a = run(
+        &grid,
+        &CampaignConfig {
+            seed: 1,
+            mc_samples: 2_000,
+            ..Default::default()
+        },
+    );
+    let b = run(
+        &grid,
+        &CampaignConfig {
+            seed: 2,
+            mc_samples: 2_000,
+            ..Default::default()
+        },
+    );
+    let mut saw_mc_difference = false;
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        let (Ok(ma), Ok(mb)) = (&ca.outcome, &cb.outcome) else {
+            continue;
+        };
+        match ca.scenario.engine {
+            EngineKind::Exact => {
+                assert_eq!(ma.h_star, mb.h_star, "exact cells must be seed-independent");
+            }
+            _ => saw_mc_difference |= ma.h_star != mb.h_star,
+        }
+    }
+    assert!(
+        saw_mc_difference,
+        "sampling cells should respond to the seed"
+    );
+}
+
+/// Golden test: the fig3(b)-equivalent campaign reproduces the paper's
+/// short-path anchors at `n = 100`, `c = 1` (engine docs /
+/// `engine::anonymity_degree`): `H*(F(1)) == H*(F(2)) ≈ 6.4824`,
+/// `F(3)` slightly worse, `F(4)` strictly better.
+#[test]
+fn golden_fig3b_anchors() {
+    let grid = ScenarioGrid::new()
+        .ns([100])
+        .cs([1])
+        .strategies((0..=4).map(StrategySpec::Fixed));
+    let outcome = run(&grid, &CampaignConfig::default());
+    assert_eq!(outcome.error_count(), 0);
+    let h: Vec<f64> = outcome
+        .cells
+        .iter()
+        .map(|cell| cell.outcome.as_ref().unwrap().h_star)
+        .collect();
+    assert_eq!(h[0], 0.0, "direct send exposes the sender");
+    // Theorem 1 closed form: H*(F(1)) = H*(F(2)) = (n-2)/n · log2(n-2)
+    let expect = (98.0 / 100.0) * 98f64.log2();
+    assert!((h[1] - expect).abs() < 1e-12, "F(1): {} vs {expect}", h[1]);
+    assert!(
+        (h[1] - h[2]).abs() < 1e-12,
+        "short-path effect: F(1) == F(2)"
+    );
+    assert!((h[1] - 6.4824).abs() < 5e-4, "paper's plotted value");
+    assert!(h[3] < h[2] && h[2] - h[3] < 1e-3, "F(3) is slightly worse");
+    assert!(h[4] > h[3] + 0.01, "F(4) jumps up");
+    // p_exposed for F(0) is total
+    let m0 = outcome.cells[0].outcome.as_ref().unwrap();
+    assert!((m0.p_exposed.unwrap() - 1.0).abs() < 1e-12);
+}
+
+/// Golden test: a surveyed-systems campaign row set matches the direct
+/// engine evaluation used elsewhere in the workspace.
+#[test]
+fn golden_survey_strategies_match_direct_engine() {
+    use anonroute_core::{engine, PathLengthDist, SystemModel};
+    let grid = ScenarioGrid::new().ns([100]).cs([1]).strategies([
+        StrategySpec::Fixed(1), // Anonymizer / LPWA
+        StrategySpec::Fixed(3), // Freedom
+        StrategySpec::Fixed(5), // Onion Routing I
+        StrategySpec::TwoPoint {
+            lo: 3,
+            p: 0.5,
+            hi: 4,
+        }, // PipeNet
+    ]);
+    let outcome = run(&grid, &CampaignConfig::default());
+    let dists = [
+        PathLengthDist::fixed(1),
+        PathLengthDist::fixed(3),
+        PathLengthDist::fixed(5),
+        PathLengthDist::two_point(3, 0.5, 4).unwrap(),
+    ];
+    let model = SystemModel::new(100, 1).unwrap();
+    for (cell, dist) in outcome.cells.iter().zip(&dists) {
+        let expect = engine::anonymity_degree(&model, dist).unwrap();
+        let got = cell.outcome.as_ref().unwrap().h_star;
+        assert!(
+            (got - expect).abs() < 1e-12,
+            "{}: {got} vs {expect}",
+            cell.scenario
+        );
+    }
+}
+
+#[test]
+fn acceptance_scale_grid_runs_and_stays_deterministic() {
+    // the acceptance criterion's shape: 3 sizes × 5 compromise levels ×
+    // 15 strategies = 225 cells
+    let strategies: Vec<StrategySpec> = (1..=10)
+        .map(StrategySpec::Fixed)
+        .chain((1..=5).map(|a| StrategySpec::Uniform(a, a + 6)))
+        .collect();
+    assert_eq!(strategies.len(), 15);
+    let grid = ScenarioGrid::new()
+        .ns([50, 100, 200])
+        .cs(1..=5)
+        .strategies(strategies);
+    assert_eq!(grid.len(), 225);
+    let serial = run(
+        &grid,
+        &CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let parallel = run(
+        &grid,
+        &CampaignConfig {
+            threads: 0,
+            ..Default::default()
+        },
+    );
+    assert_eq!(serial.cells.len(), 225);
+    assert_eq!(serial.error_count(), 0);
+    assert_eq!(
+        report::render_jsonl(&serial, false),
+        report::render_jsonl(&parallel, false)
+    );
+    // one evaluator per (n, c) model — 15 models for 225 cells
+    assert_eq!(parallel.cache.misses, 15);
+    assert_eq!(parallel.cache.hits, 210);
+}

@@ -98,8 +98,7 @@ pub fn anonymity_degree_c1(n: usize, dist: &PathLengthDist) -> Result<f64> {
             if ql == 0.0 {
                 continue;
             }
-            if let (Some(num), Some(den)) = (lf.ln_falling(n - 3, l - 1), lf.ln_falling(n - 1, l))
-            {
+            if let (Some(num), Some(den)) = (lf.ln_falling(n - 3, l - 1), lf.ln_falling(n - 1, l)) {
                 w_hidden += ql * (num - den).exp();
             }
         }
@@ -273,10 +272,7 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
         let peak = argmax + 1;
-        assert!(
-            (20..=80).contains(&peak),
-            "peak at unexpected l={peak}"
-        );
+        assert!((20..=80).contains(&peak), "peak at unexpected l={peak}");
         assert!(values[98] < values[peak - 1]);
     }
 

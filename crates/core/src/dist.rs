@@ -294,7 +294,10 @@ mod tests {
 
     #[test]
     fn uniform_single_point_equals_fixed() {
-        assert_eq!(PathLengthDist::uniform(3, 3).unwrap(), PathLengthDist::fixed(3));
+        assert_eq!(
+            PathLengthDist::uniform(3, 3).unwrap(),
+            PathLengthDist::fixed(3)
+        );
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Shared, memoized [`Evaluator`] handles for multi-scenario sweeps.
+//!
+//! Building an [`Evaluator`] precomputes log-factorial tables for a
+//! `(model, lmax)` pair; a parameter sweep evaluates many strategies
+//! against the same handful of models, so paying that cost once per model
+//! — and sharing the result across worker threads — is the difference
+//! between `O(cells)` and `O(models)` table builds. The cache hands out
+//! cheap-to-clone [`SharedEvaluator`] handles (`Arc`s) keyed by
+//! `(n, c, path_kind, lmax)` and is safe to use concurrently.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::simple::Evaluator;
+use crate::error::Result;
+use crate::model::{PathKind, SystemModel};
+
+/// A cheap-to-clone, thread-shareable handle to an exact [`Evaluator`].
+pub type SharedEvaluator = Arc<Evaluator>;
+
+/// Concurrency-safe memoization of [`Evaluator`] construction, keyed by
+/// `(n, c, path_kind, lmax)`.
+///
+/// # Examples
+///
+/// ```
+/// use anonroute_core::engine::EvaluatorCache;
+/// use anonroute_core::{PathLengthDist, SystemModel};
+///
+/// let cache = EvaluatorCache::new();
+/// let model = SystemModel::new(100, 1)?;
+/// let a = cache.evaluator(&model, 99)?;
+/// let b = cache.evaluator(&model, 99)?; // same handle, no rebuild
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 1);
+/// let h = a.h_star(PathLengthDist::fixed(5).pmf());
+/// assert!((h - b.h_star(PathLengthDist::fixed(5).pmf())).abs() == 0.0);
+/// # Ok::<(), anonroute_core::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EvaluatorCache {
+    map: Mutex<HashMap<(usize, usize, PathKind, usize), SharedEvaluator>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// Hit/miss counters of an [`EvaluatorCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that had to build a fresh evaluator.
+    pub misses: usize,
+}
+
+impl EvaluatorCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the shared evaluator for `(model, lmax)`, building it on
+    /// first use.
+    ///
+    /// The table is built outside the cache lock, so a slow build does not
+    /// serialize unrelated lookups. If two threads race on the same key the
+    /// first insert wins, the duplicate build is dropped, and the loser
+    /// counts a *hit* — `misses` is exactly the number of distinct cached
+    /// evaluators, deterministically, whatever the interleaving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Evaluator::new`] validation (cyclic models, or
+    /// `lmax > n - 1`).
+    pub fn evaluator(&self, model: &SystemModel, lmax: usize) -> Result<SharedEvaluator> {
+        let key = (model.n(), model.c(), model.path_kind(), lmax);
+        if let Some(found) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        let built = Arc::new(Evaluator::new(model, lmax)?);
+        let mut map = self.map.lock().expect("cache lock");
+        let shared = match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                // another thread inserted while we were building
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(entry.get())
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(entry.insert(built))
+            }
+        };
+        Ok(shared)
+    }
+
+    /// Number of distinct evaluators currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::PathLengthDist;
+
+    #[test]
+    fn distinct_keys_build_distinct_evaluators() {
+        let cache = EvaluatorCache::new();
+        let m1 = SystemModel::new(50, 1).unwrap();
+        let m2 = SystemModel::new(50, 2).unwrap();
+        cache.evaluator(&m1, 20).unwrap();
+        cache.evaluator(&m1, 30).unwrap();
+        cache.evaluator(&m2, 20).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let cache = EvaluatorCache::new();
+        let model = SystemModel::new(40, 1).unwrap();
+        for _ in 0..5 {
+            cache.evaluator(&model, 10).unwrap();
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 4, misses: 1 });
+    }
+
+    #[test]
+    fn cached_evaluator_matches_fresh_one() {
+        let cache = EvaluatorCache::new();
+        let model = SystemModel::new(60, 2).unwrap();
+        let shared = cache.evaluator(&model, 25).unwrap();
+        let fresh = Evaluator::new(&model, 25).unwrap();
+        let pmf = PathLengthDist::uniform(2, 12).unwrap();
+        assert_eq!(shared.h_star(pmf.pmf()), fresh.h_star(pmf.pmf()));
+    }
+
+    #[test]
+    fn invalid_requests_error_and_do_not_poison() {
+        let cache = EvaluatorCache::new();
+        let model = SystemModel::new(10, 1).unwrap();
+        assert!(cache.evaluator(&model, 10).is_err()); // lmax > n-1
+        assert!(cache.evaluator(&model, 9).is_ok());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(EvaluatorCache::new());
+        let model = SystemModel::new(80, 1).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = std::sync::Arc::clone(&cache);
+                s.spawn(move || {
+                    for lmax in [10usize, 20, 10, 20, 30] {
+                        cache.evaluator(&model, lmax).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 3);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 40);
+        // racing builds may duplicate work, but the counters stay exact:
+        // misses == distinct keys regardless of interleaving
+        assert_eq!(stats.misses, 3);
+    }
+}

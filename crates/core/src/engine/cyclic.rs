@@ -56,7 +56,11 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
     let lmax = dist.max_len();
     let lf = LnFact::new(2 * lmax + 8);
     let ln_n = (n as f64).ln();
-    let ln_nh = if nh > 0 { (nh as f64).ln() } else { f64::NEG_INFINITY };
+    let ln_nh = if nh > 0 {
+        (nh as f64).ln()
+    } else {
+        f64::NEG_INFINITY
+    };
 
     let mut classes = Vec::new();
     let mut h_star = 0.0;
@@ -73,7 +77,11 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
         });
     }
     if nh == 0 {
-        return Ok(AnonymityAnalysis { h_star: 0.0, p_exposed, classes });
+        return Ok(AnonymityAnalysis {
+            h_star: 0.0,
+            p_exposed,
+            classes,
+        });
     }
 
     // --- clean class ------------------------------------------------------
@@ -111,10 +119,20 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
             for j_eq in 0..m {
                 let ln_mf = lf.ln_binom(m - 1, j_eq).expect("j_eq <= m-1");
                 for end in EndGap::ALL {
-                    let (w_a, w_b) =
-                        run_weights(&lf, q, lmax, ln_n, ln_nh, nh, s, m, j_eq, end);
+                    let (w_a, w_b) = run_weights(&lf, q, lmax, ln_n, ln_nh, nh, s, m, j_eq, end);
                     let p_cls = class_probability(
-                        &lf, q, lmax, ln_n, ln_nh, n, nh, c, s, m, j_eq, end,
+                        &lf,
+                        q,
+                        lmax,
+                        ln_n,
+                        ln_nh,
+                        n,
+                        nh,
+                        c,
+                        s,
+                        m,
+                        j_eq,
+                        end,
                         ln_rs + ln_mf,
                     );
                     if p_cls <= 0.0 {
@@ -128,7 +146,12 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
                         p_exposed += p_cls;
                     }
                     classes.push(ClassReport {
-                        class: ObservationClass::Runs { on_path: s, runs: m, unit_gaps: j_eq, end },
+                        class: ObservationClass::Runs {
+                            on_path: s,
+                            runs: m,
+                            unit_gaps: j_eq,
+                            end,
+                        },
                         probability: p_cls,
                         entropy_bits: entropy,
                         suspect_posterior: suspect,
@@ -138,7 +161,11 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
         }
     }
 
-    Ok(AnonymityAnalysis { h_star, p_exposed, classes })
+    Ok(AnonymityAnalysis {
+        h_star,
+        p_exposed,
+        classes,
+    })
 }
 
 /// `(w_a, w_b)` for the clean class: `w_a` is the extra weight on the
@@ -200,16 +227,14 @@ fn run_weights(
                 let h_a = l as i64 - s as i64 - fixed0 as i64;
                 if h_a >= 0 {
                     if let Some(sb) = lf.ln_stars_bars(h_a, k0) {
-                        w_a += ql
-                            * (ln_choose_t + sb + h_a as f64 * ln_nh - l as f64 * ln_n).exp();
+                        w_a += ql * (ln_choose_t + sb + h_a as f64 * ln_nh - l as f64 * ln_n).exp();
                     }
                 }
                 // hypothesis B: leading gap >= 1 (one fixed slot u, free excess)
                 let h_b = h_a - 1;
                 if h_b >= 0 {
                     if let Some(sb) = lf.ln_stars_bars(h_b, k0 + 1) {
-                        w_b += ql
-                            * (ln_choose_t + sb + h_b as f64 * ln_nh - l as f64 * ln_n).exp();
+                        w_b += ql * (ln_choose_t + sb + h_b as f64 * ln_nh - l as f64 * ln_n).exp();
                     }
                 }
             }
@@ -264,10 +289,8 @@ fn class_probability(
             }
             let minsum = (j_eq - t) + 2 * t + 2 * neq_mid + end_min;
             let kfree = t + neq_mid + end_free + 1; // +1: leading gap, min 0
-            let corr = ln_choose_t
-                + t as f64 * ln_wide_corr
-                + neq_mid as f64 * ln_neq_corr
-                + end_corr;
+            let corr =
+                ln_choose_t + t as f64 * ln_wide_corr + neq_mid as f64 * ln_neq_corr + end_corr;
             if corr == f64::NEG_INFINITY {
                 continue;
             }
@@ -278,10 +301,7 @@ fn class_probability(
                 let excess = l as i64 - s as i64 - minsum as i64;
                 if let Some(sb) = lf.ln_stars_bars(excess, kfree) {
                     p += ql
-                        * (ln_multiplicity
-                            + corr
-                            + s as f64 * ln_c
-                            + (l - s) as f64 * ln_nh
+                        * (ln_multiplicity + corr + s as f64 * ln_c + (l - s) as f64 * ln_nh
                             - l as f64 * ln_n
                             + sb)
                             .exp();
@@ -308,7 +328,11 @@ pub(crate) fn cyclic_posterior(
     let lmax = dist.max_len();
     let lf = LnFact::new(2 * lmax + 8);
     let ln_n = (n as f64).ln();
-    let ln_nh = if nh > 0 { (nh as f64).ln() } else { f64::NEG_INFINITY };
+    let ln_nh = if nh > 0 {
+        (nh as f64).ln()
+    } else {
+        f64::NEG_INFINITY
+    };
 
     let (w_a, w_b, suspect) = if obs.runs.is_empty() {
         let (w_a, w_b) = clean_weights(q, lmax, ln_n, ln_nh);

@@ -9,12 +9,14 @@
 //! [`estimate_anonymity_degree`] for seeded Monte-Carlo estimates.
 
 pub mod brute;
+mod cache;
 pub mod cyclic;
 mod montecarlo;
 mod observation;
 mod posterior;
 pub mod simple;
 
+pub use cache::{CacheStats, EvaluatorCache, SharedEvaluator};
 pub use montecarlo::{estimate_anonymity_degree, sample_path, MonteCarloEstimate};
 pub use observation::{observe, NodeId, Observation, RunObservation, Succ};
 pub use posterior::sender_posterior;
@@ -76,11 +78,7 @@ mod tests {
         let hs = anonymity_degree(&simple_model, &dist).unwrap();
         let hc = anonymity_degree(&cyclic_model, &dist).unwrap();
         assert!((hs - hc).abs() > 1e-6, "kinds should differ: {hs} vs {hc}");
-        assert!(
-            (analysis(&simple_model, &dist).unwrap().h_star - hs).abs() < 1e-15
-        );
-        assert!(
-            (analysis(&cyclic_model, &dist).unwrap().h_star - hc).abs() < 1e-15
-        );
+        assert!((analysis(&simple_model, &dist).unwrap().h_star - hs).abs() < 1e-15);
+        assert!((analysis(&cyclic_model, &dist).unwrap().h_star - hc).abs() < 1e-15);
     }
 }

@@ -35,7 +35,10 @@ impl MonteCarloEstimate {
     /// Two-sided 95% confidence interval `(lo, hi)` under the normal
     /// approximation.
     pub fn ci95(&self) -> (f64, f64) {
-        (self.mean - 1.96 * self.std_error, self.mean + 1.96 * self.std_error)
+        (
+            self.mean - 1.96 * self.std_error,
+            self.mean + 1.96 * self.std_error,
+        )
     }
 
     /// Whether `value` lies within the 95% confidence interval.
@@ -84,7 +87,11 @@ pub fn estimate_anonymity_degree(
     let mean = sum / samples as f64;
     let var = (sum_sq / samples as f64 - mean * mean).max(0.0);
     let std_error = (var / samples as f64).sqrt();
-    Ok(MonteCarloEstimate { mean, std_error, samples })
+    Ok(MonteCarloEstimate {
+        mean,
+        std_error,
+        samples,
+    })
 }
 
 /// Draws a random rerouting path of length `l` for `sender` under the
@@ -102,7 +109,10 @@ pub fn sample_path<R: Rng + ?Sized>(
             // partial Fisher-Yates over the other n-1 nodes
             debug_assert_eq!(scratch.len(), model.n());
             // move sender out of the sampling prefix
-            let pos = scratch.iter().position(|&x| x == sender).expect("scratch holds 0..n");
+            let pos = scratch
+                .iter()
+                .position(|&x| x == sender)
+                .expect("scratch holds 0..n");
             let last = scratch.len() - 1;
             scratch.swap(pos, last);
             let m = last; // candidates live in scratch[..m]
@@ -114,9 +124,7 @@ pub fn sample_path<R: Rng + ?Sized>(
             }
             path
         }
-        PathKind::Cyclic => {
-            (0..l).map(|_| rng.gen_range(0..model.n())).collect()
-        }
+        PathKind::Cyclic => (0..l).map(|_| rng.gen_range(0..model.n())).collect(),
     }
 }
 
@@ -196,7 +204,11 @@ mod tests {
 
     #[test]
     fn ci_helpers_behave() {
-        let est = MonteCarloEstimate { mean: 5.0, std_error: 0.1, samples: 100 };
+        let est = MonteCarloEstimate {
+            mean: 5.0,
+            std_error: 0.1,
+            samples: 100,
+        };
         let (lo, hi) = est.ci95();
         assert!(lo < 5.0 && hi > 5.0);
         assert!(est.covers(5.1));

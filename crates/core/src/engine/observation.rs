@@ -98,7 +98,11 @@ pub fn observe(sender: NodeId, path: &[NodeId], compromised: &[bool]) -> Observa
             match current.as_mut() {
                 Some(run) => run.nodes.push(node),
                 None => {
-                    current = Some(RunObservation { nodes: vec![node], pred, succ: Succ::Receiver });
+                    current = Some(RunObservation {
+                        nodes: vec![node],
+                        pred,
+                        succ: Succ::Receiver,
+                    });
                 }
             }
         } else if let Some(mut run) = current.take() {
@@ -110,7 +114,11 @@ pub fn observe(sender: NodeId, path: &[NodeId], compromised: &[bool]) -> Observa
         // the run reaches the end of the path: forwarded to the receiver
         runs.push(run);
     }
-    Observation { origin, runs, receiver_pred }
+    Observation {
+        origin,
+        runs,
+        receiver_pred,
+    }
 }
 
 #[cfg(test)]

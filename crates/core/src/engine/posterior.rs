@@ -68,15 +68,13 @@ pub fn sender_posterior(
     }
 }
 
-fn validate_structure(
-    model: &SystemModel,
-    obs: &Observation,
-    compromised: &[bool],
-) -> Result<()> {
+fn validate_structure(model: &SystemModel, obs: &Observation, compromised: &[bool]) -> Result<()> {
     let n = model.n();
     let check = |id: usize| -> Result<()> {
         if id >= n {
-            return Err(Error::InvalidObservation(format!("node id {id} out of range (n={n})")));
+            return Err(Error::InvalidObservation(format!(
+                "node id {id} out of range (n={n})"
+            )));
         }
         Ok(())
     };
@@ -339,14 +337,22 @@ mod tests {
         // honest node inside a run
         let obs = Observation {
             origin: None,
-            runs: vec![RunObservation { nodes: vec![1], pred: 0, succ: Succ::Receiver }],
+            runs: vec![RunObservation {
+                nodes: vec![1],
+                pred: 0,
+                succ: Succ::Receiver,
+            }],
             receiver_pred: 1,
         };
         assert!(sender_posterior(&model, &dist, &obs, &compromised).is_err());
         // run predecessor is compromised (should have merged)
         let obs = Observation {
             origin: None,
-            runs: vec![RunObservation { nodes: vec![5], pred: 4, succ: Succ::Receiver }],
+            runs: vec![RunObservation {
+                nodes: vec![5],
+                pred: 4,
+                succ: Succ::Receiver,
+            }],
             receiver_pred: 5,
         };
         assert!(sender_posterior(&model, &dist, &obs, &compromised).is_err());

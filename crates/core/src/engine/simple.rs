@@ -146,6 +146,7 @@ pub fn anonymity_degree(model: &SystemModel, dist: &PathLengthDist) -> Result<f6
 /// intermediates observed by identity excluding the leading boundary, and
 /// `k0` the number of gaps (excluding the leading one) that can hide extra
 /// honest nodes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_hypothesis_weights(
     lf: &LnFact,
     q: &[f64],
@@ -331,7 +332,11 @@ fn analyze_normalized(
     }
 
     if nh == 0 {
-        return AnonymityAnalysis { h_star: 0.0, p_exposed, classes };
+        return AnonymityAnalysis {
+            h_star: 0.0,
+            p_exposed,
+            classes,
+        };
     }
 
     // --- clean class: no compromised node on the path --------------------
@@ -419,7 +424,12 @@ fn analyze_normalized(
                         p_exposed += p_cls;
                     }
                     classes.push(ClassReport {
-                        class: ObservationClass::Runs { on_path: s, runs: m, unit_gaps, end },
+                        class: ObservationClass::Runs {
+                            on_path: s,
+                            runs: m,
+                            unit_gaps,
+                            end,
+                        },
                         probability: p_cls,
                         entropy_bits: entropy,
                         suspect_posterior: suspect,
@@ -429,7 +439,11 @@ fn analyze_normalized(
         }
     }
 
-    AnonymityAnalysis { h_star, p_exposed, classes }
+    AnonymityAnalysis {
+        h_star,
+        p_exposed,
+        classes,
+    }
 }
 
 #[cfg(test)]
@@ -474,7 +488,10 @@ mod tests {
                 PathLengthDist::uniform(1, 7).unwrap(),
             ] {
                 let h = h_of(n, c, &dist);
-                assert!(h >= 0.0 && h <= (n as f64).log2() + 1e-12, "n={n} c={c}: {h}");
+                assert!(
+                    h >= 0.0 && h <= (n as f64).log2() + 1e-12,
+                    "n={n} c={c}: {h}"
+                );
             }
         }
     }
@@ -623,7 +640,12 @@ mod tests {
             .find(|r| {
                 matches!(
                     r.class,
-                    ObservationClass::Runs { on_path: 1, runs: 1, end: EndGap::Touching, .. }
+                    ObservationClass::Runs {
+                        on_path: 1,
+                        runs: 1,
+                        end: EndGap::Touching,
+                        ..
+                    }
                 )
             })
             .expect("class present");

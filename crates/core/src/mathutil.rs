@@ -277,6 +277,9 @@ mod tests {
     fn entropy_vec_matches_grouped() {
         let v = [0.5, 0.25, 0.25];
         assert!(close(entropy_bits(&v), 1.5));
-        assert!(close(entropy_bits(&v), entropy_bits_grouped(&[(0.5, 1), (0.25, 2)])));
+        assert!(close(
+            entropy_bits(&v),
+            entropy_bits_grouped(&[(0.5, 1), (0.25, 2)])
+        ));
     }
 }

@@ -68,14 +68,20 @@ impl SystemModel {
     /// Returns [`Error::InvalidModel`] if `n == 0` or `c > n`.
     pub fn new(n: usize, c: usize) -> Result<Self> {
         if n == 0 {
-            return Err(Error::InvalidModel("system must have at least one node".into()));
+            return Err(Error::InvalidModel(
+                "system must have at least one node".into(),
+            ));
         }
         if c > n {
             return Err(Error::InvalidModel(format!(
                 "compromised count c={c} exceeds system size n={n}"
             )));
         }
-        Ok(SystemModel { n, c, path_kind: PathKind::Simple })
+        Ok(SystemModel {
+            n,
+            c,
+            path_kind: PathKind::Simple,
+        })
     }
 
     /// Creates a model with an explicit [`PathKind`].
@@ -147,7 +153,11 @@ impl SystemModel {
 
 impl std::fmt::Display for SystemModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SystemModel(n={}, c={}, {})", self.n, self.c, self.path_kind)
+        write!(
+            f,
+            "SystemModel(n={}, c={}, {})",
+            self.n, self.c, self.path_kind
+        )
     }
 }
 

@@ -51,7 +51,12 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { max_iters: 400, tol: 1e-12, step0: 0.25, fd_eps: 1e-7 }
+        SolverConfig {
+            max_iters: 400,
+            tol: 1e-12,
+            step0: 0.25,
+            fd_eps: 1e-7,
+        }
     }
 }
 
@@ -143,7 +148,14 @@ pub fn best_uniform_with_mean(
         let h = ev.h_star(dist.pmf());
         evals += 1;
         if best.as_ref().is_none_or(|(_, b)| h > b.h_star) {
-            best = Some((delta, OptimizationOutcome { dist, h_star: h, evaluations: evals }));
+            best = Some((
+                delta,
+                OptimizationOutcome {
+                    dist,
+                    h_star: h,
+                    evaluations: evals,
+                },
+            ));
         }
     }
     let (delta, mut outcome) = best.expect("delta = 0 is always evaluated");
@@ -219,8 +231,7 @@ fn normalize(mut v: Vec<f64>) -> Vec<f64> {
 fn project(y: &[f64], mean: Option<f64>) -> Vec<f64> {
     match mean {
         None => project_simplex(y),
-        Some(m) => project_simplex_with_mean(y, m)
-            .expect("feasibility was checked before solving"),
+        Some(m) => project_simplex_with_mean(y, m).expect("feasibility was checked before solving"),
     }
 }
 
@@ -254,8 +265,11 @@ fn solve(
             // line search along the projected gradient direction
             let mut improved = false;
             while step > 1e-10 {
-                let cand_raw: Vec<f64> =
-                    q.iter().zip(&grad).map(|(&qi, &gi)| qi + step * gi).collect();
+                let cand_raw: Vec<f64> = q
+                    .iter()
+                    .zip(&grad)
+                    .map(|(&qi, &gi)| qi + step * gi)
+                    .collect();
                 let cand = project(&cand_raw, mean);
                 let h_cand = ev.h_star(&cand);
                 evals += 1;
@@ -280,7 +294,11 @@ fn solve(
 
     let q = best_q.expect("at least one start is provided");
     let dist = PathLengthDist::from_pmf(q)?;
-    Ok(OptimizationOutcome { dist, h_star: best_h, evaluations: evals })
+    Ok(OptimizationOutcome {
+        dist,
+        h_star: best_h,
+        evaluations: evals,
+    })
 }
 
 #[cfg(test)]
@@ -313,11 +331,8 @@ mod tests {
         let out = maximize(&model, lmax).unwrap();
         for a in 0..=lmax {
             for b in a..=lmax {
-                let h = engine::anonymity_degree(
-                    &model,
-                    &PathLengthDist::uniform(a, b).unwrap(),
-                )
-                .unwrap();
+                let h = engine::anonymity_degree(&model, &PathLengthDist::uniform(a, b).unwrap())
+                    .unwrap();
                 assert!(out.h_star >= h - 1e-9, "beaten by U({a},{b}) = {h}");
             }
         }
@@ -329,7 +344,11 @@ mod tests {
         let lmax = 30;
         let mean = 8.0;
         let out = maximize_with_mean(&model, lmax, mean).unwrap();
-        assert!((out.dist.mean() - mean).abs() < 1e-6, "mean={}", out.dist.mean());
+        assert!(
+            (out.dist.mean() - mean).abs() < 1e-6,
+            "mean={}",
+            out.dist.mean()
+        );
         let (_, family_best) = best_uniform_with_mean(&model, lmax, 8).unwrap();
         assert!(
             out.h_star >= family_best.h_star - 1e-9,

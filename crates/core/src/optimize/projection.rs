@@ -57,7 +57,11 @@ pub fn project_simplex_with_mean(y: &[f64], mean: f64) -> Option<Vec<f64>> {
 
     // inner solve: alpha(beta) such that sum max(0, y - alpha - beta l) = 1
     let solve_alpha = |beta: f64| -> f64 {
-        let vals: Vec<f64> = y.iter().enumerate().map(|(l, &v)| v - beta * l as f64).collect();
+        let vals: Vec<f64> = y
+            .iter()
+            .enumerate()
+            .map(|(l, &v)| v - beta * l as f64)
+            .collect();
         let hi0 = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut lo = hi0 - 1.0;
         // expand until mass(lo) >= 1
@@ -113,8 +117,11 @@ pub fn project_simplex_with_mean(y: &[f64], mean: f64) -> Option<Vec<f64>> {
     }
     let beta = 0.5 * (lo + hi);
     let alpha = solve_alpha(beta);
-    let q: Vec<f64> =
-        y.iter().enumerate().map(|(l, &v)| (v - alpha - beta * l as f64).max(0.0)).collect();
+    let q: Vec<f64> = y
+        .iter()
+        .enumerate()
+        .map(|(l, &v)| (v - alpha - beta * l as f64).max(0.0))
+        .collect();
     // final cleanup: renormalize tiny numerical drift
     let total: f64 = q.iter().sum();
     Some(q.into_iter().map(|v| v / total).collect())
@@ -162,9 +169,7 @@ mod tests {
         let y = [0.9, -0.3, 0.45, 0.2];
         let p = project_simplex(&y);
         assert_simplex(&p);
-        let dist = |q: &[f64]| -> f64 {
-            y.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let dist = |q: &[f64]| -> f64 { y.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum() };
         let d_star = dist(&p);
         // random feasible candidates must not beat the projection
         let mut rng_state = 123456789u64;
@@ -217,9 +222,7 @@ mod tests {
         let y = [0.8, -0.1, 0.2, 0.6];
         let target = 1.8;
         let p = project_simplex_with_mean(&y, target).unwrap();
-        let dist = |q: &[f64]| -> f64 {
-            y.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let dist = |q: &[f64]| -> f64 { y.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum() };
         let d_star = dist(&p);
         // brute force: sample feasible points by projecting random vectors
         let mut rng_state = 987654321u64;

@@ -43,13 +43,21 @@ pub fn anonymizer() -> NamedStrategy {
 
 /// Lucent Personalized Web Assistant: like Anonymizer, one intermediate.
 pub fn lpwa() -> NamedStrategy {
-    NamedStrategy { name: "LPWA", dist: PathLengthDist::fixed(1), path_kind: PathKind::Simple }
+    NamedStrategy {
+        name: "LPWA",
+        dist: PathLengthDist::fixed(1),
+        path_kind: PathKind::Simple,
+    }
 }
 
 /// Freedom Network: sender-chosen routes of exactly three proxies, no
 /// cycles permitted by the client UI.
 pub fn freedom() -> NamedStrategy {
-    NamedStrategy { name: "Freedom", dist: PathLengthDist::fixed(3), path_kind: PathKind::Simple }
+    NamedStrategy {
+        name: "Freedom",
+        dist: PathLengthDist::fixed(3),
+        path_kind: PathKind::Simple,
+    }
 }
 
 /// Onion Routing I: the five-node NRL deployment with forced five-hop

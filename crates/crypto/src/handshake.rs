@@ -26,7 +26,11 @@ pub struct NodeIdentity {
 
 impl std::fmt::Debug for NodeIdentity {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "NodeIdentity(pub {:02x}{:02x}..)", self.public[0], self.public[1])
+        write!(
+            f,
+            "NodeIdentity(pub {:02x}{:02x}..)",
+            self.public[0], self.public[1]
+        )
     }
 }
 
@@ -54,7 +58,10 @@ impl NodeIdentity {
     /// Node side of the handshake: recomputes the layer master key from a
     /// sender's ephemeral public key.
     pub fn recv_layer_key(&self, ephemeral_public: &[u8; 32]) -> MasterKey {
-        derive_layer_key(&shared_secret(&self.private, ephemeral_public), ephemeral_public)
+        derive_layer_key(
+            &shared_secret(&self.private, ephemeral_public),
+            ephemeral_public,
+        )
     }
 }
 
@@ -73,7 +80,12 @@ pub fn send_layer_key(
 
 fn derive_layer_key(shared: &[u8; 32], ephemeral_public: &[u8; 32]) -> MasterKey {
     let mut key = [0u8; 32];
-    hkdf::derive(ephemeral_public, shared, b"anonroute-layer-key-v1", &mut key);
+    hkdf::derive(
+        ephemeral_public,
+        shared,
+        b"anonroute-layer-key-v1",
+        &mut key,
+    );
     MasterKey(key)
 }
 

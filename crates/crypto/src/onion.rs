@@ -68,7 +68,9 @@ pub fn build(
     nonces: &[[u8; NONCE_LEN]],
 ) -> Result<Vec<u8>> {
     if path.is_empty() {
-        return Err(Error::PathTooLong("onion paths need at least one hop".into()));
+        return Err(Error::PathTooLong(
+            "onion paths need at least one hop".into(),
+        ));
     }
     if nonces.len() != path.len() {
         return Err(Error::PathTooLong(format!(
@@ -103,7 +105,9 @@ fn seal_layer(
     content: &[u8],
 ) -> Result<Vec<u8>> {
     if content.len() > u16::MAX as usize {
-        return Err(Error::PathTooLong("layer content exceeds 65535 bytes".into()));
+        return Err(Error::PathTooLong(
+            "layer content exceeds 65535 bytes".into(),
+        ));
     }
     let (enc_key, mac_key) = master.layer_keys(nonce);
     let mut plaintext = Vec::with_capacity(HEADER_LEN + content.len());
@@ -172,11 +176,7 @@ pub fn peel(master: &MasterKey, cell: &[u8]) -> Result<Peeled> {
 /// # Errors
 ///
 /// Returns [`Error::PathTooLong`] when the content does not fit the cell.
-pub fn frame(
-    content: &[u8],
-    cell_size: usize,
-    junk: &mut dyn FnMut() -> u8,
-) -> Result<Vec<u8>> {
+pub fn frame(content: &[u8], cell_size: usize, junk: &mut dyn FnMut() -> u8) -> Result<Vec<u8>> {
     if content.len() > cell_size {
         return Err(Error::PathTooLong(format!(
             "content of {} bytes exceeds the {cell_size}-byte cell",
@@ -352,7 +352,10 @@ mod tests {
     #[test]
     fn truncated_cell_rejected() {
         let keys = keystore();
-        assert!(matches!(peel(&keys.key(0), &[0u8; 10]), Err(Error::Malformed(_))));
+        assert!(matches!(
+            peel(&keys.key(0), &[0u8; 10]),
+            Err(Error::Malformed(_))
+        ));
     }
 
     #[test]

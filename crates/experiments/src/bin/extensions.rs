@@ -4,11 +4,14 @@
 use anonroute_experiments::extensions::{
     compromise_sweep, cyclic_vs_simple, predecessor_degradation,
 };
-use anonroute_experiments::output::{print_table, results_dir, write_csv};
+use anonroute_experiments::output::{ensure_results_dir, print_table, write_csv};
 
 fn main() {
     println!("== EXT-C: effect of the compromised count c (n=100) ==");
-    println!("{:>4} {:>14} {:>12} {:>12}", "c", "best fixed l", "best H*", "H*(F(80))");
+    println!(
+        "{:>4} {:>14} {:>12} {:>12}",
+        "c", "best fixed l", "best H*", "H*(F(80))"
+    );
     for row in compromise_sweep(&[1, 2, 3, 5, 8, 10, 15, 20]) {
         println!(
             "{:>4} {:>14} {:>12.4} {:>12.4}",
@@ -19,14 +22,21 @@ fn main() {
     println!(" compromised nodes, so the optimum moves toward shorter paths.)");
 
     let series = cyclic_vs_simple(30);
-    print_table("EXT-CY: simple vs cyclic fixed-length strategies (n=100, c=1)", "l", &series);
-    let dir = results_dir();
+    print_table(
+        "EXT-CY: simple vs cyclic fixed-length strategies (n=100, c=1)",
+        "l",
+        &series,
+    );
+    let dir = ensure_results_dir().expect("create results dir");
     write_csv(&dir.join("ext_cyclic.csv"), "l", &series).expect("write csv");
 
     println!("\n== EXT-PRED: predecessor attack over path reformations (n=20, c=2) ==");
     println!("{:>8} {:>10} {:>12}", "rounds", "hit rate", "mean margin");
     for row in predecessor_degradation(20, 2, &[1, 5, 20, 50, 100, 300], 40) {
-        println!("{:>8} {:>10.3} {:>12.4}", row.rounds, row.hit_rate, row.mean_margin);
+        println!(
+            "{:>8} {:>10.3} {:>12.4}",
+            row.rounds, row.hit_rate, row.mean_margin
+        );
     }
     println!("\n(The per-message anonymity degree H* is an upper bound: repeated");
     println!(" communication with path reformation degrades toward identification,");

@@ -2,20 +2,32 @@
 //! (`n = 100`, `c = 1`).
 
 use anonroute_experiments::figures::{fig3a, fig3b};
-use anonroute_experiments::output::{print_table, results_dir, write_csv};
+use anonroute_experiments::output::{ensure_results_dir, print_table, write_csv};
 
 fn main() {
     let a = fig3a();
     let b = fig3b();
-    print_table("Figure 3(a): H* vs fixed path length l (n=100, c=1)", "l", &[a.clone()]);
-    print_table("Figure 3(b): short-path zoom", "l", &[b.clone()]);
+    print_table(
+        "Figure 3(a): H* vs fixed path length l (n=100, c=1)",
+        "l",
+        std::slice::from_ref(&a),
+    );
+    print_table(
+        "Figure 3(b): short-path zoom",
+        "l",
+        std::slice::from_ref(&b),
+    );
 
     if let Some((peak_l, peak_h)) = a.argmax() {
         println!("\npeak: H* = {peak_h:.6} at l = {peak_l}");
-        println!("short-path anchors: F(1)=F(2)={:.6}, F(3)={:.6}, F(4)={:.6}",
-            a.points[1].1.unwrap(), a.points[3].1.unwrap(), a.points[4].1.unwrap());
+        println!(
+            "short-path anchors: F(1)=F(2)={:.6}, F(3)={:.6}, F(4)={:.6}",
+            a.points[1].1.unwrap(),
+            a.points[3].1.unwrap(),
+            a.points[4].1.unwrap()
+        );
     }
-    let dir = results_dir();
+    let dir = ensure_results_dir().expect("create results dir");
     write_csv(&dir.join("fig3a.csv"), "l", &[a]).expect("write fig3a.csv");
     write_csv(&dir.join("fig3b.csv"), "l", &[b]).expect("write fig3b.csv");
     println!("\nCSV written to {}", dir.display());

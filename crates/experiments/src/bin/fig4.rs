@@ -2,10 +2,10 @@
 //! strategies `U(a, a+Δ)` at fixed lower bounds (`n = 100`, `c = 1`).
 
 use anonroute_experiments::figures::fig4;
-use anonroute_experiments::output::{print_table, results_dir, write_csv};
+use anonroute_experiments::output::{ensure_results_dir, print_table, write_csv};
 
 fn main() {
-    let dir = results_dir();
+    let dir = ensure_results_dir().expect("create results dir");
     for (i, (title, series)) in fig4().into_iter().enumerate() {
         print_table(&title, "D", &series);
         let file = dir.join(format!("fig4{}.csv", char::from(b'a' + i as u8)));

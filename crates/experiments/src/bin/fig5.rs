@@ -3,10 +3,10 @@
 //! (`n = 100`, `c = 1`).
 
 use anonroute_experiments::figures::fig5;
-use anonroute_experiments::output::{print_table, results_dir, write_csv};
+use anonroute_experiments::output::{ensure_results_dir, print_table, write_csv};
 
 fn main() {
-    let dir = results_dir();
+    let dir = ensure_results_dir().expect("create results dir");
     for (i, (title, series)) in fig5().into_iter().enumerate() {
         print_table(&title, "L", &series);
         let file = dir.join(format!("fig5{}.csv", char::from(b'a' + i as u8)));

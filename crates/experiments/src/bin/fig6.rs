@@ -4,12 +4,16 @@
 use anonroute_core::optimize;
 use anonroute_core::SystemModel;
 use anonroute_experiments::figures::fig6;
-use anonroute_experiments::output::{print_table, results_dir, write_csv};
+use anonroute_experiments::output::{ensure_results_dir, print_table, write_csv};
 
 fn main() {
     let lmax = 99;
     let series = fig6(2, 50, lmax);
-    print_table("Figure 6: optimization vs F(L) and U(2,2L-2) (n=100, c=1)", "L", &series);
+    print_table(
+        "Figure 6: optimization vs F(L) and U(2,2L-2) (n=100, c=1)",
+        "L",
+        &series,
+    );
 
     // describe the optimal distribution's shape at a few means
     let model = SystemModel::new(100, 1).expect("valid");
@@ -34,7 +38,7 @@ fn main() {
     let (delta_best, _) = optimize::best_uniform_with_mean(&model, lmax, 10).expect("feasible");
     println!("  best uniform spread at E[L]=10: delta = {delta_best}");
 
-    let dir = results_dir();
+    let dir = ensure_results_dir().expect("create results dir");
     write_csv(&dir.join("fig6.csv"), "L", &series).expect("write csv");
     println!("\nCSV written to {}", dir.display());
 }

@@ -5,7 +5,10 @@ use anonroute_experiments::validation::theorem_table;
 
 fn main() {
     println!("== Theorems 1-3: closed forms vs general engine (n=100, c=1) ==");
-    println!("{:<28} {:>14} {:>14} {:>12}", "case", "closed form", "engine", "abs error");
+    println!(
+        "{:<28} {:>14} {:>14} {:>12}",
+        "case", "closed form", "engine", "abs error"
+    );
     let mut worst = 0.0f64;
     for row in theorem_table() {
         println!(

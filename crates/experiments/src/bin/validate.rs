@@ -31,6 +31,9 @@ fn main() {
             if ok { "yes" } else { "NO" }
         );
     }
-    assert!(all_ok, "validation failed: estimates disagree with the exact engine");
+    assert!(
+        all_ok,
+        "validation failed: estimates disagree with the exact engine"
+    );
     println!("\nall estimates agree with the exact engine (4-sigma).");
 }

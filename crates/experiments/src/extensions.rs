@@ -1,8 +1,13 @@
 //! Extension experiments beyond the paper's `c = 1` numerics: the effect
 //! of heavier compromise, and simple vs cyclic (Crowds-style) paths.
+//!
+//! Both sweeps are thin [`anonroute_campaign`] grids — the compromise
+//! sweep spans `c × l` and the path-kind comparison spans
+//! `path_kind × l` — so they inherit the runner's parallelism and shared
+//! per-model evaluators.
 
-use anonroute_core::engine::simple::Evaluator;
-use anonroute_core::{engine, PathKind, PathLengthDist, SystemModel};
+use anonroute_campaign::{run, CampaignConfig, ScenarioGrid, StrategySpec};
+use anonroute_core::{PathKind, PathLengthDist, SystemModel};
 
 use crate::output::Series;
 
@@ -20,50 +25,55 @@ pub struct CompromiseRow {
     pub h_long: f64,
 }
 
-/// Sweeps `c ∈ cs` and locates the fixed-length optimum for each.
+/// Sweeps `c ∈ cs` and locates the fixed-length optimum for each, as a
+/// `c × l` campaign grid (`100` fixed-length cells per compromise level).
 pub fn compromise_sweep(cs: &[usize]) -> Vec<CompromiseRow> {
     let n = 100;
+    let grid = ScenarioGrid::new()
+        .ns([n])
+        .cs(cs.iter().copied())
+        .strategies((0..n).map(StrategySpec::Fixed));
+    let outcome = run(&grid, &CampaignConfig::default());
     cs.iter()
-        .map(|&c| {
-            let model = SystemModel::new(n, c).expect("valid");
-            let ev = Evaluator::new(&model, n - 1).expect("valid");
-            let mut best = (0usize, f64::NEG_INFINITY);
-            let mut pmf = vec![0.0; n];
-            for l in 0..n {
-                pmf.iter_mut().for_each(|v| *v = 0.0);
-                pmf[l] = 1.0;
-                let h = ev.h_star(&pmf);
-                if h > best.1 {
-                    best = (l, h);
-                }
+        .zip(outcome.cells.chunks(n))
+        .map(|(&c, chunk)| {
+            let h = |l: usize| {
+                chunk[l]
+                    .outcome
+                    .as_ref()
+                    .expect("feasible fixed length")
+                    .h_star
+            };
+            // first maximum wins ties, as in the pre-campaign implementation
+            let best_fixed_len = (0..n).fold(0, |best, l| if h(l) > h(best) { l } else { best });
+            CompromiseRow {
+                c,
+                best_fixed_len,
+                best_h: h(best_fixed_len),
+                h_long: h(80),
             }
-            pmf.iter_mut().for_each(|v| *v = 0.0);
-            pmf[80] = 1.0;
-            CompromiseRow { c, best_fixed_len: best.0, best_h: best.1, h_long: ev.h_star(&pmf) }
         })
         .collect()
 }
 
 /// EXT-CY: anonymity degree of fixed-length strategies on simple vs
-/// cyclic paths (`n = 100`, `c = 1`), `l ∈ 1..=max_len`.
+/// cyclic paths (`n = 100`, `c = 1`), `l ∈ 1..=max_len`, as a
+/// `path_kind × l` campaign grid.
 pub fn cyclic_vs_simple(max_len: usize) -> Vec<Series> {
-    let simple_model = SystemModel::new(100, 1).expect("valid");
-    let cyclic_model = SystemModel::with_path_kind(100, 1, PathKind::Cyclic).expect("valid");
-    let simple_pts = (1..=max_len)
-        .map(|l| {
-            let h = engine::anonymity_degree(&simple_model, &PathLengthDist::fixed(l))
-                .expect("valid");
-            (l as f64, h)
+    let grid = ScenarioGrid::new()
+        .ns([100])
+        .cs([1])
+        .path_kinds([PathKind::Simple, PathKind::Cyclic])
+        .strategies((1..=max_len).map(StrategySpec::Fixed));
+    let outcome = run(&grid, &CampaignConfig::default());
+    ["simple", "cyclic"]
+        .iter()
+        .zip(outcome.cells.chunks(max_len))
+        .map(|(name, chunk)| Series {
+            name: (*name).into(),
+            points: crate::figures::h_points(chunk, |i| (i + 1) as f64),
         })
-        .collect();
-    let cyclic_pts = (1..=max_len)
-        .map(|l| {
-            let h = engine::anonymity_degree(&cyclic_model, &PathLengthDist::fixed(l))
-                .expect("valid");
-            (l as f64, h)
-        })
-        .collect();
-    vec![Series::new("simple", simple_pts), Series::new("cyclic", cyclic_pts)]
+        .collect()
 }
 
 /// EXT-PRED: one row of the predecessor-attack degradation experiment.

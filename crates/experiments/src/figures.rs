@@ -4,7 +4,15 @@
 //! compromised node, simple paths. Simple paths in a 100-node system
 //! support at most 99 intermediate hops, so sweeps that the paper draws to
 //! `x = 100` stop at the feasibility boundary.
+//!
+//! The single-axis sweeps (Figures 3 and 4) are thin
+//! [`anonroute_campaign`] grids: each figure declares its strategy axis
+//! and maps the campaign cells back onto a plotted [`Series`], inheriting
+//! the runner's parallelism and shared-evaluator memoization. Infeasible
+//! cells (e.g. `U(a, a+Δ)` past the `n - 1` support bound) come back as
+//! per-cell errors and turn into gaps in the series.
 
+use anonroute_campaign::{run, CampaignConfig, CellResult, ScenarioGrid, StrategySpec};
 use anonroute_core::engine::simple::Evaluator;
 use anonroute_core::{optimize, PathLengthDist, SystemModel};
 
@@ -29,44 +37,54 @@ fn h_uniform(ev: &Evaluator, a: usize, b: usize) -> f64 {
     ev.h_star(PathLengthDist::uniform(a, b).expect("a <= b").pmf())
 }
 
+/// Runs a strategy sweep at the paper's `n = 100`, `c = 1` setting and
+/// returns the cells in strategy order.
+pub(crate) fn paper_campaign(strategies: Vec<StrategySpec>) -> Vec<CellResult> {
+    let grid = ScenarioGrid::new().ns([100]).cs([1]).strategies(strategies);
+    run(&grid, &CampaignConfig::default()).cells
+}
+
+/// Extracts `H*` per cell, mapping infeasible cells to gaps.
+pub(crate) fn h_points(cells: &[CellResult], x: impl Fn(usize) -> f64) -> Vec<(f64, Option<f64>)> {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| (x(i), cell.outcome.as_ref().ok().map(|m| m.h_star)))
+        .collect()
+}
+
 /// Figure 3(a): anonymity degree vs fixed path length, `l ∈ 0..=99`.
 pub fn fig3a() -> Series {
-    let model = paper_model();
-    let ev = evaluator(&model);
-    let pts = (0..=99)
-        .map(|l| (l as f64, h_fixed(&ev, 99, l)))
-        .collect();
-    Series::new("H*(F(l))", pts)
+    let cells = paper_campaign((0..=99).map(StrategySpec::Fixed).collect());
+    Series {
+        name: "H*(F(l))".into(),
+        points: h_points(&cells, |i| i as f64),
+    }
 }
 
 /// Figure 3(b): the short-path zoom, `l ∈ 0..=4`.
 pub fn fig3b() -> Series {
-    let model = paper_model();
-    let ev = evaluator(&model);
-    let pts = (0..=4).map(|l| (l as f64, h_fixed(&ev, 99, l))).collect();
-    Series::new("H*(F(l))", pts)
+    let cells = paper_campaign((0..=4).map(StrategySpec::Fixed).collect());
+    Series {
+        name: "H*(F(l))".into(),
+        points: h_points(&cells, |i| i as f64),
+    }
 }
 
 /// One Figure-4 panel: `H*` of `U(a, a+Δ)` as the spread Δ grows, for
 /// each lower bound in `bases`.
 pub fn fig4_panel(bases: &[usize], max_delta: usize) -> Vec<Series> {
-    let model = paper_model();
-    let ev = evaluator(&model);
+    let strategies: Vec<StrategySpec> = bases
+        .iter()
+        .flat_map(|&a| (0..=max_delta).map(move |d| StrategySpec::Uniform(a, a + d)))
+        .collect();
+    let cells = paper_campaign(strategies);
     bases
         .iter()
-        .map(|&a| {
-            let points = (0..=max_delta)
-                .map(|d| {
-                    let x = d as f64;
-                    let b = a + d;
-                    if b < model.n() {
-                        (x, Some(h_uniform(&ev, a, b)))
-                    } else {
-                        (x, None)
-                    }
-                })
-                .collect();
-            Series { name: format!("U({a},{a}+D)"), points }
+        .zip(cells.chunks(max_delta + 1))
+        .map(|(&a, chunk)| Series {
+            name: format!("U({a},{a}+D)"),
+            points: h_points(chunk, |i| i as f64),
         })
         .collect()
 }
@@ -74,10 +92,22 @@ pub fn fig4_panel(bases: &[usize], max_delta: usize) -> Vec<Series> {
 /// All four Figure-4 panels, with the paper's lower-bound groups.
 pub fn fig4() -> [(String, Vec<Series>); 4] {
     [
-        ("Figure 4(a): small lower bounds".into(), fig4_panel(&[4, 6, 10], 89)),
-        ("Figure 4(b): intermediate lower bounds".into(), fig4_panel(&[25, 40], 74)),
-        ("Figure 4(c): large lower bounds (long-path regime)".into(), fig4_panel(&[51, 60, 70], 48)),
-        ("Figure 4(d): short-path regime".into(), fig4_panel(&[0, 1, 6], 93)),
+        (
+            "Figure 4(a): small lower bounds".into(),
+            fig4_panel(&[4, 6, 10], 89),
+        ),
+        (
+            "Figure 4(b): intermediate lower bounds".into(),
+            fig4_panel(&[25, 40], 74),
+        ),
+        (
+            "Figure 4(c): large lower bounds (long-path regime)".into(),
+            fig4_panel(&[51, 60, 70], 48),
+        ),
+        (
+            "Figure 4(d): short-path regime".into(),
+            fig4_panel(&[0, 1, 6], 93),
+        ),
     ]
 }
 
@@ -90,7 +120,10 @@ pub fn fig5_panel(bases: &[usize], l_from: usize, l_to: usize) -> Vec<Series> {
     let fixed_pts = (l_from..=l_to)
         .map(|l| (l as f64, Some(h_fixed(&ev, 99, l))))
         .collect();
-    series.push(Series { name: "F(L)".into(), points: fixed_pts });
+    series.push(Series {
+        name: "F(L)".into(),
+        points: fixed_pts,
+    });
     for &a in bases {
         let points = (l_from..=l_to)
             .map(|l| {
@@ -103,7 +136,10 @@ pub fn fig5_panel(bases: &[usize], l_from: usize, l_to: usize) -> Vec<Series> {
                 }
             })
             .collect();
-        series.push(Series { name: format!("U({a},2L-{a})"), points });
+        series.push(Series {
+            name: format!("U({a},2L-{a})"),
+            points,
+        });
     }
     series
 }
@@ -111,10 +147,22 @@ pub fn fig5_panel(bases: &[usize], l_from: usize, l_to: usize) -> Vec<Series> {
 /// All four Figure-5 panels with the paper's groupings.
 pub fn fig5() -> [(String, Vec<Series>); 4] {
     [
-        ("Figure 5(a): variance at equal mean, small bounds".into(), fig5_panel(&[4, 6, 10], 1, 50)),
-        ("Figure 5(b): intermediate bounds".into(), fig5_panel(&[25, 40], 25, 62)),
-        ("Figure 5(c): large bounds".into(), fig5_panel(&[51, 70], 51, 75)),
-        ("Figure 5(d): short-path bounds (ineq. 18)".into(), fig5_panel(&[1, 2, 6], 1, 50)),
+        (
+            "Figure 5(a): variance at equal mean, small bounds".into(),
+            fig5_panel(&[4, 6, 10], 1, 50),
+        ),
+        (
+            "Figure 5(b): intermediate bounds".into(),
+            fig5_panel(&[25, 40], 25, 62),
+        ),
+        (
+            "Figure 5(c): large bounds".into(),
+            fig5_panel(&[51, 70], 51, 75),
+        ),
+        (
+            "Figure 5(d): short-path bounds (ineq. 18)".into(),
+            fig5_panel(&[1, 2, 6], 1, 50),
+        ),
     ]
 }
 
@@ -136,18 +184,30 @@ pub fn fig6(l_from: usize, l_to: usize, lmax: usize) -> Vec<Series> {
             x,
             (l >= 2 && 2 * l - 2 <= 99).then(|| h_uniform(&ev, 2, 2 * l - 2)),
         ));
-        let (_, fam) = optimize::best_uniform_with_mean(&model, lmax, l)
-            .expect("mean within support");
+        let (_, fam) =
+            optimize::best_uniform_with_mean(&model, lmax, l).expect("mean within support");
         best_uniform.push((x, Some(fam.h_star)));
-        let opt = optimize::maximize_with_mean(&model, lmax, l as f64)
-            .expect("mean within support");
+        let opt =
+            optimize::maximize_with_mean(&model, lmax, l as f64).expect("mean within support");
         optimal.push((x, Some(opt.h_star)));
     }
     vec![
-        Series { name: "F(L)".into(), points: fixed },
-        Series { name: "U(2,2L-2)".into(), points: u2 },
-        Series { name: "best U(L-D,L+D)".into(), points: best_uniform },
-        Series { name: "Optimization".into(), points: optimal },
+        Series {
+            name: "F(L)".into(),
+            points: fixed,
+        },
+        Series {
+            name: "U(2,2L-2)".into(),
+            points: u2,
+        },
+        Series {
+            name: "best U(L-D,L+D)".into(),
+            points: best_uniform,
+        },
+        Series {
+            name: "Optimization".into(),
+            points: optimal,
+        },
     ]
 }
 
@@ -181,7 +241,7 @@ mod tests {
         let d_panel = &panels[3].1;
         let u0 = &d_panel[0]; // U(0, D)
         let u6 = &d_panel[2]; // U(6, 6+D)
-        // small spread: U(0,·) much worse (receiver sees the sender often)
+                              // small spread: U(0,·) much worse (receiver sees the sender often)
         let at = |s: &Series, d: usize| s.points[d].1.unwrap();
         assert!(at(u0, 4) < at(u6, 4) - 0.01);
         // large spread: U(0,·) catches up (the paper's observation)
@@ -229,7 +289,11 @@ mod tests {
             let u = fam.points[i].1.unwrap();
             let f = fixed.points[i].1.unwrap();
             assert!(o >= u - 1e-9, "x={}: opt {o} < family {u}", opt.points[i].0);
-            assert!(u >= f - 1e-9, "x={}: family {u} < fixed {f}", opt.points[i].0);
+            assert!(
+                u >= f - 1e-9,
+                "x={}: family {u} < fixed {f}",
+                opt.points[i].0
+            );
         }
         // and the variable-length optimum strictly beats fixed somewhere
         let strictly = opt

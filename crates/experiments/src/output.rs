@@ -17,7 +17,10 @@ pub struct Series {
 impl Series {
     /// Builds a series from defined points only.
     pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { name: name.into(), points: points.into_iter().map(|(x, y)| (x, Some(y))).collect() }
+        Series {
+            name: name.into(),
+            points: points.into_iter().map(|(x, y)| (x, Some(y))).collect(),
+        }
     }
 
     /// Largest y value and its x, ignoring gaps.
@@ -96,11 +99,25 @@ pub fn write_csv(path: &Path, x_label: &str, series: &[Series]) -> std::io::Resu
     Ok(())
 }
 
-/// Default output directory for experiment CSVs.
+/// Default output directory for experiment CSVs: `$ANONROUTE_RESULTS`,
+/// falling back to `results/`.
 pub fn results_dir() -> std::path::PathBuf {
     std::env::var_os("ANONROUTE_RESULTS")
         .map(Into::into)
         .unwrap_or_else(|| "results".into())
+}
+
+/// [`results_dir`], created if absent — binaries call this up front so a
+/// fresh checkout (or a custom `ANONROUTE_RESULTS`) never fails on a
+/// missing directory.
+///
+/// # Errors
+///
+/// Propagates I/O failures creating the directory.
+pub fn ensure_results_dir() -> std::io::Result<std::path::PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 #[cfg(test)]
@@ -119,7 +136,10 @@ mod tests {
         let path = dir.join("t.csv");
         let series = vec![
             Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]),
-            Series { name: "b".into(), points: vec![(0.0, Some(3.0)), (1.0, None)] },
+            Series {
+                name: "b".into(),
+                points: vec![(0.0, Some(3.0)), (1.0, None)],
+            },
         ];
         write_csv(&path, "x", &series).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

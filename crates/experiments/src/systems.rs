@@ -83,9 +83,7 @@ mod tests {
     fn survey_covers_all_systems_plus_baseline() {
         let rows = survey_table();
         assert_eq!(rows.len(), 8);
-        let h = |name: &str| {
-            rows.iter().find(|r| r.name == name).unwrap().report.h_star
-        };
+        let h = |name: &str| rows.iter().find(|r| r.name == name).unwrap().report.h_star;
         // the paper's short-path effect: Freedom's F(3) is a hair *worse*
         // than Anonymizer's F(1), despite two extra hops
         assert!(h("Freedom") < h("Anonymizer"));

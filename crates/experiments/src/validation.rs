@@ -40,7 +40,12 @@ pub fn theorem_table() -> Vec<TheoremRow> {
             engine: engine::anonymity_degree(&model, &PathLengthDist::fixed(l)).expect("valid"),
         });
     }
-    for (l1, p, l2) in [(1usize, 0.5, 4usize), (2, 0.25, 9), (3, 0.8, 7), (0, 0.1, 5)] {
+    for (l1, p, l2) in [
+        (1usize, 0.5, 4usize),
+        (2, 0.25, 9),
+        (3, 0.8, 7),
+        (0, 0.1, 5),
+    ] {
         rows.push(TheoremRow {
             case: format!("Thm 2: {{{l1} w.p. {p}, {l2}}}"),
             closed_form: analytic::theorem2_two_point(n, l1, p, l2).expect("valid"),
@@ -51,7 +56,14 @@ pub fn theorem_table() -> Vec<TheoremRow> {
             .expect("valid"),
         });
     }
-    for (a, b) in [(3usize, 9usize), (4, 8), (6, 6), (3, 21), (10, 40), (25, 75)] {
+    for (a, b) in [
+        (3usize, 9usize),
+        (4, 8),
+        (6, 6),
+        (3, 21),
+        (10, 40),
+        (25, 75),
+    ] {
         rows.push(TheoremRow {
             case: format!("Thm 3: U({a},{b})"),
             closed_form: analytic::theorem3_uniform(n, a, b).expect("valid"),
@@ -80,8 +92,8 @@ pub struct ValidationRow {
 impl ValidationRow {
     /// Whether both estimates agree with the exact value at ~4 sigma.
     pub fn consistent(&self) -> bool {
-        let mc_ok = (self.monte_carlo.mean - self.exact).abs()
-            <= 4.0 * self.monte_carlo.std_error + 1e-9;
+        let mc_ok =
+            (self.monte_carlo.mean - self.exact).abs() <= 4.0 * self.monte_carlo.std_error + 1e-9;
         let sim_ok = self
             .simulated
             .is_none_or(|(m, se)| (m - self.exact).abs() <= 4.0 * se + 1e-9);
@@ -98,9 +110,24 @@ pub fn validation_table(messages: usize, seed: u64) -> Vec<ValidationRow> {
 
     // --- onion routing, simple paths, several strategies -----------------
     for (name, n, c, dist) in [
-        ("onion F(5), n=30, c=1", 30usize, 1usize, PathLengthDist::fixed(5)),
-        ("onion U(1,6), n=30, c=1", 30, 1, PathLengthDist::uniform(1, 6).expect("ok")),
-        ("onion U(2,8), n=25, c=3", 25, 3, PathLengthDist::uniform(2, 8).expect("ok")),
+        (
+            "onion F(5), n=30, c=1",
+            30usize,
+            1usize,
+            PathLengthDist::fixed(5),
+        ),
+        (
+            "onion U(1,6), n=30, c=1",
+            30,
+            1,
+            PathLengthDist::uniform(1, 6).expect("ok"),
+        ),
+        (
+            "onion U(2,8), n=25, c=3",
+            25,
+            3,
+            PathLengthDist::uniform(2, 8).expect("ok"),
+        ),
     ] {
         let model = SystemModel::new(n, c).expect("valid");
         let exact = engine::anonymity_degree(&model, &dist).expect("valid");
@@ -111,7 +138,9 @@ pub fn validation_table(messages: usize, seed: u64) -> Vec<ValidationRow> {
         let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 50, hi: 500 }, seed);
         let mut salt = seed | 1;
         for i in 0..messages as u64 {
-            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            salt = salt
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             sim.schedule_origination(
                 SimTime::from_micros(i * 100),
                 (salt >> 33) as usize % n,
@@ -146,7 +175,9 @@ pub fn validation_table(messages: usize, seed: u64) -> Vec<ValidationRow> {
         );
         let mut salt = seed | 1;
         for i in 0..messages as u64 {
-            salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            salt = salt
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             sim.schedule_origination(
                 SimTime::from_micros(i * 1000),
                 (salt >> 33) as usize % n,
@@ -168,12 +199,20 @@ pub fn validation_table(messages: usize, seed: u64) -> Vec<ValidationRow> {
     // --- pure Monte-Carlo checks at the paper's scale ---------------------
     for (name, dist) in [
         ("paper n=100 c=1, F(31)", PathLengthDist::fixed(31)),
-        ("paper n=100 c=1, U(2,60)", PathLengthDist::uniform(2, 60).expect("ok")),
+        (
+            "paper n=100 c=1, U(2,60)",
+            PathLengthDist::uniform(2, 60).expect("ok"),
+        ),
     ] {
         let model = SystemModel::new(100, 1).expect("valid");
         let exact = engine::anonymity_degree(&model, &dist).expect("valid");
         let mc = estimate_anonymity_degree(&model, &dist, messages * 4, seed).expect("valid");
-        rows.push(ValidationRow { case: name.into(), exact, monte_carlo: mc, simulated: None });
+        rows.push(ValidationRow {
+            case: name.into(),
+            exact,
+            monte_carlo: mc,
+            simulated: None,
+        });
     }
 
     rows

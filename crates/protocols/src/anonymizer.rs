@@ -20,7 +20,11 @@ impl ProxyClientNode {
     /// Creates the behavior for node `me` in a deployment whose designated
     /// proxy is `proxy`.
     pub fn new(me: NodeId, proxy: NodeId) -> Self {
-        ProxyClientNode { me, proxy, relayed: 0 }
+        ProxyClientNode {
+            me,
+            proxy,
+            relayed: 0,
+        }
     }
 
     /// Requests relayed (nonzero only on the proxy).
@@ -59,8 +63,7 @@ mod tests {
 
     #[test]
     fn all_traffic_relays_through_the_proxy() {
-        let mut sim =
-            Simulation::new(anonymizer_network(6, 2), LatencyModel::Constant(100), 4);
+        let mut sim = Simulation::new(anonymizer_network(6, 2), LatencyModel::Constant(100), 4);
         for i in 0..6 {
             sim.schedule_origination(SimTime::from_micros(i as u64), i, vec![i as u8]);
         }
@@ -78,8 +81,7 @@ mod tests {
 
     #[test]
     fn proxy_own_traffic_is_direct() {
-        let mut sim =
-            Simulation::new(anonymizer_network(3, 0), LatencyModel::Constant(100), 4);
+        let mut sim = Simulation::new(anonymizer_network(3, 0), LatencyModel::Constant(100), 4);
         sim.schedule_origination(SimTime::ZERO, 0, b"me".to_vec());
         sim.run();
         assert_eq!(sim.trace().len(), 1);

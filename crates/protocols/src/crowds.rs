@@ -38,7 +38,12 @@ impl JondoNode {
         if n == 0 {
             return Err(Error::Config("a crowd needs at least one jondo".into()));
         }
-        Ok(JondoNode { n, forward_prob, forwarded: 0, submitted: 0 })
+        Ok(JondoNode {
+            n,
+            forward_prob,
+            forwarded: 0,
+            submitted: 0,
+        })
     }
 
     /// Requests this jondo forwarded to another jondo.
@@ -91,7 +96,11 @@ mod tests {
     fn requests_reach_the_server() {
         let mut sim = Simulation::new(crowd(8, 0.6).unwrap(), LatencyModel::Constant(500), 9);
         for i in 0..30 {
-            sim.schedule_origination(SimTime::from_micros(i * 100), (i as usize) % 8, vec![i as u8]);
+            sim.schedule_origination(
+                SimTime::from_micros(i * 100),
+                (i as usize) % 8,
+                vec![i as u8],
+            );
         }
         sim.run();
         assert_eq!(sim.deliveries().len(), 30);
@@ -120,7 +129,10 @@ mod tests {
         }
         let mean = total_hops as f64 / msgs as f64;
         let expect = 1.0 / (1.0 - pf);
-        assert!((mean - expect).abs() < 0.45, "mean {mean}, expected {expect}");
+        assert!(
+            (mean - expect).abs() < 0.45,
+            "mean {mean}, expected {expect}"
+        );
     }
 
     #[test]

@@ -44,15 +44,20 @@ impl DcNet {
     /// Returns [`Error::Config`] for `n < 2`.
     pub fn new(session_seed: &[u8], n: usize) -> Result<Self> {
         if n < 2 {
-            return Err(Error::Config("a DC-net needs at least two participants".into()));
+            return Err(Error::Config(
+                "a DC-net needs at least two participants".into(),
+            ));
         }
         let mut seeds = vec![vec![[0u8; 32]; n]; n];
         for i in 0..n {
             for j in (i + 1)..n {
                 let mut s = [0u8; 32];
-                let info =
-                    [b"dcnet-pair" as &[u8], &(i as u64).to_be_bytes(), &(j as u64).to_be_bytes()]
-                        .concat();
+                let info = [
+                    b"dcnet-pair" as &[u8],
+                    &(i as u64).to_be_bytes(),
+                    &(j as u64).to_be_bytes(),
+                ]
+                .concat();
                 hkdf::derive(b"anonroute-dcnet", session_seed, &info, &mut s);
                 seeds[i][j] = s;
                 seeds[j][i] = s;
@@ -106,7 +111,10 @@ impl DcNet {
             }
             announcements.push(a);
         }
-        let round = Round { announcements, round: self.round };
+        let round = Round {
+            announcements,
+            round: self.round,
+        };
         self.round += 1;
         Ok(round)
     }

@@ -43,7 +43,11 @@ impl HordeNode {
         if n == 0 {
             return Err(Error::Config("a horde needs at least one member".into()));
         }
-        Ok(HordeNode { n, forward_prob, ..Default::default() })
+        Ok(HordeNode {
+            n,
+            forward_prob,
+            ..Default::default()
+        })
     }
 
     /// Replies this node claimed from the multicast channel.
@@ -145,7 +149,11 @@ mod tests {
     fn forward_path_reaches_the_receiver() {
         let mut sim = Simulation::new(horde(8, 0.5).unwrap(), LatencyModel::Constant(100), 3);
         for i in 0..30u64 {
-            sim.schedule_origination(SimTime::from_micros(i * 50), (i % 8) as usize, vec![i as u8]);
+            sim.schedule_origination(
+                SimTime::from_micros(i * 50),
+                (i % 8) as usize,
+                vec![i as u8],
+            );
         }
         sim.run();
         assert_eq!(sim.deliveries().len(), 30);

@@ -194,7 +194,11 @@ mod tests {
     fn all_messages_drain_despite_batching() {
         let mut sim = network(10, 3);
         for i in 0..25 {
-            sim.schedule_origination(SimTime::from_micros(i * 200), (i as usize) % 10, vec![i as u8]);
+            sim.schedule_origination(
+                SimTime::from_micros(i * 200),
+                (i as usize) % 10,
+                vec![i as u8],
+            );
         }
         sim.run();
         assert_eq!(sim.deliveries().len(), 25);

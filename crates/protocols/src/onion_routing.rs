@@ -51,7 +51,14 @@ impl OnionNode {
                 sampler.dist().max_len()
             )));
         }
-        Ok(OnionNode { id, keys, sampler, cell_size, relayed: 0, dropped: 0 })
+        Ok(OnionNode {
+            id,
+            keys,
+            sampler,
+            cell_size,
+            relayed: 0,
+            dropped: 0,
+        })
     }
 
     /// Cells this node relayed.
@@ -63,7 +70,6 @@ impl OnionNode {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
-
 }
 
 impl NodeBehavior for OnionNode {

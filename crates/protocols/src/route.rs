@@ -25,7 +25,12 @@ impl RouteSampler {
     pub fn new(n: usize, dist: PathLengthDist, kind: PathKind) -> anonroute_core::Result<Self> {
         let model = SystemModel::with_path_kind(n, 0, kind)?;
         model.validate_dist(&dist)?;
-        Ok(RouteSampler { dist, kind, n, scratch: (0..n).collect() })
+        Ok(RouteSampler {
+            dist,
+            kind,
+            n,
+            scratch: (0..n).collect(),
+        })
     }
 
     /// The induced path-length distribution.
@@ -48,8 +53,8 @@ impl RouteSampler {
         let l = self.dist.sample(rng);
         // SystemModel::with_path_kind(n, 0, …) cannot fail here: n >= 1 was
         // validated at construction.
-        let model = SystemModel::with_path_kind(self.n, 0, self.kind)
-            .expect("validated at construction");
+        let model =
+            SystemModel::with_path_kind(self.n, 0, self.kind).expect("validated at construction");
         sample_path(&model, sender, l, rng, &mut self.scratch)
     }
 }
@@ -62,9 +67,8 @@ mod tests {
 
     #[test]
     fn simple_routes_avoid_sender_and_repeats() {
-        let mut s =
-            RouteSampler::new(10, PathLengthDist::uniform(1, 6).unwrap(), PathKind::Simple)
-                .unwrap();
+        let mut s = RouteSampler::new(10, PathLengthDist::uniform(1, 6).unwrap(), PathKind::Simple)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..500 {
             let route = s.sample(3, &mut rng);
@@ -97,9 +101,12 @@ mod tests {
 
     #[test]
     fn sampled_lengths_match_distribution() {
-        let mut s =
-            RouteSampler::new(30, PathLengthDist::two_point(2, 0.3, 5).unwrap(), PathKind::Simple)
-                .unwrap();
+        let mut s = RouteSampler::new(
+            30,
+            PathLengthDist::two_point(2, 0.3, 5).unwrap(),
+            PathKind::Simple,
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let trials = 20_000;
         let mut twos = 0;

@@ -48,12 +48,18 @@ impl<'a> Ctx<'a> {
 
     /// Transmits `msg` to another member node.
     pub fn send(&mut self, to: NodeId, msg: Message) {
-        self.out.push(Action::Send { to: Endpoint::Node(to), msg });
+        self.out.push(Action::Send {
+            to: Endpoint::Node(to),
+            msg,
+        });
     }
 
     /// Delivers `msg` to the receiver.
     pub fn send_to_receiver(&mut self, msg: Message) {
-        self.out.push(Action::Send { to: Endpoint::Receiver, msg });
+        self.out.push(Action::Send {
+            to: Endpoint::Receiver,
+            msg,
+        });
     }
 
     /// Schedules [`NodeBehavior::on_timer`] after `delay_us` microseconds.
@@ -98,9 +104,27 @@ mod tests {
         ctx.set_timer(100, 9);
         ctx.send_to_receiver(Message::new(crate::message::MsgId(1), vec![2]));
         assert_eq!(out.len(), 3);
-        assert!(matches!(out[0], Action::Send { to: Endpoint::Node(7), .. }));
-        assert!(matches!(out[1], Action::SetTimer { delay_us: 100, tag: 9 }));
-        assert!(matches!(out[2], Action::Send { to: Endpoint::Receiver, .. }));
+        assert!(matches!(
+            out[0],
+            Action::Send {
+                to: Endpoint::Node(7),
+                ..
+            }
+        ));
+        assert!(matches!(
+            out[1],
+            Action::SetTimer {
+                delay_us: 100,
+                tag: 9
+            }
+        ));
+        assert!(matches!(
+            out[2],
+            Action::Send {
+                to: Endpoint::Receiver,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -58,8 +58,16 @@ enum NodeEvent {
 }
 
 enum RouterMsg {
-    Transfer { from: Endpoint, to: Endpoint, msg: Message },
-    TimerRequest { node: NodeId, fire_at: Instant, tag: u64 },
+    Transfer {
+        from: Endpoint,
+        to: Endpoint,
+        msg: Message,
+    },
+    TimerRequest {
+        node: NodeId,
+        fire_at: Instant,
+        tag: u64,
+    },
     Shutdown,
 }
 
@@ -103,7 +111,8 @@ where
         let time_scale = config.time_scale;
         let epoch_local = epoch;
         handles.push(std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
             while let Ok(event) = rx.recv() {
                 let mut actions = Vec::new();
                 let now = SimTime::from_micros(epoch_local.elapsed().as_micros() as u64);
@@ -125,9 +134,11 @@ where
                 for action in actions {
                     work.fetch_add(1, Ordering::SeqCst);
                     let msg = match action {
-                        Action::Send { to, msg } => {
-                            RouterMsg::Transfer { from: Endpoint::Node(id), to, msg }
-                        }
+                        Action::Send { to, msg } => RouterMsg::Transfer {
+                            from: Endpoint::Node(id),
+                            to,
+                            msg,
+                        },
                         Action::SetTimer { delay_us, tag } => RouterMsg::TimerRequest {
                             node: id,
                             fire_at: Instant::now()
@@ -196,7 +207,12 @@ where
                             ));
                         }
                         let at = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
-                        trace.lock().push(TransferRecord { time: at, from, to, msg: msg.id });
+                        trace.lock().push(TransferRecord {
+                            time: at,
+                            from,
+                            to,
+                            msg: msg.id,
+                        });
                         match to {
                             Endpoint::Receiver => {
                                 deliveries.lock().push(Delivery {
@@ -246,8 +262,14 @@ where
     let _ = router.join();
 
     let trace = Arc::try_unwrap(trace).expect("threads joined").into_inner();
-    let deliveries = Arc::try_unwrap(deliveries).expect("threads joined").into_inner();
-    LiveOutcome { trace, deliveries, originations }
+    let deliveries = Arc::try_unwrap(deliveries)
+        .expect("threads joined")
+        .into_inner();
+    LiveOutcome {
+        trace,
+        deliveries,
+        originations,
+    }
 }
 
 #[cfg(test)]
@@ -262,7 +284,11 @@ mod tests {
     }
     impl RandomWalk {
         fn new(hops: usize, n: usize) -> Self {
-            RandomWalk { remaining_hops: Default::default(), hops, n }
+            RandomWalk {
+                remaining_hops: Default::default(),
+                hops,
+                n,
+            }
         }
         fn step(&mut self, ctx: &mut Ctx<'_>, msg: Message, remaining: usize) {
             use rand::Rng;
@@ -307,7 +333,13 @@ mod tests {
                 payload: vec![3u8], // 3 hops left
             })
             .collect();
-        let out = run_live(nodes, LatencyModel::Constant(10), 99, arrivals, LiveConfig::default());
+        let out = run_live(
+            nodes,
+            LatencyModel::Constant(10),
+            99,
+            arrivals,
+            LiveConfig::default(),
+        );
         assert_eq!(out.originations.len(), 40);
         assert_eq!(out.deliveries.len(), 40, "all messages must drain");
         // every delivered id originated
@@ -315,8 +347,11 @@ mod tests {
             assert!(out.originations.iter().any(|o| o.msg == d.msg));
         }
         // trace contains one receiver edge per delivery
-        let recv_edges =
-            out.trace.iter().filter(|t| t.to == Endpoint::Receiver).count();
+        let recv_edges = out
+            .trace
+            .iter()
+            .filter(|t| t.to == Endpoint::Receiver)
+            .count();
         assert_eq!(recv_edges, 40);
     }
 
@@ -340,8 +375,16 @@ mod tests {
     fn live_runtime_supports_timers() {
         let nodes = vec![EchoTimer { pending: vec![] }, EchoTimer { pending: vec![] }];
         let arrivals = vec![
-            Arrival { at: SimTime::ZERO, sender: 0, payload: vec![1] },
-            Arrival { at: SimTime::ZERO, sender: 1, payload: vec![2] },
+            Arrival {
+                at: SimTime::ZERO,
+                sender: 0,
+                payload: vec![1],
+            },
+            Arrival {
+                at: SimTime::ZERO,
+                sender: 1,
+                payload: vec![2],
+            },
         ];
         let out = run_live(
             nodes,

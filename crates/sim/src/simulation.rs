@@ -13,9 +13,19 @@ use crate::time::SimTime;
 
 #[derive(Debug)]
 enum EventKind {
-    Originate { sender: NodeId, msg: Message },
-    Deliver { from: Endpoint, to: Endpoint, msg: Message },
-    Timer { node: NodeId, tag: u64 },
+    Originate {
+        sender: NodeId,
+        msg: Message,
+    },
+    Deliver {
+        from: Endpoint,
+        to: Endpoint,
+        msg: Message,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -123,7 +133,10 @@ impl<B: NodeBehavior> Simulation<B> {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability out of range: {p}"
+        );
         self.loss_probability = p;
         self
     }
@@ -184,7 +197,13 @@ impl<B: NodeBehavior> Simulation<B> {
         assert!(sender < self.nodes.len(), "sender {sender} out of range");
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
-        self.push(at, EventKind::Originate { sender, msg: Message::new(id, payload) });
+        self.push(
+            at,
+            EventKind::Originate {
+                sender,
+                msg: Message::new(id, payload),
+            },
+        );
         id
     }
 
@@ -219,13 +238,22 @@ impl<B: NodeBehavior> Simulation<B> {
         let mut actions = Vec::new();
         match kind {
             EventKind::Originate { sender, msg } => {
-                self.originations.push(Origination { time: self.now, sender, msg: msg.id });
+                self.originations.push(Origination {
+                    time: self.now,
+                    sender,
+                    msg: msg.id,
+                });
                 let mut ctx = Ctx::new(self.now, sender, &mut self.rng, &mut actions);
                 self.nodes[sender].on_originate(&mut ctx, msg);
                 self.apply(Endpoint::Node(sender), actions);
             }
             EventKind::Deliver { from, to, msg } => {
-                self.trace.push(TransferRecord { time: self.now, from, to, msg: msg.id });
+                self.trace.push(TransferRecord {
+                    time: self.now,
+                    from,
+                    to,
+                    msg: msg.id,
+                });
                 match to {
                     Endpoint::Receiver => {
                         self.deliveries.push(Delivery {
@@ -269,7 +297,10 @@ impl<B: NodeBehavior> Simulation<B> {
                     let Endpoint::Node(node) = me else {
                         unreachable!("timers are only set by nodes")
                     };
-                    self.push(self.now.after_micros(delay_us), EventKind::Timer { node, tag });
+                    self.push(
+                        self.now.after_micros(delay_us),
+                        EventKind::Timer { node, tag },
+                    );
                 }
             }
         }
@@ -304,7 +335,10 @@ mod tests {
     fn scripted(n: usize, routes: Vec<Vec<NodeId>>) -> Simulation<ScriptedHop> {
         assert_eq!(routes.len(), n);
         Simulation::new(
-            routes.into_iter().map(|route| ScriptedHop { route }).collect(),
+            routes
+                .into_iter()
+                .map(|route| ScriptedHop { route })
+                .collect(),
             LatencyModel::Constant(1_000),
             7,
         )
@@ -322,8 +356,7 @@ mod tests {
         assert_eq!(d.last_hop, Endpoint::Node(2));
         assert_eq!(d.payload, vec![0xAB]);
         // trace: 0→1, 1→2, 2→R at 1ms, 2ms, 3ms
-        let hops: Vec<(Endpoint, Endpoint)> =
-            sim.trace().iter().map(|t| (t.from, t.to)).collect();
+        let hops: Vec<(Endpoint, Endpoint)> = sim.trace().iter().map(|t| (t.from, t.to)).collect();
         assert_eq!(
             hops,
             vec![
@@ -421,7 +454,10 @@ mod tests {
         sim.run();
         let ratio = sim.deliveries().len() as f64 / total as f64;
         let expect = (1.0 - p) * (1.0 - p);
-        assert!((ratio - expect).abs() < 0.03, "ratio {ratio} expect {expect}");
+        assert!(
+            (ratio - expect).abs() < 0.03,
+            "ratio {ratio} expect {expect}"
+        );
     }
 
     #[test]

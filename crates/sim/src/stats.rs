@@ -2,9 +2,9 @@
 
 use std::collections::HashMap;
 
+use crate::message::Delivery;
 use crate::message::MsgId;
 use crate::simulation::Origination;
-use crate::message::Delivery;
 
 /// Summary statistics of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,11 +27,17 @@ impl RunStats {
     /// Messages that never reached the receiver (e.g. cut off by a run
     /// horizon) count toward `originated` only.
     pub fn compute(originations: &[Origination], deliveries: &[Delivery]) -> RunStats {
-        let start: HashMap<MsgId, u64> =
-            originations.iter().map(|o| (o.msg, o.time.as_micros())).collect();
+        let start: HashMap<MsgId, u64> = originations
+            .iter()
+            .map(|o| (o.msg, o.time.as_micros()))
+            .collect();
         let mut latencies: Vec<u64> = deliveries
             .iter()
-            .filter_map(|d| start.get(&d.msg).map(|&s| d.time.as_micros().saturating_sub(s)))
+            .filter_map(|d| {
+                start
+                    .get(&d.msg)
+                    .map(|&s| d.time.as_micros().saturating_sub(s))
+            })
             .collect();
         latencies.sort_unstable();
         let delivered = latencies.len();
@@ -85,7 +91,11 @@ mod tests {
     use crate::time::SimTime;
 
     fn orig(t: u64, msg: u64) -> Origination {
-        Origination { time: SimTime::from_micros(t), sender: 0, msg: MsgId(msg) }
+        Origination {
+            time: SimTime::from_micros(t),
+            sender: 0,
+            msg: MsgId(msg),
+        }
     }
 
     fn deliv(t: u64, msg: u64) -> Delivery {

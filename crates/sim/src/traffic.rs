@@ -49,7 +49,11 @@ impl PoissonTraffic {
             let sender = rng.gen_range(0..n);
             let mut payload = vec![0u8; self.payload_len];
             rng.fill(payload.as_mut_slice());
-            arrivals.push(Arrival { at, sender, payload });
+            arrivals.push(Arrival {
+                at,
+                sender,
+                payload,
+            });
         }
         arrivals
     }
@@ -140,8 +144,12 @@ mod tests {
     #[test]
     fn uniform_traffic_is_evenly_spaced() {
         let mut rng = StdRng::seed_from_u64(7);
-        let arrivals =
-            UniformTraffic { count: 5, interval_us: 250, payload_len: 4 }.generate(3, &mut rng);
+        let arrivals = UniformTraffic {
+            count: 5,
+            interval_us: 250,
+            payload_len: 4,
+        }
+        .generate(3, &mut rng);
         assert_eq!(arrivals.len(), 5);
         for (i, a) in arrivals.iter().enumerate() {
             assert_eq!(a.at, SimTime::from_micros(i as u64 * 250));

@@ -31,7 +31,10 @@ fn main() -> Result<(), Error> {
     ));
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
 
-    println!("{:<38} {:>10} {:>8} {:>11}", "system", "H* (bits)", "E[len]", "P[exposed]");
+    println!(
+        "{:<38} {:>10} {:>8} {:>11}",
+        "system", "H* (bits)", "E[len]", "P[exposed]"
+    );
     for (name, h, len, exposed) in &rows {
         println!("{name:<38} {h:>10.4} {len:>8.2} {exposed:>11.4}");
     }

@@ -14,11 +14,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let message = b"I paid for dinner";
     let round = net.run_round(Some(3), message)?;
     println!("participants: {n}");
-    println!("round decodes to: {:?}", String::from_utf8_lossy(&round.decode()));
-    println!("announcement of participant 0 (looks random): {:02x?}...", &round.announcements[0][..8]);
+    println!(
+        "round decodes to: {:?}",
+        String::from_utf8_lossy(&round.decode())
+    );
+    println!(
+        "announcement of participant 0 (looks random): {:02x?}...",
+        &round.announcements[0][..8]
+    );
 
     // anonymity vs cost against the rerouting approach, as n grows
-    println!("\n{:>6} {:>14} {:>14} {:>16} {:>14}", "n", "DC-Net H*", "rerouting H*", "DC-Net bytes/msg", "rerouting bytes");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>16} {:>14}",
+        "n", "DC-Net H*", "rerouting H*", "DC-Net bytes/msg", "rerouting bytes"
+    );
     for n in [10usize, 50, 100, 500] {
         let c = 1;
         let dc_h = anonymity_degree(n, c);
@@ -28,9 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let payload = 512usize;
         let dc_bytes = n * n * payload; // every participant broadcasts
         let reroute_bytes = payload * 10; // ~E[len]+1 unicast hops
-        println!(
-            "{n:>6} {dc_h:>14.4} {reroute_h:>14.4} {dc_bytes:>16} {reroute_bytes:>14}"
-        );
+        println!("{n:>6} {dc_h:>14.4} {reroute_h:>14.4} {dc_bytes:>16} {reroute_bytes:>14}");
     }
     println!("\nDC-Nets hold anonymity near log2(n-c) regardless of routing, but their");
     println!("per-message traffic grows as n^2 — the scalability wall the paper cites.");

@@ -24,7 +24,10 @@ fn main() -> Result<(), Error> {
             best_fixed = (l, h);
         }
     }
-    println!("best fixed strategy within budget: F({}) with H* = {:.6}", best_fixed.0, best_fixed.1);
+    println!(
+        "best fixed strategy within budget: F({}) with H* = {:.6}",
+        best_fixed.0, best_fixed.1
+    );
 
     // 2. the best uniform family member at exactly the budget
     let (delta, family) = optimize::best_uniform_with_mean(&model, lmax, budget as usize)?;
@@ -37,7 +40,10 @@ fn main() -> Result<(), Error> {
 
     // 3. the unconstrained-shape optimum at the same expected length
     let optimal = optimize::maximize_with_mean(&model, lmax, budget)?;
-    println!("general optimum at E[len]={budget}: H* = {:.6}", optimal.h_star);
+    println!(
+        "general optimum at E[len]={budget}: H* = {:.6}",
+        optimal.h_star
+    );
     println!("\noptimal pmf (masses > 0.1%):");
     for (l, &p) in optimal.dist.pmf().iter().enumerate() {
         if p > 1e-3 {
@@ -49,6 +55,9 @@ fn main() -> Result<(), Error> {
     // 4. what the budget buys
     let report = AnonymityReport::evaluate(&model, &optimal.dist)?;
     println!("\n{report}");
-    println!("ideal would be log2({n}) = {:.4} bits", model.max_entropy_bits());
+    println!(
+        "ideal would be log2({n}) = {:.4} bits",
+        model.max_entropy_bits()
+    );
     Ok(())
 }

@@ -9,7 +9,10 @@ fn main() -> Result<(), Error> {
     // plus the (always compromised) receiver.
     let model = SystemModel::new(100, 1)?;
     println!("system: {model}");
-    println!("ideal anonymity: log2(n) = {:.4} bits\n", model.max_entropy_bits());
+    println!(
+        "ideal anonymity: log2(n) = {:.4} bits\n",
+        model.max_entropy_bits()
+    );
 
     // How anonymous are a few classic strategies?
     for (name, dist) in [

@@ -19,9 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // build and run the network
     let sampler = RouteSampler::new(n, dist.clone(), PathKind::Simple)?;
     let nodes = onion_network(n, &sampler, 2048, b"demo-deployment")?;
-    let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 2_000, hi: 30_000 }, 7);
+    let mut sim = Simulation::new(
+        nodes,
+        LatencyModel::Uniform {
+            lo: 2_000,
+            hi: 30_000,
+        },
+        7,
+    );
     for i in 0..200u64 {
-        sim.schedule_origination(SimTime::from_micros(i * 500), (i % n as u64) as usize, b"ballot".to_vec());
+        sim.schedule_origination(
+            SimTime::from_micros(i * 500),
+            (i % n as u64) as usize,
+            b"ballot".to_vec(),
+        );
     }
     sim.run();
     println!(
@@ -35,9 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adversary = Adversary::new(n, &compromised_ids)?;
     let report = attack_trace(&adversary, &model, &dist, sim.trace(), sim.originations())?;
 
-    println!("\nempirical anonymity degree: {:.4} bits (se {:.4})", report.empirical_h_star, report.std_error);
-    println!("exact analytical value:     {:.4} bits", engine::anonymity_degree(&model, &dist)?);
-    println!("senders fully identified:   {:.1}%", report.identification_rate * 100.0);
+    println!(
+        "\nempirical anonymity degree: {:.4} bits (se {:.4})",
+        report.empirical_h_star, report.std_error
+    );
+    println!(
+        "exact analytical value:     {:.4} bits",
+        engine::anonymity_degree(&model, &dist)?
+    );
+    println!(
+        "senders fully identified:   {:.1}%",
+        report.identification_rate * 100.0
+    );
 
     // zoom into one interesting message: the one the adversary pinned best
     let sharpest = report
@@ -53,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsharpest observation (message {:?}):", sharpest.msg);
     println!("  posterior entropy: {:.4} bits", sharpest.entropy_bits);
     println!("  adversary's guess: node {}", sharpest.best_guess);
-    println!("  true sender:       node {} (assigned prob {:.4})", truth.sender, sharpest.true_sender_prob);
+    println!(
+        "  true sender:       node {} (assigned prob {:.4})",
+        truth.sender, sharpest.true_sender_prob
+    );
     let mut top: Vec<(usize, f64)> = sharpest.posterior.iter().copied().enumerate().collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     println!("  top suspects:");

@@ -6,16 +6,20 @@
 //! anonroute optimize --n 100 --c 1 [--mean 8] [--lmax 99]
 //! anonroute simulate --n 30 --c 2 --dist uniform:1:6 --messages 2000 [--seed 7]
 //! anonroute frontier --n 100 --c 1 --max-mean 20
+//! anonroute campaign --n 50,100,200 --c 1..=5 --strategies fixed:1,uniform:2:8
 //! ```
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use anonroute::adversary::{attack_trace, Adversary};
+use anonroute::campaign::{report, spec};
 use anonroute::prelude::*;
 use anonroute::protocols::onion_routing::onion_network;
 use anonroute::protocols::RouteSampler;
 use anonroute::sim::{LatencyModel, SimTime, Simulation};
+use anonroute_experiments::output::ensure_results_dir;
 
 const USAGE: &str = "\
 anonroute — optimal route-selection strategies for anonymous communication
@@ -36,6 +40,14 @@ COMMANDS:
                [--messages 2000] [--seed 7]
     frontier   anonymity-vs-overhead frontier (optimal H* per mean length)
                --n <nodes> --c <compromised> [--max-mean 20]
+    campaign   evaluate a declarative scenario grid in parallel
+               --n <list> --c <list> --strategies <list>
+               [--paths simple,cyclic] [--engines exact,mc,sim]
+               [--spec grid.toml] [--threads 0] [--seed 7]
+               [--mc-samples 20000] [--messages 1500]
+               [--out <basename>] [--timing]
+               lists take values and ranges: 50,100,200 or 1..=5
+               writes <basename>.jsonl, <basename>.csv, <basename>_timings.csv
     help       show this text
 
 DISTRIBUTION SPECS:
@@ -43,6 +55,7 @@ DISTRIBUTION SPECS:
     uniform:A:B          uniform over A..=B
     twopoint:L1:P:L2     L1 with probability P, else L2
     geometric:PF:LMAX    Crowds-style, forwarding probability PF
+    optimal[:MEAN]       the paper's optimal strategy (campaign only)
 ";
 
 fn main() -> ExitCode {
@@ -73,11 +86,15 @@ fn run(args: &[String]) -> Result<(), String> {
         "optimize" => cmd_optimize(&flags),
         "simulate" => cmd_simulate(&flags),
         "frontier" => cmd_frontier(&flags),
+        "campaign" => cmd_campaign(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
 type Flags = HashMap<String, String>;
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["cyclic", "timing"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = HashMap::new();
@@ -86,7 +103,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{a}`"));
         };
-        if name == "cyclic" {
+        if BOOLEAN_FLAGS.contains(&name) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -99,19 +116,28 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 fn get<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
     }
 }
 
 fn require<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<T, String> {
-    let v = flags.get(name).ok_or_else(|| format!("missing required flag --{name}"))?;
-    v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`"))
+    let v = flags
+        .get(name)
+        .ok_or_else(|| format!("missing required flag --{name}"))?;
+    v.parse()
+        .map_err(|_| format!("--{name}: cannot parse `{v}`"))
 }
 
 fn model_from(flags: &Flags) -> Result<SystemModel, String> {
     let n: usize = require(flags, "n")?;
     let c: usize = require(flags, "c")?;
-    let kind = if flags.contains_key("cyclic") { PathKind::Cyclic } else { PathKind::Simple };
+    let kind = if flags.contains_key("cyclic") {
+        PathKind::Cyclic
+    } else {
+        PathKind::Simple
+    };
     SystemModel::with_path_kind(n, c, kind).map_err(|e| e.to_string())
 }
 
@@ -123,9 +149,14 @@ fn dist_from(flags: &Flags) -> Result<PathLengthDist, String> {
 fn parse_dist(spec: &str) -> Result<PathLengthDist, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     let err = |m: &str| format!("--dist `{spec}`: {m}");
-    let parse_usize =
-        |s: &str| s.parse::<usize>().map_err(|_| err(&format!("bad integer `{s}`")));
-    let parse_f64 = |s: &str| s.parse::<f64>().map_err(|_| err(&format!("bad number `{s}`")));
+    let parse_usize = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|_| err(&format!("bad integer `{s}`")))
+    };
+    let parse_f64 = |s: &str| {
+        s.parse::<f64>()
+            .map_err(|_| err(&format!("bad number `{s}`")))
+    };
     match parts.as_slice() {
         ["fixed", l] => Ok(PathLengthDist::fixed(parse_usize(l)?)),
         ["uniform", a, b] => PathLengthDist::uniform(parse_usize(a)?, parse_usize(b)?)
@@ -134,10 +165,8 @@ fn parse_dist(spec: &str) -> Result<PathLengthDist, String> {
             PathLengthDist::two_point(parse_usize(l1)?, parse_f64(p)?, parse_usize(l2)?)
                 .map_err(|e| err(&e.to_string()))
         }
-        ["geometric", pf, lmax] => {
-            PathLengthDist::geometric(parse_f64(pf)?, parse_usize(lmax)?)
-                .map_err(|e| err(&e.to_string()))
-        }
+        ["geometric", pf, lmax] => PathLengthDist::geometric(parse_f64(pf)?, parse_usize(lmax)?)
+            .map_err(|e| err(&e.to_string())),
         _ => Err(err("unknown form (see `anonroute help`)")),
     }
 }
@@ -150,7 +179,10 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     println!("{model}, strategy {dist}");
     println!("{report}");
     println!("\nobservation classes:");
-    println!("{:>44}  {:>11}  {:>10}  {:>8}", "class", "probability", "entropy", "suspect");
+    println!(
+        "{:>44}  {:>11}  {:>10}  {:>8}",
+        "class", "probability", "entropy", "suspect"
+    );
     for r in &analysis.classes {
         println!(
             "{:>44}  {:>11.6}  {:>10.4}  {:>8.4}",
@@ -199,12 +231,19 @@ fn cmd_optimize(flags: &Flags) -> Result<(), String> {
         None => optimize::maximize(&model, lmax).map_err(|e| e.to_string())?,
     };
     println!("{model}: optimal strategy over support 0..={lmax}");
-    println!("H* = {:.6} bits (upper bound log2 n = {:.6})", outcome.h_star, model.max_entropy_bits());
+    println!(
+        "H* = {:.6} bits (upper bound log2 n = {:.6})",
+        outcome.h_star,
+        model.max_entropy_bits()
+    );
     println!("E[L] = {:.4}", outcome.dist.mean());
     println!("\npmf (masses > 0.1%):");
     for (l, &p) in outcome.dist.pmf().iter().enumerate() {
         if p > 1e-3 {
-            println!("  P[L={l:>3}] = {p:.4}  {}", "#".repeat((p * 120.0).round() as usize));
+            println!(
+                "  P[L={l:>3}] = {p:.4}  {}",
+                "#".repeat((p * 120.0).round() as usize)
+            );
         }
     }
     Ok(())
@@ -213,7 +252,10 @@ fn cmd_optimize(flags: &Flags) -> Result<(), String> {
 fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let model = model_from(flags)?;
     if model.path_kind() == PathKind::Cyclic {
-        return Err("simulate runs the onion stack on simple paths; use Crowds via the library for cyclic".into());
+        return Err(
+            "simulate runs the onion stack on simple paths; use Crowds via the library for cyclic"
+                .into(),
+        );
     }
     let dist = dist_from(flags)?;
     let messages: usize = get(flags, "messages", 2000)?;
@@ -227,8 +269,14 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 100, hi: 2000 }, seed);
     let mut salt = seed | 1;
     for i in 0..messages as u64 {
-        salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        sim.schedule_origination(SimTime::from_micros(i * 100), (salt >> 33) as usize % n, vec![0u8; 16]);
+        salt = salt
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        sim.schedule_origination(
+            SimTime::from_micros(i * 100),
+            (salt >> 33) as usize % n,
+            vec![0u8; 16],
+        );
     }
     sim.run();
 
@@ -240,11 +288,24 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let (lo, hi) = report.ci95();
 
     println!("{model}, strategy {dist}, {messages} messages, seed {seed}");
-    println!("trace edges: {}, deliveries: {}", sim.trace().len(), sim.deliveries().len());
-    println!("\nempirical H*: {:.4} bits (95% CI [{:.4}, {:.4}])", report.empirical_h_star, lo, hi);
+    println!(
+        "trace edges: {}, deliveries: {}",
+        sim.trace().len(),
+        sim.deliveries().len()
+    );
+    println!(
+        "\nempirical H*: {:.4} bits (95% CI [{:.4}, {:.4}])",
+        report.empirical_h_star, lo, hi
+    );
     println!("exact     H*: {exact:.4} bits");
-    println!("identification rate: {:.2}%", report.identification_rate * 100.0);
-    println!("mean posterior on true sender: {:.4}", report.mean_true_sender_prob);
+    println!(
+        "identification rate: {:.2}%",
+        report.identification_rate * 100.0
+    );
+    println!(
+        "mean posterior on true sender: {:.4}",
+        report.mean_true_sender_prob
+    );
     Ok(())
 }
 
@@ -261,6 +322,95 @@ fn cmd_frontier(flags: &Flags) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("{mean:>7}  {:>12.6}  {fixed:>12.6}", opt.h_star);
     }
+    Ok(())
+}
+
+fn cmd_campaign(flags: &Flags) -> Result<(), String> {
+    let mut config = CampaignConfig::default();
+    let (grid, spec_config) = match flags.get("spec") {
+        Some(path) => {
+            // a spec file owns the grid axes; axis flags alongside it would
+            // be silently ignored, so reject the combination outright
+            for axis in ["n", "c", "strategies", "paths", "engines"] {
+                if flags.contains_key(axis) {
+                    return Err(format!(
+                        "--{axis} conflicts with --spec: the spec file defines the grid axes \
+                         (run settings like --threads/--seed still override)"
+                    ));
+                }
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("--spec {path}: {e}"))?;
+            spec::parse_spec(&text, &config)?
+        }
+        None => {
+            let ns: String = require(flags, "n")?;
+            let cs: String = require(flags, "c")?;
+            let strategies: String = require(flags, "strategies")?;
+            let paths: String = get(flags, "paths", String::new())?;
+            let engines: String = get(flags, "engines", String::new())?;
+            (
+                spec::grid_from_flags(&ns, &cs, &paths, &strategies, &engines)?,
+                config,
+            )
+        }
+    };
+    config = spec_config;
+    // explicit flags override spec-file run settings
+    config.threads = get(flags, "threads", config.threads)?;
+    config.seed = get(flags, "seed", config.seed)?;
+    config.mc_samples = get(flags, "mc-samples", config.mc_samples)?;
+    config.sim_messages = get(flags, "messages", config.sim_messages)?;
+    if grid.is_empty() {
+        return Err("the grid has no cells (every axis needs at least one value)".into());
+    }
+
+    println!(
+        "campaign: {} cells ({} n × {} c × {} path × {} strategy × {} engine), {} thread(s)",
+        grid.len(),
+        grid.ns.len(),
+        grid.cs.len(),
+        grid.path_kinds.len(),
+        grid.strategies.len(),
+        grid.engines.len(),
+        if config.threads == 0 {
+            "auto".to_string()
+        } else {
+            config.threads.to_string()
+        },
+    );
+    let outcome = anonroute::campaign::run(&grid, &config);
+
+    let include_timing = flags.contains_key("timing");
+    let base: PathBuf = match flags.get("out") {
+        Some(path) => PathBuf::from(path),
+        None => ensure_results_dir()
+            .map_err(|e| e.to_string())?
+            .join("campaign"),
+    };
+    // append suffixes to the basename verbatim (no with_extension: a dotted
+    // basename like `run.v2` must not collapse onto another run's files)
+    let with_suffix = |suffix: &str| -> PathBuf {
+        let mut name = base
+            .file_name()
+            .map(|s| s.to_os_string())
+            .unwrap_or_default();
+        name.push(suffix);
+        base.with_file_name(name)
+    };
+    let jsonl = with_suffix(".jsonl");
+    let csv = with_suffix(".csv");
+    let timings = with_suffix("_timings.csv");
+    report::write_jsonl(&jsonl, &outcome, include_timing).map_err(|e| e.to_string())?;
+    report::write_csv(&csv, &outcome).map_err(|e| e.to_string())?;
+    report::write_timings_csv(&timings, &outcome).map_err(|e| e.to_string())?;
+
+    print!("{}", report::summary(&outcome));
+    println!(
+        "results: {} + {} (timings: {})",
+        jsonl.display(),
+        csv.display(),
+        timings.display()
+    );
     Ok(())
 }
 
@@ -284,8 +434,10 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let args: Vec<String> =
-            ["--n", "100", "--c", "1", "--cyclic"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--n", "100", "--c", "1", "--cyclic"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let flags = parse_flags(&args).unwrap();
         assert_eq!(flags.get("n").unwrap(), "100");
         assert_eq!(flags.get("cyclic").unwrap(), "true");
@@ -296,24 +448,158 @@ mod tests {
     #[test]
     fn commands_run_end_to_end() {
         let flags = |pairs: &[(&str, &str)]| -> Flags {
-            pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect()
         };
         cmd_analyze(&flags(&[("n", "50"), ("c", "1"), ("dist", "fixed:5")])).unwrap();
-        cmd_sweep(&flags(&[("n", "20"), ("c", "1"), ("from", "0"), ("to", "5")])).unwrap();
-        cmd_optimize(&flags(&[("n", "30"), ("c", "1"), ("mean", "4"), ("lmax", "15")])).unwrap();
-        cmd_simulate(&flags(&[("n", "12"), ("c", "1"), ("dist", "uniform:1:4"), ("messages", "200")]))
-            .unwrap();
+        cmd_sweep(&flags(&[
+            ("n", "20"),
+            ("c", "1"),
+            ("from", "0"),
+            ("to", "5"),
+        ]))
+        .unwrap();
+        cmd_optimize(&flags(&[
+            ("n", "30"),
+            ("c", "1"),
+            ("mean", "4"),
+            ("lmax", "15"),
+        ]))
+        .unwrap();
+        cmd_simulate(&flags(&[
+            ("n", "12"),
+            ("c", "1"),
+            ("dist", "uniform:1:4"),
+            ("messages", "200"),
+        ]))
+        .unwrap();
         cmd_frontier(&flags(&[("n", "25"), ("c", "1"), ("max-mean", "3")])).unwrap();
+    }
+
+    #[test]
+    fn campaign_runs_end_to_end_from_flags() {
+        let dir = std::env::temp_dir().join("anonroute-cli-campaign-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("sweep");
+        let flags: Flags = [
+            ("n", "20,30"),
+            ("c", "1..=2"),
+            ("strategies", "fixed:3,uniform:1:5"),
+            ("engines", "exact"),
+            ("threads", "2"),
+            ("out", out.to_str().unwrap()),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        cmd_campaign(&flags).unwrap();
+        let jsonl = std::fs::read_to_string(out.with_extension("jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 8);
+        assert!(jsonl.contains("\"status\":\"ok\""));
+        let csv = std::fs::read_to_string(out.with_extension("csv")).unwrap();
+        assert_eq!(csv.lines().count(), 9);
+        assert!(dir.join("sweep_timings.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_runs_from_a_spec_file() {
+        let dir = std::env::temp_dir().join("anonroute-cli-campaign-spec-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("grid.toml");
+        std::fs::write(
+            &spec_path,
+            "[grid]\nn = [15]\nc = 1\nstrategies = [\"fixed:2\", \"fixed:40\"]\n\n[run]\nthreads = 1\n",
+        )
+        .unwrap();
+        let out = dir.join("fromspec");
+        let flags: Flags = [
+            ("spec", spec_path.to_str().unwrap()),
+            ("out", out.to_str().unwrap()),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        cmd_campaign(&flags).unwrap();
+        let jsonl = std::fs::read_to_string(out.with_extension("jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(
+            jsonl.contains("\"status\":\"error\""),
+            "F(40) is infeasible at n=15"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_bad_grids() {
+        let flags = |pairs: &[(&str, &str)]| -> Flags {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect()
+        };
+        // missing axes
+        assert!(cmd_campaign(&flags(&[("n", "10")])).is_err());
+        // bad list
+        assert!(
+            cmd_campaign(&flags(&[("n", "x"), ("c", "1"), ("strategies", "fixed:1")])).is_err()
+        );
+        // bad strategy
+        assert!(
+            cmd_campaign(&flags(&[("n", "10"), ("c", "1"), ("strategies", "warp:9")])).is_err()
+        );
+        // missing spec file
+        assert!(cmd_campaign(&flags(&[("spec", "/nonexistent/grid.toml")])).is_err());
+        // axis flags conflict with --spec instead of being silently ignored
+        let err =
+            cmd_campaign(&flags(&[("spec", "/nonexistent/grid.toml"), ("n", "500")])).unwrap_err();
+        assert!(err.contains("--n conflicts with --spec"), "{err}");
+    }
+
+    #[test]
+    fn campaign_out_basename_keeps_dots() {
+        let dir = std::env::temp_dir().join("anonroute-cli-campaign-dotted-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("run.v2");
+        let flags: Flags = [
+            ("n", "10"),
+            ("c", "1"),
+            ("strategies", "fixed:2"),
+            ("out", out.to_str().unwrap()),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        cmd_campaign(&flags).unwrap();
+        assert!(
+            dir.join("run.v2.jsonl").exists(),
+            "dotted basename preserved"
+        );
+        assert!(dir.join("run.v2.csv").exists());
+        assert!(dir.join("run.v2_timings.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn bad_inputs_error_cleanly() {
         let flags = |pairs: &[(&str, &str)]| -> Flags {
-            pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect()
         };
         assert!(cmd_analyze(&flags(&[("n", "50")])).is_err()); // missing --c / --dist
         assert!(cmd_analyze(&flags(&[("n", "5"), ("c", "9"), ("dist", "fixed:1")])).is_err());
-        assert!(cmd_sweep(&flags(&[("n", "20"), ("c", "1"), ("from", "9"), ("to", "2")])).is_err());
+        assert!(cmd_sweep(&flags(&[
+            ("n", "20"),
+            ("c", "1"),
+            ("from", "9"),
+            ("to", "2")
+        ]))
+        .is_err());
         assert!(run(&["bogus".to_string()]).is_err());
     }
 }

@@ -20,7 +20,10 @@
 //!   Freedom, PipeNet, Anonymizer, threshold mixes, and a DC-Net baseline;
 //! * [`adversary`] ([`anonroute_adversary`]) — the paper's passive
 //!   adversary: collection, correlation, Bayesian inference, Monte-Carlo
-//!   anonymity estimation.
+//!   anonymity estimation;
+//! * [`campaign`] ([`anonroute_campaign`]) — declarative scenario grids
+//!   executed on a thread pool with shared evaluator memoization and
+//!   deterministic per-cell seeding.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use anonroute_adversary as adversary;
+pub use anonroute_campaign as campaign;
 pub use anonroute_core as core;
 pub use anonroute_crypto as crypto;
 pub use anonroute_protocols as protocols;
@@ -50,6 +54,7 @@ pub use anonroute_sim as sim;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use anonroute_campaign::{CampaignConfig, EngineKind, ScenarioGrid, StrategySpec};
     pub use anonroute_core::engine;
     pub use anonroute_core::optimize;
     pub use anonroute_core::strategies;

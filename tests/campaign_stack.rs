@@ -1,0 +1,109 @@
+//! Full-stack checks of the campaign subsystem through the `anonroute`
+//! facade: parallel determinism, agreement with the direct engine, and
+//! spec-file-driven runs — the same path the CLI exercises.
+
+use anonroute::campaign::{report, run, spec};
+use anonroute::prelude::*;
+
+#[test]
+fn facade_exposes_campaign_and_results_match_the_engine() {
+    let grid = ScenarioGrid::new().ns([40]).cs([1, 3]).strategies([
+        StrategySpec::Fixed(4),
+        StrategySpec::Uniform(2, 8),
+        StrategySpec::Geometric {
+            forward_prob: 0.7,
+            lmax: 15,
+        },
+    ]);
+    let outcome = run(&grid, &CampaignConfig::default());
+    assert_eq!(outcome.cells.len(), 6);
+    assert_eq!(outcome.error_count(), 0);
+    for cell in &outcome.cells {
+        let model = SystemModel::new(cell.scenario.n, cell.scenario.c).unwrap();
+        let dist = cell.scenario.strategy.realize(&model).unwrap();
+        let expect = engine::anonymity_degree(&model, &dist).unwrap();
+        let metrics = cell.outcome.as_ref().unwrap();
+        assert!((metrics.h_star - expect).abs() < 1e-12, "{}", cell.scenario);
+        assert!((metrics.mean_len - dist.mean()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_rendered_results() {
+    let grid = ScenarioGrid::new()
+        .ns([30, 60])
+        .cs(1..=3)
+        .strategies((1..=8).map(StrategySpec::Fixed))
+        .engines([EngineKind::Exact, EngineKind::MonteCarlo]);
+    let serial = run(
+        &grid,
+        &CampaignConfig {
+            threads: 1,
+            mc_samples: 1_500,
+            ..Default::default()
+        },
+    );
+    let parallel = run(
+        &grid,
+        &CampaignConfig {
+            threads: 6,
+            mc_samples: 1_500,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        report::render_jsonl(&serial, false),
+        report::render_jsonl(&parallel, false)
+    );
+}
+
+#[test]
+fn optimal_strategy_cells_beat_fixed_cells_at_equal_mean() {
+    let grid = ScenarioGrid::new().ns([50]).cs([1]).strategies([
+        StrategySpec::Fixed(5),
+        StrategySpec::Optimal { mean: Some(5.0) },
+    ]);
+    let outcome = run(&grid, &CampaignConfig::default());
+    let fixed = outcome.cells[0].outcome.as_ref().unwrap().h_star;
+    let optimal = outcome.cells[1].outcome.as_ref().unwrap().h_star;
+    assert!(
+        optimal >= fixed - 1e-9,
+        "optimal {optimal} vs fixed {fixed}"
+    );
+    let mean = outcome.cells[1].outcome.as_ref().unwrap().mean_len;
+    assert!((mean - 5.0).abs() < 1e-6);
+}
+
+#[test]
+fn spec_file_drives_a_mixed_engine_run() {
+    let text = r#"
+[grid]
+n = [20]
+c = [1]
+path = ["simple", "cyclic"]
+strategies = ["geometric:0.6:10"]
+engines = ["exact", "mc"]
+
+[run]
+threads = 2
+seed = 11
+mc_samples = 8000
+"#;
+    let (grid, config) = spec::parse_spec(text, &CampaignConfig::default()).unwrap();
+    let outcome = run(&grid, &config);
+    assert_eq!(outcome.cells.len(), 4);
+    assert_eq!(outcome.error_count(), 0);
+    // Monte-Carlo agrees with the exact engine on both path kinds
+    for pair in outcome.cells.chunks(2) {
+        let exact = pair[0].outcome.as_ref().unwrap();
+        let mc = pair[1].outcome.as_ref().unwrap();
+        let se = mc.std_error.unwrap();
+        assert!(
+            (mc.h_star - exact.h_star).abs() <= 4.0 * se + 1e-9,
+            "{}: {} vs {}",
+            pair[1].scenario,
+            mc.h_star,
+            exact.h_star
+        );
+    }
+}

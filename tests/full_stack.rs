@@ -21,7 +21,11 @@ fn onion_pipeline_reconstruction_matches_generative_observation() {
     let nodes = onion_network(n, &sampler, 2048, b"itest").unwrap();
     let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 10, hi: 100 }, 21);
     for i in 0..300u64 {
-        sim.schedule_origination(SimTime::from_micros(i * 300), (i % n as u64) as usize, vec![9]);
+        sim.schedule_origination(
+            SimTime::from_micros(i * 300),
+            (i % n as u64) as usize,
+            vec![9],
+        );
     }
     sim.run();
 
@@ -50,7 +54,11 @@ fn simulated_attack_tracks_exact_h_star_across_strategies() {
         let mut salt = 11u64;
         for i in 0..2500u64 {
             salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1);
-            sim.schedule_origination(SimTime::from_micros(i * 100), (salt >> 33) as usize % n, vec![]);
+            sim.schedule_origination(
+                SimTime::from_micros(i * 100),
+                (salt >> 33) as usize % n,
+                vec![],
+            );
         }
         sim.run();
         let adv = Adversary::new(n, &[0, 1]).unwrap();
@@ -66,12 +74,15 @@ fn simulated_attack_tracks_exact_h_star_across_strategies() {
 #[test]
 fn mix_network_preserves_payloads_and_breaks_timing_order() {
     let n = 12;
-    let sampler =
-        RouteSampler::new(n, PathLengthDist::fixed(3), PathKind::Simple).unwrap();
+    let sampler = RouteSampler::new(n, PathLengthDist::fixed(3), PathKind::Simple).unwrap();
     let nodes = mix_network(n, &sampler, 2048, 4, 100_000, b"mixnet").unwrap();
     let mut sim = Simulation::new(nodes, LatencyModel::Constant(1_000), 13);
     for i in 0..60u64 {
-        sim.schedule_origination(SimTime::from_micros(i * 10), (i % n as u64) as usize, vec![i as u8]);
+        sim.schedule_origination(
+            SimTime::from_micros(i * 10),
+            (i % n as u64) as usize,
+            vec![i as u8],
+        );
     }
     sim.run();
     assert_eq!(sim.deliveries().len(), 60);
@@ -98,7 +109,11 @@ fn crowds_behaves_like_its_analytical_model() {
     let mut salt = 3u64;
     for i in 0..2500u64 {
         salt = salt.wrapping_mul(6364136223846793005).wrapping_add(1);
-        sim.schedule_origination(SimTime::from_micros(i * 400), (salt >> 33) as usize % n, vec![]);
+        sim.schedule_origination(
+            SimTime::from_micros(i * 400),
+            (salt >> 33) as usize % n,
+            vec![],
+        );
     }
     sim.run();
     let adv = Adversary::new(n, &[7]).unwrap();
@@ -148,13 +163,17 @@ fn live_runtime_agrees_with_discrete_event_engine_on_outcomes() {
 #[test]
 fn deterministic_replay_under_fixed_seed() {
     let n = 10;
-    let sampler = RouteSampler::new(n, PathLengthDist::uniform(1, 4).unwrap(), PathKind::Simple)
-        .unwrap();
+    let sampler =
+        RouteSampler::new(n, PathLengthDist::uniform(1, 4).unwrap(), PathKind::Simple).unwrap();
     let run = |seed: u64| {
         let nodes = onion_network(n, &sampler, 1024, b"replay").unwrap();
         let mut sim = Simulation::new(nodes, LatencyModel::Uniform { lo: 5, hi: 500 }, seed);
         for i in 0..50u64 {
-            sim.schedule_origination(SimTime::from_micros(i * 99), (i % n as u64) as usize, vec![]);
+            sim.schedule_origination(
+                SimTime::from_micros(i * 99),
+                (i % n as u64) as usize,
+                vec![],
+            );
         }
         sim.run();
         sim.trace().to_vec()

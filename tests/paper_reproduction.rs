@@ -12,10 +12,15 @@ fn observation_1_long_paths_can_hurt() {
     // "the anonymity of the system may NOT always be improved as path
     // length increases" (conclusion 1)
     let model = SystemModel::new(100, 1).unwrap();
-    let values: Vec<f64> = (1..=99).map(|l| h(&model, &PathLengthDist::fixed(l))).collect();
+    let values: Vec<f64> = (1..=99)
+        .map(|l| h(&model, &PathLengthDist::fixed(l)))
+        .collect();
     let peak = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let last = *values.last().unwrap();
-    assert!(last < peak - 1e-4, "no long-path decline: last={last} peak={peak}");
+    assert!(
+        last < peak - 1e-4,
+        "no long-path decline: last={last} peak={peak}"
+    );
     // and the effect strengthens with more compromised nodes
     let model5 = SystemModel::new(100, 5).unwrap();
     let h20 = h(&model5, &PathLengthDist::fixed(20));
@@ -31,7 +36,10 @@ fn observation_2_uniform_lower_bound_three_matches_fixed_of_same_mean() {
         let mean = (a + b) / 2;
         let hu = h(&model, &PathLengthDist::uniform(a, b).unwrap());
         let hf = h(&model, &PathLengthDist::fixed(mean));
-        assert!((hu - hf).abs() < 1e-12, "U({a},{b}) vs F({mean}): {hu} vs {hf}");
+        assert!(
+            (hu - hf).abs() < 1e-12,
+            "U({a},{b}) vs F({mean}): {hu} vs {hf}"
+        );
     }
 }
 
@@ -69,7 +77,9 @@ fn observation_4_variable_beats_fixed_and_log2n_bounds_everything() {
 fn short_path_effect_full_pattern() {
     // Figure 3(b): F(0)=0 < F(3) < F(1)=F(2) < F(4)
     let model = SystemModel::new(100, 1).unwrap();
-    let f: Vec<f64> = (0..=4).map(|l| h(&model, &PathLengthDist::fixed(l))).collect();
+    let f: Vec<f64> = (0..=4)
+        .map(|l| h(&model, &PathLengthDist::fixed(l)))
+        .collect();
     assert_eq!(f[0], 0.0);
     assert!((f[1] - f[2]).abs() < 1e-12);
     assert!(f[3] < f[1]);

@@ -8,10 +8,8 @@ use anonroute::prelude::*;
 use proptest::prelude::*;
 
 fn arb_pmf(lmax: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..1.0, 1..=lmax + 1).prop_filter(
-        "needs positive mass",
-        |v| v.iter().sum::<f64>() > 1e-6,
-    )
+    proptest::collection::vec(0.0f64..1.0, 1..=lmax + 1)
+        .prop_filter("needs positive mass", |v| v.iter().sum::<f64>() > 1e-6)
 }
 
 proptest! {

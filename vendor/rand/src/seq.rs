@@ -1,0 +1,67 @@
+//! Sequence helpers ([`SliceRandom`]).
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = gen_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[gen_index(rng, self.len())])
+        }
+    }
+}
+
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    rng.gen_range(0..bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let v = [1, 2, 3, 4];
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap()] = true;
+        }
+        assert_eq!(&seen[1..], &[true; 4]);
+        assert!(Vec::<u8>::new().choose(&mut rng).is_none());
+    }
+}

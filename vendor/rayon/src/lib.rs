@@ -1,0 +1,289 @@
+//! Offline vendored stand-in for the `rayon` API subset used by this
+//! workspace: `Vec::into_par_iter().map(..).collect()`, `ThreadPoolBuilder`
+//! and `ThreadPool::install`.
+//!
+//! Execution model: a work-stealing-free but order-preserving fan-out over
+//! `std::thread::scope`. Items are claimed from a shared atomic cursor, so
+//! threads stay busy as long as work remains; results land at their input
+//! index, so collected output order is identical to sequential execution
+//! regardless of thread count.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel iterator on this thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Builder for a (virtual) thread pool.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means auto-detect.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Pool-construction error (never produced; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped degree-of-parallelism setting. Threads are spawned per
+/// parallel call rather than kept alive, which is indistinguishable for
+/// the coarse-grained sweeps this workspace runs.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+/// The (minimal) parallel-iterator protocol: producers can materialize
+/// themselves into an ordered `Vec`, and adapters run their stage in
+/// parallel over that base.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Executes the pipeline, preserving input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the ordered results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Applies `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _: Vec<()> = Map {
+            base: self,
+            f: |x| f(x),
+        }
+        .run();
+    }
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Map adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        par_apply(self.base.run(), current_num_threads(), &self.f)
+    }
+}
+
+/// Applies `f` to every item on up to `threads` scoped threads, returning
+/// results in input order.
+fn par_apply<T: Send, U: Send, F: Fn(T) -> U + Sync>(
+    items: Vec<T>,
+    threads: usize,
+    f: &F,
+) -> Vec<U> {
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let result = f(item);
+                *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_pool_matches_parallel_results() {
+        let work: Vec<u64> = (0..200).collect();
+        let serial = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| -> Vec<u64> {
+                work.clone()
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(x))
+                    .collect()
+            });
+        let parallel = ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap()
+            .install(|| -> Vec<u64> {
+                work.clone()
+                    .into_par_iter()
+                    .map(|x| x.wrapping_mul(x))
+                    .collect()
+            });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            (0..64u32)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                });
+        });
+        assert!(ids.into_inner().unwrap().len() > 1);
+    }
+}
