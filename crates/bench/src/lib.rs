@@ -6,6 +6,9 @@
 //! * `engine` — exact anonymity-degree engines, posteriors, optimizer;
 //! * `crypto` — SHA-256 / ChaCha20 throughput, onion build/peel;
 //! * `simulation` — discrete-event throughput with full onion protocol;
-//! * `figures` — wall-clock cost of regenerating each paper figure.
+//! * `figures` — wall-clock cost of regenerating each paper figure;
+//! * `campaign` — serial-vs-parallel scenario-sweep throughput;
+//! * `relay` — TCP relay network: end-to-end circuit latency over
+//!   loopback and whole-cluster throughput including teardown.
 
 #![forbid(unsafe_code)]

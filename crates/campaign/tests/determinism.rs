@@ -45,6 +45,17 @@ fn one_thread_and_many_threads_yield_identical_jsonl() {
     let a = report::render_jsonl(&serial, false);
     let b = report::render_jsonl(&parallel, false);
     assert_eq!(a, b, "JSONL must be byte-identical across thread counts");
+    // the shared memoization layer is exercised identically too: misses
+    // count distinct (n, c, path_kind, lmax) evaluators whatever the
+    // interleaving (racing duplicate builds count as hits by contract)
+    assert_eq!(serial.cache, parallel.cache);
+    assert_eq!(serial.cache.misses, 4, "one build per simple (n, c) model");
+    assert_eq!(serial.cache.hits, 8, "the other simple exact cells reuse");
+    let summary = report::summary(&parallel);
+    assert!(
+        summary.contains("evaluator cache: 4 built, 8 reused"),
+        "summary must surface cache reuse: {summary}"
+    );
     // ... and the same holds for sorted lines, the acceptance criterion's form
     let mut sa: Vec<&str> = a.lines().collect();
     let mut sb: Vec<&str> = b.lines().collect();

@@ -145,27 +145,14 @@ mod tests {
 
     #[test]
     fn layer_keys_work_with_the_onion_format() {
-        use crate::onion::{peel, Peeled};
+        use crate::onion::{peel, seal, Peeled, DELIVER};
         // one hop sealed with a handshake-derived key instead of a
         // pre-shared one
         let node = NodeIdentity::derive(b"dir", 3);
         let (layer_key, eph_pub) = send_layer_key(&[0x11u8; 32], node.public());
-        // seal manually via a single-hop keystore substitute
         let nonce = [4u8; 12];
         let plaintext = b"end-to-end payload";
-        // reuse the onion primitives through a one-node KeyStore facade:
-        // build expects a KeyStore, so seal by constructing the layer here
-        let (enc, mac) = layer_key.layer_keys(&nonce);
-        let mut body = Vec::new();
-        body.extend_from_slice(&[0u8; 16]);
-        body.extend_from_slice(&u16::MAX.to_be_bytes());
-        body.extend_from_slice(&(plaintext.len() as u16).to_be_bytes());
-        body.extend_from_slice(plaintext);
-        let tag = crate::hmac::hmac_sha256(&mac, &body[16..]);
-        body[..16].copy_from_slice(&tag[..16]);
-        crate::chacha20::xor_stream(&enc, &nonce, 1, &mut body);
-        let mut cell = nonce.to_vec();
-        cell.extend_from_slice(&body);
+        let cell = seal(&layer_key, &nonce, DELIVER, plaintext).unwrap();
 
         // node side: recompute the key from the ephemeral and peel
         let recovered = node.recv_layer_key(&eph_pub);

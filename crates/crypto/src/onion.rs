@@ -88,17 +88,28 @@ pub fn build(
     // innermost first: the last hop delivers the payload
     let mut content = payload.to_vec();
     let mut next = DELIVER;
-    for (hop_back, (&hop, nonce)) in path.iter().zip(nonces.iter()).enumerate().rev() {
+    for (&hop, nonce) in path.iter().zip(nonces.iter()).rev() {
         let master = keys.key(hop as usize);
-        let wire = seal_layer(&master, nonce, next, &content)?;
+        let wire = seal(&master, nonce, next, &content)?;
         content = wire;
         next = hop;
-        let _ = hop_back;
     }
     Ok(content)
 }
 
-fn seal_layer(
+/// Seals one onion layer: the exact inverse of [`peel`].
+///
+/// [`build`] composes this over a pre-shared [`KeyStore`]; callers that
+/// derive per-hop keys some other way (e.g. the X25519 flow in
+/// [`crate::handshake`], where each layer key comes from an ephemeral
+/// exchange rather than a directory of master keys) can compose it
+/// themselves, innermost layer first.
+///
+/// # Errors
+///
+/// Returns [`Error::PathTooLong`] when `content` exceeds the 16-bit
+/// length field.
+pub fn seal(
     master: &MasterKey,
     nonce: &[u8; NONCE_LEN],
     next: u16,

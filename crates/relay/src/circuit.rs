@@ -1,0 +1,231 @@
+//! Circuit construction: handshake-keyed onion layers in fixed relay
+//! cells.
+//!
+//! The simulator's onion stack pre-shares symmetric master keys
+//! ([`anonroute_crypto::keys::KeyStore`]); a real network cannot. Here
+//! every layer key comes from a zero-round-trip X25519 exchange
+//! ([`anonroute_crypto::handshake`], the design of Tor's first onions and
+//! of Sphinx): the sender draws one ephemeral key pair per hop and places
+//! the ephemeral public key in the clear in front of that hop's layer.
+//!
+//! ```text
+//! relay cell := eph_pub(32) ‖ nonce(12) ‖ ciphertext      (fixed size)
+//! Forward content := next hop's relay-cell prefix (eph' ‖ nonce' ‖ ct')
+//! ```
+//!
+//! Each hop strips its ephemeral key, recomputes the layer key from its
+//! static identity, peels ([`anonroute_crypto::onion::peel`]), and frames
+//! the inner prefix back to the fixed cell size with fresh junk — so a
+//! per-hop observer sees constant-size, bitwise-unlinkable cells, the mix
+//! property the paper's system model presumes.
+
+use anonroute_crypto::handshake::{send_layer_key, NodeIdentity};
+use anonroute_crypto::onion::{self, Peeled, DELIVER, LAYER_OVERHEAD, NONCE_LEN};
+use rand::Rng;
+
+use crate::error::{Error, Result};
+
+/// Bytes of the cleartext ephemeral X25519 public key per hop.
+pub const EPH_LEN: usize = 32;
+
+/// Total overhead one relay hop adds to the meaningful prefix.
+pub const HOP_OVERHEAD: usize = EPH_LEN + LAYER_OVERHEAD;
+
+/// Default fixed relay-cell size in bytes (fits 31 hops of overhead).
+pub const DEFAULT_CELL_SIZE: usize = 2048;
+
+/// Size in bytes of the meaningful prefix of the outermost relay cell
+/// for `payload_len` bytes routed over `hops` hops.
+pub fn wire_len(hops: usize, payload_len: usize) -> usize {
+    payload_len + hops * HOP_OVERHEAD
+}
+
+/// Largest payload that fits a `cell_size` relay cell across `hops` hops.
+pub fn max_payload(cell_size: usize, hops: usize) -> Option<usize> {
+    cell_size.checked_sub(hops * HOP_OVERHEAD)
+}
+
+/// Builds the meaningful prefix of the outermost relay cell carrying
+/// `payload` along `path`, keyed against each hop's directory public key
+/// (`publics[i]` belongs to `path[i]`). Frame the result with
+/// [`anonroute_crypto::onion::frame`] before transmission.
+///
+/// Ephemeral keys and nonces are drawn from `rng` — fresh per hop per
+/// message, as the handshake requires.
+///
+/// # Errors
+///
+/// [`Error::Config`] on empty/mismatched inputs or an id colliding with
+/// the DELIVER marker; [`Error::Crypto`] when a layer exceeds the 16-bit
+/// length field.
+pub fn build<R: Rng + ?Sized>(
+    publics: &[[u8; 32]],
+    path: &[u16],
+    payload: &[u8],
+    rng: &mut R,
+) -> Result<Vec<u8>> {
+    if path.is_empty() {
+        return Err(Error::Config("circuits need at least one hop".into()));
+    }
+    if publics.len() != path.len() {
+        return Err(Error::Config(format!(
+            "need one public key per hop: {} hops, {} keys",
+            path.len(),
+            publics.len()
+        )));
+    }
+    if path.contains(&DELIVER) {
+        return Err(Error::Config(format!(
+            "node id {DELIVER} collides with the DELIVER marker"
+        )));
+    }
+    // innermost first: the exit hop delivers the payload
+    let mut content = payload.to_vec();
+    let mut next = DELIVER;
+    for (&hop, public) in path.iter().zip(publics.iter()).rev() {
+        let eph_priv: [u8; 32] = rng.gen();
+        let (master, eph_pub) = send_layer_key(&eph_priv, public);
+        let nonce: [u8; NONCE_LEN] = rng.gen();
+        let sealed = onion::seal(&master, &nonce, next, &content)?;
+        let mut wire = Vec::with_capacity(EPH_LEN + sealed.len());
+        wire.extend_from_slice(&eph_pub);
+        wire.extend_from_slice(&sealed);
+        content = wire;
+        next = hop;
+    }
+    Ok(content)
+}
+
+/// Peels one relay layer with the node's static identity: strips the
+/// ephemeral public key, recomputes the layer key, and delegates to
+/// [`anonroute_crypto::onion::peel`]. A `Forward` content is the next
+/// hop's relay-cell prefix, ready for re-framing.
+///
+/// # Errors
+///
+/// [`Error::Crypto`] when the cell is malformed or fails authentication
+/// (wrong relay, corruption, forgery).
+pub fn peel(identity: &NodeIdentity, cell: &[u8]) -> Result<Peeled> {
+    if cell.len() < HOP_OVERHEAD {
+        return Err(Error::Crypto(anonroute_crypto::Error::Malformed(format!(
+            "relay cell of {} bytes is shorter than one hop ({HOP_OVERHEAD})",
+            cell.len()
+        ))));
+    }
+    let eph_pub: [u8; 32] = cell[..EPH_LEN].try_into().expect("length checked");
+    let master = identity.recv_layer_key(&eph_pub);
+    onion::peel(&master, &cell[EPH_LEN..]).map_err(Error::Crypto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn identities(n: usize) -> Vec<NodeIdentity> {
+        (0..n)
+            .map(|i| NodeIdentity::derive(b"circuit-tests", i as u64))
+            .collect()
+    }
+
+    fn publics_for(ids: &[NodeIdentity], path: &[u16]) -> Vec<[u8; 32]> {
+        path.iter().map(|&h| *ids[h as usize].public()).collect()
+    }
+
+    fn frame_with(content: &[u8], cell_size: usize, rng: &mut StdRng) -> Vec<u8> {
+        onion::frame(content, cell_size, &mut || rng.gen::<u8>()).unwrap()
+    }
+
+    /// Relays a framed cell along `path`, asserting fixed size per hop.
+    fn relay_chain(
+        ids: &[NodeIdentity],
+        path: &[u16],
+        wire: Vec<u8>,
+        cell_size: usize,
+        rng: &mut StdRng,
+    ) -> Vec<u8> {
+        let mut cell = frame_with(&wire, cell_size, rng);
+        for (i, &hop) in path.iter().enumerate() {
+            assert_eq!(cell.len(), cell_size);
+            match peel(&ids[hop as usize], &cell).unwrap() {
+                Peeled::Forward { next, content } => {
+                    assert_eq!(next, path[i + 1], "hop {i} forwards to the wrong relay");
+                    cell = frame_with(&content, cell_size, rng);
+                }
+                Peeled::Deliver { payload } => {
+                    assert_eq!(i, path.len() - 1, "delivered early at hop {i}");
+                    return payload;
+                }
+            }
+        }
+        panic!("message never delivered");
+    }
+
+    #[test]
+    fn multi_hop_roundtrip_with_handshake_keys() {
+        let ids = identities(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for path in [vec![3u16], vec![2, 7, 1, 9, 4], vec![5, 2, 5, 2]] {
+            let payload = b"optimal strategies over real sockets";
+            let wire = build(&publics_for(&ids, &path), &path, payload, &mut rng).unwrap();
+            assert_eq!(wire.len(), wire_len(path.len(), payload.len()));
+            let got = relay_chain(&ids, &path, wire, 1024, &mut rng);
+            assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn wrong_relay_rejects_the_cell() {
+        let ids = identities(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let path = [1u16, 2];
+        let wire = build(&publics_for(&ids, &path), &path, b"secret", &mut rng).unwrap();
+        let cell = onion::frame(&wire, 512, &mut || 0u8).unwrap();
+        assert!(peel(&ids[3], &cell).is_err());
+        assert!(peel(&ids[1], &cell).is_ok());
+    }
+
+    #[test]
+    fn rebuilding_the_same_message_is_unlinkable() {
+        // fresh ephemerals/nonces per build: two cells for the same
+        // payload and path share no bytes beyond chance
+        let ids = identities(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let path = [1u16, 4];
+        let publics = publics_for(&ids, &path);
+        let a = build(&publics, &path, &[0u8; 64], &mut rng).unwrap();
+        let b = build(&publics, &path, &[0u8; 64], &mut rng).unwrap();
+        let matching = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+        assert!(
+            matching < a.len() / 10,
+            "{matching} of {} bytes match",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let ids = identities(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(build(&[], &[], b"x", &mut rng).is_err());
+        assert!(build(&publics_for(&ids, &[1]), &[1, 2], b"x", &mut rng).is_err());
+        assert!(build(&[[0u8; 32]], &[DELIVER], b"x", &mut rng).is_err());
+        assert!(peel(&ids[0], &[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        assert_eq!(HOP_OVERHEAD, 64);
+        assert_eq!(max_payload(DEFAULT_CELL_SIZE, 31), Some(64));
+        assert_eq!(max_payload(128, 3), None);
+        let ids = identities(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let path = [0u16, 1, 2];
+        let cap = max_payload(512, 3).unwrap();
+        let wire = build(&publics_for(&ids, &path), &path, &vec![9u8; cap], &mut rng).unwrap();
+        assert_eq!(wire.len(), 512);
+        let got = relay_chain(&ids, &path, wire, 512, &mut rng);
+        assert_eq!(got.len(), cap);
+    }
+}

@@ -1,0 +1,263 @@
+//! The sending client: samples a circuit, builds the onion, transmits.
+//!
+//! A client acts for a member node (the paper's senders *are* members):
+//! it draws a route from a [`RouteSampler`] — any [`PathLengthDist`] ×
+//! [`PathKind`] combination, including the optimizer's optimal strategy —
+//! wraps the payload in one handshake-keyed layer per hop
+//! ([`crate::circuit::build`]), and writes the framed cell to the first
+//! hop over TCP. A zero-length route is the paper's `l = 0` case: the
+//! payload goes straight to the receiver.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use anonroute_core::{PathKind, PathLengthDist};
+use anonroute_crypto::onion;
+use anonroute_protocols::RouteSampler;
+use anonroute_sim::{Endpoint, MsgId, NodeId};
+use rand::Rng;
+
+use crate::circuit;
+use crate::daemon::send_cached;
+use crate::directory::Directory;
+use crate::error::{Error, Result};
+use crate::tap::LinkTap;
+use crate::wire::{self, Frame};
+
+/// A circuit-building sender over a relay [`Directory`].
+#[derive(Debug)]
+pub struct Client {
+    directory: Arc<Directory>,
+    sampler: RouteSampler,
+    cell_size: usize,
+    tap: Option<LinkTap>,
+    conns: HashMap<usize, TcpStream>,
+}
+
+impl Client {
+    /// Creates a client whose circuits follow `dist` × `kind` over the
+    /// directory's members.
+    ///
+    /// `tap` makes the client report its own first-hop link transfers to
+    /// the cluster's observation tap; standalone senders pass `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Core`] when the strategy is unrealizable for the member
+    /// count, [`Error::Config`] when the longest sampleable route cannot
+    /// fit a `cell_size` cell.
+    pub fn new(
+        directory: Arc<Directory>,
+        dist: PathLengthDist,
+        kind: PathKind,
+        cell_size: usize,
+        tap: Option<LinkTap>,
+    ) -> Result<Self> {
+        let sampler = RouteSampler::new(directory.n(), dist, kind)?;
+        // a CELL frame body is tag(1) + msg(8) + the cell itself; anything
+        // larger than MAX_FRAME would be written fine but rejected by
+        // every reader, surfacing only as a delivery timeout
+        if cell_size + 9 > wire::MAX_FRAME {
+            return Err(Error::Config(format!(
+                "cell size {cell_size} exceeds the wire frame bound ({} max)",
+                wire::MAX_FRAME - 9
+            )));
+        }
+        let worst = circuit::wire_len(sampler.dist().max_len().max(1), 0);
+        if worst > cell_size {
+            return Err(Error::Config(format!(
+                "cell size {cell_size} cannot carry {} hops (needs {worst} bytes)",
+                sampler.dist().max_len()
+            )));
+        }
+        Ok(Client {
+            directory,
+            sampler,
+            cell_size,
+            tap,
+            conns: HashMap::new(),
+        })
+    }
+
+    /// The fixed relay-cell size this client frames to.
+    pub fn cell_size(&self) -> usize {
+        self.cell_size
+    }
+
+    /// Sends `payload` as member `sender`, tagged `msg`, over a freshly
+    /// sampled circuit. Returns the sampled route (ground truth — the
+    /// harness keeps it away from the adversary).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when the payload does not fit the sampled
+    /// route's cell budget, [`Error::Io`] when the first hop (or the
+    /// receiver, for direct sends) is unreachable.
+    pub fn send<R: Rng + ?Sized>(
+        &mut self,
+        sender: NodeId,
+        msg: MsgId,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<Vec<NodeId>> {
+        let route = self.sampler.sample(sender, rng);
+        if route.is_empty() {
+            // direct send: no onion, the receiver sees the sender. The
+            // DELIVER body is tag(1) + msg(8) + from(2) + payload, and is
+            // not bounded by the cell budget — check the frame bound
+            if payload.len() + 11 > wire::MAX_FRAME {
+                return Err(Error::Config(format!(
+                    "payload of {} bytes exceeds the wire frame bound for a direct send",
+                    payload.len()
+                )));
+            }
+            if let Some(tap) = &self.tap {
+                tap.record(Endpoint::Node(sender), Endpoint::Receiver, msg);
+            }
+            let frame = Frame::Deliver {
+                msg: msg.0,
+                from: sender as u16,
+                payload: payload.to_vec(),
+            };
+            send_cached(
+                &mut self.conns,
+                usize::MAX,
+                self.directory.receiver(),
+                &frame,
+            )?;
+            return Ok(route);
+        }
+        if circuit::wire_len(route.len(), payload.len()) > self.cell_size {
+            return Err(Error::Config(format!(
+                "payload of {} bytes exceeds the budget of a {}-hop route in a {}-byte cell",
+                payload.len(),
+                route.len(),
+                self.cell_size
+            )));
+        }
+        let publics: Vec<[u8; 32]> = route
+            .iter()
+            .map(|&id| {
+                self.directory
+                    .node(id)
+                    .expect("sampler draws ids below directory.n()")
+                    .public
+            })
+            .collect();
+        let hops: Vec<u16> = route.iter().map(|&id| id as u16).collect();
+        let wire_bytes = circuit::build(&publics, &hops, payload, rng)?;
+        let cell = onion::frame(&wire_bytes, self.cell_size, &mut || rng.gen::<u8>())
+            .expect("route budget validated above");
+        let first = route[0];
+        if let Some(tap) = &self.tap {
+            tap.record(Endpoint::Node(sender), Endpoint::Node(first), msg);
+        }
+        let addr = self.directory.node(first).expect("validated above").addr;
+        send_cached(
+            &mut self.conns,
+            first,
+            addr,
+            &Frame::Cell { msg: msg.0, cell },
+        )?;
+        Ok(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::NodeInfo;
+    use anonroute_crypto::handshake::NodeIdentity;
+    use std::net::TcpListener;
+
+    fn tiny_directory(n: usize, receiver: std::net::SocketAddr) -> Arc<Directory> {
+        let nodes = (0..n)
+            .map(|id| NodeInfo {
+                id,
+                addr: "127.0.0.1:1".parse().unwrap(), // never dialed in these tests
+                public: *NodeIdentity::derive(b"client-tests", id as u64).public(),
+            })
+            .collect();
+        Arc::new(Directory::new(nodes, receiver).unwrap())
+    }
+
+    #[test]
+    fn rejects_unfittable_strategies() {
+        let dir = tiny_directory(40, "127.0.0.1:1".parse().unwrap());
+        // 30 hops × 64 bytes > 512-byte cells
+        let err = Client::new(
+            Arc::clone(&dir),
+            PathLengthDist::fixed(30),
+            PathKind::Simple,
+            512,
+            None,
+        );
+        assert!(matches!(err, Err(Error::Config(_))));
+        // cells beyond the wire frame bound would be unreadable by peers
+        let err = Client::new(
+            dir,
+            PathLengthDist::fixed(3),
+            PathKind::Simple,
+            wire::MAX_FRAME,
+            None,
+        );
+        assert!(matches!(err, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn direct_sends_reach_the_receiver_unwrapped() {
+        use crate::wire::{read_frame, ReadOutcome};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let dir = tiny_directory(6, listener.local_addr().unwrap());
+        let tap = LinkTap::new();
+        let mut client = Client::new(
+            dir,
+            PathLengthDist::fixed(0),
+            PathKind::Simple,
+            512,
+            Some(tap.clone()),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use rand::SeedableRng;
+        let route = client.send(2, MsgId(9), b"direct", &mut rng).unwrap();
+        assert!(route.is_empty());
+        let (mut conn, _) = listener.accept().unwrap();
+        match read_frame(&mut conn, 100).unwrap() {
+            ReadOutcome::Frame(Frame::Deliver { msg, from, payload }) => {
+                assert_eq!((msg, from), (9, 2));
+                assert_eq!(payload, b"direct");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let trace = tap.snapshot();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].from, Endpoint::Node(2));
+        assert_eq!(trace[0].to, Endpoint::Receiver);
+    }
+
+    #[test]
+    fn oversized_payload_for_sampled_route_errors() {
+        let dir = tiny_directory(10, "127.0.0.1:1".parse().unwrap());
+        let mut client =
+            Client::new(dir, PathLengthDist::fixed(3), PathKind::Simple, 256, None).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        // 3 hops × 64 = 192 of 256 bytes: a 100-byte payload cannot fit
+        let err = client.send(0, MsgId(0), &[0u8; 100], &mut rng);
+        assert!(matches!(err, Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn oversized_direct_send_errors_instead_of_wedging_readers() {
+        let dir = tiny_directory(6, "127.0.0.1:1".parse().unwrap());
+        let mut client =
+            Client::new(dir, PathLengthDist::fixed(0), PathKind::Simple, 512, None).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        // direct sends bypass the cell budget but not the frame bound
+        let err = client.send(1, MsgId(0), &vec![0u8; wire::MAX_FRAME], &mut rng);
+        assert!(matches!(err, Err(Error::Config(_))));
+    }
+}

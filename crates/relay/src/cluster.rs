@@ -1,0 +1,338 @@
+//! The in-process cluster harness: N relays on loopback, seeded traffic,
+//! and a ground-truth link tap.
+//!
+//! [`run_cluster`] is the live-network analogue of one
+//! [`anonroute_sim::Simulation`] run: it binds every relay on a
+//! `127.0.0.1` ephemeral port, builds the [`Directory`] from the bound
+//! addresses, drives a schedule of [`Arrival`]s (from the
+//! [`anonroute_sim::traffic`] generators) through a circuit-building
+//! [`Client`], and returns the tap's [`TransferRecord`] trace plus the
+//! receiver's deliveries — the exact inputs
+//! `anonroute_adversary::attack_trace` consumes, so the measured
+//! anonymity degree of live TCP traffic can be checked against
+//! `anonroute-core`'s analytic prediction.
+//!
+//! Route sampling, handshake ephemerals, nonces, and payload junk all
+//! derive from the cluster seed, so the *observations* (and therefore the
+//! measured anonymity degree) are deterministic per seed even though TCP
+//! scheduling is not.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use anonroute_core::{PathKind, PathLengthDist};
+use anonroute_crypto::handshake::NodeIdentity;
+use anonroute_sim::traffic::Arrival;
+use anonroute_sim::{Delivery, MsgId, Origination, TransferRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::circuit::DEFAULT_CELL_SIZE;
+use crate::client::Client;
+use crate::daemon::{PendingRelay, Relay, RelayConfig, RelayStats};
+use crate::directory::{Directory, NodeInfo};
+use crate::error::{Error, Result};
+use crate::receiver::ReceiverServer;
+use crate::tap::LinkTap;
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of member relays.
+    pub n: usize,
+    /// Path-length strategy the client samples circuits from.
+    pub dist: PathLengthDist,
+    /// Path kind (simple or cyclic routes).
+    pub path_kind: PathKind,
+    /// Fixed relay-cell size in bytes.
+    pub cell_size: usize,
+    /// Master seed: identities, routes, ephemerals, nonces, junk.
+    pub seed: u64,
+    /// Socket read timeout (shutdown-poll granularity).
+    pub io_timeout: Duration,
+    /// How long to await full delivery after the last origination.
+    pub deliver_timeout: Duration,
+    /// Per-component bound when winding the cluster down.
+    pub join_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A config with workable defaults for loopback testing.
+    pub fn new(n: usize, dist: PathLengthDist) -> Self {
+        ClusterConfig {
+            n,
+            dist,
+            path_kind: PathKind::Simple,
+            cell_size: DEFAULT_CELL_SIZE,
+            seed: 7,
+            io_timeout: Duration::from_millis(50),
+            deliver_timeout: Duration::from_secs(30),
+            join_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Everything a cluster run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Ground-truth per-link trace from the observation tap — feed it to
+    /// `anonroute_adversary::Adversary` to reconstruct observations.
+    pub trace: Vec<TransferRecord>,
+    /// Payloads the receiver collected, in arrival order.
+    pub deliveries: Vec<Delivery>,
+    /// Ground-truth senders, in origination order (scoring only).
+    pub originations: Vec<Origination>,
+    /// Per-relay traffic counters, indexed by member id.
+    pub stats: Vec<RelayStats>,
+}
+
+/// Derives the deterministic identity provisioning seed of a cluster.
+fn net_seed(seed: u64) -> Vec<u8> {
+    let mut s = b"anonroute-cluster-v1".to_vec();
+    s.extend_from_slice(&seed.to_be_bytes());
+    s
+}
+
+/// The static identity of member `id` in a cluster seeded `seed`.
+pub fn cluster_identity(seed: u64, id: usize) -> NodeIdentity {
+    NodeIdentity::derive(&net_seed(seed), id as u64)
+}
+
+/// Runs `arrivals` through a fresh loopback cluster and drains it.
+///
+/// # Errors
+///
+/// [`Error::Config`] on invalid parameters, [`Error::Timeout`] when not
+/// every message was delivered within the deadline (loopback TCP is
+/// lossless — this indicates a wedged relay), [`Error::WorkerPanic`]
+/// when any relay/receiver thread panicked, and I/O or strategy errors
+/// from setup.
+pub fn run_cluster(config: &ClusterConfig, arrivals: &[Arrival]) -> Result<ClusterOutcome> {
+    if config.n == 0 {
+        return Err(Error::Config("a cluster needs at least one relay".into()));
+    }
+    for arrival in arrivals {
+        if arrival.sender >= config.n {
+            return Err(Error::Config(format!(
+                "arrival sender {} out of range (n={})",
+                arrival.sender, config.n
+            )));
+        }
+    }
+    let tap = LinkTap::new();
+    let receiver = ReceiverServer::spawn(tap.clone(), config.io_timeout)?;
+    let relay_cfg = RelayConfig {
+        cell_size: config.cell_size,
+        io_timeout: config.io_timeout,
+        ..RelayConfig::default()
+    };
+
+    // bind every listener first so the directory can carry real ports
+    let mut pending: Vec<PendingRelay> = Vec::with_capacity(config.n);
+    for id in 0..config.n {
+        match PendingRelay::bind(id, cluster_identity(config.seed, id), relay_cfg) {
+            Ok(p) => pending.push(p),
+            Err(e) => {
+                let _ = receiver.join(config.join_timeout);
+                return Err(e);
+            }
+        }
+    }
+    let nodes: Vec<NodeInfo> = pending
+        .iter()
+        .map(|p| NodeInfo {
+            id: p.id(),
+            addr: p.addr(),
+            public: p.public(),
+        })
+        .collect();
+    let directory = match Directory::new(nodes, receiver.addr()) {
+        Ok(d) => Arc::new(d),
+        Err(e) => {
+            let _ = receiver.join(config.join_timeout);
+            return Err(e);
+        }
+    };
+    let relays: Vec<Relay> = pending
+        .into_iter()
+        .map(|p| {
+            let junk_seed = config
+                .seed
+                .wrapping_add((p.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            p.serve(Arc::clone(&directory), tap.clone(), junk_seed)
+        })
+        .collect();
+
+    // drive the workload; the client drops (closing its connections) as
+    // soon as the last cell is on the wire
+    let send_result = (|| -> Result<Vec<Origination>> {
+        let mut client = Client::new(
+            Arc::clone(&directory),
+            config.dist.clone(),
+            config.path_kind,
+            config.cell_size,
+            Some(tap.clone()),
+        )?;
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x517E_C0DE_5EED_0001);
+        let mut originations = Vec::with_capacity(arrivals.len());
+        for (i, arrival) in arrivals.iter().enumerate() {
+            let msg = MsgId(i as u64);
+            originations.push(Origination {
+                time: tap.now(),
+                sender: arrival.sender,
+                msg,
+            });
+            client.send(arrival.sender, msg, &arrival.payload, &mut rng)?;
+        }
+        Ok(originations)
+    })();
+
+    let all_arrived = match &send_result {
+        Ok(_) => receiver.wait_for(arrivals.len(), config.deliver_timeout),
+        Err(_) => false,
+    };
+
+    // teardown is unconditional and bounded; keep the first error seen
+    let mut stats = Vec::with_capacity(config.n);
+    let mut teardown_err: Option<Error> = None;
+    for relay in relays {
+        match relay.join(config.join_timeout) {
+            Ok(s) => stats.push(s),
+            Err(e) => {
+                stats.push(RelayStats::default());
+                teardown_err.get_or_insert(e);
+            }
+        }
+    }
+    let deliveries = match receiver.join(config.join_timeout) {
+        Ok(d) => d,
+        Err(e) => {
+            teardown_err.get_or_insert(e);
+            Vec::new()
+        }
+    };
+
+    let originations = send_result?;
+    if let Some(e) = teardown_err {
+        return Err(e);
+    }
+    if !all_arrived {
+        return Err(Error::Timeout(format!(
+            "only {} of {} messages delivered within {:?}",
+            deliveries.len(),
+            arrivals.len(),
+            config.deliver_timeout
+        )));
+    }
+    Ok(ClusterOutcome {
+        trace: tap.snapshot(),
+        deliveries,
+        originations,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonroute_sim::traffic::UniformTraffic;
+    use anonroute_sim::Endpoint;
+
+    fn workload(n: usize, count: usize, seed: u64) -> Vec<Arrival> {
+        UniformTraffic {
+            count,
+            interval_us: 0,
+            payload_len: 24,
+        }
+        .generate(n, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn fixed_two_hop_cluster_delivers_everything() {
+        let config = ClusterConfig::new(6, PathLengthDist::fixed(2));
+        let arrivals = workload(6, 25, 11);
+        let outcome = run_cluster(&config, &arrivals).unwrap();
+
+        assert_eq!(outcome.deliveries.len(), 25);
+        assert_eq!(outcome.originations.len(), 25);
+        // l = 2: sender→x1, x1→x2, x2→receiver per message
+        assert_eq!(outcome.trace.len(), 75);
+        let relayed: u64 = outcome.stats.iter().map(|s| s.relayed).sum();
+        let delivered: u64 = outcome.stats.iter().map(|s| s.delivered).sum();
+        let dropped: u64 = outcome.stats.iter().map(|s| s.dropped).sum();
+        assert_eq!((relayed, delivered, dropped), (25, 25, 0));
+
+        // payload integrity end to end
+        let mut sent: Vec<Vec<u8>> = arrivals.iter().map(|a| a.payload.clone()).collect();
+        let mut got: Vec<Vec<u8>> = outcome
+            .deliveries
+            .iter()
+            .map(|d| d.payload.clone())
+            .collect();
+        sent.sort();
+        got.sort();
+        assert_eq!(sent, got);
+
+        // every message has exactly one receiver edge
+        for o in &outcome.originations {
+            let receiver_edges = outcome
+                .trace
+                .iter()
+                .filter(|r| r.msg == o.msg && r.to == Endpoint::Receiver)
+                .count();
+            assert_eq!(receiver_edges, 1, "{:?}", o.msg);
+        }
+    }
+
+    #[test]
+    fn zero_length_paths_send_directly() {
+        let config = ClusterConfig::new(4, PathLengthDist::fixed(0));
+        let arrivals = workload(4, 8, 3);
+        let outcome = run_cluster(&config, &arrivals).unwrap();
+        assert_eq!(outcome.deliveries.len(), 8);
+        assert_eq!(outcome.trace.len(), 8);
+        for (d, o) in outcome.deliveries.iter().zip(&outcome.originations) {
+            // arrival order == origination order on a single direct link
+            let _ = o;
+            assert!(matches!(d.last_hop, Endpoint::Node(_)));
+        }
+        let relayed: u64 = outcome.stats.iter().map(|s| s.relayed).sum();
+        assert_eq!(relayed, 0, "direct sends never touch a relay");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_observations() {
+        let config = ClusterConfig::new(5, PathLengthDist::uniform(1, 3).unwrap());
+        let arrivals = workload(5, 15, 21);
+        let a = run_cluster(&config, &arrivals).unwrap();
+        let b = run_cluster(&config, &arrivals).unwrap();
+        // timestamps differ; the observable structure must not
+        let shape = |t: &[TransferRecord]| {
+            let mut edges: Vec<(Endpoint, Endpoint, MsgId)> =
+                t.iter().map(|r| (r.from, r.to, r.msg)).collect();
+            edges.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            edges
+        };
+        assert_eq!(shape(&a.trace), shape(&b.trace));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_cleanly() {
+        let arrivals = workload(4, 2, 1);
+        assert!(matches!(
+            run_cluster(&ClusterConfig::new(0, PathLengthDist::fixed(1)), &arrivals),
+            Err(Error::Config(_))
+        ));
+        // sender out of range
+        let config = ClusterConfig::new(2, PathLengthDist::fixed(1));
+        let bad = vec![Arrival {
+            at: anonroute_sim::SimTime::ZERO,
+            sender: 3,
+            payload: vec![1],
+        }];
+        assert!(matches!(run_cluster(&config, &bad), Err(Error::Config(_))));
+        // unrealizable strategy: F(5) needs 5 distinct intermediates of 4
+        let config = ClusterConfig::new(4, PathLengthDist::fixed(5));
+        assert!(run_cluster(&config, &workload(4, 1, 1)).is_err());
+    }
+}

@@ -1,0 +1,604 @@
+//! The relay daemon: accepts connections, peels one layer, forwards.
+//!
+//! Each relay owns one `TcpListener`; every accepted connection gets a
+//! worker thread that reads [`wire`] frames, peels cells with the relay's
+//! static identity ([`crate::circuit::peel`]), re-frames the inner prefix
+//! with fresh junk, and writes it to the next hop (or the receiver) over
+//! a cached downstream connection.
+//!
+//! Shutdown is graceful and bounded: [`Relay::shutdown`] raises a flag
+//! and wakes the blocked `accept`; workers observe the flag within one
+//! read-timeout tick; [`Relay::join`] waits with a deadline and
+//! propagates worker panics as [`Error::WorkerPanic`] instead of hanging
+//! the caller — the discipline the in-process cluster harness (and its
+//! tests) rely on.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use anonroute_crypto::handshake::NodeIdentity;
+use anonroute_crypto::onion::{self, Peeled};
+use anonroute_sim::{Endpoint, MsgId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit;
+use crate::directory::Directory;
+use crate::error::{panic_message, Error, Result};
+use crate::tap::LinkTap;
+use crate::wire::{self, Frame, ReadOutcome};
+use crate::workers;
+
+/// Tuning knobs of one relay daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayConfig {
+    /// Fixed relay-cell size in bytes; cells of any other size are
+    /// dropped.
+    pub cell_size: usize,
+    /// Read timeout per socket read — the shutdown-poll granularity.
+    pub io_timeout: Duration,
+    /// Consecutive stalled mid-frame reads tolerated before a peer
+    /// connection is declared wedged and dropped.
+    pub max_stalls: u32,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            cell_size: circuit::DEFAULT_CELL_SIZE,
+            io_timeout: Duration::from_millis(50),
+            max_stalls: 100,
+        }
+    }
+}
+
+/// Traffic counters of one relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RelayStats {
+    /// Cells peeled and forwarded to another member.
+    pub relayed: u64,
+    /// Payloads delivered to the receiver.
+    pub delivered: u64,
+    /// Cells dropped: wrong size, failed authentication, unknown next
+    /// hop, unexpected frame type, or a dead downstream link.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    relayed: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> RelayStats {
+        RelayStats {
+            relayed: self.relayed.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving relay: the two-phase start lets the
+/// cluster harness bind every listener first, build the [`Directory`]
+/// from the resulting addresses, then start serving against it.
+#[derive(Debug)]
+pub struct PendingRelay {
+    id: NodeId,
+    identity: NodeIdentity,
+    listener: TcpListener,
+    config: RelayConfig,
+}
+
+impl PendingRelay {
+    /// Binds member `id` on a loopback ephemeral port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(id: NodeId, identity: NodeIdentity, config: RelayConfig) -> Result<Self> {
+        Self::bind_to(
+            id,
+            identity,
+            "127.0.0.1:0".parse().expect("static addr"),
+            config,
+        )
+    }
+
+    /// Binds member `id` on an explicit address (for standalone daemons).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_to(
+        id: NodeId,
+        identity: NodeIdentity,
+        addr: SocketAddr,
+        config: RelayConfig,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(PendingRelay {
+            id,
+            identity,
+            listener,
+            config,
+        })
+    }
+
+    /// The member id this relay will serve.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// The relay's static public key for the directory.
+    pub fn public(&self) -> [u8; 32] {
+        *self.identity.public()
+    }
+
+    /// Starts serving against `directory`, recording forwarded links into
+    /// `tap`. `seed` only feeds the junk-byte generators (framing
+    /// padding), never key material.
+    pub fn serve(self, directory: Arc<Directory>, tap: LinkTap, seed: u64) -> Relay {
+        let PendingRelay {
+            id,
+            identity,
+            listener,
+            config,
+        } = self;
+        let addr = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                let _done = workers::DoneGuard(done_tx);
+                accept_loop(
+                    listener, id, identity, directory, tap, counters, shutdown, config, seed,
+                )
+            })
+        };
+        Relay {
+            id,
+            addr,
+            shutdown,
+            counters,
+            thread,
+            done: done_rx,
+        }
+    }
+}
+
+/// A serving relay daemon.
+#[derive(Debug)]
+pub struct Relay {
+    id: NodeId,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    thread: JoinHandle<Result<()>>,
+    done: mpsc::Receiver<()>,
+}
+
+impl Relay {
+    /// The member id this relay serves.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The address the relay listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current traffic counters.
+    pub fn stats(&self) -> RelayStats {
+        self.counters.snapshot()
+    }
+
+    /// Requests shutdown: raises the flag and wakes the blocked accept.
+    /// Idempotent; returns immediately — pair with [`Relay::join`].
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // wake the accept loop; the connection itself is discarded there
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    /// Stops the relay and waits for every thread, with a deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if the daemon does not wind down in time (the
+    /// thread is leaked rather than blocked on), [`Error::WorkerPanic`]
+    /// when a connection worker or the accept loop panicked, or the
+    /// first error the accept loop itself hit.
+    pub fn join(self, timeout: Duration) -> Result<RelayStats> {
+        self.shutdown();
+        let Relay {
+            id,
+            counters,
+            thread,
+            done,
+            ..
+        } = self;
+        match done.recv_timeout(timeout) {
+            // a disconnect means the guard dropped — the thread is done
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return Err(Error::Timeout(format!(
+                    "relay {id} did not stop within {timeout:?}"
+                )));
+            }
+        }
+        match thread.join() {
+            Ok(Ok(())) => Ok(counters.snapshot()),
+            Ok(Err(e)) => Err(e),
+            Err(p) => Err(Error::WorkerPanic(format!(
+                "relay {id} accept loop: {}",
+                panic_message(p)
+            ))),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing, not public API
+fn accept_loop(
+    listener: TcpListener,
+    id: NodeId,
+    identity: NodeIdentity,
+    directory: Arc<Directory>,
+    tap: LinkTap,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+    config: RelayConfig,
+    seed: u64,
+) -> Result<()> {
+    let label = format!("relay {id}");
+    workers::accept_loop(
+        listener,
+        &shutdown,
+        config.io_timeout,
+        &label,
+        |stream, conn_index| {
+            let junk_rng =
+                StdRng::seed_from_u64(seed ^ conn_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let identity = identity.clone();
+            let directory = Arc::clone(&directory);
+            let tap = tap.clone();
+            let counters = Arc::clone(&counters);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                serve_conn(
+                    stream, id, identity, directory, tap, counters, shutdown, config, junk_rng,
+                )
+            })
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing, not public API
+fn serve_conn(
+    mut stream: TcpStream,
+    id: NodeId,
+    identity: NodeIdentity,
+    directory: Arc<Directory>,
+    tap: LinkTap,
+    counters: Arc<Counters>,
+    shutdown: Arc<AtomicBool>,
+    config: RelayConfig,
+    mut junk_rng: StdRng,
+) {
+    // downstream connections cached per next hop (receiver = usize::MAX),
+    // owned by this worker so no locks sit on the forwarding path
+    let mut downstream: HashMap<usize, TcpStream> = HashMap::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match wire::read_frame(&mut stream, config.max_stalls) {
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Eof) => break,
+            Ok(ReadOutcome::Frame(Frame::Cell { msg, cell })) => {
+                handle_cell(
+                    msg,
+                    &cell,
+                    id,
+                    &identity,
+                    &directory,
+                    &tap,
+                    &counters,
+                    &config,
+                    &mut junk_rng,
+                    &mut downstream,
+                );
+            }
+            Ok(ReadOutcome::Frame(Frame::Deliver { .. })) => {
+                // relays are not the receiver; a DELIVER here is misrouted
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // protocol violation or dead socket: drop the connection
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing, not public API
+fn handle_cell(
+    msg: u64,
+    cell: &[u8],
+    id: NodeId,
+    identity: &NodeIdentity,
+    directory: &Directory,
+    tap: &LinkTap,
+    counters: &Counters,
+    config: &RelayConfig,
+    junk_rng: &mut StdRng,
+    downstream: &mut HashMap<usize, TcpStream>,
+) {
+    if cell.len() != config.cell_size {
+        counters.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    match circuit::peel(identity, cell) {
+        Ok(Peeled::Forward { next, content }) => {
+            let next_id = next as usize;
+            let Some(info) = directory.node(next_id) else {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let framed = onion::frame(&content, config.cell_size, &mut || junk_rng.gen::<u8>())
+                .expect("peeled content is strictly smaller than the incoming cell");
+            // record before sending: per-message tap order = path order
+            tap.record(Endpoint::Node(id), Endpoint::Node(next_id), MsgId(msg));
+            let frame = Frame::Cell { msg, cell: framed };
+            if send_cached(downstream, next_id, info.addr, &frame).is_ok() {
+                counters.relayed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(Peeled::Deliver { payload }) => {
+            tap.record(Endpoint::Node(id), Endpoint::Receiver, MsgId(msg));
+            let frame = Frame::Deliver {
+                msg,
+                from: id as u16,
+                payload,
+            };
+            if send_cached(downstream, usize::MAX, directory.receiver(), &frame).is_ok() {
+                counters.delivered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(_) => {
+            // not addressed to us / corrupted: a real router drops it
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Writes `frame` over the cached connection to `key`, dialing (or
+/// re-dialing a stale socket) on demand.
+pub(crate) fn send_cached(
+    conns: &mut HashMap<usize, TcpStream>,
+    key: usize,
+    addr: SocketAddr,
+    frame: &Frame,
+) -> Result<()> {
+    if let Some(stream) = conns.get_mut(&key) {
+        if wire::write_frame(stream, frame).is_ok() {
+            return Ok(());
+        }
+        conns.remove(&key); // stale: the peer restarted or timed us out
+    }
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    wire::write_frame(&mut stream, frame)?;
+    conns.insert(key, stream);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::NodeInfo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::io::Read;
+
+    fn identity(id: u64) -> NodeIdentity {
+        NodeIdentity::derive(b"daemon-tests", id)
+    }
+
+    /// One relay, a fake receiver socket, and a hand-built 1-hop circuit.
+    #[test]
+    fn relay_peels_and_delivers_over_tcp() {
+        let receiver_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let receiver_addr = receiver_listener.local_addr().unwrap();
+        let config = RelayConfig {
+            cell_size: 512,
+            ..RelayConfig::default()
+        };
+        let pending = PendingRelay::bind(0, identity(0), config).unwrap();
+        let directory = Arc::new(
+            Directory::new(
+                vec![NodeInfo {
+                    id: 0,
+                    addr: pending.addr(),
+                    public: pending.public(),
+                }],
+                receiver_addr,
+            )
+            .unwrap(),
+        );
+        let tap = LinkTap::new();
+        let relay = pending.serve(Arc::clone(&directory), tap.clone(), 1);
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let wire_bytes = circuit::build(
+            &[directory.node(0).unwrap().public],
+            &[0u16],
+            b"over real sockets",
+            &mut rng,
+        )
+        .unwrap();
+        let cell = onion::frame(&wire_bytes, 512, &mut || rng.gen::<u8>()).unwrap();
+        let mut conn = TcpStream::connect(relay.addr()).unwrap();
+        wire::write_frame(&mut conn, &Frame::Cell { msg: 7, cell }).unwrap();
+
+        let (mut from_relay, _) = receiver_listener.accept().unwrap();
+        match wire::read_frame(&mut from_relay, 100).unwrap() {
+            ReadOutcome::Frame(Frame::Deliver { msg, from, payload }) => {
+                assert_eq!(msg, 7);
+                assert_eq!(from, 0);
+                assert_eq!(payload, b"over real sockets");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = relay.join(Duration::from_secs(5)).unwrap();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(tap.len(), 1); // the exit→receiver edge
+    }
+
+    #[test]
+    fn garbage_cells_are_dropped_not_fatal() {
+        let receiver = TcpListener::bind("127.0.0.1:0").unwrap();
+        let config = RelayConfig {
+            cell_size: 256,
+            ..RelayConfig::default()
+        };
+        let pending = PendingRelay::bind(0, identity(0), config).unwrap();
+        let directory = Arc::new(
+            Directory::new(
+                vec![NodeInfo {
+                    id: 0,
+                    addr: pending.addr(),
+                    public: pending.public(),
+                }],
+                receiver.local_addr().unwrap(),
+            )
+            .unwrap(),
+        );
+        let relay = pending.serve(directory, LinkTap::new(), 2);
+        let mut conn = TcpStream::connect(relay.addr()).unwrap();
+        // wrong size
+        wire::write_frame(
+            &mut conn,
+            &Frame::Cell {
+                msg: 1,
+                cell: vec![0u8; 10],
+            },
+        )
+        .unwrap();
+        // right size, not addressed to this relay
+        wire::write_frame(
+            &mut conn,
+            &Frame::Cell {
+                msg: 2,
+                cell: vec![0u8; 256],
+            },
+        )
+        .unwrap();
+        // misrouted DELIVER
+        wire::write_frame(
+            &mut conn,
+            &Frame::Deliver {
+                msg: 3,
+                from: 0,
+                payload: vec![],
+            },
+        )
+        .unwrap();
+        drop(conn);
+        // shutdown may discard unprocessed input, so await the counters
+        // before joining
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while relay.stats().dropped < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = relay.join(Duration::from_secs(5)).unwrap();
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.relayed, 0);
+    }
+
+    #[test]
+    fn shutdown_is_bounded_even_with_open_idle_connections() {
+        let receiver = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pending = PendingRelay::bind(0, identity(0), RelayConfig::default()).unwrap();
+        let directory = Arc::new(
+            Directory::new(
+                vec![NodeInfo {
+                    id: 0,
+                    addr: pending.addr(),
+                    public: pending.public(),
+                }],
+                receiver.local_addr().unwrap(),
+            )
+            .unwrap(),
+        );
+        let relay = pending.serve(directory, LinkTap::new(), 3);
+        // an idle connection that never sends and never closes
+        let _idle = TcpStream::connect(relay.addr()).unwrap();
+        let start = std::time::Instant::now();
+        relay.join(Duration::from_secs(5)).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "join exceeded its bound"
+        );
+    }
+
+    #[test]
+    fn send_cached_redials_stale_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut conns = HashMap::new();
+        let frame = Frame::Deliver {
+            msg: 1,
+            from: 0,
+            payload: b"a".to_vec(),
+        };
+        send_cached(&mut conns, 0, addr, &frame).unwrap();
+        let (mut first, _) = listener.accept().unwrap();
+        // kill the server side of the cached connection and drain it
+        let mut buf = Vec::new();
+        first
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let _ = first.read_to_end(&mut buf);
+        drop(first);
+        // writes eventually fail; a redial must recover (the first failed
+        // write can be absorbed by socket buffers, so retry a few times)
+        listener.set_nonblocking(true).unwrap();
+        let mut recovered = false;
+        for _ in 0..100 {
+            let _ = send_cached(&mut conns, 0, addr, &frame);
+            if let Ok((second, _)) = listener.accept() {
+                drop(second);
+                recovered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(recovered, "send_cached never re-dialed");
+    }
+}

@@ -1,0 +1,208 @@
+//! The network directory: where each member listens and its public key.
+//!
+//! Deployed onion systems publish a signed directory of router addresses
+//! and long-term public keys; senders build circuits against it. Here the
+//! directory is a plain value: the cluster harness constructs it from its
+//! bound listeners, and the CLI parses it from a small text format in
+//! which identities are derived from a shared *net seed* (the same
+//! deterministic provisioning [`NodeIdentity::derive`] the rest of the
+//! workspace uses for reproducible deployments).
+
+use std::net::SocketAddr;
+
+use anonroute_crypto::handshake::NodeIdentity;
+use anonroute_sim::NodeId;
+
+use crate::error::{Error, Result};
+
+/// One member's directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Member id, `0..n`.
+    pub id: NodeId,
+    /// TCP address the member's relay listens on.
+    pub addr: SocketAddr,
+    /// Static X25519 public key for the circuit handshake.
+    pub public: [u8; 32],
+}
+
+/// The full network map: all member relays plus the receiver endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directory {
+    nodes: Vec<NodeInfo>,
+    receiver: SocketAddr,
+}
+
+impl Directory {
+    /// Builds a directory; entries must be dense (`nodes[i].id == i`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when ids are out of order, the directory is
+    /// empty, or too large for the 16-bit next-hop field.
+    pub fn new(nodes: Vec<NodeInfo>, receiver: SocketAddr) -> Result<Self> {
+        if nodes.is_empty() {
+            return Err(Error::Config("a directory needs at least one relay".into()));
+        }
+        // the onion next-hop field is u16 with u16::MAX reserved for DELIVER
+        if nodes.len() >= u16::MAX as usize {
+            return Err(Error::Config(format!(
+                "{} relays exceed the 16-bit id space",
+                nodes.len()
+            )));
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if node.id != i {
+                return Err(Error::Config(format!(
+                    "directory entry {i} has id {} (entries must be dense and ordered)",
+                    node.id
+                )));
+            }
+        }
+        Ok(Directory { nodes, receiver })
+    }
+
+    /// Number of member relays.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The entry for member `id`, if it exists.
+    pub fn node(&self, id: NodeId) -> Option<&NodeInfo> {
+        self.nodes.get(id)
+    }
+
+    /// All entries, ordered by id.
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Where the receiver (destination server) listens.
+    pub fn receiver(&self) -> SocketAddr {
+        self.receiver
+    }
+
+    /// Parses the CLI text format, deriving public keys from `net_seed`:
+    ///
+    /// ```text
+    /// receiver 127.0.0.1:9000
+    /// 0 127.0.0.1:9001
+    /// 1 127.0.0.1:9002
+    /// ```
+    ///
+    /// Blank lines and `#` comments are ignored. Every relay daemon and
+    /// sender sharing the same net seed derives the same identities, so
+    /// the file only needs addresses.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] on malformed lines, missing receiver, or sparse
+    /// ids.
+    pub fn parse(text: &str, net_seed: &[u8]) -> Result<Self> {
+        let mut receiver = None;
+        let mut entries: Vec<(usize, SocketAddr)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (who, addr) = (parts.next(), parts.next());
+            let (Some(who), Some(addr), None) = (who, addr, parts.next()) else {
+                return Err(Error::Config(format!(
+                    "directory line {}: expected `<id|receiver> <host:port>`, got `{line}`",
+                    lineno + 1
+                )));
+            };
+            let addr: SocketAddr = addr.parse().map_err(|_| {
+                Error::Config(format!(
+                    "directory line {}: bad address `{addr}`",
+                    lineno + 1
+                ))
+            })?;
+            if who == "receiver" {
+                if receiver.replace(addr).is_some() {
+                    return Err(Error::Config("duplicate receiver line".into()));
+                }
+            } else {
+                let id: usize = who.parse().map_err(|_| {
+                    Error::Config(format!("directory line {}: bad id `{who}`", lineno + 1))
+                })?;
+                entries.push((id, addr));
+            }
+        }
+        let receiver =
+            receiver.ok_or_else(|| Error::Config("directory has no receiver line".into()))?;
+        entries.sort_by_key(|&(id, _)| id);
+        let nodes = entries
+            .into_iter()
+            .map(|(id, addr)| NodeInfo {
+                id,
+                addr,
+                public: *NodeIdentity::derive(net_seed, id as u64).public(),
+            })
+            .collect();
+        Directory::new(nodes, receiver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn parse_roundtrips_with_derived_identities() {
+        let text = "\
+# test net
+receiver 127.0.0.1:9000
+
+1 127.0.0.1:9002
+0 127.0.0.1:9001
+";
+        let dir = Directory::parse(text, b"seed").unwrap();
+        assert_eq!(dir.n(), 2);
+        assert_eq!(dir.receiver(), addr(9000));
+        assert_eq!(dir.node(0).unwrap().addr, addr(9001));
+        assert_eq!(dir.node(1).unwrap().addr, addr(9002));
+        assert_eq!(
+            dir.node(1).unwrap().public,
+            *NodeIdentity::derive(b"seed", 1).public()
+        );
+        assert!(dir.node(2).is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Directory::parse("0 127.0.0.1:1", b"s").is_err()); // no receiver
+        assert!(Directory::parse("receiver 127.0.0.1:1\nx y z", b"s").is_err());
+        assert!(Directory::parse("receiver 127.0.0.1:1\nzero 127.0.0.1:2", b"s").is_err());
+        assert!(Directory::parse("receiver 127.0.0.1:1\n0 nowhere", b"s").is_err());
+        assert!(Directory::parse(
+            "receiver 127.0.0.1:1\nreceiver 127.0.0.1:2\n0 127.0.0.1:3",
+            b"s"
+        )
+        .is_err());
+        // sparse ids
+        assert!(
+            Directory::parse("receiver 127.0.0.1:1\n0 127.0.0.1:2\n2 127.0.0.1:3", b"s").is_err()
+        );
+        // empty
+        assert!(Directory::parse("receiver 127.0.0.1:1", b"s").is_err());
+    }
+
+    #[test]
+    fn construction_validates_density() {
+        let info = |id| NodeInfo {
+            id,
+            addr: addr(9100 + id as u16),
+            public: [0u8; 32],
+        };
+        assert!(Directory::new(vec![info(0), info(1)], addr(9000)).is_ok());
+        assert!(Directory::new(vec![info(1), info(0)], addr(9000)).is_err());
+        assert!(Directory::new(vec![], addr(9000)).is_err());
+    }
+}

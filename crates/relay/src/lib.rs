@@ -1,0 +1,51 @@
+//! # anonroute-relay
+//!
+//! A real TCP relay network serving the paper's onion circuits end to
+//! end. The rest of the workspace validates Guan et al.'s optimal
+//! path-length strategies inside in-process simulations; this crate runs
+//! the same strategies over genuine sockets (`std::net`, one thread per
+//! connection — no external dependencies):
+//!
+//! * [`wire`] — a length-prefixed frame protocol carrying fixed-size
+//!   onion cells plus delivery frames;
+//! * [`circuit`] — onion layers keyed by a zero-round-trip X25519
+//!   handshake ([`anonroute_crypto::handshake`]) instead of pre-shared
+//!   keys, with the per-hop ephemeral public key in the clear;
+//! * [`directory`] — the network map (addresses + static public keys);
+//! * [`daemon`] — the relay node: accept, peel one layer
+//!   ([`anonroute_crypto::onion`]), re-frame, forward;
+//! * [`client`] — samples circuits via
+//!   [`anonroute_protocols::RouteSampler`] from any strategy (including
+//!   the optimizer's optimal distribution) and sends payloads;
+//! * [`receiver`] — the destination server terminating every circuit;
+//! * [`tap`] — the per-link observation tap whose records are simulator
+//!   [`anonroute_sim::TransferRecord`]s, directly consumable by
+//!   `anonroute-adversary`;
+//! * [`cluster`] — the in-process harness: N relays on `127.0.0.1`
+//!   ephemeral ports, seeded traffic from [`anonroute_sim::traffic`],
+//!   bounded graceful teardown — so the measured anonymity degree of
+//!   live TCP traffic is checked against `anonroute-core`'s analytic
+//!   prediction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod client;
+pub mod cluster;
+pub mod daemon;
+pub mod directory;
+pub mod error;
+pub mod receiver;
+pub mod tap;
+pub mod wire;
+mod workers;
+
+pub use circuit::DEFAULT_CELL_SIZE;
+pub use client::Client;
+pub use cluster::{cluster_identity, run_cluster, ClusterConfig, ClusterOutcome};
+pub use daemon::{PendingRelay, Relay, RelayConfig, RelayStats};
+pub use directory::{Directory, NodeInfo};
+pub use error::{Error, Result};
+pub use receiver::ReceiverServer;
+pub use tap::LinkTap;

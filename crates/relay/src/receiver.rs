@@ -1,0 +1,270 @@
+//! The destination server: collects deliveries from exit relays.
+//!
+//! In the paper's threat model the receiver is always compromised; here
+//! it is simply the TCP endpoint that terminates every circuit, recording
+//! [`anonroute_sim::Delivery`] values the harness can await and inspect.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use anonroute_sim::{Delivery, Endpoint, MsgId};
+
+use crate::error::{panic_message, Error, Result};
+use crate::tap::LinkTap;
+use crate::wire::{self, Frame, ReadOutcome};
+use crate::workers;
+
+/// A serving receiver endpoint.
+#[derive(Debug)]
+pub struct ReceiverServer {
+    addr: SocketAddr,
+    inbox: Arc<Inbox>,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<Result<()>>,
+    done: mpsc::Receiver<()>,
+}
+
+#[derive(Debug)]
+struct Inbox {
+    deliveries: Mutex<Vec<Delivery>>,
+    arrived: Condvar,
+}
+
+impl ReceiverServer {
+    /// Binds a loopback ephemeral port and starts collecting. Timestamps
+    /// come from `tap` so deliveries share the cluster's clock;
+    /// `io_timeout` bounds how long workers block between reads (the
+    /// shutdown-poll granularity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the bind.
+    pub fn spawn(tap: LinkTap, io_timeout: Duration) -> Result<Self> {
+        Self::spawn_at("127.0.0.1:0".parse().expect("static addr"), tap, io_timeout)
+    }
+
+    /// Like [`ReceiverServer::spawn`] on an explicit address (for
+    /// standalone daemons serving a published directory entry).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the bind.
+    pub fn spawn_at(addr: SocketAddr, tap: LinkTap, io_timeout: Duration) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inbox = Arc::new(Inbox {
+            deliveries: Mutex::new(Vec::new()),
+            arrived: Condvar::new(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let thread = {
+            let inbox = Arc::clone(&inbox);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                let _done = workers::DoneGuard(done_tx);
+                accept_loop(listener, inbox, tap, shutdown, io_timeout)
+            })
+        };
+        Ok(ReceiverServer {
+            addr,
+            inbox,
+            shutdown,
+            thread,
+            done: done_rx,
+        })
+    }
+
+    /// The address exit relays (and direct senders) dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A copy of the deliveries so far, in arrival order.
+    pub fn deliveries(&self) -> Vec<Delivery> {
+        self.inbox.deliveries.lock().expect("inbox lock").clone()
+    }
+
+    /// A copy of the deliveries from index `from` on — incremental drains
+    /// (e.g. a printing daemon) copy only the tail instead of the whole
+    /// history on every wakeup.
+    pub fn deliveries_since(&self, from: usize) -> Vec<Delivery> {
+        let guard = self.inbox.deliveries.lock().expect("inbox lock");
+        guard
+            .get(from..)
+            .map(<[Delivery]>::to_vec)
+            .unwrap_or_default()
+    }
+
+    /// Blocks until at least `count` deliveries arrived or `timeout`
+    /// elapsed; returns whether the count was reached.
+    pub fn wait_for(&self, count: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.inbox.deliveries.lock().expect("inbox lock");
+        loop {
+            if guard.len() >= count {
+                return true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (next, wait) = self
+                .inbox
+                .arrived
+                .wait_timeout(guard, remaining)
+                .expect("inbox lock");
+            guard = next;
+            if wait.timed_out() && guard.len() < count {
+                return false;
+            }
+        }
+    }
+
+    /// Stops the server and returns everything delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] when the server does not wind down in time,
+    /// [`Error::WorkerPanic`] when a worker panicked.
+    pub fn join(self, timeout: Duration) -> Result<Vec<Delivery>> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let ReceiverServer {
+            inbox,
+            thread,
+            done,
+            ..
+        } = self;
+        match done.recv_timeout(timeout) {
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                return Err(Error::Timeout(format!(
+                    "receiver did not stop within {timeout:?}"
+                )));
+            }
+        }
+        match thread.join() {
+            Ok(Ok(())) => Ok(inbox.deliveries.lock().expect("inbox lock").clone()),
+            Ok(Err(e)) => Err(e),
+            Err(p) => Err(Error::WorkerPanic(format!(
+                "receiver accept loop: {}",
+                panic_message(p)
+            ))),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inbox: Arc<Inbox>,
+    tap: LinkTap,
+    shutdown: Arc<AtomicBool>,
+    io_timeout: Duration,
+) -> Result<()> {
+    workers::accept_loop(listener, &shutdown, io_timeout, "receiver", |stream, _| {
+        let inbox = Arc::clone(&inbox);
+        let tap = tap.clone();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || serve_conn(stream, inbox, tap, shutdown))
+    })
+}
+
+/// Mirrors [`crate::daemon::RelayConfig::default`]'s `max_stalls`: the
+/// receiver has no per-daemon config, but tolerates the same number of
+/// stalled mid-frame reads before declaring a peer wedged.
+const MAX_STALLS: u32 = 100;
+
+fn serve_conn(mut stream: TcpStream, inbox: Arc<Inbox>, tap: LinkTap, shutdown: Arc<AtomicBool>) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match wire::read_frame(&mut stream, MAX_STALLS) {
+            Ok(ReadOutcome::Idle) => continue,
+            Ok(ReadOutcome::Eof) => break,
+            Ok(ReadOutcome::Frame(Frame::Deliver { msg, from, payload })) => {
+                let delivery = Delivery {
+                    time: tap.now(),
+                    msg: MsgId(msg),
+                    last_hop: Endpoint::Node(from as usize),
+                    payload,
+                };
+                inbox.deliveries.lock().expect("inbox lock").push(delivery);
+                inbox.arrived.notify_all();
+            }
+            // the receiver terminates circuits; a raw CELL is misrouted
+            Ok(ReadOutcome::Frame(Frame::Cell { .. })) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_and_awaits_deliveries() {
+        let tap = LinkTap::new();
+        let server = ReceiverServer::spawn(tap, Duration::from_millis(50)).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        for i in 0..3u64 {
+            wire::write_frame(
+                &mut conn,
+                &Frame::Deliver {
+                    msg: i,
+                    from: 4,
+                    payload: vec![i as u8],
+                },
+            )
+            .unwrap();
+        }
+        assert!(server.wait_for(3, Duration::from_secs(5)));
+        assert_eq!(server.deliveries_since(2).len(), 1);
+        assert_eq!(server.deliveries_since(2)[0].msg, MsgId(2));
+        assert!(server.deliveries_since(5).is_empty());
+        let got = server.join(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].last_hop, Endpoint::Node(4));
+        assert_eq!(got[2].payload, vec![2u8]);
+    }
+
+    #[test]
+    fn wait_for_times_out_honestly() {
+        let server = ReceiverServer::spawn(LinkTap::new(), Duration::from_millis(50)).unwrap();
+        let start = Instant::now();
+        assert!(!server.wait_for(1, Duration::from_millis(120)));
+        assert!(start.elapsed() >= Duration::from_millis(100));
+        server.join(Duration::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn misrouted_cells_are_ignored() {
+        let server = ReceiverServer::spawn(LinkTap::new(), Duration::from_millis(50)).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        wire::write_frame(
+            &mut conn,
+            &Frame::Cell {
+                msg: 1,
+                cell: vec![0; 64],
+            },
+        )
+        .unwrap();
+        wire::write_frame(
+            &mut conn,
+            &Frame::Deliver {
+                msg: 2,
+                from: 0,
+                payload: vec![9],
+            },
+        )
+        .unwrap();
+        assert!(server.wait_for(1, Duration::from_secs(5)));
+        let got = server.join(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].msg, MsgId(2));
+    }
+}

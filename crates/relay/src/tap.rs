@@ -1,0 +1,116 @@
+//! The per-link observation tap.
+//!
+//! Every party records the link transfers it originates — client → first
+//! hop, relay → relay, exit → receiver — as
+//! [`anonroute_sim::TransferRecord`]s against a shared wall-clock epoch.
+//! The result is the same omniscient ground-truth trace the discrete-event
+//! simulator produces, so [`anonroute_adversary::Adversary`] (which
+//! filters it down to compromised vantage points) consumes live TCP
+//! traffic unchanged.
+//!
+//! Records are pushed *before* the bytes hit the socket: a hop's record
+//! always precedes the downstream hop's (the receive happens after the
+//! send), so per-message record order equals path order even when
+//! timestamps collide at microsecond resolution.
+//!
+//! [`anonroute_adversary::Adversary`]: ../../anonroute_adversary/reconstruct/struct.Adversary.html
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use anonroute_sim::{Endpoint, MsgId, SimTime, TransferRecord};
+
+/// A cheaply clonable handle to the shared link trace.
+#[derive(Debug, Clone)]
+pub struct LinkTap {
+    epoch: Instant,
+    records: Arc<Mutex<Vec<TransferRecord>>>,
+}
+
+impl LinkTap {
+    /// Creates an empty tap; the epoch is `now`.
+    pub fn new() -> Self {
+        LinkTap {
+            epoch: Instant::now(),
+            records: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Microseconds elapsed since the tap's epoch, as simulator time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Records one link transfer (call immediately before sending).
+    pub fn record(&self, from: Endpoint, to: Endpoint, msg: MsgId) {
+        let record = TransferRecord {
+            time: self.now(),
+            from,
+            to,
+            msg,
+        };
+        self.records.lock().expect("tap lock").push(record);
+    }
+
+    /// A copy of the trace so far, in push order.
+    pub fn snapshot(&self) -> Vec<TransferRecord> {
+        self.records.lock().expect("tap lock").clone()
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("tap lock").len()
+    }
+
+    /// Whether no transfer has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for LinkTap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_across_clones() {
+        let tap = LinkTap::new();
+        let other = tap.clone();
+        tap.record(Endpoint::Node(0), Endpoint::Node(1), MsgId(0));
+        other.record(Endpoint::Node(1), Endpoint::Receiver, MsgId(0));
+        assert_eq!(tap.len(), 2);
+        let trace = tap.snapshot();
+        assert_eq!(trace[0].from, Endpoint::Node(0));
+        assert_eq!(trace[1].to, Endpoint::Receiver);
+        assert!(trace[0].time <= trace[1].time);
+    }
+
+    #[test]
+    fn empty_tap() {
+        let tap = LinkTap::default();
+        assert!(tap.is_empty());
+        assert!(tap.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let tap = LinkTap::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let tap = tap.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tap.record(Endpoint::Node(t), Endpoint::Node(0), MsgId(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(tap.len(), 400);
+    }
+}

@@ -71,12 +71,31 @@ enum RouterMsg {
     Shutdown,
 }
 
+/// Fires a router shutdown if its owning thread unwinds, so one
+/// panicking node cannot strand the rest of the network: the router
+/// broadcasts shutdown, every thread drains, and [`run_live`] gets to
+/// observe (and re-raise) the panic instead of hanging on a join.
+struct PanicShutdown {
+    tx: Sender<RouterMsg>,
+}
+
+impl Drop for PanicShutdown {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.tx.send(RouterMsg::Shutdown);
+        }
+    }
+}
+
 /// Runs `arrivals` through the node behaviors under real concurrency and
 /// returns the collected trace once the network drains.
 ///
 /// # Panics
 ///
-/// Panics if an arrival names a sender out of range.
+/// Panics if an arrival names a sender out of range, and re-raises any
+/// panic from a node or router thread after the network has wound down —
+/// a crashing [`NodeBehavior`] fails the run loudly rather than hanging
+/// the caller on a join that can never finish.
 pub fn run_live<B>(
     nodes: Vec<B>,
     latency: LatencyModel,
@@ -111,6 +130,9 @@ where
         let time_scale = config.time_scale;
         let epoch_local = epoch;
         handles.push(std::thread::spawn(move || {
+            let _panic_guard = PanicShutdown {
+                tx: tx_router.clone(),
+            };
             let mut rng =
                 StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15));
             while let Ok(event) = rx.recv() {
@@ -244,22 +266,39 @@ where
     for (i, arrival) in arrivals.into_iter().enumerate() {
         assert!(arrival.sender < n, "arrival sender out of range");
         let id = MsgId(i as u64);
-        originations.push(Origination {
+        let record = Origination {
             time: SimTime::from_micros(epoch.elapsed().as_micros() as u64),
             sender: arrival.sender,
             msg: id,
-        });
-        node_txs[arrival.sender]
+        };
+        if node_txs[arrival.sender]
             .send(NodeEvent::Originate(Message::new(id, arrival.payload)))
-            .expect("node thread alive during injection");
+            .is_err()
+        {
+            // a worker panicked and its PanicShutdown already tore the
+            // network down mid-injection; stop injecting so the joins
+            // below re-raise the worker's own panic message (the work
+            // counter was pre-incremented, so a send can only fail on
+            // abnormal shutdown)
+            break;
+        }
+        originations.push(record);
     }
     drop(router_tx);
     drop(node_txs);
 
+    let mut worker_panics: Vec<String> = Vec::new();
     for h in handles {
-        let _ = h.join();
+        if let Err(payload) = h.join() {
+            worker_panics.push(panic_text(payload));
+        }
     }
-    let _ = router.join();
+    if let Err(payload) = router.join() {
+        worker_panics.push(panic_text(payload));
+    }
+    if !worker_panics.is_empty() {
+        panic!("live runtime worker panicked: {}", worker_panics.join("; "));
+    }
 
     let trace = Arc::try_unwrap(trace).expect("threads joined").into_inner();
     let deliveries = Arc::try_unwrap(deliveries)
@@ -269,6 +308,18 @@ where
         trace,
         deliveries,
         originations,
+    }
+}
+
+/// Renders a `JoinHandle::join` panic payload as a message (shared with
+/// the downstream crates that join worker threads, e.g. `anonroute-relay`).
+pub fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -369,6 +420,53 @@ mod tests {
                 ctx.send_to_receiver(m);
             }
         }
+    }
+
+    /// A behavior that panics while relaying, stranding in-flight work.
+    struct Crasher {
+        n: usize,
+    }
+    impl NodeBehavior for Crasher {
+        fn on_originate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            use rand::Rng;
+            let next = ctx.rng().gen_range(0..self.n);
+            ctx.send(next, msg);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: Endpoint, msg: Message) {
+            panic!("crashed relaying {:?}", msg.id);
+        }
+    }
+
+    #[test]
+    fn crashing_behavior_propagates_instead_of_hanging() {
+        // run_live must surface the panic within a bound, not deadlock on
+        // the drained-work counter that the crashed node never decremented
+        let runner = std::thread::spawn(|| {
+            let nodes: Vec<Crasher> = (0..4).map(|_| Crasher { n: 4 }).collect();
+            let arrivals = vec![Arrival {
+                at: SimTime::ZERO,
+                sender: 0,
+                payload: vec![1],
+            }];
+            run_live(
+                nodes,
+                LatencyModel::Constant(1),
+                3,
+                arrivals,
+                LiveConfig::default(),
+            )
+        });
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !runner.is_finished() {
+            assert!(
+                Instant::now() < deadline,
+                "run_live hung on a crashed behavior"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let err = runner.join().expect_err("the panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("crashed relaying"), "unexpected panic: {msg}");
     }
 
     #[test]

@@ -32,8 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let c = 1;
         let dc_h = anonymity_degree(n, c);
         let model = SystemModel::new(n, c)?;
-        // a well-chosen rerouting strategy at modest cost
-        let reroute_h = engine::anonymity_degree(&model, &PathLengthDist::uniform(3, 15)?)?;
+        // a well-chosen rerouting strategy at modest cost (clamped to the
+        // longest simple path an n-node system supports)
+        let hi = 15.min(n - 1);
+        let reroute_h = engine::anonymity_degree(&model, &PathLengthDist::uniform(3, hi)?)?;
         let payload = 512usize;
         let dc_bytes = n * n * payload; // every participant broadcasts
         let reroute_bytes = payload * 10; // ~E[len]+1 unicast hops

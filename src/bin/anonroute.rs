@@ -7,6 +7,9 @@
 //! anonroute simulate --n 30 --c 2 --dist uniform:1:6 --messages 2000 [--seed 7]
 //! anonroute frontier --n 100 --c 1 --max-mean 20
 //! anonroute campaign --n 50,100,200 --c 1..=5 --strategies fixed:1,uniform:2:8
+//! anonroute cluster  --n 12 --c 1 --dist uniform:1:4 --messages 400
+//! anonroute relay    --directory net.dir --id 0
+//! anonroute send     --directory net.dir --sender 3 --dist fixed:3
 //! ```
 
 use std::collections::HashMap;
@@ -15,10 +18,16 @@ use std::process::ExitCode;
 
 use anonroute::adversary::{attack_trace, Adversary};
 use anonroute::campaign::{report, spec};
+use anonroute::crypto::handshake::NodeIdentity;
 use anonroute::prelude::*;
 use anonroute::protocols::onion_routing::onion_network;
 use anonroute::protocols::RouteSampler;
-use anonroute::sim::{LatencyModel, SimTime, Simulation};
+use anonroute::relay::{
+    run_cluster, Client, ClusterConfig, Directory, LinkTap, PendingRelay, ReceiverServer,
+    RelayConfig, DEFAULT_CELL_SIZE,
+};
+use anonroute::sim::traffic::UniformTraffic;
+use anonroute::sim::{Endpoint, LatencyModel, MsgId, SimTime, Simulation};
 use anonroute_experiments::output::ensure_results_dir;
 
 const USAGE: &str = "\
@@ -40,6 +49,19 @@ COMMANDS:
                [--messages 2000] [--seed 7]
     frontier   anonymity-vs-overhead frontier (optimal H* per mean length)
                --n <nodes> --c <compromised> [--max-mean 20]
+    cluster    spin an in-process loopback relay cluster, drive seeded
+               traffic over real TCP, and attack the per-link tap
+               --n <nodes> --c <compromised> --dist <spec>
+               [--messages 400] [--seed 7] [--cell 2048]
+               [--payload-len 16] [--cyclic]
+    relay      run one standalone TCP relay daemon against a directory
+               --directory <file> --id <id>
+               [--net-seed <str>] [--cell 2048] [--seed 7]
+               (--receiver instead of --id runs the destination server)
+    send       build onion circuits and send payloads over a live net
+               --directory <file> --sender <id> --dist <spec>
+               [--net-seed <str>] [--count 1] [--payload <text>]
+               [--seed 7] [--cell 2048] [--cyclic]
     campaign   evaluate a declarative scenario grid in parallel
                --n <list> --c <list> --strategies <list>
                [--paths simple,cyclic] [--engines exact,mc,sim]
@@ -87,6 +109,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(&flags),
         "frontier" => cmd_frontier(&flags),
         "campaign" => cmd_campaign(&flags),
+        "cluster" => cmd_cluster(&flags),
+        "relay" => cmd_relay(&flags),
+        "send" => cmd_send(&flags),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -94,7 +119,7 @@ fn run(args: &[String]) -> Result<(), String> {
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["cyclic", "timing"];
+const BOOLEAN_FLAGS: &[&str] = &["cyclic", "timing", "receiver"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = HashMap::new();
@@ -325,6 +350,160 @@ fn cmd_frontier(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_cluster(flags: &Flags) -> Result<(), String> {
+    use rand::SeedableRng;
+    let model = model_from(flags)?;
+    let dist = dist_from(flags)?;
+    let messages: usize = get(flags, "messages", 400)?;
+    let seed: u64 = get(flags, "seed", 7)?;
+    let payload_len: usize = get(flags, "payload-len", 16)?;
+    let n = model.n();
+    let c = model.c();
+
+    let mut config = ClusterConfig::new(n, dist.clone());
+    config.path_kind = model.path_kind();
+    config.seed = seed;
+    config.cell_size = get(flags, "cell", DEFAULT_CELL_SIZE)?;
+    let arrivals = UniformTraffic {
+        count: messages,
+        interval_us: 0,
+        payload_len,
+    }
+    .generate(
+        n,
+        &mut rand::rngs::StdRng::seed_from_u64(seed ^ 0xA221_7A15),
+    );
+
+    println!("cluster: {n} relays on 127.0.0.1, {messages} messages, strategy {dist}, seed {seed}");
+    let outcome = run_cluster(&config, &arrivals).map_err(|e| e.to_string())?;
+    let relayed: u64 = outcome.stats.iter().map(|s| s.relayed).sum();
+    let dropped: u64 = outcome.stats.iter().map(|s| s.dropped).sum();
+    println!(
+        "delivered {} of {} over TCP; {} cells relayed, {} dropped, {} link records tapped",
+        outcome.deliveries.len(),
+        messages,
+        relayed,
+        dropped,
+        outcome.trace.len()
+    );
+
+    let compromised: Vec<usize> = (n - c..n).collect();
+    let adversary = Adversary::new(n, &compromised).map_err(|e| e.to_string())?;
+    let report = attack_trace(
+        &adversary,
+        &model,
+        &dist,
+        &outcome.trace,
+        &outcome.originations,
+    )
+    .map_err(|e| e.to_string())?;
+    let exact = engine::anonymity_degree(&model, &dist).map_err(|e| e.to_string())?;
+    let (lo, hi) = report.ci95();
+    println!(
+        "\nempirical H* from the link tap: {:.4} bits (95% CI [{:.4}, {:.4}])",
+        report.empirical_h_star, lo, hi
+    );
+    println!("analytic  H* ({model}): {exact:.4} bits");
+    println!(
+        "identification rate: {:.2}%, mean posterior on true sender: {:.4}",
+        report.identification_rate * 100.0,
+        report.mean_true_sender_prob
+    );
+    Ok(())
+}
+
+fn directory_from(flags: &Flags) -> Result<(Directory, Vec<u8>), String> {
+    let path: String = require(flags, "directory")?;
+    let net_seed: String = get(flags, "net-seed", "anonroute-net".to_string())?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("--directory {path}: {e}"))?;
+    let directory = Directory::parse(&text, net_seed.as_bytes()).map_err(|e| e.to_string())?;
+    Ok((directory, net_seed.into_bytes()))
+}
+
+fn cmd_relay(flags: &Flags) -> Result<(), String> {
+    let (directory, net_seed) = directory_from(flags)?;
+    let cell_size: usize = get(flags, "cell", DEFAULT_CELL_SIZE)?;
+    let seed: u64 = get(flags, "seed", 7)?;
+
+    if flags.contains_key("receiver") {
+        let server = ReceiverServer::spawn_at(
+            directory.receiver(),
+            LinkTap::new(),
+            std::time::Duration::from_millis(200),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("receiver listening on {} (ctrl-c to stop)", server.addr());
+        let mut seen = 0usize;
+        loop {
+            server.wait_for(seen + 1, std::time::Duration::from_secs(3600));
+            for d in server.deliveries_since(seen) {
+                seen += 1;
+                if let Endpoint::Node(from) = d.last_hop {
+                    println!(
+                        "msg {} via node {from}: {} bytes: {}",
+                        d.msg.0,
+                        d.payload.len(),
+                        String::from_utf8_lossy(&d.payload)
+                    );
+                }
+            }
+        }
+    }
+
+    let id: usize = require(flags, "id")?;
+    let info = directory
+        .node(id)
+        .ok_or_else(|| format!("--id {id}: not in the directory (n={})", directory.n()))?;
+    let identity = NodeIdentity::derive(&net_seed, id as u64);
+    let pending = PendingRelay::bind_to(
+        id,
+        identity,
+        info.addr,
+        RelayConfig {
+            cell_size,
+            ..RelayConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let relay = pending.serve(std::sync::Arc::new(directory), LinkTap::new(), seed);
+    println!("relay {id} listening on {} (ctrl-c to stop)", relay.addr());
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_send(flags: &Flags) -> Result<(), String> {
+    use rand::SeedableRng;
+    let (directory, _net_seed) = directory_from(flags)?;
+    let dist = dist_from(flags)?;
+    let sender: usize = require(flags, "sender")?;
+    if sender >= directory.n() {
+        return Err(format!(
+            "--sender {sender}: not in the directory (n={})",
+            directory.n()
+        ));
+    }
+    let count: usize = get(flags, "count", 1)?;
+    let seed: u64 = get(flags, "seed", 7)?;
+    let cell_size: usize = get(flags, "cell", DEFAULT_CELL_SIZE)?;
+    let payload: String = get(flags, "payload", "hello from anonroute".to_string())?;
+    let kind = if flags.contains_key("cyclic") {
+        PathKind::Cyclic
+    } else {
+        PathKind::Simple
+    };
+    let mut client = Client::new(std::sync::Arc::new(directory), dist, kind, cell_size, None)
+        .map_err(|e| e.to_string())?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for i in 0..count {
+        let route = client
+            .send(sender, MsgId(i as u64), payload.as_bytes(), &mut rng)
+            .map_err(|e| e.to_string())?;
+        println!("message {i}: sent over a {}-hop circuit", route.len());
+    }
+    Ok(())
+}
+
 fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     let mut config = CampaignConfig::default();
     let (grid, spec_config) = match flags.get("spec") {
@@ -418,6 +597,13 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    fn flag_map(pairs: &[(&str, &str)]) -> Flags {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
     #[test]
     fn dist_spec_parsing() {
         assert_eq!(parse_dist("fixed:5").unwrap(), PathLengthDist::fixed(5));
@@ -476,6 +662,60 @@ mod tests {
         ]))
         .unwrap();
         cmd_frontier(&flags(&[("n", "25"), ("c", "1"), ("max-mean", "3")])).unwrap();
+    }
+
+    #[test]
+    fn cluster_runs_end_to_end_over_loopback_tcp() {
+        cmd_cluster(&flag_map(&[
+            ("n", "8"),
+            ("c", "1"),
+            ("dist", "uniform:1:3"),
+            ("messages", "60"),
+            ("payload-len", "8"),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn relay_and_send_validate_their_inputs() {
+        // missing / unreadable directory
+        assert!(cmd_relay(&flag_map(&[("directory", "/nonexistent.dir"), ("id", "0")])).is_err());
+        assert!(cmd_send(&flag_map(&[
+            ("directory", "/nonexistent.dir"),
+            ("sender", "0"),
+            ("dist", "fixed:1"),
+        ]))
+        .is_err());
+
+        let dir = std::env::temp_dir().join("anonroute-cli-relay-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_file = dir.join("net.dir");
+        std::fs::write(
+            &dir_file,
+            "receiver 127.0.0.1:1\n0 127.0.0.1:2\n1 127.0.0.1:3\n",
+        )
+        .unwrap();
+        let path = dir_file.to_str().unwrap();
+        // id outside the directory
+        let err = cmd_relay(&flag_map(&[("directory", path), ("id", "9")])).unwrap_err();
+        assert!(err.contains("not in the directory"), "{err}");
+        // sender outside the directory
+        let err = cmd_send(&flag_map(&[
+            ("directory", path),
+            ("sender", "7"),
+            ("dist", "fixed:1"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("not in the directory"), "{err}");
+        // sending without a live network surfaces the socket error
+        assert!(cmd_send(&flag_map(&[
+            ("directory", path),
+            ("sender", "0"),
+            ("dist", "fixed:1"),
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

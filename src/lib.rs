@@ -23,7 +23,11 @@
 //!   anonymity estimation;
 //! * [`campaign`] ([`anonroute_campaign`]) — declarative scenario grids
 //!   executed on a thread pool with shared evaluator memoization and
-//!   deterministic per-cell seeding.
+//!   deterministic per-cell seeding;
+//! * [`relay`] ([`anonroute_relay`]) — a real TCP relay network serving
+//!   the onion circuits end to end: wire protocol, relay daemon,
+//!   circuit-building client, and an in-process cluster harness whose
+//!   link tap feeds the adversary.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@ pub use anonroute_campaign as campaign;
 pub use anonroute_core as core;
 pub use anonroute_crypto as crypto;
 pub use anonroute_protocols as protocols;
+pub use anonroute_relay as relay;
 pub use anonroute_sim as sim;
 
 /// Commonly used items in one import.
