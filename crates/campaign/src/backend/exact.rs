@@ -1,0 +1,85 @@
+//! The closed-form backend: the paper's exact analysis.
+//!
+//! Determinism: seed-free — the result is a pure function of
+//! `(n, c, path_kind, dist)`. Simple-path cells share one memoized
+//! [`Evaluator`](anonroute_core::engine::simple::Evaluator) per
+//! `(n, c, path_kind, lmax)` model through the runner's
+//! [`EvaluatorCache`](anonroute_core::engine::EvaluatorCache) instead of
+//! rebuilding the log-factorial tables per cell.
+
+use anonroute_core::{engine, PathKind};
+
+use crate::backend::{CellCtx, CellMetrics, EvalBackend};
+use crate::grid::EngineKind;
+
+/// Closed-form exact evaluation (the `exact` engine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactBackend;
+
+impl EvalBackend for ExactBackend {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Exact
+    }
+
+    fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+        let analysis = match ctx.model.path_kind() {
+            PathKind::Simple => {
+                // one shared evaluator per model covers every strategy on it
+                let ev = ctx
+                    .cache
+                    .evaluator(ctx.model, ctx.model.n() - 1)
+                    .map_err(|e| e.to_string())?;
+                ev.analyze(ctx.dist.pmf())
+            }
+            PathKind::Cyclic => engine::analysis(ctx.model, ctx.dist).map_err(|e| e.to_string())?,
+        };
+        Ok(CellMetrics {
+            h_star: analysis.h_star,
+            normalized: analysis.normalized(ctx.model),
+            mean_len: ctx.dist.mean(),
+            p_exposed: Some(analysis.p_exposed),
+            std_error: None,
+            samples: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonroute_core::engine::EvaluatorCache;
+    use anonroute_core::{PathLengthDist, SystemModel};
+
+    use crate::grid::{Scenario, StrategySpec};
+    use crate::runner::CampaignConfig;
+
+    #[test]
+    fn exact_backend_uses_full_support_evaluator() {
+        // the shared evaluator spans 0..=n-1 regardless of each strategy's
+        // own support; H* must still match a support-sized evaluation
+        let model = SystemModel::new(40, 2).unwrap();
+        let cache = EvaluatorCache::new();
+        let dist = PathLengthDist::uniform(2, 9).unwrap();
+        let config = CampaignConfig::default();
+        let scenario = Scenario {
+            n: 40,
+            c: 2,
+            path_kind: PathKind::Simple,
+            strategy: StrategySpec::Uniform(2, 9),
+            engine: EngineKind::Exact,
+        };
+        let ctx = CellCtx {
+            scenario: &scenario,
+            model: &model,
+            dist: &dist,
+            seed: 1,
+            config: &config,
+            cache: &cache,
+        };
+        let via_backend = ExactBackend.evaluate(&ctx).unwrap();
+        let direct = engine::anonymity_degree(&model, &dist).unwrap();
+        assert!((via_backend.h_star - direct).abs() < 1e-12);
+        assert!(via_backend.p_exposed.is_some());
+        assert!(via_backend.std_error.is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! The live backend: every cell boots a real loopback TCP relay cluster.
+//!
+//! One `live` cell is one [`anonroute_relay::run_cluster`] run: `n`
+//! relays bind `127.0.0.1` ephemeral ports, a circuit-building client
+//! drives a seeded [`anonroute_sim::traffic`] workload through genuine
+//! sockets, and the per-link tap's `TransferRecord`s are fed to the same
+//! passive adversary the simulated backend uses — so one grid sweep can
+//! place closed-form math and measured TCP traffic side by side.
+//!
+//! Two guard rails keep live cells sweep-safe:
+//!
+//! * **Budgeting** — clusters claim `n + 1` relay slots from the
+//!   process-wide [`ClusterBudget`] before binding, so a wide rayon pool
+//!   cannot exhaust loopback ports or file descriptors by booting dozens
+//!   of clusters at once.
+//! * **Watchdog** — the cluster runs on a helper thread and the backend
+//!   waits at most `CampaignConfig::live_timeout_ms`; a wedged cluster
+//!   becomes an error string in `CellResult::outcome` (the helper thread
+//!   is leaked rather than blocked on, mirroring the relay daemon's
+//!   bounded-shutdown discipline). An abandoned cell still queued on the
+//!   budget never boots; one already running returns its slots when the
+//!   cluster's own bounded delivery/teardown deadlines expire.
+//!
+//! Determinism: cluster identities, routes, handshake ephemerals, nonces,
+//! and junk all derive from `ctx.seed`, and the adversary consumes only
+//! the trace's structure, so the measured `H*` is deterministic per seed
+//! even though TCP scheduling is not (pinned by `tests/engines.rs`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use anonroute_relay::budget::ClusterBudget;
+use anonroute_relay::{run_cluster_budgeted_unless, ClusterConfig, ClusterOutcome};
+use anonroute_sim::traffic::UniformTraffic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::backend::{attack_and_score, CellCtx, CellMetrics, EvalBackend};
+use crate::grid::EngineKind;
+
+/// Salt separating the workload RNG stream from the cluster's own seed
+/// uses (identities, routes, nonces, junk).
+const WORKLOAD_SALT: u64 = 0x11FE_7AFF_1C5E_ED01;
+
+/// Measured anonymity of a real loopback TCP cluster (the `live`
+/// engine); sizing comes from the `live_*` fields of `CampaignConfig`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveBackend;
+
+impl EvalBackend for LiveBackend {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Live
+    }
+
+    fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+        let n = ctx.model.n();
+        if n > ctx.config.live_max_n {
+            return Err(format!(
+                "live cell n={n} exceeds live_max_n={} (each live cell boots n relays with \
+                 real sockets and threads; raise --live-max-n to allow it)",
+                ctx.config.live_max_n
+            ));
+        }
+        let mut cluster = ClusterConfig::new(n, ctx.dist.clone());
+        cluster.path_kind = ctx.model.path_kind();
+        cluster.seed = ctx.seed;
+        cluster.cell_size = ctx.config.live_cell_size;
+        let arrivals = UniformTraffic {
+            count: ctx.config.live_messages,
+            interval_us: 0,
+            payload_len: 8,
+        }
+        .generate(n, &mut StdRng::seed_from_u64(ctx.seed ^ WORKLOAD_SALT));
+
+        let outcome = run_watchdogged(
+            cluster,
+            arrivals,
+            Duration::from_millis(ctx.config.live_timeout_ms),
+        )?;
+
+        let est = attack_and_score(ctx.model, ctx.dist, &outcome.trace, &outcome.originations)?;
+        Ok(CellMetrics::from_sampled(ctx.model, ctx.dist, est))
+    }
+}
+
+/// Runs the cluster on a helper thread under the per-cell watchdog. The
+/// helper acquires the global budget itself (via
+/// [`run_cluster_budgeted_unless`], the single slot-accounting path), so
+/// waiting for free relay slots counts against the deadline too — a
+/// sweep can never hang on a permit a wedged cluster will never return.
+/// A cell abandoned by its watchdog while still queued on the budget
+/// never boots its cluster, so timeouts don't cascade by burning slots
+/// on runs nobody will read.
+///
+/// An abandoned cell that had already *started* keeps its slots until
+/// the cluster's own bounded teardown (delivery/join deadlines) finishes
+/// — slots return late, not never, unless a worker wedges in an
+/// unbounded syscall, which loopback sockets make very unlikely.
+fn run_watchdogged(
+    config: ClusterConfig,
+    arrivals: Vec<anonroute_sim::traffic::Arrival>,
+    deadline: Duration,
+) -> Result<ClusterOutcome, String> {
+    let n = config.n;
+    let (tx, rx) = mpsc::channel();
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&abandoned);
+    std::thread::spawn(move || {
+        let outcome =
+            run_cluster_budgeted_unless(&config, &arrivals, ClusterBudget::global(), &flag);
+        if let Some(result) = outcome {
+            // the receiver may have hung up (watchdog fired); nothing to do
+            let _ = tx.send(result);
+        }
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(result) => result.map_err(|e| e.to_string()),
+        Err(_) => {
+            abandoned.store(true, Ordering::SeqCst);
+            Err(format!(
+                "live cell wedged: no cluster outcome within {deadline:?} \
+                 (n={n} relays; raise --live-timeout if the machine is just slow)"
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonroute_core::{engine, PathKind, SystemModel};
+
+    use crate::grid::{Scenario, StrategySpec};
+    use crate::runner::CampaignConfig;
+
+    fn ctx_parts(n: usize, c: usize) -> (Scenario, SystemModel) {
+        let scenario = Scenario {
+            n,
+            c,
+            path_kind: PathKind::Simple,
+            strategy: StrategySpec::Uniform(1, 3),
+            engine: EngineKind::Live,
+        };
+        let model = SystemModel::new(n, c).unwrap();
+        (scenario, model)
+    }
+
+    #[test]
+    fn live_backend_measures_real_tcp_traffic() {
+        let (scenario, model) = ctx_parts(8, 1);
+        let dist = scenario.strategy.realize(&model).unwrap();
+        let config = CampaignConfig {
+            live_messages: 150,
+            ..CampaignConfig::default()
+        };
+        let cache = anonroute_core::engine::EvaluatorCache::new();
+        let ctx = CellCtx {
+            scenario: &scenario,
+            model: &model,
+            dist: &dist,
+            seed: 33,
+            config: &config,
+            cache: &cache,
+        };
+        let metrics = LiveBackend.evaluate(&ctx).unwrap();
+        let exact = engine::anonymity_degree(&model, &dist).unwrap();
+        let est = metrics.sampled().expect("live cells are sampled");
+        assert_eq!(est.samples, 150, "every message delivered and attacked");
+        assert!(est.agrees_with(exact, 5.0), "live {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn oversized_live_cells_are_rejected_before_binding_sockets() {
+        let (scenario, model) = ctx_parts(10, 1);
+        let dist = scenario.strategy.realize(&model).unwrap();
+        let config = CampaignConfig {
+            live_max_n: 9,
+            ..CampaignConfig::default()
+        };
+        let cache = anonroute_core::engine::EvaluatorCache::new();
+        let ctx = CellCtx {
+            scenario: &scenario,
+            model: &model,
+            dist: &dist,
+            seed: 1,
+            config: &config,
+            cache: &cache,
+        };
+        let err = LiveBackend.evaluate(&ctx).unwrap_err();
+        assert!(err.contains("live_max_n"), "{err}");
+    }
+}

@@ -1,0 +1,200 @@
+//! The pluggable evaluation-backend layer: how a cell gets scored.
+//!
+//! A campaign cell is *what* to evaluate (a [`Scenario`]); an
+//! [`EvalBackend`] is *how*. The four registered backends span the whole
+//! fidelity spectrum over one interface:
+//!
+//! | engine | backend | mechanism |
+//! |--------|---------|-----------|
+//! | `exact` | [`exact::ExactBackend`] | closed-form analysis (shared memoized tables) |
+//! | `mc` | [`monte_carlo::MonteCarloBackend`] | seeded observation sampling |
+//! | `sim` | [`simulated::SimulatedBackend`] | in-process protocol simulation + Bayesian attack |
+//! | `live` | [`live::LiveBackend`] | a real loopback TCP relay cluster + the same attack |
+//!
+//! The runner ([`crate::runner`]) is a pure scheduler: it expands the
+//! grid, derives per-cell seeds, realizes the model/strategy, and hands a
+//! [`CellCtx`] to whichever backend the registry returns for the cell's
+//! [`EngineKind`]. It knows nothing about how any cell is scored.
+//!
+//! ## Determinism contract
+//!
+//! Every backend must be a pure function of its [`CellCtx`] — two calls
+//! with equal contexts return equal [`CellMetrics`] — because the sweep
+//! promises bit-identical output at any thread count and across reruns:
+//!
+//! * **exact** — seed-free closed form; identical across seeds too.
+//! * **mc** / **sim** — all randomness flows from `ctx.seed`.
+//! * **live** — route sampling, identities, handshake ephemerals, nonces,
+//!   and payload junk all derive from `ctx.seed`, and the adversary's
+//!   observations depend only on the trace *structure* (per-message record
+//!   order equals path order by the tap's contract), so the measured `H*`
+//!   is deterministic per seed even though TCP scheduling and wall-clock
+//!   timestamps are not. Only `CellResult::elapsed_micros` (excluded from
+//!   default artifacts) varies.
+
+pub mod exact;
+pub mod live;
+pub mod monte_carlo;
+pub mod simulated;
+
+use anonroute_adversary::{attack_trace, Adversary};
+use anonroute_core::engine::EvaluatorCache;
+use anonroute_core::{PathLengthDist, SampledDegree, SystemModel};
+use anonroute_sim::{Origination, TransferRecord};
+
+use crate::grid::{EngineKind, Scenario};
+use crate::runner::CampaignConfig;
+
+/// Everything a backend may consult to score one cell. The runner
+/// guarantees `model` and `dist` are already realized and validated for
+/// `scenario`, and that `seed` is the cell's derived deterministic seed.
+#[derive(Debug)]
+pub struct CellCtx<'a> {
+    /// The cell being evaluated.
+    pub scenario: &'a Scenario,
+    /// The realized system model (`n`, `c`, path kind).
+    pub model: &'a SystemModel,
+    /// The realized path-length distribution of the cell's strategy.
+    pub dist: &'a PathLengthDist,
+    /// The cell's deterministic seed (campaign seed ⊕ grid index).
+    pub seed: u64,
+    /// Run-wide settings (sample counts, live-cluster sizing, …).
+    pub config: &'a CampaignConfig,
+    /// Shared memoized exact-evaluator tables.
+    pub cache: &'a EvaluatorCache,
+}
+
+/// Numeric outcome of one feasible cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Anonymity degree `H*` in bits (exact, estimated, or empirical,
+    /// per the cell's engine).
+    pub h_star: f64,
+    /// `h_star / log2 n`.
+    pub normalized: f64,
+    /// Expected path length of the realized strategy.
+    pub mean_len: f64,
+    /// Probability the adversary identifies the sender outright
+    /// (exact engine only).
+    pub p_exposed: Option<f64>,
+    /// Standard error of `h_star` (sampling engines only).
+    pub std_error: Option<f64>,
+    /// Sample/message count (sampling engines only).
+    pub samples: Option<usize>,
+}
+
+impl CellMetrics {
+    /// Metrics of a sampling backend, from the workspace's common
+    /// estimate shape ([`anonroute_core::SampledDegree`]).
+    pub fn from_sampled(model: &SystemModel, dist: &PathLengthDist, est: SampledDegree) -> Self {
+        CellMetrics {
+            h_star: est.h_star,
+            normalized: est.h_star / model.max_entropy_bits(),
+            mean_len: dist.mean(),
+            p_exposed: None,
+            std_error: Some(est.std_error),
+            samples: Some(est.samples),
+        }
+    }
+
+    /// The sampling view of these metrics, when the backend produced one.
+    pub fn sampled(&self) -> Option<SampledDegree> {
+        Some(SampledDegree {
+            h_star: self.h_star,
+            std_error: self.std_error?,
+            samples: self.samples?,
+        })
+    }
+}
+
+/// Scores a trace with the paper's passive adversary: the last `c`
+/// member nodes are compromised, every delivered message's posterior is
+/// computed, and the mean posterior entropy becomes the empirical `H*`.
+/// The one attack-and-score path shared by every backend that produces
+/// a trace (simulated and live), so their scoring can never drift:
+/// `samples` is always the number of messages actually attacked.
+pub(crate) fn attack_and_score(
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    trace: &[TransferRecord],
+    originations: &[Origination],
+) -> Result<SampledDegree, String> {
+    let n = model.n();
+    let compromised: Vec<usize> = (n - model.c()..n).collect();
+    let adversary = Adversary::new(n, &compromised).map_err(|e| e.to_string())?;
+    let report =
+        attack_trace(&adversary, model, dist, trace, originations).map_err(|e| e.to_string())?;
+    Ok(SampledDegree {
+        h_star: report.empirical_h_star,
+        std_error: report.std_error,
+        samples: report.verdicts.len(),
+    })
+}
+
+/// One way of scoring a cell. Implementations must uphold the module's
+/// determinism contract and must not share mutable state across cells
+/// (beyond caches whose values are pure functions of their key).
+pub trait EvalBackend: Send + Sync {
+    /// The engine axis value this backend serves.
+    fn kind(&self) -> EngineKind;
+
+    /// Scores one cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for infeasible or failed cells;
+    /// the runner records it in `CellResult::outcome` without aborting
+    /// the sweep.
+    fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String>;
+}
+
+/// The registry: every engine kind's backend, in [`EngineKind::ALL`]
+/// order.
+static BACKENDS: [&dyn EvalBackend; 4] = [
+    &exact::ExactBackend,
+    &monte_carlo::MonteCarloBackend,
+    &simulated::SimulatedBackend,
+    &live::LiveBackend,
+];
+
+/// Returns the registered backend for `kind`.
+pub fn backend(kind: EngineKind) -> &'static dyn EvalBackend {
+    *BACKENDS
+        .iter()
+        .find(|b| b.kind() == kind)
+        .expect("every EngineKind has a registered backend")
+}
+
+/// Iterates over every registered backend.
+pub fn backends() -> impl Iterator<Item = &'static dyn EvalBackend> {
+    BACKENDS.iter().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_engine_kind() {
+        for kind in EngineKind::ALL {
+            assert_eq!(backend(kind).kind(), kind);
+        }
+        assert_eq!(backends().count(), EngineKind::ALL.len());
+    }
+
+    #[test]
+    fn sampled_round_trip() {
+        let model = SystemModel::new(20, 1).unwrap();
+        let dist = PathLengthDist::fixed(3);
+        let est = SampledDegree {
+            h_star: 3.5,
+            std_error: 0.04,
+            samples: 500,
+        };
+        let metrics = CellMetrics::from_sampled(&model, &dist, est);
+        assert_eq!(metrics.sampled(), Some(est));
+        assert_eq!(metrics.p_exposed, None);
+        assert!((metrics.normalized - 3.5 / 20f64.log2()).abs() < 1e-12);
+        assert_eq!(metrics.mean_len, 3.0);
+    }
+}

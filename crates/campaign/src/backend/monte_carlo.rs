@@ -1,0 +1,36 @@
+//! The Monte-Carlo backend: seeded observation sampling.
+//!
+//! Determinism: every drawn observation flows from `ctx.seed` through
+//! [`engine::estimate_anonymity_degree`]'s own `StdRng` stream, so equal
+//! contexts estimate the identical value.
+
+use anonroute_core::{engine, SampledDegree};
+
+use crate::backend::{CellCtx, CellMetrics, EvalBackend};
+use crate::grid::EngineKind;
+
+/// Seeded Monte-Carlo estimation (the `mc` engine); the sample count
+/// comes from `CampaignConfig::mc_samples`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonteCarloBackend;
+
+impl EvalBackend for MonteCarloBackend {
+    fn kind(&self) -> EngineKind {
+        EngineKind::MonteCarlo
+    }
+
+    fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+        let est =
+            engine::estimate_anonymity_degree(ctx.model, ctx.dist, ctx.config.mc_samples, ctx.seed)
+                .map_err(|e| e.to_string())?;
+        Ok(CellMetrics::from_sampled(
+            ctx.model,
+            ctx.dist,
+            SampledDegree {
+                h_star: est.mean,
+                std_error: est.std_error,
+                samples: est.samples,
+            },
+        ))
+    }
+}

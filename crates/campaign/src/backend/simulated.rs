@@ -1,0 +1,96 @@
+//! The simulated-attack backend: run the full in-process protocol stack
+//! and attack its trace.
+//!
+//! Simple-path cells execute onion routing; cyclic cells execute Crowds
+//! (which requires a geometric strategy — that's Crowds' defining
+//! forwarding rule). The passive adversary compromises the last `c`
+//! member nodes and scores every delivered message.
+//!
+//! Determinism: the discrete-event simulator, the origination schedule,
+//! and every protocol's randomness are all seeded from `ctx.seed`.
+
+use anonroute_core::{PathKind, PathLengthDist, SystemModel};
+use anonroute_protocols::crowds::crowd;
+use anonroute_protocols::onion_routing::onion_network;
+use anonroute_protocols::RouteSampler;
+use anonroute_sim::{LatencyModel, SimTime, Simulation};
+
+use crate::backend::{attack_and_score, CellCtx, CellMetrics, EvalBackend};
+use crate::grid::{EngineKind, StrategySpec};
+
+/// Full protocol simulation attacked by the passive adversary (the `sim`
+/// engine); the message count comes from `CampaignConfig::sim_messages`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatedBackend;
+
+impl EvalBackend for SimulatedBackend {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Simulated
+    }
+
+    fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+        let messages = ctx.config.sim_messages;
+        match ctx.model.path_kind() {
+            PathKind::Simple => {
+                let sampler = RouteSampler::new(ctx.model.n(), ctx.dist.clone(), PathKind::Simple)
+                    .map_err(|e| e.to_string())?;
+                let nodes = onion_network(ctx.model.n(), &sampler, 2048, b"anonroute-campaign")
+                    .map_err(|e| e.to_string())?;
+                attack_simulation(
+                    nodes,
+                    LatencyModel::Uniform { lo: 50, hi: 500 },
+                    ctx.model,
+                    ctx.dist,
+                    messages,
+                    ctx.seed,
+                )
+            }
+            PathKind::Cyclic => {
+                let StrategySpec::Geometric { forward_prob, .. } = ctx.scenario.strategy else {
+                    return Err(
+                        "the simulated engine models cyclic paths with Crowds, which requires a \
+                         geometric strategy"
+                            .into(),
+                    );
+                };
+                let nodes = crowd(ctx.model.n(), forward_prob).map_err(|e| e.to_string())?;
+                attack_simulation(
+                    nodes,
+                    LatencyModel::Constant(100),
+                    ctx.model,
+                    ctx.dist,
+                    messages,
+                    ctx.seed,
+                )
+            }
+        }
+    }
+}
+
+/// Drives `messages` originations through `nodes`, then scores the
+/// passive adversary's attack on the trace.
+fn attack_simulation<B: anonroute_sim::NodeBehavior>(
+    nodes: Vec<B>,
+    latency: LatencyModel,
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    messages: usize,
+    seed: u64,
+) -> Result<CellMetrics, String> {
+    let n = model.n();
+    let mut sim = Simulation::new(nodes, latency, seed);
+    let mut salt = seed | 1;
+    for i in 0..messages as u64 {
+        salt = salt
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        sim.schedule_origination(
+            SimTime::from_micros(i * 100),
+            (salt >> 33) as usize % n,
+            vec![0u8; 4],
+        );
+    }
+    sim.run();
+    let est = attack_and_score(model, dist, sim.trace(), sim.originations())?;
+    Ok(CellMetrics::from_sampled(model, dist, est))
+}

@@ -159,7 +159,7 @@ impl std::fmt::Display for StrategySpec {
     }
 }
 
-/// Which evaluation engine scores a cell.
+/// Which evaluation backend scores a cell (see [`crate::backend`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Closed-form exact `H*` (the paper's analysis).
@@ -169,10 +169,21 @@ pub enum EngineKind {
     /// Full protocol simulation attacked by the passive adversary
     /// (onion routing on simple paths, Crowds on cyclic paths).
     Simulated,
+    /// A real loopback TCP relay cluster: onion circuits over sockets,
+    /// attacked through the per-link observation tap.
+    Live,
 }
 
 impl EngineKind {
-    /// Parses `exact`, `mc`/`montecarlo`, or `sim`/`simulated`.
+    /// Every engine, in canonical (cheapest-first) order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Exact,
+        EngineKind::MonteCarlo,
+        EngineKind::Simulated,
+        EngineKind::Live,
+    ];
+
+    /// Parses `exact`, `mc`/`montecarlo`, `sim`/`simulated`, or `live`.
     ///
     /// # Errors
     ///
@@ -182,7 +193,10 @@ impl EngineKind {
             "exact" => Ok(EngineKind::Exact),
             "mc" | "montecarlo" | "monte-carlo" => Ok(EngineKind::MonteCarlo),
             "sim" | "simulated" => Ok(EngineKind::Simulated),
-            other => Err(format!("engine `{other}`: expected exact | mc | sim")),
+            "live" => Ok(EngineKind::Live),
+            other => Err(format!(
+                "engine `{other}`: expected exact | mc | sim | live"
+            )),
         }
     }
 }
@@ -193,6 +207,7 @@ impl std::fmt::Display for EngineKind {
             EngineKind::Exact => write!(f, "exact"),
             EngineKind::MonteCarlo => write!(f, "mc"),
             EngineKind::Simulated => write!(f, "sim"),
+            EngineKind::Live => write!(f, "live"),
         }
     }
 }
@@ -223,6 +238,42 @@ pub struct Scenario {
     pub strategy: StrategySpec,
     /// Scoring engine.
     pub engine: EngineKind,
+}
+
+impl Scenario {
+    /// Parses the [`Display`](std::fmt::Display) form back into a
+    /// scenario (`n=100 c=1 simple uniform:2:8 [exact]`), so rendered
+    /// cell identities in logs and reports are machine-recoverable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed text.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let err = |m: &str| format!("scenario `{s}`: {m}");
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        let [n, c, path, strategy, engine] = parts.as_slice() else {
+            return Err(err("expected `n=N c=C PATH STRATEGY [ENGINE]`"));
+        };
+        let n = n
+            .strip_prefix("n=")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| err("bad `n=` field"))?;
+        let c = c
+            .strip_prefix("c=")
+            .and_then(|v| v.parse::<usize>().ok())
+            .ok_or_else(|| err("bad `c=` field"))?;
+        let engine = engine
+            .strip_prefix('[')
+            .and_then(|v| v.strip_suffix(']'))
+            .ok_or_else(|| err("engine must be bracketed"))?;
+        Ok(Scenario {
+            n,
+            c,
+            path_kind: parse_path_kind(path).map_err(|m| err(&m))?,
+            strategy: StrategySpec::parse(strategy).map_err(|m| err(&m))?,
+            engine: EngineKind::parse(engine).map_err(|m| err(&m))?,
+        })
+    }
 }
 
 impl std::fmt::Display for Scenario {
@@ -435,8 +486,35 @@ mod tests {
         assert_eq!(EngineKind::parse("exact").unwrap(), EngineKind::Exact);
         assert_eq!(EngineKind::parse("mc").unwrap(), EngineKind::MonteCarlo);
         assert_eq!(EngineKind::parse("sim").unwrap(), EngineKind::Simulated);
+        assert_eq!(EngineKind::parse("live").unwrap(), EngineKind::Live);
         assert!(EngineKind::parse("x").is_err());
         assert_eq!(parse_path_kind("cyclic").unwrap(), PathKind::Cyclic);
         assert!(parse_path_kind("loop").is_err());
+        // every engine's Display round-trips through parse
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(&kind.to_string()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn scenario_display_round_trips() {
+        for kind in EngineKind::ALL {
+            let scenario = Scenario {
+                n: 42,
+                c: 3,
+                path_kind: PathKind::Cyclic,
+                strategy: StrategySpec::TwoPoint {
+                    lo: 2,
+                    p: 0.25,
+                    hi: 7,
+                },
+                engine: kind,
+            };
+            let text = scenario.to_string();
+            assert_eq!(Scenario::parse(&text).unwrap(), scenario, "{text}");
+        }
+        assert!(Scenario::parse("n=5 c=1 simple fixed:1").is_err());
+        assert!(Scenario::parse("n=x c=1 simple fixed:1 [exact]").is_err());
+        assert!(Scenario::parse("n=5 c=1 simple fixed:1 exact").is_err());
     }
 }

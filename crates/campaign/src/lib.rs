@@ -12,8 +12,15 @@
 //! * strategy family ([`StrategySpec`]: fixed / uniform / two-point /
 //!   geometric / optimal),
 //! * scoring engine ([`EngineKind`]: exact closed form, Monte-Carlo
-//!   estimation, or a full protocol simulation attacked by the passive
-//!   adversary).
+//!   estimation, a full protocol simulation attacked by the passive
+//!   adversary, or a **live loopback TCP relay cluster** attacked
+//!   through its per-link tap).
+//!
+//! Scoring is pluggable: each engine kind maps to an
+//! [`EvalBackend`] implementation in the
+//! [`backend`] registry, and the scheduler ([`runner`]) knows nothing
+//! about how cells are scored — one grid can span closed-form math and
+//! genuine TCP traffic.
 //!
 //! [`run`] executes the expanded grid on a rayon thread pool. Exact cells
 //! share memoized
@@ -21,8 +28,10 @@
 //! an [`EvaluatorCache`](anonroute_core::engine::EvaluatorCache) keyed by
 //! `(n, c, path_kind, lmax)`, and every cell derives its RNG seed from
 //! the campaign seed and its grid index — so results are bit-for-bit
-//! identical at any thread count. [`report`] renders JSON Lines and CSV;
-//! [`spec`] parses grids from compact flag values or a TOML-subset file.
+//! identical at any thread count (live cells: per seed; see the
+//! determinism contract in [`backend`]). [`report`] renders JSON Lines
+//! and CSV; [`spec`] parses grids from compact flag values or a
+//! TOML-subset file.
 //!
 //! ## Quickstart
 //!
@@ -49,10 +58,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod grid;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use backend::{CellCtx, CellMetrics, EvalBackend};
 pub use grid::{parse_path_kind, EngineKind, Scenario, ScenarioGrid, StrategySpec};
-pub use runner::{cell_seed, run, CampaignConfig, CampaignOutcome, CellMetrics, CellResult};
+pub use runner::{cell_seed, run, CampaignConfig, CampaignOutcome, CellResult};

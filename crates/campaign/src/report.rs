@@ -105,7 +105,7 @@ pub fn render_csv(outcome: &CampaignOutcome) -> String {
             s.n,
             s.c,
             s.path_kind,
-            s.strategy.to_string().replace(',', ";"),
+            csv_sanitize(&s.strategy.to_string()),
             s.strategy.family(),
             s.engine,
             cell.seed,
@@ -126,12 +126,8 @@ pub fn render_csv(outcome: &CampaignOutcome) -> String {
                 .expect("writing to a String cannot fail");
             }
             Err(e) => {
-                write!(
-                    out,
-                    ",error,,,,,,,{}",
-                    e.replace(',', ";").replace('\n', " ")
-                )
-                .expect("writing to a String cannot fail");
+                write!(out, ",error,,,,,,,{}", csv_sanitize(e))
+                    .expect("writing to a String cannot fail");
             }
         }
         out.push('\n');
@@ -173,7 +169,7 @@ pub fn write_timings_csv(path: &Path, outcome: &CampaignOutcome) -> std::io::Res
             s.n,
             s.c,
             s.path_kind,
-            s.strategy.to_string().replace(',', ";"),
+            csv_sanitize(&s.strategy.to_string()),
             s.engine,
             cell.elapsed_micros
         )?;
@@ -227,6 +223,17 @@ pub fn summary(outcome: &CampaignOutcome) -> String {
         .expect("writing to a String cannot fail");
     }
     out
+}
+
+/// Flattens a free-form string into one CSV field: the separator and
+/// record breaks are substituted so naive split-on-comma/line parsers
+/// keep their field and row counts, and double quotes become
+/// apostrophes so RFC-4180 readers never mistake the (unquoted) field
+/// for a quoted one — whatever an error message contains.
+fn csv_sanitize(s: &str) -> String {
+    s.replace(',', ";")
+        .replace('"', "'")
+        .replace(['\r', '\n'], " ")
 }
 
 fn json_escape(s: &str) -> String {
@@ -336,5 +343,95 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    /// An error cell carrying `error` as its outcome, as a wedged live
+    /// cluster or failing backend would produce.
+    fn error_cell(index: usize, error: &str) -> CellResult {
+        use crate::grid::{EngineKind, Scenario, StrategySpec};
+        use anonroute_core::PathKind;
+        CellResult {
+            index,
+            scenario: Scenario {
+                n: 8,
+                c: 1,
+                path_kind: PathKind::Simple,
+                strategy: StrategySpec::Fixed(2),
+                engine: EngineKind::Live,
+            },
+            seed: 99,
+            elapsed_micros: 1,
+            outcome: Err(error.to_string()),
+        }
+    }
+
+    /// The nastiest plausible error strings: CSV separators, quotes, CR,
+    /// LF, tabs, JSON escapes — e.g. OS socket errors quoting addresses,
+    /// or a panic payload spanning lines.
+    const NASTY_ERRORS: &[&str] = &[
+        "connection refused: 127.0.0.1:0, retries=3",
+        "panic: \"tap lock\" poisoned\nwhile serving relay 2",
+        "bad frame,\r\nraw bytes: \"\\x00\\x01\", tag=9",
+        "tab\there, and a trailing newline\n",
+    ];
+
+    #[test]
+    fn error_cells_with_hostile_strings_stay_parseable_in_csv() {
+        let outcome = CampaignOutcome {
+            cells: NASTY_ERRORS
+                .iter()
+                .enumerate()
+                .map(|(i, e)| error_cell(i, e))
+                .collect(),
+            wall: std::time::Duration::from_millis(1),
+            threads: 1,
+            cache: Default::default(),
+        };
+        let text = render_csv(&outcome);
+        let lines: Vec<&str> = text.lines().collect();
+        // one header + one row per cell: no error string may add rows
+        assert_eq!(lines.len(), 1 + NASTY_ERRORS.len());
+        let field_count = CSV_HEADER.split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(
+                row.split(',').count(),
+                field_count,
+                "field count drifted: {row}"
+            );
+            assert!(row.contains(",error,"), "status column survives: {row}");
+        }
+        assert!(!text.contains('\r'), "carriage returns must be flattened");
+        // no raw double quote may survive: an unquoted field starting
+        // with `"` would derail RFC-4180 readers (Python csv, Excel)
+        assert!(!text.contains('"'), "double quotes must be substituted");
+    }
+
+    #[test]
+    fn error_cells_with_hostile_strings_stay_parseable_in_jsonl() {
+        for (i, error) in NASTY_ERRORS.iter().enumerate() {
+            let line = jsonl_line(&error_cell(i, error), false);
+            // one physical line per cell, whatever the error contains
+            assert_eq!(line.lines().count(), 1, "{line}");
+            assert!(!line.contains('\r'));
+            // structurally valid JSON: balanced braces outside strings,
+            // even quote count (every `"` in the payload is escaped)
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert_eq!(
+                line.chars().filter(|&c| c == '"').count() % 2,
+                0,
+                "unbalanced quotes: {line}"
+            );
+            assert!(line.contains("\"status\":\"error\""));
+            // the escaped error text round-trips: unescape and compare
+            let start = line.find("\"error\":\"").unwrap() + "\"error\":\"".len();
+            let end = line.rfind('"').unwrap();
+            let unescaped = line[start..end]
+                .replace("\\\"", "\"")
+                .replace("\\n", "\n")
+                .replace("\\r", "\r")
+                .replace("\\t", "\t")
+                .replace("\\\\", "\\");
+            assert_eq!(&unescaped, error);
+        }
     }
 }

@@ -1,4 +1,12 @@
-//! The parallel sweep executor: how a [`ScenarioGrid`] gets evaluated.
+//! The parallel sweep scheduler: how a [`ScenarioGrid`] gets executed.
+//!
+//! The runner contains **no evaluation code**: it expands the grid,
+//! derives per-cell seeds, realizes each cell's model and strategy, and
+//! dispatches a [`CellCtx`] to whichever
+//! [`EvalBackend`](crate::backend::EvalBackend) the registry returns for
+//! the cell's engine. How a cell is scored — closed form, sampling,
+//! in-process simulation, or a live TCP cluster — is entirely the
+//! backend layer's business ([`crate::backend`]).
 //!
 //! Design invariants:
 //!
@@ -12,22 +20,19 @@
 //!   [`Evaluator`](anonroute_core::engine::simple::Evaluator) through the
 //!   cache instead of rebuilding the log-factorial tables per cell.
 //! * **Isolation** — an infeasible cell (e.g. `F(7)` in a 5-node system)
-//!   records an error string; it never aborts the sweep.
+//!   records an error string; it never aborts the sweep. Live cells add a
+//!   per-cell watchdog so even a wedged cluster degrades to an error.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use anonroute_adversary::{attack_trace, Adversary};
 use anonroute_core::engine::{CacheStats, EvaluatorCache};
-use anonroute_core::{engine, PathKind, PathLengthDist, SystemModel};
-use anonroute_protocols::crowds::crowd;
-use anonroute_protocols::onion_routing::onion_network;
-use anonroute_protocols::RouteSampler;
-use anonroute_sim::{LatencyModel, SimTime, Simulation};
+use anonroute_core::SystemModel;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
-use crate::grid::{EngineKind, Scenario, ScenarioGrid, StrategySpec};
+use crate::backend::{self, CellCtx, CellMetrics};
+use crate::grid::{Scenario, ScenarioGrid};
 
 /// Execution settings of one campaign run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +45,18 @@ pub struct CampaignConfig {
     pub mc_samples: usize,
     /// Message count for simulated-attack engine cells.
     pub sim_messages: usize,
+    /// Message count for live TCP engine cells.
+    pub live_messages: usize,
+    /// Watchdog deadline per live cell, in milliseconds: a cluster that
+    /// produces no outcome in time records an error instead of hanging
+    /// the sweep.
+    pub live_timeout_ms: u64,
+    /// Largest system size a live cell may boot (each live cell costs
+    /// `n` relay listeners plus worker threads and sockets).
+    pub live_max_n: usize,
+    /// Fixed relay-cell size for live cells, in bytes (bounds the
+    /// longest onion route at ~64 bytes of overhead per hop).
+    pub live_cell_size: usize,
 }
 
 impl Default for CampaignConfig {
@@ -49,27 +66,12 @@ impl Default for CampaignConfig {
             seed: 7,
             mc_samples: 20_000,
             sim_messages: 1_500,
+            live_messages: 300,
+            live_timeout_ms: 120_000,
+            live_max_n: 64,
+            live_cell_size: 1_024,
         }
     }
-}
-
-/// Numeric outcome of one feasible cell.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CellMetrics {
-    /// Anonymity degree `H*` in bits (exact, estimated, or empirical,
-    /// per the cell's engine).
-    pub h_star: f64,
-    /// `h_star / log2 n`.
-    pub normalized: f64,
-    /// Expected path length of the realized strategy.
-    pub mean_len: f64,
-    /// Probability the adversary identifies the sender outright
-    /// (exact engine only).
-    pub p_exposed: Option<f64>,
-    /// Standard error of `h_star` (sampling engines only).
-    pub std_error: Option<f64>,
-    /// Sample/message count (sampling engines only).
-    pub samples: Option<usize>,
 }
 
 /// One evaluated cell: scenario, derived seed, wall time, and outcome.
@@ -165,7 +167,9 @@ pub fn cell_seed(campaign_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Evaluates one scenario.
+/// Schedules one cell: realize the model and strategy (the
+/// engine-agnostic feasibility gate), then hand the context to the
+/// registered backend for the cell's engine.
 fn run_cell(
     scenario: &Scenario,
     seed: u64,
@@ -175,146 +179,21 @@ fn run_cell(
     let model = SystemModel::with_path_kind(scenario.n, scenario.c, scenario.path_kind)
         .map_err(|e| e.to_string())?;
     let dist = scenario.strategy.realize(&model)?;
-    match scenario.engine {
-        EngineKind::Exact => exact_cell(&model, &dist, cache),
-        EngineKind::MonteCarlo => monte_carlo_cell(&model, &dist, config.mc_samples, seed),
-        EngineKind::Simulated => {
-            simulated_cell(&model, &dist, &scenario.strategy, config.sim_messages, seed)
-        }
-    }
-}
-
-fn exact_cell(
-    model: &SystemModel,
-    dist: &PathLengthDist,
-    cache: &EvaluatorCache,
-) -> Result<CellMetrics, String> {
-    let analysis = match model.path_kind() {
-        PathKind::Simple => {
-            // one shared evaluator per model covers every strategy on it
-            let ev = cache
-                .evaluator(model, model.n() - 1)
-                .map_err(|e| e.to_string())?;
-            ev.analyze(dist.pmf())
-        }
-        PathKind::Cyclic => engine::analysis(model, dist).map_err(|e| e.to_string())?,
-    };
-    Ok(CellMetrics {
-        h_star: analysis.h_star,
-        normalized: analysis.normalized(model),
-        mean_len: dist.mean(),
-        p_exposed: Some(analysis.p_exposed),
-        std_error: None,
-        samples: None,
-    })
-}
-
-fn monte_carlo_cell(
-    model: &SystemModel,
-    dist: &PathLengthDist,
-    samples: usize,
-    seed: u64,
-) -> Result<CellMetrics, String> {
-    let est =
-        engine::estimate_anonymity_degree(model, dist, samples, seed).map_err(|e| e.to_string())?;
-    Ok(CellMetrics {
-        h_star: est.mean,
-        normalized: est.mean / model.max_entropy_bits(),
-        mean_len: dist.mean(),
-        p_exposed: None,
-        std_error: Some(est.std_error),
-        samples: Some(est.samples),
-    })
-}
-
-/// Runs the full protocol stack and attacks the trace: onion routing for
-/// simple paths, Crowds for cyclic geometric strategies.
-fn simulated_cell(
-    model: &SystemModel,
-    dist: &PathLengthDist,
-    strategy: &StrategySpec,
-    messages: usize,
-    seed: u64,
-) -> Result<CellMetrics, String> {
-    match model.path_kind() {
-        PathKind::Simple => {
-            let sampler = RouteSampler::new(model.n(), dist.clone(), PathKind::Simple)
-                .map_err(|e| e.to_string())?;
-            let nodes = onion_network(model.n(), &sampler, 2048, b"anonroute-campaign")
-                .map_err(|e| e.to_string())?;
-            attack_simulation(
-                nodes,
-                LatencyModel::Uniform { lo: 50, hi: 500 },
-                model,
-                dist,
-                messages,
-                seed,
-            )
-        }
-        PathKind::Cyclic => {
-            let StrategySpec::Geometric { forward_prob, .. } = strategy else {
-                return Err(
-                    "the simulated engine models cyclic paths with Crowds, which requires a \
-                     geometric strategy"
-                        .into(),
-                );
-            };
-            let nodes = crowd(model.n(), *forward_prob).map_err(|e| e.to_string())?;
-            attack_simulation(
-                nodes,
-                LatencyModel::Constant(100),
-                model,
-                dist,
-                messages,
-                seed,
-            )
-        }
-    }
-}
-
-/// Drives `messages` originations through `nodes`, then scores the
-/// passive adversary's attack on the trace.
-fn attack_simulation<B: anonroute_sim::NodeBehavior>(
-    nodes: Vec<B>,
-    latency: LatencyModel,
-    model: &SystemModel,
-    dist: &PathLengthDist,
-    messages: usize,
-    seed: u64,
-) -> Result<CellMetrics, String> {
-    let n = model.n();
-    let mut sim = Simulation::new(nodes, latency, seed);
-    let mut salt = seed | 1;
-    for i in 0..messages as u64 {
-        salt = salt
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        sim.schedule_origination(
-            SimTime::from_micros(i * 100),
-            (salt >> 33) as usize % n,
-            vec![0u8; 4],
-        );
-    }
-    sim.run();
-    let compromised: Vec<usize> = (n - model.c()..n).collect();
-    let adversary = Adversary::new(n, &compromised).map_err(|e| e.to_string())?;
-    let report = attack_trace(&adversary, model, dist, sim.trace(), sim.originations())
-        .map_err(|e| e.to_string())?;
-    Ok(CellMetrics {
-        h_star: report.empirical_h_star,
-        normalized: report.empirical_h_star / model.max_entropy_bits(),
-        mean_len: dist.mean(),
-        p_exposed: None,
-        std_error: Some(report.std_error),
-        samples: Some(messages),
+    backend::backend(scenario.engine).evaluate(&CellCtx {
+        scenario,
+        model: &model,
+        dist: &dist,
+        seed,
+        config,
+        cache,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid::ScenarioGrid;
-    use anonroute_core::PathLengthDist;
+    use crate::grid::{EngineKind, ScenarioGrid, StrategySpec};
+    use anonroute_core::{engine, PathKind, SystemModel};
 
     fn small_grid() -> ScenarioGrid {
         ScenarioGrid::new().ns([20, 30]).cs([1, 2]).strategies([
@@ -448,14 +327,24 @@ mod tests {
     }
 
     #[test]
-    fn exact_cell_uses_full_support_evaluator() {
-        // the shared evaluator spans 0..=n-1 regardless of each strategy's
-        // own support; H* must still match a support-sized evaluation
-        let model = SystemModel::new(40, 2).unwrap();
-        let cache = EvaluatorCache::new();
-        let dist = PathLengthDist::uniform(2, 9).unwrap();
-        let via_cell = exact_cell(&model, &dist, &cache).unwrap();
-        let direct = engine::anonymity_degree(&model, &dist).unwrap();
-        assert!((via_cell.h_star - direct).abs() < 1e-12);
+    fn wedged_live_cells_record_errors_instead_of_hanging() {
+        // a 1 ms watchdog fires before any cluster can finish booting:
+        // the sweep must complete with a per-cell error, not hang
+        let grid = ScenarioGrid::new()
+            .ns([4])
+            .cs([1])
+            .strategies([StrategySpec::Fixed(1)])
+            .engines([EngineKind::Live]);
+        let config = CampaignConfig {
+            live_messages: 10,
+            live_timeout_ms: 1,
+            ..CampaignConfig::default()
+        };
+        let start = Instant::now();
+        let outcome = run(&grid, &config);
+        assert!(start.elapsed() < Duration::from_secs(30), "sweep hung");
+        assert_eq!(outcome.error_count(), 1);
+        let err = outcome.cells[0].outcome.as_ref().unwrap_err();
+        assert!(err.contains("wedged") || err.contains("within"), "{err}");
     }
 }

@@ -11,8 +11,12 @@
 //!
 //! The spec file carries the same axes (plus run settings) in a TOML
 //! subset parsed in-tree — this build environment is offline, so no TOML
-//! crate is available. Supported: `[grid]` / `[run]` tables, `#` comments,
-//! integer / float / quoted-string scalars, and flat arrays thereof.
+//! crate is available. Supported: `[grid]` / `[run]` (alias `[config]`)
+//! tables, `#` comments, integer / float / quoted-string scalars, and
+//! flat arrays thereof. The run section accepts every sampling knob
+//! (`mc_samples`, `sim_messages`, `live_messages`, `live_timeout_ms`,
+//! `live_max_n`, `live_cell_size`), so a grid file fully describes a run
+//! without CLI flags.
 
 use anonroute_core::PathKind;
 
@@ -258,9 +262,13 @@ pub fn parse_spec(
                 .strip_suffix(']')
                 .ok_or_else(|| at(format!("unterminated section header `{line}`")))?;
             section = name.trim().to_string();
+            if section == "config" {
+                // `[config]` is an alias for `[run]`
+                section = "run".to_string();
+            }
             if section != "grid" && section != "run" {
                 return Err(at(format!(
-                    "unknown section `[{section}]` (expected [grid] or [run])"
+                    "unknown section `[{section}]` (expected [grid], [run], or [config])"
                 )));
             }
             continue;
@@ -307,6 +315,14 @@ pub fn parse_spec(
             ("run", "mc_samples") => config.mc_samples = value.as_u64(key).map_err(at)? as usize,
             ("run", "sim_messages") => {
                 config.sim_messages = value.as_u64(key).map_err(at)? as usize
+            }
+            ("run", "live_messages") => {
+                config.live_messages = value.as_u64(key).map_err(at)? as usize
+            }
+            ("run", "live_timeout_ms") => config.live_timeout_ms = value.as_u64(key).map_err(at)?,
+            ("run", "live_max_n") => config.live_max_n = value.as_u64(key).map_err(at)? as usize,
+            ("run", "live_cell_size") => {
+                config.live_cell_size = value.as_u64(key).map_err(at)? as usize
             }
             ("", _) => return Err(at(format!("key `{key}` outside [grid]/[run] section"))),
             (_, _) => return Err(at(format!("unknown key `{key}` in section [{section}]"))),
@@ -377,6 +393,35 @@ sim_messages = 800
         assert_eq!(config.seed, 99);
         assert_eq!(config.mc_samples, 5000);
         assert_eq!(config.sim_messages, 800);
+    }
+
+    #[test]
+    fn config_section_aliases_run_and_carries_live_settings() {
+        let text = r#"
+[grid]
+n = 10
+c = 1
+strategies = "fixed:2"
+engines = ["exact", "live"]
+
+[config]
+seed = 5
+mc_samples = 1234
+sim_messages = 567
+live_messages = 89
+live_timeout_ms = 2500
+live_max_n = 12
+live_cell_size = 512
+"#;
+        let (grid, config) = parse_spec(text, &CampaignConfig::default()).unwrap();
+        assert_eq!(grid.engines, vec![EngineKind::Exact, EngineKind::Live]);
+        assert_eq!(config.seed, 5);
+        assert_eq!(config.mc_samples, 1234);
+        assert_eq!(config.sim_messages, 567);
+        assert_eq!(config.live_messages, 89);
+        assert_eq!(config.live_timeout_ms, 2500);
+        assert_eq!(config.live_max_n, 12);
+        assert_eq!(config.live_cell_size, 512);
     }
 
     #[test]

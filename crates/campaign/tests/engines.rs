@@ -1,0 +1,130 @@
+//! One grid across all four evaluation backends — closed-form math to
+//! genuine TCP traffic — pinning that every sampling backend agrees with
+//! the exact engine within its std-error bound, deterministically per
+//! seed.
+
+use anonroute_campaign::{
+    backend, report, run, CampaignConfig, EngineKind, ScenarioGrid, StrategySpec,
+};
+
+fn four_engine_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .ns([10])
+        .cs([1])
+        .strategies([StrategySpec::Uniform(1, 3)])
+        .engines(EngineKind::ALL)
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        mc_samples: 20_000,
+        sim_messages: 800,
+        live_messages: 250,
+        seed: 2026,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn all_four_engines_agree_on_one_grid() {
+    let outcome = run(&four_engine_grid(), &config());
+    assert_eq!(outcome.cells.len(), 4);
+    assert_eq!(
+        outcome.error_count(),
+        0,
+        "{:?}",
+        outcome
+            .cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err())
+            .collect::<Vec<_>>()
+    );
+    let exact = outcome.cells[0].outcome.as_ref().unwrap();
+    assert_eq!(outcome.cells[0].scenario.engine, EngineKind::Exact);
+    assert!(exact.std_error.is_none(), "exact cells are not sampled");
+    for cell in &outcome.cells[1..] {
+        let metrics = cell.outcome.as_ref().unwrap();
+        let est = metrics.sampled().expect("sampling engines report errors");
+        assert!(
+            est.agrees_with(exact.h_star, 5.0),
+            "{}: {est} vs exact {}",
+            cell.scenario,
+            exact.h_star
+        );
+        assert!(est.std_error > 0.0);
+        assert!(
+            (metrics.mean_len - exact.mean_len).abs() < 1e-12,
+            "all engines evaluate the same realized strategy"
+        );
+    }
+}
+
+#[test]
+fn live_cells_are_deterministic_per_seed() {
+    // identities, routes, handshakes, nonces, and junk all derive from
+    // the cell seed; the adversary consumes trace structure only — so a
+    // rerun renders byte-identical JSONL even for live TCP cells
+    let grid = ScenarioGrid::new()
+        .ns([8])
+        .cs([1])
+        .strategies([StrategySpec::Fixed(2)])
+        .engines([EngineKind::Exact, EngineKind::Live]);
+    let config = CampaignConfig {
+        live_messages: 120,
+        seed: 55,
+        ..CampaignConfig::default()
+    };
+    let a = report::render_jsonl(&run(&grid, &config), false);
+    let b = report::render_jsonl(&run(&grid, &config), false);
+    assert_eq!(a, b, "live cells must be deterministic per seed");
+    assert!(a.contains("\"engine\":\"live\""));
+
+    // ...and a different campaign seed moves the live measurement
+    let other = report::render_jsonl(&run(&grid, &CampaignConfig { seed: 56, ..config }), false);
+    assert_ne!(a, other, "live sampling must respond to the seed");
+}
+
+#[test]
+fn every_registered_backend_scores_through_the_trait_object() {
+    // the registry is the only dispatch point: score one feasible cell
+    // with each backend via `&dyn EvalBackend` and cross-check engines
+    use anonroute_core::engine::EvaluatorCache;
+    use anonroute_core::{PathKind, SystemModel};
+
+    let scenario_for = |kind| anonroute_campaign::Scenario {
+        n: 8,
+        c: 1,
+        path_kind: PathKind::Simple,
+        strategy: StrategySpec::Uniform(1, 3),
+        engine: kind,
+    };
+    let model = SystemModel::new(8, 1).unwrap();
+    let dist = StrategySpec::Uniform(1, 3).realize(&model).unwrap();
+    let cache = EvaluatorCache::new();
+    let config = CampaignConfig {
+        mc_samples: 10_000,
+        sim_messages: 500,
+        live_messages: 150,
+        ..CampaignConfig::default()
+    };
+    let mut exact_h = None;
+    for kind in EngineKind::ALL {
+        let scenario = scenario_for(kind);
+        let ctx = anonroute_campaign::CellCtx {
+            scenario: &scenario,
+            model: &model,
+            dist: &dist,
+            seed: 17,
+            config: &config,
+            cache: &cache,
+        };
+        let metrics = backend::backend(kind).evaluate(&ctx).unwrap();
+        match metrics.sampled() {
+            None => exact_h = Some(metrics.h_star),
+            Some(est) => {
+                let exact = exact_h.expect("exact runs first in ALL order");
+                assert!(est.agrees_with(exact, 5.0), "{kind:?}: {est} vs {exact}");
+            }
+        }
+    }
+}

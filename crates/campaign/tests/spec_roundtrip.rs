@@ -1,0 +1,94 @@
+//! Property tests: `Display` ↔ `parse` round-trips for the whole
+//! scenario vocabulary — strategy specs, engine kinds, and full
+//! scenarios — over generated inputs rather than hand-picked cases.
+
+use anonroute_campaign::{EngineKind, Scenario, StrategySpec};
+use anonroute_core::PathKind;
+use proptest::prelude::*;
+
+/// Generates an arbitrary strategy spec from generated raw parameters.
+/// Probabilities come in thousandths so their `Display` text is short
+/// but still exercises fractional forms.
+fn build_strategy(family: usize, a: usize, b: usize, millis: usize) -> StrategySpec {
+    let p = millis as f64 / 1000.0;
+    match family % 5 {
+        0 => StrategySpec::Fixed(a),
+        1 => StrategySpec::Uniform(a.min(b), a.max(b)),
+        2 => StrategySpec::TwoPoint { lo: a, p, hi: b },
+        3 => StrategySpec::Geometric {
+            forward_prob: (p * 0.999).min(0.999),
+            lmax: b.max(1),
+        },
+        _ => StrategySpec::Optimal {
+            mean: if millis.is_multiple_of(2) {
+                None
+            } else {
+                Some(a as f64 + p)
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn strategy_display_parse_round_trips(
+        family in 0usize..5,
+        a in 0usize..200,
+        b in 0usize..200,
+        millis in 0usize..1000,
+    ) {
+        let spec = build_strategy(family, a, b, millis);
+        let text = spec.to_string();
+        let parsed = StrategySpec::parse(&text);
+        prop_assert!(parsed.is_ok(), "`{}` failed to parse", text);
+        prop_assert_eq!(parsed.unwrap(), spec);
+    }
+
+    #[test]
+    fn engine_display_parse_round_trips(index in 0usize..4) {
+        let kind = EngineKind::ALL[index];
+        prop_assert_eq!(EngineKind::parse(&kind.to_string()).unwrap(), kind);
+    }
+
+    #[test]
+    fn scenario_display_parse_round_trips(
+        n in 1usize..5000,
+        c in 0usize..100,
+        cyclic in any::<bool>(),
+        engine in 0usize..4,
+        family in 0usize..5,
+        a in 0usize..200,
+        b in 0usize..200,
+        millis in 0usize..1000,
+    ) {
+        let scenario = Scenario {
+            n,
+            c,
+            path_kind: if cyclic { PathKind::Cyclic } else { PathKind::Simple },
+            strategy: build_strategy(family, a, b, millis),
+            engine: EngineKind::ALL[engine],
+        };
+        let text = scenario.to_string();
+        let parsed = Scenario::parse(&text);
+        prop_assert!(parsed.is_ok(), "`{}` failed to parse", text);
+        prop_assert_eq!(parsed.unwrap(), scenario);
+    }
+
+    #[test]
+    fn junk_never_round_trips_silently(
+        head in 0usize..4,
+        n in 0usize..50,
+    ) {
+        // malformed scenario text must error, not mis-parse: drop a
+        // required field or scramble the bracketed engine
+        let bad = match head {
+            0 => format!("n={n} c=1 simple fixed:1"),
+            1 => format!("c=1 n={n} simple fixed:1 [exact]"),
+            2 => format!("n={n} c=1 spiral fixed:1 [exact]"),
+            _ => format!("n={n} c=1 simple fixed:1 exact"),
+        };
+        prop_assert!(Scenario::parse(&bad).is_err(), "`{}` parsed", bad);
+    }
+}

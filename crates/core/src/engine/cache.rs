@@ -46,7 +46,7 @@ pub struct EvaluatorCache {
 }
 
 /// Hit/miss counters of an [`EvaluatorCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: usize,

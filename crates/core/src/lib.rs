@@ -55,5 +55,5 @@ pub mod strategies;
 
 pub use dist::PathLengthDist;
 pub use error::{Error, Result};
-pub use metrics::AnonymityReport;
+pub use metrics::{AnonymityReport, SampledDegree};
 pub use model::{PathKind, SystemModel};

@@ -62,6 +62,58 @@ impl AnonymityReport {
     }
 }
 
+/// A sampled estimate of an anonymity degree — the common shape of every
+/// statistical measurement in the workspace (the core Monte-Carlo
+/// estimator, the simulated-protocol attack, and live TCP cluster
+/// measurements all reduce to one of these).
+///
+/// # Examples
+///
+/// ```
+/// use anonroute_core::SampledDegree;
+///
+/// let est = SampledDegree { h_star: 4.31, std_error: 0.02, samples: 1000 };
+/// let (lo, hi) = est.ci95();
+/// assert!(lo < est.h_star && est.h_star < hi);
+/// assert!(est.agrees_with(4.35, 4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledDegree {
+    /// Estimated anonymity degree in bits.
+    pub h_star: f64,
+    /// Standard error of the estimate.
+    pub std_error: f64,
+    /// Number of independent samples behind the estimate.
+    pub samples: usize,
+}
+
+impl SampledDegree {
+    /// Two-sided 95% confidence interval.
+    pub fn ci95(&self) -> (f64, f64) {
+        (
+            self.h_star - 1.96 * self.std_error,
+            self.h_star + 1.96 * self.std_error,
+        )
+    }
+
+    /// Whether the estimate is within `sigmas` standard errors of a
+    /// reference value (with a small absolute epsilon so exact agreement
+    /// at zero variance still passes).
+    pub fn agrees_with(&self, reference: f64, sigmas: f64) -> bool {
+        (self.h_star - reference).abs() <= sigmas * self.std_error + 1e-9
+    }
+}
+
+impl std::fmt::Display for SampledDegree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} bits (se {:.4}, {} samples)",
+            self.h_star, self.std_error, self.samples
+        )
+    }
+}
+
 impl std::fmt::Display for AnonymityReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -95,6 +147,28 @@ mod tests {
         let model = SystemModel::new(50, 0).unwrap();
         let r = AnonymityReport::evaluate(&model, &PathLengthDist::fixed(0)).unwrap();
         assert_eq!(r.efficiency(), r.h_star);
+    }
+
+    #[test]
+    fn sampled_degree_interval_and_agreement() {
+        let est = SampledDegree {
+            h_star: 5.0,
+            std_error: 0.1,
+            samples: 400,
+        };
+        let (lo, hi) = est.ci95();
+        assert!((lo - 4.804).abs() < 1e-12 && (hi - 5.196).abs() < 1e-12);
+        assert!(est.agrees_with(5.3, 4.0));
+        assert!(!est.agrees_with(5.5, 4.0));
+        // zero variance: only (near-)exact agreement passes
+        let exact = SampledDegree {
+            h_star: 5.0,
+            std_error: 0.0,
+            samples: 1,
+        };
+        assert!(exact.agrees_with(5.0, 4.0));
+        assert!(!exact.agrees_with(5.1, 4.0));
+        assert!(exact.to_string().contains("1 samples"));
     }
 
     #[test]

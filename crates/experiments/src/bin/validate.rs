@@ -1,7 +1,9 @@
-//! Three-way cross-validation: exact engine vs Monte-Carlo vs attacking
-//! the fully simulated protocol stack (onion crypto + network + adversary).
+//! Cross-validation: exact engine vs Monte-Carlo vs attacking the fully
+//! simulated protocol stack (onion crypto + network + adversary), plus
+//! the live-vs-analytic grid — the same attack against a real loopback
+//! TCP relay cluster through the campaign backend layer.
 
-use anonroute_experiments::validation::validation_table;
+use anonroute_experiments::validation::{live_vs_analytic_table, validation_table};
 
 fn main() {
     let messages = std::env::args()
@@ -36,4 +38,32 @@ fn main() {
         "validation failed: estimates disagree with the exact engine"
     );
     println!("\nall estimates agree with the exact engine (4-sigma).");
+
+    let live_messages = (messages / 10).clamp(100, 400);
+    println!("\n== live TCP cluster vs analytic ({live_messages} messages per cell) ==");
+    println!(
+        "{:<44} {:>10} {:>24} {:>6}",
+        "scenario", "exact", "live over TCP (se)", "ok?"
+    );
+    let mut live_ok = true;
+    for row in live_vs_analytic_table(live_messages, 2026) {
+        let ok = row.consistent();
+        live_ok &= ok;
+        let measured = match &row.live {
+            Ok(live) => format!("{:>16.4} ({:.4})", live.h_star, live.std_error),
+            Err(e) => format!("error: {e}"),
+        };
+        println!(
+            "{:<44} {:>10.4} {:>24} {:>6}",
+            row.case,
+            row.exact,
+            measured,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    assert!(
+        live_ok,
+        "live validation failed: TCP measurements disagree with the exact engine"
+    );
+    println!("\nlive TCP measurements agree with the exact engine (5-sigma).");
 }

@@ -1,9 +1,14 @@
-//! Validation experiments: theorem closed forms vs the engine, and the
-//! exact analysis vs Monte-Carlo vs full protocol simulation.
+//! Validation experiments: theorem closed forms vs the engine, the
+//! exact analysis vs Monte-Carlo vs full protocol simulation, and the
+//! live-vs-analytic grid (closed form vs a real loopback TCP cluster,
+//! both scored through the campaign `EvalBackend` layer).
 
 use anonroute_adversary::{attack_trace, Adversary};
+use anonroute_campaign::{
+    run as campaign_run, CampaignConfig, EngineKind, ScenarioGrid, StrategySpec,
+};
 use anonroute_core::engine::{estimate_anonymity_degree, MonteCarloEstimate};
-use anonroute_core::{analytic, engine, PathKind, PathLengthDist, SystemModel};
+use anonroute_core::{analytic, engine, PathKind, PathLengthDist, SampledDegree, SystemModel};
 use anonroute_protocols::crowds::crowd;
 use anonroute_protocols::onion_routing::onion_network;
 use anonroute_protocols::RouteSampler;
@@ -218,6 +223,74 @@ pub fn validation_table(messages: usize, seed: u64) -> Vec<ValidationRow> {
     rows
 }
 
+/// One row of the live-vs-analytic validation: the same scenario scored
+/// by the closed-form backend and by a real loopback TCP relay cluster.
+#[derive(Debug, Clone)]
+pub struct LiveRow {
+    /// Scenario identity (the campaign cell's `Display` form).
+    pub case: String,
+    /// Closed-form `H*` from the exact backend.
+    pub exact: f64,
+    /// Measured `H*` from the live cluster's link tap, or the cell's
+    /// error string (e.g. the watchdog fired on an overloaded machine) —
+    /// an errored cell degrades to an inconsistent row, never a panic.
+    pub live: Result<SampledDegree, String>,
+}
+
+impl LiveRow {
+    /// Whether the live measurement exists and agrees with the exact
+    /// value at ~5 sigma.
+    pub fn consistent(&self) -> bool {
+        self.live
+            .as_ref()
+            .is_ok_and(|live| live.agrees_with(self.exact, 5.0))
+    }
+}
+
+/// Runs the live-vs-analytic validation grid: a campaign sweep whose
+/// engine axis is `[exact, live]`, so every scenario is scored both in
+/// closed form and over genuine TCP sockets through the shared
+/// `EvalBackend` layer.
+///
+/// `messages` is the per-cell live workload size (150–400 is plenty;
+/// each message runs real handshakes and socket hops).
+pub fn live_vs_analytic_table(messages: usize, seed: u64) -> Vec<LiveRow> {
+    let grid = ScenarioGrid::new()
+        .ns([8])
+        .cs([1])
+        .path_kinds([PathKind::Simple, PathKind::Cyclic])
+        .strategies([StrategySpec::Geometric {
+            forward_prob: 0.5,
+            lmax: 6,
+        }])
+        .engines([EngineKind::Exact, EngineKind::Live]);
+    let config = CampaignConfig {
+        live_messages: messages,
+        seed,
+        ..CampaignConfig::default()
+    };
+    let outcome = campaign_run(&grid, &config);
+    outcome
+        .cells
+        .chunks(2)
+        .map(|pair| {
+            let exact = pair[0]
+                .outcome
+                .as_ref()
+                .expect("exact cells of this grid are feasible and deterministic");
+            let live = match &pair[1].outcome {
+                Ok(metrics) => Ok(metrics.sampled().expect("live cells are sampled")),
+                Err(e) => Err(e.clone()),
+            };
+            LiveRow {
+                case: pair[1].scenario.to_string(),
+                exact: exact.h_star,
+                live,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +299,22 @@ mod tests {
     fn theorems_agree_with_engine_to_machine_precision() {
         for row in theorem_table() {
             assert!(row.error() < 1e-11, "{}: error {}", row.case, row.error());
+        }
+    }
+
+    #[test]
+    fn live_validation_grid_is_consistent() {
+        let rows = live_vs_analytic_table(150, 31);
+        assert_eq!(rows.len(), 2, "simple and cyclic scenarios");
+        for row in rows {
+            assert!(row.case.contains("[live]"));
+            assert!(
+                row.consistent(),
+                "{}: exact={} live={:?}",
+                row.case,
+                row.exact,
+                row.live
+            );
         }
     }
 

@@ -1,0 +1,218 @@
+//! Loopback capacity budgeting for concurrent clusters.
+//!
+//! Every cluster costs real OS resources: one listener socket plus an
+//! accept thread per relay, a receiver server, and a worker thread per
+//! accepted connection. A campaign sweep that evaluates many live cells
+//! in parallel would multiply that by the thread-pool width and can
+//! exhaust loopback ports or the process file-descriptor limit. A
+//! [`ClusterBudget`] caps the number of *relay slots* (listeners) alive
+//! at once: callers acquire a permit sized to their cluster before
+//! binding anything, and blocked callers wake as running clusters wind
+//! down.
+//!
+//! Requests larger than the whole budget are clamped to it, so an
+//! oversized cluster still runs — alone — instead of deadlocking.
+
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Default relay-slot capacity of the process-wide budget: enough for a
+/// handful of mid-size clusters side by side without threatening the
+/// default file-descriptor limit.
+pub const DEFAULT_CLUSTER_SLOTS: usize = 64;
+
+/// Waiter bookkeeping behind the budget's mutex.
+#[derive(Debug)]
+struct BudgetState {
+    /// Slots currently free.
+    available: usize,
+    /// Ticket handed to the next arriving acquirer.
+    next_ticket: u64,
+    /// Ticket currently allowed to claim slots.
+    serving: u64,
+}
+
+/// A counting budget of relay slots shared by concurrent cluster runs.
+///
+/// Acquisition is FIFO (ticketed): a large request parked at the head of
+/// the queue blocks later small ones until the budget drains enough to
+/// serve it, so big clusters see a bounded wait instead of being starved
+/// by a stream of small acquirers slipping past them.
+#[derive(Debug)]
+pub struct ClusterBudget {
+    capacity: usize,
+    state: Mutex<BudgetState>,
+    freed: Condvar,
+}
+
+impl ClusterBudget {
+    /// A budget of `capacity` relay slots (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ClusterBudget {
+            capacity,
+            state: Mutex::new(BudgetState {
+                available: capacity,
+                next_ticket: 0,
+                serving: 0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The process-wide budget ([`DEFAULT_CLUSTER_SLOTS`] slots) used by
+    /// callers that don't manage their own.
+    pub fn global() -> &'static ClusterBudget {
+        static GLOBAL: OnceLock<ClusterBudget> = OnceLock::new();
+        GLOBAL.get_or_init(|| ClusterBudget::new(DEFAULT_CLUSTER_SLOTS))
+    }
+
+    /// Total slots this budget manages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently free (a snapshot; racy by nature).
+    pub fn available(&self) -> usize {
+        self.state.lock().expect("budget lock").available
+    }
+
+    /// Blocks until `slots` relay slots are free and claims them, in
+    /// arrival (FIFO) order. The request is clamped to the budget's
+    /// capacity so an oversized cluster degrades to exclusive use rather
+    /// than waiting forever.
+    pub fn acquire(&self, slots: usize) -> BudgetPermit<'_> {
+        let want = slots.clamp(1, self.capacity);
+        let mut state = self.state.lock().expect("budget lock");
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        while state.serving != ticket || state.available < want {
+            state = self.freed.wait(state).expect("budget lock");
+        }
+        state.available -= want;
+        state.serving += 1;
+        // the next ticket in line may already be satisfiable
+        self.freed.notify_all();
+        BudgetPermit {
+            budget: self,
+            held: want,
+        }
+    }
+}
+
+/// RAII claim on relay slots; returns them to the budget on drop.
+#[derive(Debug)]
+pub struct BudgetPermit<'a> {
+    budget: &'a ClusterBudget,
+    held: usize,
+}
+
+impl BudgetPermit<'_> {
+    /// Number of slots this permit holds (the clamped request).
+    pub fn held(&self) -> usize {
+        self.held
+    }
+}
+
+impl Drop for BudgetPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.budget.state.lock().expect("budget lock");
+        state.available += self.held;
+        self.budget.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn permits_claim_and_release() {
+        let budget = ClusterBudget::new(10);
+        assert_eq!(budget.capacity(), 10);
+        let a = budget.acquire(4);
+        assert_eq!(a.held(), 4);
+        assert_eq!(budget.available(), 6);
+        {
+            let b = budget.acquire(6);
+            assert_eq!(b.held(), 6);
+            assert_eq!(budget.available(), 0);
+        }
+        assert_eq!(budget.available(), 6);
+        drop(a);
+        assert_eq!(budget.available(), 10);
+    }
+
+    #[test]
+    fn oversized_requests_are_clamped_not_deadlocked() {
+        let budget = ClusterBudget::new(3);
+        let permit = budget.acquire(100);
+        assert_eq!(permit.held(), 3);
+        assert_eq!(budget.available(), 0);
+    }
+
+    #[test]
+    fn blocked_acquirers_wake_as_slots_free() {
+        let budget = Arc::new(ClusterBudget::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let running = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let budget = Arc::clone(&budget);
+                let peak = Arc::clone(&peak);
+                let running = Arc::clone(&running);
+                s.spawn(move || {
+                    let _permit = budget.acquire(1);
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "budget overshot");
+        assert_eq!(budget.available(), 2);
+    }
+
+    #[test]
+    fn whole_budget_requests_are_not_starved_by_small_ones() {
+        // FIFO tickets: a request for the whole budget parked behind one
+        // held slot must complete even while later small acquirers keep
+        // arriving — under notify-race semantics it could starve forever
+        let budget = Arc::new(ClusterBudget::new(4));
+        let first = budget.acquire(1);
+        std::thread::scope(|s| {
+            let big_budget = Arc::clone(&budget);
+            let big = s.spawn(move || {
+                let permit = big_budget.acquire(4);
+                assert_eq!(permit.held(), 4);
+            });
+            // let the big request take its ticket before the small ones
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let smalls: Vec<_> = (0..6)
+                .map(|_| {
+                    let budget = Arc::clone(&budget);
+                    s.spawn(move || {
+                        let _p = budget.acquire(1);
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    })
+                })
+                .collect();
+            drop(first);
+            big.join().unwrap();
+            for small in smalls {
+                small.join().unwrap();
+            }
+        });
+        assert_eq!(budget.available(), 4);
+    }
+
+    #[test]
+    fn global_budget_is_a_singleton() {
+        let a = ClusterBudget::global() as *const _;
+        let b = ClusterBudget::global() as *const _;
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(ClusterBudget::global().capacity(), DEFAULT_CLUSTER_SLOTS);
+    }
+}

@@ -70,6 +70,14 @@ impl ClusterConfig {
             join_timeout: Duration::from_secs(10),
         }
     }
+
+    /// Relay slots this cluster costs against a
+    /// [`ClusterBudget`](crate::budget::ClusterBudget): one per member
+    /// relay plus one for the receiver server. The single source of
+    /// truth for slot accounting — every budgeted caller must use it.
+    pub fn budget_slots(&self) -> usize {
+        self.n + 1
+    }
 }
 
 /// Everything a cluster run produced.
@@ -96,6 +104,48 @@ fn net_seed(seed: u64) -> Vec<u8> {
 /// The static identity of member `id` in a cluster seeded `seed`.
 pub fn cluster_identity(seed: u64, id: usize) -> NodeIdentity {
     NodeIdentity::derive(&net_seed(seed), id as u64)
+}
+
+/// [`run_cluster`] gated by a [`ClusterBudget`](crate::budget::ClusterBudget):
+/// blocks until `budget` has [`ClusterConfig::budget_slots`] free relay
+/// slots (members plus the receiver server), then runs the cluster while
+/// holding them — the headless per-cell entry point for sweeps that
+/// evaluate many live clusters concurrently.
+///
+/// # Errors
+///
+/// Exactly those of [`run_cluster`].
+pub fn run_cluster_with_budget(
+    config: &ClusterConfig,
+    arrivals: &[Arrival],
+    budget: &crate::budget::ClusterBudget,
+) -> Result<ClusterOutcome> {
+    run_cluster_budgeted_unless(
+        config,
+        arrivals,
+        budget,
+        &std::sync::atomic::AtomicBool::new(false),
+    )
+    .expect("a false abandonment flag never cancels the run")
+}
+
+/// The cancellable form of [`run_cluster_with_budget`]: after the
+/// (possibly long) wait for budget slots, gives up and returns `None`
+/// without booting anything if `abandoned` was set in the meantime —
+/// the hook sweep watchdogs use so a cell that timed out while queued
+/// doesn't burn slots on a cluster run nobody will read. This is the
+/// single slot-accounting path; every budgeted run goes through it.
+pub fn run_cluster_budgeted_unless(
+    config: &ClusterConfig,
+    arrivals: &[Arrival],
+    budget: &crate::budget::ClusterBudget,
+    abandoned: &std::sync::atomic::AtomicBool,
+) -> Option<Result<ClusterOutcome>> {
+    let _permit = budget.acquire(config.budget_slots());
+    if abandoned.load(std::sync::atomic::Ordering::SeqCst) {
+        return None;
+    }
+    Some(run_cluster(config, arrivals))
 }
 
 /// Runs `arrivals` through a fresh loopback cluster and drains it.
@@ -314,6 +364,19 @@ mod tests {
             edges
         };
         assert_eq!(shape(&a.trace), shape(&b.trace));
+    }
+
+    #[test]
+    fn budgeted_runs_serialize_on_a_tiny_budget() {
+        use crate::budget::ClusterBudget;
+        // capacity 4 < n + 1 = 5: the request clamps and the cluster
+        // still runs to completion (exclusively)
+        let budget = ClusterBudget::new(4);
+        let config = ClusterConfig::new(4, PathLengthDist::fixed(1));
+        let arrivals = workload(4, 6, 2);
+        let outcome = run_cluster_with_budget(&config, &arrivals, &budget).unwrap();
+        assert_eq!(outcome.deliveries.len(), 6);
+        assert_eq!(budget.available(), budget.capacity(), "slots returned");
     }
 
     #[test]

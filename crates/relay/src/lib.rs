@@ -25,11 +25,15 @@
 //!   ephemeral ports, seeded traffic from [`anonroute_sim::traffic`],
 //!   bounded graceful teardown — so the measured anonymity degree of
 //!   live TCP traffic is checked against `anonroute-core`'s analytic
-//!   prediction.
+//!   prediction;
+//! * [`budget`] — relay-slot budgeting so many concurrent clusters (a
+//!   campaign sweep's live cells) share the loopback without exhausting
+//!   ports or file descriptors.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod circuit;
 pub mod client;
 pub mod cluster;
@@ -41,9 +45,13 @@ pub mod tap;
 pub mod wire;
 mod workers;
 
+pub use budget::{BudgetPermit, ClusterBudget, DEFAULT_CLUSTER_SLOTS};
 pub use circuit::DEFAULT_CELL_SIZE;
 pub use client::Client;
-pub use cluster::{cluster_identity, run_cluster, ClusterConfig, ClusterOutcome};
+pub use cluster::{
+    cluster_identity, run_cluster, run_cluster_budgeted_unless, run_cluster_with_budget,
+    ClusterConfig, ClusterOutcome,
+};
 pub use daemon::{PendingRelay, Relay, RelayConfig, RelayStats};
 pub use directory::{Directory, NodeInfo};
 pub use error::{Error, Result};

@@ -64,12 +64,15 @@ COMMANDS:
                [--seed 7] [--cell 2048] [--cyclic]
     campaign   evaluate a declarative scenario grid in parallel
                --n <list> --c <list> --strategies <list>
-               [--paths simple,cyclic] [--engines exact,mc,sim]
+               [--paths simple,cyclic] [--engines exact,mc,sim,live]
                [--spec grid.toml] [--threads 0] [--seed 7]
                [--mc-samples 20000] [--messages 1500]
+               [--live-messages 300] [--live-timeout 120000]
+               [--live-max-n 64] [--live-cell 1024]
                [--out <basename>] [--timing]
                lists take values and ranges: 50,100,200 or 1..=5
                writes <basename>.jsonl, <basename>.csv, <basename>_timings.csv
+               `live` cells boot a real loopback TCP relay cluster per cell
     help       show this text
 
 DISTRIBUTION SPECS:
@@ -539,6 +542,10 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     config.seed = get(flags, "seed", config.seed)?;
     config.mc_samples = get(flags, "mc-samples", config.mc_samples)?;
     config.sim_messages = get(flags, "messages", config.sim_messages)?;
+    config.live_messages = get(flags, "live-messages", config.live_messages)?;
+    config.live_timeout_ms = get(flags, "live-timeout", config.live_timeout_ms)?;
+    config.live_max_n = get(flags, "live-max-n", config.live_max_n)?;
+    config.live_cell_size = get(flags, "live-cell", config.live_cell_size)?;
     if grid.is_empty() {
         return Err("the grid has no cells (every axis needs at least one value)".into());
     }
@@ -741,6 +748,31 @@ mod tests {
         let csv = std::fs::read_to_string(out.with_extension("csv")).unwrap();
         assert_eq!(csv.lines().count(), 9);
         assert!(dir.join("sweep_timings.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_runs_a_live_cell_over_loopback_tcp() {
+        let dir = std::env::temp_dir().join("anonroute-cli-campaign-live-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("live");
+        let flags = flag_map(&[
+            ("n", "5"),
+            ("c", "1"),
+            ("strategies", "fixed:1"),
+            ("engines", "exact,live"),
+            ("live-messages", "40"),
+            ("out", out.to_str().unwrap()),
+        ]);
+        cmd_campaign(&flags).unwrap();
+        let jsonl = std::fs::read_to_string(out.with_extension("jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        let live_line = jsonl
+            .lines()
+            .find(|l| l.contains("\"engine\":\"live\""))
+            .expect("live cell rendered");
+        assert!(live_line.contains("\"status\":\"ok\""), "{live_line}");
+        assert!(live_line.contains("\"samples\":40"), "{live_line}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
