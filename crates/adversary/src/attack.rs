@@ -8,7 +8,10 @@
 //! end-to-end validation of the whole reproduction (analysis ⇄ simulated
 //! system).
 
+use std::collections::BTreeMap;
+
 use anonroute_core::engine::sender_posterior;
+use anonroute_core::epochs::{DecayCurve, EpochStat, EpochView, IntersectionPosterior};
 use anonroute_core::mathutil::entropy_bits;
 use anonroute_core::{PathLengthDist, SystemModel};
 use anonroute_sim::{MsgId, NodeId, Origination, TransferRecord};
@@ -94,25 +97,41 @@ pub fn attack_trace(
         };
         let posterior = sender_posterior(model, dist, obs, adversary.compromised())
             .map_err(|e| Error::BadInput(format!("posterior failed for {:?}: {e}", o.msg)))?;
-        let entropy = entropy_bits(&posterior);
-        let best_guess = posterior
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .map(|(i, _)| i)
-            .expect("posterior is nonempty");
-        verdicts.push(MessageVerdict {
-            msg: o.msg,
-            entropy_bits: entropy,
-            best_guess,
-            true_sender_prob: posterior[o.sender],
-            identified: best_guess == o.sender && posterior[best_guess] > 0.999_999,
-            posterior,
-        });
+        verdicts.push(verdict_for(o.msg, posterior, o.sender));
     }
     if verdicts.is_empty() {
         return Err(Error::BadInput("no delivered messages to attack".into()));
     }
+    // the report promises message-id order; `originations` usually
+    // arrives sorted already, but callers replaying merged or multi-epoch
+    // traces may not keep it that way
+    verdicts.sort_by_key(|v| v.msg);
+    Ok(aggregate(verdicts))
+}
+
+/// Scores one posterior against the ground-truth sender: the shared
+/// verdict rule of the one-shot and intersection attacks (`identified`
+/// means the argmax is correct with probability ≈ 1).
+fn verdict_for(msg: MsgId, posterior: Vec<f64>, true_sender: NodeId) -> MessageVerdict {
+    let best_guess = posterior
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+        .map(|(i, _)| i)
+        .expect("posterior is nonempty");
+    MessageVerdict {
+        msg,
+        entropy_bits: entropy_bits(&posterior),
+        best_guess,
+        true_sender_prob: posterior[true_sender],
+        identified: best_guess == true_sender && posterior[best_guess] > 0.999_999,
+        posterior,
+    }
+}
+
+/// Builds the aggregate report from per-message verdicts (already in
+/// message-id order).
+fn aggregate(verdicts: Vec<MessageVerdict>) -> AttackReport {
     let k = verdicts.len() as f64;
     let mean = verdicts.iter().map(|v| v.entropy_bits).sum::<f64>() / k;
     let var = verdicts
@@ -120,14 +139,170 @@ pub fn attack_trace(
         .map(|v| (v.entropy_bits - mean).powi(2))
         .sum::<f64>()
         / k;
-    let report = AttackReport {
+    AttackReport {
         empirical_h_star: mean,
         std_error: (var / k).sqrt(),
         identification_rate: verdicts.iter().filter(|v| v.identified).count() as f64 / k,
         mean_true_sender_prob: verdicts.iter().map(|v| v.true_sender_prob).sum::<f64>() / k,
         verdicts,
-    };
-    Ok(report)
+    }
+}
+
+/// One epoch of a multi-round trace, as an engine hands it to the
+/// intersection adversary.
+///
+/// Node ids in `trace` and `originations` live in the epoch's *local*
+/// space `0..view.n()` (the compacted active set); `view` carries the
+/// local↔universe mapping. Message ids are **session ids**: the same
+/// `MsgId` across epochs means the same persistent sender–receiver
+/// session, which is exactly the correlation the intersection attack
+/// exploits.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochTrace<'a> {
+    /// The realized epoch (active set + compromised set, universe ids).
+    pub view: &'a EpochView,
+    /// The epoch's local system model (`n = view.n()`, same `c`).
+    pub model: &'a SystemModel,
+    /// The strategy in force this epoch.
+    pub dist: &'a PathLengthDist,
+    /// Link records in local node ids.
+    pub trace: &'a [TransferRecord],
+    /// Ground-truth originations (local sender ids, session-id messages).
+    pub originations: &'a [Origination],
+}
+
+/// Outcome of the intersection attack: the final cumulative report plus
+/// the per-epoch anonymity-decay curve.
+#[derive(Debug, Clone)]
+pub struct IntersectionOutcome {
+    /// Per-session cumulative verdicts (posteriors over the *universe*),
+    /// in session-id order, aggregated like a one-shot [`AttackReport`].
+    pub report: AttackReport,
+    /// Cumulative anonymity statistics after each epoch.
+    pub decay: DecayCurve,
+}
+
+/// The long-term intersection attack: folds every epoch's per-session
+/// posterior into a cumulative posterior over the `universe` member
+/// nodes and reports the anonymity decay.
+///
+/// Per epoch, the adversary reconstructs each session's observation from
+/// that epoch's visible trace, computes the exact single-round posterior
+/// (in the epoch's local space), lifts it to universe space — offline
+/// nodes get zero mass, the churn half of the attack — and multiplies it
+/// into the session's [`IntersectionPosterior`]. A session silent in an
+/// epoch (offline sender, undelivered message) folds nothing that round.
+///
+/// # Errors
+///
+/// Returns [`Error::BadInput`] when `rounds` is empty, an epoch's model
+/// disagrees with its view, a session's ground-truth sender changes
+/// between epochs, or no session was ever observed; propagates
+/// posterior-computation failures like [`attack_trace`].
+pub fn intersection_attack(
+    universe: usize,
+    rounds: &[EpochTrace<'_>],
+) -> Result<IntersectionOutcome> {
+    if rounds.is_empty() {
+        return Err(Error::BadInput("no epochs to attack".into()));
+    }
+    // session id -> (ground-truth universe sender, cumulative posterior)
+    let mut sessions: BTreeMap<MsgId, (NodeId, IntersectionPosterior)> = BTreeMap::new();
+    let mut per_epoch = Vec::with_capacity(rounds.len());
+    for round in rounds {
+        let view = round.view;
+        if round.model.n() != view.n() || round.model.c() != view.compromised.len() {
+            return Err(Error::BadInput(format!(
+                "epoch {} model (n={}, c={}) disagrees with its view ({} active, {} compromised)",
+                view.epoch + 1,
+                round.model.n(),
+                round.model.c(),
+                view.n(),
+                view.compromised.len()
+            )));
+        }
+        let adversary = Adversary::new(view.n(), &view.local_compromised_ids())?;
+        let observations = adversary.reconstruct_all(round.trace);
+        for o in round.originations {
+            if o.sender >= view.n() {
+                return Err(Error::BadInput(format!(
+                    "epoch {} origination names local sender {} (n_e={})",
+                    view.epoch + 1,
+                    o.sender,
+                    view.n()
+                )));
+            }
+            let truth = view.active[o.sender];
+            let (expected, acc) = sessions
+                .entry(o.msg)
+                .or_insert_with(|| (truth, IntersectionPosterior::new(universe)));
+            if *expected != truth {
+                return Err(Error::BadInput(format!(
+                    "session {:?} changed senders between epochs ({} vs {truth}): \
+                     sessions must be persistent",
+                    o.msg, *expected
+                )));
+            }
+            let Some(obs) = observations.get(&o.msg) else {
+                continue; // undelivered within this epoch's trace
+            };
+            let posterior = sender_posterior(round.model, round.dist, obs, adversary.compromised())
+                .map_err(|e| {
+                    Error::BadInput(format!(
+                        "posterior failed for {:?} in epoch {}: {e}",
+                        o.msg,
+                        view.epoch + 1
+                    ))
+                })?;
+            acc.fold(&view.lift(&posterior, universe))
+                .map_err(|e| Error::BadInput(e.to_string()))?;
+        }
+        if sessions.is_empty() {
+            return Err(Error::BadInput("no sessions observed so far".into()));
+        }
+        per_epoch.push(epoch_stat(view.epoch + 1, &sessions));
+    }
+    let verdicts: Vec<MessageVerdict> = sessions
+        .into_iter() // BTreeMap iteration: session-id order by construction
+        .map(|(msg, (truth, acc))| verdict_for(msg, acc.posterior(), truth))
+        .collect();
+    Ok(IntersectionOutcome {
+        report: aggregate(verdicts),
+        decay: DecayCurve { per_epoch },
+    })
+}
+
+/// Aggregates the cumulative state of every known session after one
+/// more epoch has been folded.
+fn epoch_stat(
+    epoch: usize,
+    sessions: &BTreeMap<MsgId, (NodeId, IntersectionPosterior)>,
+) -> EpochStat {
+    let k = sessions.len() as f64;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut support = 0.0;
+    let mut identified = 0usize;
+    for (truth, acc) in sessions.values() {
+        let h = acc.entropy_bits();
+        sum += h;
+        sum_sq += h * h;
+        support += acc.support() as f64;
+        let (guess, p) = acc.best_guess();
+        if guess == *truth && p > 0.999_999 {
+            identified += 1;
+        }
+    }
+    let mean = sum / k;
+    let var = (sum_sq / k - mean * mean).max(0.0);
+    EpochStat {
+        epoch,
+        mean_entropy_bits: mean,
+        std_error: (var / k).sqrt(),
+        identification_rate: identified as f64 / k,
+        mean_support: support / k,
+        sessions: sessions.len(),
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +407,307 @@ mod tests {
         let adversary = Adversary::new(10, &[1]).unwrap();
         let dist = PathLengthDist::fixed(1);
         assert!(attack_trace(&adversary, &model, &dist, &[], &[]).is_err());
+    }
+
+    /// Synthetic single-message trace along `path`, using `msg` as id.
+    fn trace_for(msg: MsgId, sender: NodeId, path: &[NodeId]) -> Vec<TransferRecord> {
+        use anonroute_sim::{Endpoint, SimTime};
+        let mut t = Vec::new();
+        let mut from = Endpoint::Node(sender);
+        for (k, &x) in path.iter().enumerate() {
+            t.push(TransferRecord {
+                time: SimTime::from_micros(msg.0 * 1000 + (k as u64 + 1) * 10),
+                from,
+                to: Endpoint::Node(x),
+                msg,
+            });
+            from = Endpoint::Node(x);
+        }
+        t.push(TransferRecord {
+            time: SimTime::from_micros(msg.0 * 1000 + (path.len() as u64 + 1) * 10),
+            from,
+            to: Endpoint::Receiver,
+            msg,
+        });
+        t
+    }
+
+    #[test]
+    fn attack_trace_verdicts_are_in_message_id_order_even_for_shuffled_originations() {
+        use anonroute_sim::SimTime;
+        let n = 8;
+        let model = SystemModel::new(n, 1).unwrap();
+        let dist = PathLengthDist::uniform(1, 2).unwrap();
+        let adversary = Adversary::new(n, &[7]).unwrap();
+        let mut trace = Vec::new();
+        for (msg, sender, path) in [
+            (MsgId(2), 0, vec![1, 2]),
+            (MsgId(0), 3, vec![4]),
+            (MsgId(1), 5, vec![7, 2]),
+        ] {
+            trace.extend(trace_for(msg, sender, &path));
+        }
+        // originations deliberately out of message-id order
+        let originations = vec![
+            Origination {
+                time: SimTime::ZERO,
+                sender: 0,
+                msg: MsgId(2),
+            },
+            Origination {
+                time: SimTime::ZERO,
+                sender: 5,
+                msg: MsgId(1),
+            },
+            Origination {
+                time: SimTime::ZERO,
+                sender: 3,
+                msg: MsgId(0),
+            },
+        ];
+        let report = attack_trace(&adversary, &model, &dist, &trace, &originations).unwrap();
+        let ids: Vec<u64> = report.verdicts.iter().map(|v| v.msg.0).collect();
+        assert_eq!(ids, vec![0, 1, 2], "docs promise message-id order");
+    }
+
+    /// A two-epoch fixture over a 6-node universe without churn: every
+    /// session sends in both epochs; the compromised node differs.
+    fn two_epoch_views() -> (EpochView, EpochView) {
+        let e0 = EpochView {
+            epoch: 0,
+            active: (0..6).collect(),
+            compromised: vec![5],
+        };
+        let e1 = EpochView {
+            epoch: 1,
+            active: (0..6).collect(),
+            compromised: vec![4],
+        };
+        (e0, e1)
+    }
+
+    #[test]
+    fn single_epoch_intersection_is_bit_identical_to_attack_trace() {
+        use anonroute_sim::SimTime;
+        let n = 6;
+        let model = SystemModel::new(n, 1).unwrap();
+        let dist = PathLengthDist::uniform(1, 3).unwrap();
+        let (view, _) = two_epoch_views();
+        let mut trace = Vec::new();
+        let mut originations = Vec::new();
+        for (msg, sender, path) in [
+            (MsgId(0), 0, vec![1, 2]),
+            (MsgId(1), 2, vec![5, 3]),
+            (MsgId(2), 4, vec![1]),
+        ] {
+            trace.extend(trace_for(msg, sender, &path));
+            originations.push(Origination {
+                time: SimTime::ZERO,
+                sender,
+                msg,
+            });
+        }
+        let adversary = Adversary::new(n, &[5]).unwrap();
+        let one_shot = attack_trace(&adversary, &model, &dist, &trace, &originations).unwrap();
+        let outcome = intersection_attack(
+            n,
+            &[EpochTrace {
+                view: &view,
+                model: &model,
+                dist: &dist,
+                trace: &trace,
+                originations: &originations,
+            }],
+        )
+        .unwrap();
+        assert_eq!(outcome.report, one_shot, "single epoch ≡ one-shot, bitwise");
+        assert_eq!(outcome.decay.per_epoch.len(), 1);
+        assert_eq!(
+            outcome.decay.first().mean_entropy_bits,
+            one_shot.empirical_h_star
+        );
+    }
+
+    #[test]
+    fn intersection_verdicts_stay_in_session_order_across_epochs() {
+        use anonroute_sim::SimTime;
+        let n = 6;
+        let model = SystemModel::new(n, 1).unwrap();
+        let dist = PathLengthDist::uniform(1, 2).unwrap();
+        let (v0, v1) = two_epoch_views();
+        // epoch traces list sessions in *different* shuffled orders
+        let plan0 = [
+            (MsgId(2), 0, vec![1]),
+            (MsgId(0), 1, vec![3, 2]),
+            (MsgId(1), 3, vec![2]),
+        ];
+        let plan1 = [
+            (MsgId(1), 3, vec![0, 1]),
+            (MsgId(2), 0, vec![2]),
+            (MsgId(0), 1, vec![5, 3]),
+        ];
+        let build = |plan: &[(MsgId, NodeId, Vec<NodeId>)]| {
+            let mut trace = Vec::new();
+            let mut orig = Vec::new();
+            for (msg, sender, path) in plan {
+                trace.extend(trace_for(*msg, *sender, path));
+                orig.push(Origination {
+                    time: SimTime::ZERO,
+                    sender: *sender,
+                    msg: *msg,
+                });
+            }
+            (trace, orig)
+        };
+        let (t0, o0) = build(&plan0);
+        let (t1, o1) = build(&plan1);
+        let outcome = intersection_attack(
+            n,
+            &[
+                EpochTrace {
+                    view: &v0,
+                    model: &model,
+                    dist: &dist,
+                    trace: &t0,
+                    originations: &o0,
+                },
+                EpochTrace {
+                    view: &v1,
+                    model: &model,
+                    dist: &dist,
+                    trace: &t1,
+                    originations: &o1,
+                },
+            ],
+        )
+        .unwrap();
+        let ids: Vec<u64> = outcome.report.verdicts.iter().map(|v| v.msg.0).collect();
+        assert_eq!(ids, vec![0, 1, 2], "intersection merge must keep id order");
+        assert_eq!(outcome.decay.per_epoch.len(), 2);
+        // more epochs can only shrink the candidate support
+        assert!(outcome.decay.last().mean_support <= outcome.decay.first().mean_support);
+    }
+
+    #[test]
+    fn intersection_excludes_churned_out_candidates() {
+        use anonroute_sim::SimTime;
+        let n = 6;
+        let dist = PathLengthDist::uniform(1, 2).unwrap();
+        let model0 = SystemModel::new(6, 1).unwrap();
+        let v0 = EpochView {
+            epoch: 0,
+            active: (0..6).collect(),
+            compromised: vec![5],
+        };
+        // epoch 2: nodes 3 and 4 churn out; locals are [0, 1, 2, 5]
+        let v1 = EpochView {
+            epoch: 1,
+            active: vec![0, 1, 2, 5],
+            compromised: vec![5],
+        };
+        let model1 = SystemModel::new(4, 1).unwrap();
+        // session 0: sender 0 (universe) both epochs
+        let t0 = trace_for(MsgId(0), 0, &[1, 2]);
+        let o0 = vec![Origination {
+            time: SimTime::ZERO,
+            sender: 0,
+            msg: MsgId(0),
+        }];
+        let t1 = trace_for(MsgId(0), 0, &[1]); // local ids: 0->0, 1->1
+        let o1 = vec![Origination {
+            time: SimTime::ZERO,
+            sender: 0,
+            msg: MsgId(0),
+        }];
+        let outcome = intersection_attack(
+            n,
+            &[
+                EpochTrace {
+                    view: &v0,
+                    model: &model0,
+                    dist: &dist,
+                    trace: &t0,
+                    originations: &o0,
+                },
+                EpochTrace {
+                    view: &v1,
+                    model: &model1,
+                    dist: &dist,
+                    trace: &t1,
+                    originations: &o1,
+                },
+            ],
+        )
+        .unwrap();
+        let verdict = &outcome.report.verdicts[0];
+        assert_eq!(
+            verdict.posterior[3], 0.0,
+            "offline node cannot be the sender"
+        );
+        assert_eq!(
+            verdict.posterior[4], 0.0,
+            "offline node cannot be the sender"
+        );
+        assert!(verdict.posterior[0] > 0.0, "the true sender survives");
+        assert!(
+            outcome.decay.last().mean_support < outcome.decay.first().mean_support,
+            "churn shrinks the anonymity set"
+        );
+    }
+
+    #[test]
+    fn intersection_rejects_bad_inputs() {
+        use anonroute_sim::SimTime;
+        let dist = PathLengthDist::fixed(1);
+        let model = SystemModel::new(6, 1).unwrap();
+        let (v0, v1) = two_epoch_views();
+        assert!(intersection_attack(6, &[]).is_err(), "no epochs");
+        // model size disagrees with the view
+        let small = SystemModel::new(4, 1).unwrap();
+        let t = trace_for(MsgId(0), 0, &[1]);
+        let o = vec![Origination {
+            time: SimTime::ZERO,
+            sender: 0,
+            msg: MsgId(0),
+        }];
+        assert!(intersection_attack(
+            6,
+            &[EpochTrace {
+                view: &v0,
+                model: &small,
+                dist: &dist,
+                trace: &t,
+                originations: &o,
+            }]
+        )
+        .is_err());
+        // a session that changes senders between epochs is rejected
+        let o_changed = vec![Origination {
+            time: SimTime::ZERO,
+            sender: 2,
+            msg: MsgId(0),
+        }];
+        let t_changed = trace_for(MsgId(0), 2, &[1]);
+        let err = intersection_attack(
+            6,
+            &[
+                EpochTrace {
+                    view: &v0,
+                    model: &model,
+                    dist: &dist,
+                    trace: &t,
+                    originations: &o,
+                },
+                EpochTrace {
+                    view: &v1,
+                    model: &model,
+                    dist: &dist,
+                    trace: &t_changed,
+                    originations: &o_changed,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("persistent"), "{err}");
     }
 }

@@ -14,6 +14,11 @@
 //!    is computed for each message and scored against the ground truth
 //!    ([`attack::attack_trace`]), yielding an *empirical* anonymity degree
 //!    with confidence intervals that must match the closed-form `H*(S)`.
+//! 4. **Intersection** — across epochs of a multi-round scenario, each
+//!    persistent session's per-round posteriors are folded into one
+//!    cumulative posterior ([`attack::intersection_attack`]), measuring
+//!    how anonymity decays as the network churns and the compromised set
+//!    rotates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +28,10 @@ pub mod error;
 pub mod predecessor;
 pub mod reconstruct;
 
-pub use attack::{attack_trace, AttackReport, MessageVerdict};
+pub use attack::{
+    attack_trace, intersection_attack, AttackReport, EpochTrace, IntersectionOutcome,
+    MessageVerdict,
+};
 pub use error::{Error, Result};
 pub use predecessor::{predecessor_attack, PredecessorOutcome, PredecessorTracker};
 pub use reconstruct::{ground_truth_path, Adversary};

@@ -1,16 +1,29 @@
 //! The closed-form backend: the paper's exact analysis.
 //!
-//! Determinism: seed-free — the result is a pure function of
-//! `(n, c, path_kind, dist)`. Simple-path cells share one memoized
-//! [`Evaluator`](anonroute_core::engine::simple::Evaluator) per
+//! Determinism: one-shot cells are seed-free — the result is a pure
+//! function of `(n, c, path_kind, dist)`. Simple-path cells share one
+//! memoized [`Evaluator`](anonroute_core::engine::simple::Evaluator) per
 //! `(n, c, path_kind, lmax)` model through the runner's
 //! [`EvaluatorCache`](anonroute_core::engine::EvaluatorCache) instead of
 //! rebuilding the log-factorial tables per cell.
+//!
+//! Multi-epoch cells have no closed form — exact multi-round inference
+//! over identity-correlated observation sequences is precisely the
+//! regime Ando et al. show is hard — so this backend anchors epoch 1 in
+//! closed form and estimates the decay with
+//! [`epochs::estimate_decay`]:
+//! seeded sessions whose *per-round* posteriors are still exact. The
+//! session stream is salted differently from the Monte-Carlo backend's,
+//! so the two engines remain independent estimates over the same
+//! realized epochs.
 
-use anonroute_core::{engine, PathKind};
+use anonroute_core::{engine, epochs, PathKind};
 
-use crate::backend::{CellCtx, CellMetrics, EvalBackend};
+use crate::backend::{session_count, CellCtx, CellMetrics, EvalBackend};
 use crate::grid::EngineKind;
+
+/// Stream separator from the Monte-Carlo backend's decay sessions.
+const EXACT_DECAY_STREAM: u64 = 1;
 
 /// Closed-form exact evaluation (the `exact` engine).
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,14 +46,32 @@ impl EvalBackend for ExactBackend {
             }
             PathKind::Cyclic => engine::analysis(ctx.model, ctx.dist).map_err(|e| e.to_string())?,
         };
-        Ok(CellMetrics {
-            h_star: analysis.h_star,
-            normalized: analysis.normalized(ctx.model),
-            mean_len: ctx.dist.mean(),
-            p_exposed: Some(analysis.p_exposed),
-            std_error: None,
-            samples: None,
-        })
+        if ctx.scenario.dynamics.is_one_shot() {
+            return Ok(CellMetrics {
+                h_star: analysis.h_star,
+                normalized: analysis.normalized(ctx.model),
+                mean_len: ctx.dist.mean(),
+                p_exposed: Some(analysis.p_exposed),
+                std_error: None,
+                samples: None,
+                epochs: 1,
+                h_epoch1: None,
+            });
+        }
+        let sessions = session_count(ctx.config.mc_samples, ctx.scenario.dynamics.epochs);
+        let curve = epochs::estimate_decay(
+            ctx.model,
+            ctx.dist,
+            &ctx.scenario.dynamics,
+            sessions,
+            ctx.dynamics_seed,
+            ctx.seed ^ EXACT_DECAY_STREAM,
+        )
+        .map_err(|e| e.to_string())?;
+        let mut metrics = CellMetrics::from_decay(ctx.model, ctx.dist, &curve);
+        // the anchor is free here: report the closed form, not a sample
+        metrics.h_epoch1 = Some(analysis.h_star);
+        Ok(metrics)
     }
 }
 
@@ -66,13 +97,21 @@ mod tests {
             c: 2,
             path_kind: PathKind::Simple,
             strategy: StrategySpec::Uniform(2, 9),
+            dynamics: anonroute_core::EpochSchedule::one_shot(),
             engine: EngineKind::Exact,
         };
+        let views = vec![anonroute_core::epochs::EpochView {
+            epoch: 0,
+            active: (0..40).collect(),
+            compromised: vec![38, 39],
+        }];
         let ctx = CellCtx {
             scenario: &scenario,
             model: &model,
             dist: &dist,
+            views: &views,
             seed: 1,
+            dynamics_seed: 1,
             config: &config,
             cache: &cache,
         };

@@ -30,18 +30,25 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
+use anonroute_core::SystemModel;
 use anonroute_relay::budget::ClusterBudget;
 use anonroute_relay::{run_cluster_budgeted_unless, ClusterConfig, ClusterOutcome};
-use anonroute_sim::traffic::UniformTraffic;
+use anonroute_sim::traffic::{SessionTraffic, UniformTraffic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::backend::{attack_and_score, CellCtx, CellMetrics, EvalBackend};
+use crate::backend::{
+    attack_and_score, intersect_and_score, remap_to_sessions, session_count, CellCtx, CellMetrics,
+    EpochRun, EvalBackend,
+};
 use crate::grid::EngineKind;
 
 /// Salt separating the workload RNG stream from the cluster's own seed
 /// uses (identities, routes, nonces, junk).
 const WORKLOAD_SALT: u64 = 0x11FE_7AFF_1C5E_ED01;
+
+/// Salt separating the persistent-session draw of multi-epoch cells.
+const LIVE_SESSION_SALT: u64 = 0x11FE_5E55_10F5_EED2;
 
 /// Measured anonymity of a real loopback TCP cluster (the `live`
 /// engine); sizing comes from the `live_*` fields of `CampaignConfig`.
@@ -61,6 +68,9 @@ impl EvalBackend for LiveBackend {
                  real sockets and threads; raise --live-max-n to allow it)",
                 ctx.config.live_max_n
             ));
+        }
+        if !ctx.scenario.dynamics.is_one_shot() {
+            return evaluate_epochs(ctx);
         }
         let mut cluster = ClusterConfig::new(n, ctx.dist.clone());
         cluster.path_kind = ctx.model.path_kind();
@@ -82,6 +92,58 @@ impl EvalBackend for LiveBackend {
         let est = attack_and_score(ctx.model, ctx.dist, &outcome.trace, &outcome.originations)?;
         Ok(CellMetrics::from_sampled(ctx.model, ctx.dist, est))
     }
+}
+
+/// One live TCP cluster run per epoch: the cluster keeps one identity
+/// seed across epochs while `ClusterConfig::epoch` re-keys every
+/// circuit — routes, handshake ephemerals, nonces, and cover junk — per
+/// round. Identities are provisioned by *local* relay index, so under
+/// churn the identity↔universe-node pairing shifts with the compacted
+/// active set; that is invisible to the measurement (the adversary
+/// scores local-id trace structure, then lifts posteriors to universe
+/// space), but it does mean per-node identities are not persistent
+/// across churned epochs. Persistent sessions pin their sender across
+/// epochs; message ids are rewritten to session ids and the folded
+/// traces feed the intersection adversary. The watchdog deadline
+/// applies per epoch.
+fn evaluate_epochs(ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+    let n = ctx.model.n();
+    let sessions = session_count(ctx.config.live_messages, ctx.scenario.dynamics.epochs);
+    let traffic = SessionTraffic {
+        sessions,
+        interval_us: 0,
+        payload_len: 8,
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ LIVE_SESSION_SALT);
+    let senders = traffic.senders(n, &mut rng);
+    let mut runs = Vec::with_capacity(ctx.views.len());
+    for view in ctx.views {
+        let ne = view.n();
+        let model = SystemModel::with_path_kind(ne, ctx.model.c(), ctx.model.path_kind())
+            .map_err(|e| e.to_string())?;
+        let mut cluster = ClusterConfig::new(ne, ctx.dist.clone());
+        cluster.path_kind = ctx.model.path_kind();
+        cluster.seed = ctx.seed;
+        cluster.epoch = view.epoch as u64;
+        cluster.cell_size = ctx.config.live_cell_size;
+        let (arrivals, session_of) =
+            traffic.epoch_arrivals(&senders, |u| view.local_of(u), &mut rng);
+        let outcome = run_watchdogged(
+            cluster,
+            arrivals,
+            Duration::from_millis(ctx.config.live_timeout_ms),
+        )
+        .map_err(|e| format!("epoch {}: {e}", view.epoch + 1))?;
+        let mut trace = outcome.trace;
+        let mut originations = outcome.originations;
+        remap_to_sessions(&mut trace, &mut originations, &session_of);
+        runs.push(EpochRun {
+            model,
+            trace,
+            originations,
+        });
+    }
+    intersect_and_score(ctx, &runs)
 }
 
 /// Runs the cluster on a helper thread under the per-cell watchdog. The
@@ -134,21 +196,34 @@ mod tests {
     use crate::grid::{Scenario, StrategySpec};
     use crate::runner::CampaignConfig;
 
-    fn ctx_parts(n: usize, c: usize) -> (Scenario, SystemModel) {
+    fn ctx_parts(
+        n: usize,
+        c: usize,
+    ) -> (
+        Scenario,
+        SystemModel,
+        Vec<anonroute_core::epochs::EpochView>,
+    ) {
         let scenario = Scenario {
             n,
             c,
             path_kind: PathKind::Simple,
             strategy: StrategySpec::Uniform(1, 3),
+            dynamics: anonroute_core::EpochSchedule::one_shot(),
             engine: EngineKind::Live,
         };
         let model = SystemModel::new(n, c).unwrap();
-        (scenario, model)
+        let views = vec![anonroute_core::epochs::EpochView {
+            epoch: 0,
+            active: (0..n).collect(),
+            compromised: (n - c..n).collect(),
+        }];
+        (scenario, model, views)
     }
 
     #[test]
     fn live_backend_measures_real_tcp_traffic() {
-        let (scenario, model) = ctx_parts(8, 1);
+        let (scenario, model, views) = ctx_parts(8, 1);
         let dist = scenario.strategy.realize(&model).unwrap();
         let config = CampaignConfig {
             live_messages: 150,
@@ -159,7 +234,9 @@ mod tests {
             scenario: &scenario,
             model: &model,
             dist: &dist,
+            views: &views,
             seed: 33,
+            dynamics_seed: 33,
             config: &config,
             cache: &cache,
         };
@@ -172,7 +249,7 @@ mod tests {
 
     #[test]
     fn oversized_live_cells_are_rejected_before_binding_sockets() {
-        let (scenario, model) = ctx_parts(10, 1);
+        let (scenario, model, views) = ctx_parts(10, 1);
         let dist = scenario.strategy.realize(&model).unwrap();
         let config = CampaignConfig {
             live_max_n: 9,
@@ -183,7 +260,9 @@ mod tests {
             scenario: &scenario,
             model: &model,
             dist: &dist,
+            views: &views,
             seed: 1,
+            dynamics_seed: 1,
             config: &config,
             cache: &cache,
         };

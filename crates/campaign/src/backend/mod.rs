@@ -31,23 +31,43 @@
 //!   is deterministic per seed even though TCP scheduling and wall-clock
 //!   timestamps are not. Only `CellResult::elapsed_micros` (excluded from
 //!   default artifacts) varies.
+//!
+//! ## Multi-epoch cells
+//!
+//! When a cell's [`EpochSchedule`](anonroute_core::epochs::EpochSchedule)
+//! spans several rounds, the runner realizes the per-epoch views (churn,
+//! rotation) from the **engine-free dynamics seed**
+//! ([`crate::runner::dynamics_seed`]) so every engine scores the *same*
+//! network evolution, while session/workload sampling stays on the
+//! per-cell seed. Trace-producing backends run one epoch at a time over
+//! the epoch's active set and feed the folded traces to
+//! [`anonroute_adversary::intersection_attack`]; the analytic backends
+//! sample sessions with exact per-round posteriors
+//! ([`anonroute_core::epochs::estimate_decay`]). Either way the cell
+//! reports the *cumulative* anonymity after the final epoch plus the
+//! epoch-1 anchor.
 
 pub mod exact;
 pub mod live;
 pub mod monte_carlo;
 pub mod simulated;
 
-use anonroute_adversary::{attack_trace, Adversary};
+use anonroute_adversary::{attack_trace, intersection_attack, Adversary, EpochTrace};
 use anonroute_core::engine::EvaluatorCache;
+use anonroute_core::epochs::{DecayCurve, EpochView};
 use anonroute_core::{PathLengthDist, SampledDegree, SystemModel};
-use anonroute_sim::{Origination, TransferRecord};
+use anonroute_sim::{MsgId, Origination, TransferRecord};
 
 use crate::grid::{EngineKind, Scenario};
 use crate::runner::CampaignConfig;
 
 /// Everything a backend may consult to score one cell. The runner
 /// guarantees `model` and `dist` are already realized and validated for
-/// `scenario`, and that `seed` is the cell's derived deterministic seed.
+/// `scenario` (including per-epoch feasibility under churn), that
+/// `views` are the cell's realized epochs — derived from the engine-free
+/// `dynamics_seed`, never the per-cell seed, so engine variants of one
+/// scenario see the same per-epoch networks — and that `seed` is the
+/// cell's derived deterministic seed.
 #[derive(Debug)]
 pub struct CellCtx<'a> {
     /// The cell being evaluated.
@@ -56,8 +76,17 @@ pub struct CellCtx<'a> {
     pub model: &'a SystemModel,
     /// The realized path-length distribution of the cell's strategy.
     pub dist: &'a PathLengthDist,
-    /// The cell's deterministic seed (campaign seed ⊕ grid index).
+    /// The realized epochs (active + compromised sets per round); a
+    /// single trivial view for one-shot cells.
+    pub views: &'a [EpochView],
+    /// The cell's deterministic seed (campaign seed ⊕ grid index) —
+    /// feeds session/workload sampling.
     pub seed: u64,
+    /// The engine-free dynamics seed `views` were realized from; pass it
+    /// wherever epochs are re-realized (e.g.
+    /// [`anonroute_core::epochs::estimate_decay`]) so every engine keeps
+    /// seeing the same network evolution.
+    pub dynamics_seed: u64,
     /// Run-wide settings (sample counts, live-cluster sizing, …).
     pub config: &'a CampaignConfig,
     /// Shared memoized exact-evaluator tables.
@@ -68,24 +97,34 @@ pub struct CellCtx<'a> {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellMetrics {
     /// Anonymity degree `H*` in bits (exact, estimated, or empirical,
-    /// per the cell's engine).
+    /// per the cell's engine). For multi-epoch cells this is the
+    /// *cumulative* anonymity after the final epoch — the intersection
+    /// adversary's view — which reduces to the single-round value at
+    /// `epochs = 1`.
     pub h_star: f64,
     /// `h_star / log2 n`.
     pub normalized: f64,
     /// Expected path length of the realized strategy.
     pub mean_len: f64,
     /// Probability the adversary identifies the sender outright
-    /// (exact engine only).
+    /// (exact one-shot engine only).
     pub p_exposed: Option<f64>,
     /// Standard error of `h_star` (sampling engines only).
     pub std_error: Option<f64>,
-    /// Sample/message count (sampling engines only).
+    /// Sample/message/session count (sampling engines only).
     pub samples: Option<usize>,
+    /// Number of epochs folded into `h_star` (1 for one-shot cells).
+    pub epochs: usize,
+    /// The epoch-1 anchor for multi-epoch cells: the single-round value
+    /// the decay starts from (closed form for the exact engine, a
+    /// sampled mean otherwise). `None` for one-shot cells, where
+    /// `h_star` *is* the single-round value.
+    pub h_epoch1: Option<f64>,
 }
 
 impl CellMetrics {
-    /// Metrics of a sampling backend, from the workspace's common
-    /// estimate shape ([`anonroute_core::SampledDegree`]).
+    /// Metrics of a one-shot sampling backend, from the workspace's
+    /// common estimate shape ([`anonroute_core::SampledDegree`]).
     pub fn from_sampled(model: &SystemModel, dist: &PathLengthDist, est: SampledDegree) -> Self {
         CellMetrics {
             h_star: est.h_star,
@@ -94,6 +133,26 @@ impl CellMetrics {
             p_exposed: None,
             std_error: Some(est.std_error),
             samples: Some(est.samples),
+            epochs: 1,
+            h_epoch1: None,
+        }
+    }
+
+    /// Metrics of a multi-epoch sampling backend, from an
+    /// anonymity-decay curve: `h_star` is the final cumulative mean,
+    /// `h_epoch1` the curve's anchor (overridden by the exact backend
+    /// with the closed form).
+    pub fn from_decay(model: &SystemModel, dist: &PathLengthDist, curve: &DecayCurve) -> Self {
+        let last = curve.last();
+        CellMetrics {
+            h_star: last.mean_entropy_bits,
+            normalized: last.mean_entropy_bits / model.max_entropy_bits(),
+            mean_len: dist.mean(),
+            p_exposed: None,
+            std_error: Some(last.std_error),
+            samples: Some(last.sessions),
+            epochs: curve.per_epoch.len(),
+            h_epoch1: Some(curve.first().mean_entropy_bits),
         }
     }
 
@@ -129,6 +188,67 @@ pub(crate) fn attack_and_score(
         std_error: report.std_error,
         samples: report.verdicts.len(),
     })
+}
+
+/// Sessions a multi-epoch cell runs: the engine's configured one-shot
+/// message/sample budget spread across the epochs (each session sends
+/// once per epoch), never below one — so multi-epoch cells cost about
+/// as much as their one-shot counterparts.
+pub(crate) fn session_count(budget: usize, epochs: usize) -> usize {
+    (budget / epochs.max(1)).max(1)
+}
+
+/// Rewrites locally assigned message ids (`MsgId(k)` for the `k`-th
+/// scheduled origination of one epoch run) into persistent session ids,
+/// in both the trace and the origination labels — the correlation key
+/// the intersection adversary folds across epochs.
+pub(crate) fn remap_to_sessions(
+    trace: &mut [TransferRecord],
+    originations: &mut [Origination],
+    session_of: &[MsgId],
+) {
+    for r in trace.iter_mut() {
+        r.msg = session_of[r.msg.0 as usize];
+    }
+    for o in originations.iter_mut() {
+        o.msg = session_of[o.msg.0 as usize];
+    }
+}
+
+/// One epoch's run artifacts from a trace-producing engine, in local
+/// node ids with session-id messages.
+pub(crate) struct EpochRun {
+    /// The epoch's local system model.
+    pub model: SystemModel,
+    /// Link records (local ids, session-id messages).
+    pub trace: Vec<TransferRecord>,
+    /// Ground-truth labels (local senders, session-id messages).
+    pub originations: Vec<Origination>,
+}
+
+/// Scores a multi-epoch cell with the intersection adversary: one
+/// [`EpochRun`] per realized view, folded into cumulative per-session
+/// posteriors. The shared path of the simulated and live backends, so
+/// their multi-round scoring can never drift.
+pub(crate) fn intersect_and_score(
+    ctx: &CellCtx<'_>,
+    runs: &[EpochRun],
+) -> Result<CellMetrics, String> {
+    debug_assert_eq!(runs.len(), ctx.views.len());
+    let rounds: Vec<EpochTrace<'_>> = ctx
+        .views
+        .iter()
+        .zip(runs)
+        .map(|(view, run)| EpochTrace {
+            view,
+            model: &run.model,
+            dist: ctx.dist,
+            trace: &run.trace,
+            originations: &run.originations,
+        })
+        .collect();
+    let outcome = intersection_attack(ctx.model.n(), &rounds).map_err(|e| e.to_string())?;
+    Ok(CellMetrics::from_decay(ctx.model, ctx.dist, &outcome.decay))
 }
 
 /// One way of scoring a cell. Implementations must uphold the module's

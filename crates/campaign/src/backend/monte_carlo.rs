@@ -1,16 +1,21 @@
 //! The Monte-Carlo backend: seeded observation sampling.
 //!
 //! Determinism: every drawn observation flows from `ctx.seed` through
-//! [`engine::estimate_anonymity_degree`]'s own `StdRng` stream, so equal
-//! contexts estimate the identical value.
+//! [`engine::estimate_anonymity_degree`]'s own `StdRng` stream (one-shot
+//! cells) or [`epochs::estimate_decay`]'s session stream (multi-epoch
+//! cells), so equal contexts estimate the identical value.
 
-use anonroute_core::{engine, SampledDegree};
+use anonroute_core::{engine, epochs, SampledDegree};
 
-use crate::backend::{CellCtx, CellMetrics, EvalBackend};
+use crate::backend::{session_count, CellCtx, CellMetrics, EvalBackend};
 use crate::grid::EngineKind;
 
+/// Stream separator from the exact backend's decay sessions.
+const MC_DECAY_STREAM: u64 = 2;
+
 /// Seeded Monte-Carlo estimation (the `mc` engine); the sample count
-/// comes from `CampaignConfig::mc_samples`.
+/// comes from `CampaignConfig::mc_samples` (spread over the epochs of a
+/// multi-round cell).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MonteCarloBackend;
 
@@ -20,6 +25,19 @@ impl EvalBackend for MonteCarloBackend {
     }
 
     fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+        if !ctx.scenario.dynamics.is_one_shot() {
+            let sessions = session_count(ctx.config.mc_samples, ctx.scenario.dynamics.epochs);
+            let curve = epochs::estimate_decay(
+                ctx.model,
+                ctx.dist,
+                &ctx.scenario.dynamics,
+                sessions,
+                ctx.dynamics_seed,
+                ctx.seed ^ MC_DECAY_STREAM,
+            )
+            .map_err(|e| e.to_string())?;
+            return Ok(CellMetrics::from_decay(ctx.model, ctx.dist, &curve));
+        }
         let est =
             engine::estimate_anonymity_degree(ctx.model, ctx.dist, ctx.config.mc_samples, ctx.seed)
                 .map_err(|e| e.to_string())?;

@@ -6,20 +6,40 @@
 //! forwarding rule). The passive adversary compromises the last `c`
 //! member nodes and scores every delivered message.
 //!
+//! Multi-epoch cells run one simulation per realized epoch over that
+//! epoch's *active* nodes: persistent sessions
+//! ([`anonroute_sim::traffic::SessionTraffic`]) pin a sender per session
+//! for the whole run, a session sits out any epoch its sender churned
+//! out of, and the per-epoch traces — message ids rewritten to session
+//! ids — feed the intersection adversary.
+//!
 //! Determinism: the discrete-event simulator, the origination schedule,
-//! and every protocol's randomness are all seeded from `ctx.seed`.
+//! session senders, and every protocol's randomness are all seeded from
+//! `ctx.seed`.
 
+use anonroute_core::epochs::EpochView;
 use anonroute_core::{PathKind, PathLengthDist, SystemModel};
 use anonroute_protocols::crowds::crowd;
 use anonroute_protocols::onion_routing::onion_network;
 use anonroute_protocols::RouteSampler;
-use anonroute_sim::{LatencyModel, SimTime, Simulation};
+use anonroute_sim::traffic::SessionTraffic;
+use anonroute_sim::{LatencyModel, NodeId, SimTime, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use crate::backend::{attack_and_score, CellCtx, CellMetrics, EvalBackend};
+use crate::backend::{
+    attack_and_score, intersect_and_score, remap_to_sessions, session_count, CellCtx, CellMetrics,
+    EpochRun, EvalBackend,
+};
 use crate::grid::{EngineKind, StrategySpec};
 
+/// Salt separating the persistent-session draw from the simulator's own
+/// seed uses.
+const SIM_SESSION_SALT: u64 = 0x51B5_E551_0D5A_7701;
+
 /// Full protocol simulation attacked by the passive adversary (the `sim`
-/// engine); the message count comes from `CampaignConfig::sim_messages`.
+/// engine); the message count comes from `CampaignConfig::sim_messages`
+/// (spread over the epochs of a multi-round cell).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimulatedBackend;
 
@@ -29,6 +49,9 @@ impl EvalBackend for SimulatedBackend {
     }
 
     fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+        if !ctx.scenario.dynamics.is_one_shot() {
+            return evaluate_epochs(ctx);
+        }
         let messages = ctx.config.sim_messages;
         match ctx.model.path_kind() {
             PathKind::Simple => {
@@ -46,13 +69,7 @@ impl EvalBackend for SimulatedBackend {
                 )
             }
             PathKind::Cyclic => {
-                let StrategySpec::Geometric { forward_prob, .. } = ctx.scenario.strategy else {
-                    return Err(
-                        "the simulated engine models cyclic paths with Crowds, which requires a \
-                         geometric strategy"
-                            .into(),
-                    );
-                };
+                let forward_prob = crowds_forward_prob(ctx)?;
                 let nodes = crowd(ctx.model.n(), forward_prob).map_err(|e| e.to_string())?;
                 attack_simulation(
                     nodes,
@@ -65,6 +82,104 @@ impl EvalBackend for SimulatedBackend {
             }
         }
     }
+}
+
+/// The cyclic-path cell's Crowds forwarding probability, or the standard
+/// infeasibility message.
+fn crowds_forward_prob(ctx: &CellCtx<'_>) -> Result<f64, String> {
+    match ctx.scenario.strategy {
+        StrategySpec::Geometric { forward_prob, .. } => Ok(forward_prob),
+        _ => Err(
+            "the simulated engine models cyclic paths with Crowds, which requires a \
+             geometric strategy"
+                .into(),
+        ),
+    }
+}
+
+/// Builds one epoch's protocol network over `ne` active nodes.
+fn epoch_nodes(
+    ctx: &CellCtx<'_>,
+    ne: usize,
+) -> Result<(Vec<Box<dyn anonroute_sim::NodeBehavior>>, LatencyModel), String> {
+    match ctx.model.path_kind() {
+        PathKind::Simple => {
+            let sampler = RouteSampler::new(ne, ctx.dist.clone(), PathKind::Simple)
+                .map_err(|e| e.to_string())?;
+            let nodes = onion_network(ne, &sampler, 2048, b"anonroute-epochs")
+                .map_err(|e| e.to_string())?;
+            Ok((
+                nodes
+                    .into_iter()
+                    .map(|n| Box::new(n) as Box<dyn anonroute_sim::NodeBehavior>)
+                    .collect(),
+                LatencyModel::Uniform { lo: 50, hi: 500 },
+            ))
+        }
+        PathKind::Cyclic => {
+            let forward_prob = crowds_forward_prob(ctx)?;
+            let nodes = crowd(ne, forward_prob).map_err(|e| e.to_string())?;
+            Ok((
+                nodes
+                    .into_iter()
+                    .map(|n| Box::new(n) as Box<dyn anonroute_sim::NodeBehavior>)
+                    .collect(),
+                LatencyModel::Constant(100),
+            ))
+        }
+    }
+}
+
+/// Runs one simulation per epoch with persistent senders and scores the
+/// intersection attack on the folded traces.
+fn evaluate_epochs(ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+    let n = ctx.model.n();
+    let sessions = session_count(ctx.config.sim_messages, ctx.scenario.dynamics.epochs);
+    let traffic = SessionTraffic {
+        sessions,
+        interval_us: 100,
+        payload_len: 4,
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ SIM_SESSION_SALT);
+    let senders = traffic.senders(n, &mut rng);
+    let mut runs = Vec::with_capacity(ctx.views.len());
+    for view in ctx.views {
+        runs.push(run_epoch(ctx, view, &traffic, &senders, &mut rng)?);
+    }
+    intersect_and_score(ctx, &runs)
+}
+
+/// One epoch: a fresh network over the active set, one origination per
+/// active session, message ids rewritten back to session ids.
+fn run_epoch(
+    ctx: &CellCtx<'_>,
+    view: &EpochView,
+    traffic: &SessionTraffic,
+    senders: &[NodeId],
+    rng: &mut StdRng,
+) -> Result<EpochRun, String> {
+    let ne = view.n();
+    let model = SystemModel::with_path_kind(ne, ctx.model.c(), ctx.model.path_kind())
+        .map_err(|e| e.to_string())?;
+    let (nodes, latency) = epoch_nodes(ctx, ne)?;
+    // each epoch gets its own deterministic event stream
+    let epoch_seed = ctx
+        .seed
+        .wrapping_add((view.epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut sim = Simulation::new(nodes, latency, epoch_seed);
+    let (arrivals, session_of) = traffic.epoch_arrivals(senders, |u| view.local_of(u), rng);
+    for arrival in &arrivals {
+        sim.schedule_origination(arrival.at, arrival.sender, arrival.payload.clone());
+    }
+    sim.run();
+    let mut trace = sim.trace().to_vec();
+    let mut originations = sim.originations().to_vec();
+    remap_to_sessions(&mut trace, &mut originations, &session_of);
+    Ok(EpochRun {
+        model,
+        trace,
+        originations,
+    })
 }
 
 /// Drives `messages` originations through `nodes`, then scores the

@@ -1,11 +1,13 @@
 //! The declarative scenario model: what to evaluate.
 //!
 //! A [`Scenario`] is one fully specified evaluation point — system size,
-//! compromise level, path kind, route-selection strategy, and the engine
+//! compromise level, path kind, route-selection strategy, multi-round
+//! dynamics (epochs, compromised-set rotation, churn), and the engine
 //! used to score it. A [`ScenarioGrid`] is the cartesian product of axis
 //! value lists; [`ScenarioGrid::cells`] expands it in a fixed, documented
 //! order so downstream output is stable across runs and thread counts.
 
+use anonroute_core::epochs::{ChurnModel, EpochSchedule, RotationPolicy};
 use anonroute_core::{optimize, PathKind, PathLengthDist, SystemModel};
 
 /// A route-selection strategy family member, by parameters rather than by
@@ -236,14 +238,20 @@ pub struct Scenario {
     pub path_kind: PathKind,
     /// Route-selection strategy.
     pub strategy: StrategySpec,
+    /// Multi-round dynamics (epoch count, rotation, churn);
+    /// [`EpochSchedule::one_shot`] is the classic single-round cell.
+    pub dynamics: EpochSchedule,
     /// Scoring engine.
     pub engine: EngineKind,
 }
 
 impl Scenario {
     /// Parses the [`Display`](std::fmt::Display) form back into a
-    /// scenario (`n=100 c=1 simple uniform:2:8 [exact]`), so rendered
-    /// cell identities in logs and reports are machine-recoverable.
+    /// scenario (`n=100 c=1 simple uniform:2:8 [exact]`, with an
+    /// optional dynamics token before the engine for multi-round cells:
+    /// `n=100 c=1 simple uniform:2:8 epochs=3;churn=iid:0.2 [sim]`), so
+    /// rendered cell identities in logs and reports are
+    /// machine-recoverable.
     ///
     /// # Errors
     ///
@@ -251,8 +259,12 @@ impl Scenario {
     pub fn parse(s: &str) -> Result<Self, String> {
         let err = |m: &str| format!("scenario `{s}`: {m}");
         let parts: Vec<&str> = s.split_whitespace().collect();
-        let [n, c, path, strategy, engine] = parts.as_slice() else {
-            return Err(err("expected `n=N c=C PATH STRATEGY [ENGINE]`"));
+        let (n, c, path, strategy, dynamics, engine) = match parts.as_slice() {
+            [n, c, path, strategy, engine] => (n, c, path, strategy, None, engine),
+            [n, c, path, strategy, dynamics, engine] => {
+                (n, c, path, strategy, Some(dynamics), engine)
+            }
+            _ => return Err(err("expected `n=N c=C PATH STRATEGY [DYNAMICS] [ENGINE]`")),
         };
         let n = n
             .strip_prefix("n=")
@@ -266,11 +278,16 @@ impl Scenario {
             .strip_prefix('[')
             .and_then(|v| v.strip_suffix(']'))
             .ok_or_else(|| err("engine must be bracketed"))?;
+        let dynamics = match dynamics {
+            None => EpochSchedule::one_shot(),
+            Some(d) => EpochSchedule::parse(d).map_err(|m| err(&m))?,
+        };
         Ok(Scenario {
             n,
             c,
             path_kind: parse_path_kind(path).map_err(|m| err(&m))?,
             strategy: StrategySpec::parse(strategy).map_err(|m| err(&m))?,
+            dynamics,
             engine: EngineKind::parse(engine).map_err(|m| err(&m))?,
         })
     }
@@ -280,9 +297,13 @@ impl std::fmt::Display for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} c={} {} {} [{}]",
-            self.n, self.c, self.path_kind, self.strategy, self.engine
-        )
+            "n={} c={} {} {}",
+            self.n, self.c, self.path_kind, self.strategy
+        )?;
+        if !self.dynamics.is_one_shot() {
+            write!(f, " {}", self.dynamics)?;
+        }
+        write!(f, " [{}]", self.engine)
     }
 }
 
@@ -312,6 +333,12 @@ pub struct ScenarioGrid {
     pub strategies: Vec<StrategySpec>,
     /// Engines (defaults to `[Exact]`).
     pub engines: Vec<EngineKind>,
+    /// Epoch counts (defaults to `[1]` — one-shot).
+    pub epochs: Vec<usize>,
+    /// Compromised-set rotation policies (defaults to `[Static]`).
+    pub rotations: Vec<RotationPolicy>,
+    /// Churn models (defaults to `[None]`).
+    pub churns: Vec<ChurnModel>,
 }
 
 impl Default for ScenarioGrid {
@@ -322,6 +349,9 @@ impl Default for ScenarioGrid {
             path_kinds: vec![PathKind::Simple],
             strategies: Vec::new(),
             engines: vec![EngineKind::Exact],
+            epochs: vec![1],
+            rotations: vec![RotationPolicy::Static],
+            churns: vec![ChurnModel::None],
         }
     }
 }
@@ -363,6 +393,24 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sets the epoch-count axis.
+    pub fn epochs(mut self, epochs: impl IntoIterator<Item = usize>) -> Self {
+        self.epochs = epochs.into_iter().collect();
+        self
+    }
+
+    /// Sets the rotation-policy axis.
+    pub fn rotations(mut self, rotations: impl IntoIterator<Item = RotationPolicy>) -> Self {
+        self.rotations = rotations.into_iter().collect();
+        self
+    }
+
+    /// Sets the churn-model axis.
+    pub fn churns(mut self, churns: impl IntoIterator<Item = ChurnModel>) -> Self {
+        self.churns = churns.into_iter().collect();
+        self
+    }
+
     /// Number of cells in the cartesian product.
     pub fn len(&self) -> usize {
         self.ns.len()
@@ -370,6 +418,9 @@ impl ScenarioGrid {
             * self.path_kinds.len()
             * self.strategies.len()
             * self.engines.len()
+            * self.epochs.len()
+            * self.rotations.len()
+            * self.churns.len()
     }
 
     /// Whether the grid has no cells.
@@ -378,8 +429,11 @@ impl ScenarioGrid {
     }
 
     /// Expands the grid in its canonical order: `n` outermost, then `c`,
-    /// path kind, strategy, and engine innermost. Cell index in this
-    /// expansion is the stable identity used for seeding and output.
+    /// path kind, strategy, engine, and the dynamics axes (epochs, then
+    /// rotation, then churn) innermost. Cell index in this expansion is
+    /// the stable identity used for seeding and output; grids that leave
+    /// the dynamics axes at their defaults keep their pre-dynamics
+    /// indices (and therefore their seeds) unchanged.
     pub fn cells(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
         for &n in &self.ns {
@@ -387,13 +441,24 @@ impl ScenarioGrid {
                 for &path_kind in &self.path_kinds {
                     for strategy in &self.strategies {
                         for &engine in &self.engines {
-                            out.push(Scenario {
-                                n,
-                                c,
-                                path_kind,
-                                strategy: strategy.clone(),
-                                engine,
-                            });
+                            for &epochs in &self.epochs {
+                                for &rotation in &self.rotations {
+                                    for &churn in &self.churns {
+                                        out.push(Scenario {
+                                            n,
+                                            c,
+                                            path_kind,
+                                            strategy: strategy.clone(),
+                                            dynamics: EpochSchedule {
+                                                epochs,
+                                                rotation,
+                                                churn,
+                                            },
+                                            engine,
+                                        });
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -508,6 +573,7 @@ mod tests {
                     p: 0.25,
                     hi: 7,
                 },
+                dynamics: EpochSchedule::one_shot(),
                 engine: kind,
             };
             let text = scenario.to_string();
@@ -516,5 +582,58 @@ mod tests {
         assert!(Scenario::parse("n=5 c=1 simple fixed:1").is_err());
         assert!(Scenario::parse("n=x c=1 simple fixed:1 [exact]").is_err());
         assert!(Scenario::parse("n=5 c=1 simple fixed:1 exact").is_err());
+    }
+
+    #[test]
+    fn multi_round_scenarios_round_trip_with_a_dynamics_token() {
+        let scenario = Scenario {
+            n: 30,
+            c: 2,
+            path_kind: PathKind::Simple,
+            strategy: StrategySpec::Uniform(1, 5),
+            dynamics: EpochSchedule {
+                epochs: 4,
+                rotation: RotationPolicy::Shift { step: 2 },
+                churn: ChurnModel::Iid { rate: 0.25 },
+            },
+            engine: EngineKind::Simulated,
+        };
+        let text = scenario.to_string();
+        assert_eq!(
+            text,
+            "n=30 c=2 simple uniform:1:5 epochs=4;rotation=shift:2;churn=iid:0.25 [sim]"
+        );
+        assert_eq!(Scenario::parse(&text).unwrap(), scenario);
+        // one-shot cells keep the legacy five-token form
+        let one_shot = Scenario {
+            dynamics: EpochSchedule::one_shot(),
+            ..scenario
+        };
+        assert_eq!(one_shot.to_string(), "n=30 c=2 simple uniform:1:5 [sim]");
+        assert!(Scenario::parse("n=5 c=1 simple fixed:1 epochs=0 [exact]").is_err());
+    }
+
+    #[test]
+    fn dynamics_axes_expand_innermost() {
+        let grid = ScenarioGrid::new()
+            .ns([10])
+            .cs([1])
+            .strategies([StrategySpec::Fixed(2)])
+            .epochs([1, 3])
+            .churns([ChurnModel::None, ChurnModel::Iid { rate: 0.2 }]);
+        assert_eq!(grid.len(), 4);
+        let cells = grid.cells();
+        assert_eq!(cells[0].dynamics.epochs, 1);
+        assert_eq!(cells[0].dynamics.churn, ChurnModel::None);
+        assert_eq!(cells[1].dynamics.churn, ChurnModel::Iid { rate: 0.2 });
+        assert_eq!(cells[2].dynamics.epochs, 3);
+        assert!(cells[0].dynamics.is_one_shot());
+        // default grids keep their pre-dynamics cell count and order
+        let legacy = ScenarioGrid::new()
+            .ns([10, 20])
+            .cs([1])
+            .strategies([StrategySpec::Fixed(2)]);
+        assert_eq!(legacy.len(), 2);
+        assert!(legacy.cells().iter().all(|s| s.dynamics.is_one_shot()));
     }
 }

@@ -4,7 +4,7 @@
 //! for the `anonroute` workspace — the substrate that turns "regenerate
 //! one figure" into "evaluate any cartesian family of scenarios".
 //!
-//! A [`ScenarioGrid`] spans five axes:
+//! A [`ScenarioGrid`] spans eight axes:
 //!
 //! * system size `n`,
 //! * compromised count `c`,
@@ -14,7 +14,12 @@
 //! * scoring engine ([`EngineKind`]: exact closed form, Monte-Carlo
 //!   estimation, a full protocol simulation attacked by the passive
 //!   adversary, or a **live loopback TCP relay cluster** attacked
-//!   through its per-link tap).
+//!   through its per-link tap),
+//! * and the multi-round dynamics axes — epoch count,
+//!   compromised-set [`RotationPolicy`], and [`ChurnModel`] — under
+//!   which every engine scores the *cumulative* anonymity the long-term
+//!   intersection adversary achieves
+//!   ([`anonroute_core::epochs`]).
 //!
 //! Scoring is pluggable: each engine kind maps to an
 //! [`EvalBackend`] implementation in the
@@ -64,6 +69,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use anonroute_core::epochs::{ChurnModel, EpochSchedule, RotationPolicy};
 pub use backend::{CellCtx, CellMetrics, EvalBackend};
 pub use grid::{parse_path_kind, EngineKind, Scenario, ScenarioGrid, StrategySpec};
 pub use runner::{cell_seed, run, CampaignConfig, CampaignOutcome, CellResult};

@@ -19,7 +19,7 @@ pub fn jsonl_line(cell: &CellResult, include_timing: bool) -> String {
     let s = &cell.scenario;
     write!(
         out,
-        "{{\"cell\":{},\"n\":{},\"c\":{},\"path\":\"{}\",\"strategy\":\"{}\",\"family\":\"{}\",\"engine\":\"{}\",\"seed\":{}",
+        "{{\"cell\":{},\"n\":{},\"c\":{},\"path\":\"{}\",\"strategy\":\"{}\",\"family\":\"{}\",\"engine\":\"{}\",\"dynamics\":\"{}\",\"seed\":{}",
         cell.index,
         s.n,
         s.c,
@@ -27,6 +27,7 @@ pub fn jsonl_line(cell: &CellResult, include_timing: bool) -> String {
         json_escape(&s.strategy.to_string()),
         s.strategy.family(),
         s.engine,
+        json_escape(&s.dynamics.to_string()),
         cell.seed,
     )
     .expect("writing to a String cannot fail");
@@ -34,13 +35,15 @@ pub fn jsonl_line(cell: &CellResult, include_timing: bool) -> String {
         Ok(m) => {
             write!(
                 out,
-                ",\"status\":\"ok\",\"h_star\":{},\"normalized\":{},\"mean_len\":{},\"p_exposed\":{},\"std_error\":{},\"samples\":{}",
+                ",\"status\":\"ok\",\"h_star\":{},\"normalized\":{},\"mean_len\":{},\"p_exposed\":{},\"std_error\":{},\"samples\":{},\"epochs\":{},\"h_epoch1\":{}",
                 json_f64(m.h_star),
                 json_f64(m.normalized),
                 json_f64(m.mean_len),
                 json_opt_f64(m.p_exposed),
                 json_opt_f64(m.std_error),
                 m.samples.map_or_else(|| "null".into(), |v| v.to_string()),
+                m.epochs,
+                json_opt_f64(m.h_epoch1),
             )
             .expect("writing to a String cannot fail");
         }
@@ -90,7 +93,7 @@ pub fn write_jsonl(
 
 /// CSV column header matching [`render_csv`].
 pub const CSV_HEADER: &str =
-    "cell,n,c,path,strategy,family,engine,seed,status,h_star,normalized,mean_len,p_exposed,std_error,samples,error";
+    "cell,n,c,path,strategy,family,engine,dynamics,seed,status,h_star,normalized,mean_len,p_exposed,std_error,samples,epochs,h_epoch1,error";
 
 /// Renders the whole outcome as CSV (header + one row per cell).
 pub fn render_csv(outcome: &CampaignOutcome) -> String {
@@ -100,7 +103,7 @@ pub fn render_csv(outcome: &CampaignOutcome) -> String {
         let s = &cell.scenario;
         write!(
             out,
-            "{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{}",
             cell.index,
             s.n,
             s.c,
@@ -108,6 +111,7 @@ pub fn render_csv(outcome: &CampaignOutcome) -> String {
             csv_sanitize(&s.strategy.to_string()),
             s.strategy.family(),
             s.engine,
+            csv_sanitize(&s.dynamics.to_string()),
             cell.seed,
         )
         .expect("writing to a String cannot fail");
@@ -115,18 +119,20 @@ pub fn render_csv(outcome: &CampaignOutcome) -> String {
             Ok(m) => {
                 write!(
                     out,
-                    ",ok,{},{},{},{},{},{},",
+                    ",ok,{},{},{},{},{},{},{},{},",
                     m.h_star,
                     m.normalized,
                     m.mean_len,
                     m.p_exposed.map_or_else(String::new, |v| v.to_string()),
                     m.std_error.map_or_else(String::new, |v| v.to_string()),
                     m.samples.map_or_else(String::new, |v| v.to_string()),
+                    m.epochs,
+                    m.h_epoch1.map_or_else(String::new, |v| v.to_string()),
                 )
                 .expect("writing to a String cannot fail");
             }
             Err(e) => {
-                write!(out, ",error,,,,,,,{}", csv_sanitize(e))
+                write!(out, ",error,,,,,,,,,{}", csv_sanitize(e))
                     .expect("writing to a String cannot fail");
             }
         }
@@ -349,7 +355,7 @@ mod tests {
     /// cluster or failing backend would produce.
     fn error_cell(index: usize, error: &str) -> CellResult {
         use crate::grid::{EngineKind, Scenario, StrategySpec};
-        use anonroute_core::PathKind;
+        use anonroute_core::{EpochSchedule, PathKind};
         CellResult {
             index,
             scenario: Scenario {
@@ -357,6 +363,7 @@ mod tests {
                 c: 1,
                 path_kind: PathKind::Simple,
                 strategy: StrategySpec::Fixed(2),
+                dynamics: EpochSchedule::rounds(2),
                 engine: EngineKind::Live,
             },
             seed: 99,

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use anonroute_core::engine::{CacheStats, EvaluatorCache};
+use anonroute_core::epochs::EpochView;
 use anonroute_core::SystemModel;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
@@ -167,9 +168,30 @@ pub fn cell_seed(campaign_seed: u64, index: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Schedules one cell: realize the model and strategy (the
-/// engine-agnostic feasibility gate), then hand the context to the
-/// registered backend for the cell's engine.
+/// Derives the seed the epoch views (churn draws, rotation resampling)
+/// realize from: a hash of the campaign seed and the scenario identity
+/// *without* its engine. Engine variants of one multi-round scenario
+/// therefore score the *same* realized network evolution — the
+/// cross-engine conformance the dynamics layer promises — while their
+/// per-cell seeds keep session sampling independent.
+pub fn dynamics_seed(campaign_seed: u64, scenario: &Scenario) -> u64 {
+    // FNV-1a over the engine-free identity text, mixed with the seed
+    let identity = format!(
+        "{} {} {} {} {}",
+        scenario.n, scenario.c, scenario.path_kind, scenario.strategy, scenario.dynamics
+    );
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325 ^ campaign_seed;
+    for byte in identity.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Schedules one cell: realize the model, strategy, and epoch views
+/// (the engine-agnostic feasibility gate — including per-epoch strategy
+/// feasibility under churn), then hand the context to the registered
+/// backend for the cell's engine.
 fn run_cell(
     scenario: &Scenario,
     seed: u64,
@@ -179,11 +201,39 @@ fn run_cell(
     let model = SystemModel::with_path_kind(scenario.n, scenario.c, scenario.path_kind)
         .map_err(|e| e.to_string())?;
     let dist = scenario.strategy.realize(&model)?;
+    // every engine scoring this scenario must see the same realized
+    // epochs, so the views derive from the engine-free dynamics seed —
+    // never from the per-cell seed, which feeds session sampling only.
+    // One-shot cells keep the trivial full view so the dynamics guard
+    // (`n >= c + 2`) cannot reject previously valid degenerate cells.
+    let dyn_seed = dynamics_seed(config.seed, scenario);
+    let views = if scenario.dynamics.is_one_shot() {
+        vec![EpochView {
+            epoch: 0,
+            active: (0..scenario.n).collect(),
+            compromised: (scenario.n - scenario.c..scenario.n).collect(),
+        }]
+    } else {
+        let views = scenario
+            .dynamics
+            .realize(scenario.n, scenario.c, dyn_seed)
+            .map_err(|e| e.to_string())?;
+        for view in &views {
+            let local = SystemModel::with_path_kind(view.n(), scenario.c, scenario.path_kind)
+                .map_err(|e| e.to_string())?;
+            local
+                .validate_dist(&dist)
+                .map_err(|e| format!("epoch {}: {e}", view.epoch + 1))?;
+        }
+        views
+    };
     backend::backend(scenario.engine).evaluate(&CellCtx {
         scenario,
         model: &model,
         dist: &dist,
+        views: &views,
         seed,
+        dynamics_seed: dyn_seed,
         config,
         cache,
     })

@@ -7,6 +7,7 @@
 //! --n 50,100,200   --c 1..=5   --paths simple,cyclic
 //! --strategies fixed:1,fixed:5,uniform:2:8,geometric:0.75:50,optimal:5
 //! --engines exact,mc
+//! --epochs 1,4   --rotation static,shift:2,resample   --churn none,iid:0.25
 //! ```
 //!
 //! The spec file carries the same axes (plus run settings) in a TOML
@@ -18,7 +19,7 @@
 //! `live_max_n`, `live_cell_size`), so a grid file fully describes a run
 //! without CLI flags.
 
-use anonroute_core::PathKind;
+use anonroute_core::epochs::{ChurnModel, RotationPolicy};
 
 use crate::grid::{parse_path_kind, EngineKind, ScenarioGrid, StrategySpec};
 use crate::runner::CampaignConfig;
@@ -64,52 +65,61 @@ fn parse_usize(s: &str) -> Result<usize, String> {
         .map_err(|_| format!("bad integer `{}`", s.trim()))
 }
 
+/// Splits a comma-separated flag value and parses every token.
+fn parse_tokens<T>(
+    text: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect()
+}
+
 /// Builds a grid from CLI flag values; empty strings fall back to the
-/// grid defaults (`simple` paths, `exact` engine).
+/// grid defaults (`simple` paths, `exact` engine, one static epoch, no
+/// churn).
 ///
 /// # Errors
 ///
 /// Returns a message pointing at the failing axis value.
+#[allow(clippy::too_many_arguments)] // one parameter per CLI axis flag
 pub fn grid_from_flags(
     ns: &str,
     cs: &str,
     paths: &str,
     strategies: &str,
     engines: &str,
+    epochs: &str,
+    rotations: &str,
+    churns: &str,
 ) -> Result<ScenarioGrid, String> {
     let mut grid = ScenarioGrid::new()
         .ns(parse_usize_list(ns)?)
         .cs(parse_usize_list(cs)?)
-        .strategies(
-            strategies
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(StrategySpec::parse)
-                .collect::<Result<Vec<_>, _>>()?,
-        );
+        .strategies(parse_tokens(strategies, StrategySpec::parse)?);
     if grid.strategies.is_empty() {
         return Err("expected at least one strategy".into());
     }
     if !paths.is_empty() {
-        grid = grid.path_kinds(
-            paths
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(parse_path_kind)
-                .collect::<Result<Vec<PathKind>, _>>()?,
-        );
+        grid = grid.path_kinds(parse_tokens(paths, parse_path_kind)?);
     }
     if !engines.is_empty() {
-        grid = grid.engines(
-            engines
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(EngineKind::parse)
-                .collect::<Result<Vec<_>, _>>()?,
-        );
+        grid = grid.engines(parse_tokens(engines, EngineKind::parse)?);
+    }
+    if !epochs.is_empty() {
+        let epochs = parse_usize_list(epochs)?;
+        if epochs.contains(&0) {
+            return Err("--epochs values must be at least 1".into());
+        }
+        grid = grid.epochs(epochs);
+    }
+    if !rotations.is_empty() {
+        grid = grid.rotations(parse_tokens(rotations, RotationPolicy::parse)?);
+    }
+    if !churns.is_empty() {
+        grid = grid.churns(parse_tokens(churns, ChurnModel::parse)?);
     }
     Ok(grid)
 }
@@ -310,6 +320,31 @@ pub fn parse_spec(
                     .collect::<Result<Vec<_>, _>>()
                     .map_err(at)?;
             }
+            ("grid", "epochs") => {
+                let epochs = value.as_usize_list(key).map_err(at)?;
+                if epochs.contains(&0) {
+                    return Err(at("epochs values must be at least 1".into()));
+                }
+                grid.epochs = epochs;
+            }
+            ("grid", "rotation" | "rotations") => {
+                grid.rotations = value
+                    .as_str_list(key)
+                    .map_err(at)?
+                    .iter()
+                    .map(|s| RotationPolicy::parse(s))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(at)?;
+            }
+            ("grid", "churn" | "churns") => {
+                grid.churns = value
+                    .as_str_list(key)
+                    .map_err(at)?
+                    .iter()
+                    .map(|s| ChurnModel::parse(s))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(at)?;
+            }
             ("run", "threads") => config.threads = value.as_u64(key).map_err(at)? as usize,
             ("run", "seed") => config.seed = value.as_u64(key).map_err(at)?,
             ("run", "mc_samples") => config.mc_samples = value.as_u64(key).map_err(at)? as usize,
@@ -357,12 +392,44 @@ mod tests {
             "simple,cyclic",
             "fixed:1,uniform:2:8",
             "exact,mc",
+            "",
+            "",
+            "",
         )
         .unwrap();
         assert_eq!(grid.len(), 2 * 3 * 2 * 2 * 2);
-        assert!(grid_from_flags("10", "1", "", "fixed:1", "").is_ok());
-        assert!(grid_from_flags("10", "1", "", "", "").is_err());
-        assert!(grid_from_flags("10", "1", "spiral", "fixed:1", "").is_err());
+        assert!(grid_from_flags("10", "1", "", "fixed:1", "", "", "", "").is_ok());
+        assert!(grid_from_flags("10", "1", "", "", "", "", "", "").is_err());
+        assert!(grid_from_flags("10", "1", "spiral", "fixed:1", "", "", "", "").is_err());
+    }
+
+    #[test]
+    fn dynamics_flags_extend_the_grid() {
+        use anonroute_core::epochs::{ChurnModel, RotationPolicy};
+        let grid = grid_from_flags(
+            "20",
+            "1",
+            "",
+            "fixed:2",
+            "exact,mc",
+            "1,4",
+            "static,shift:2",
+            "none,iid:0.25",
+        )
+        .unwrap();
+        assert_eq!(grid.epochs, vec![1, 4]);
+        assert_eq!(
+            grid.rotations,
+            vec![RotationPolicy::Static, RotationPolicy::Shift { step: 2 }]
+        );
+        assert_eq!(
+            grid.churns,
+            vec![ChurnModel::None, ChurnModel::Iid { rate: 0.25 }]
+        );
+        assert_eq!(grid.len(), 2 * 2 * 2 * 2);
+        assert!(grid_from_flags("20", "1", "", "fixed:2", "", "0", "", "").is_err());
+        assert!(grid_from_flags("20", "1", "", "fixed:2", "", "", "spin", "").is_err());
+        assert!(grid_from_flags("20", "1", "", "fixed:2", "", "", "", "2.0").is_err());
     }
 
     #[test]
@@ -422,6 +489,38 @@ live_cell_size = 512
         assert_eq!(config.live_timeout_ms, 2500);
         assert_eq!(config.live_max_n, 12);
         assert_eq!(config.live_cell_size, 512);
+    }
+
+    #[test]
+    fn spec_file_carries_dynamics_axes() {
+        use anonroute_core::epochs::{ChurnModel, RotationPolicy};
+        let text = r#"
+[grid]
+n = 12
+c = 1
+strategies = "uniform:1:3"
+engines = ["exact", "sim"]
+epochs = [1, 3]
+rotation = ["static", "resample"]
+churn = ["none", "iid:0.2"]
+"#;
+        let (grid, _) = parse_spec(text, &CampaignConfig::default()).unwrap();
+        assert_eq!(grid.epochs, vec![1, 3]);
+        assert_eq!(
+            grid.rotations,
+            vec![RotationPolicy::Static, RotationPolicy::Resample]
+        );
+        assert_eq!(
+            grid.churns,
+            vec![ChurnModel::None, ChurnModel::Iid { rate: 0.2 }]
+        );
+        assert_eq!(grid.len(), 2 * 2 * 2 * 2);
+        // zero epochs and malformed policies are rejected with line info
+        let bad = "[grid]\nn = 12\nc = 1\nstrategies = \"fixed:1\"\nepochs = [0]\n";
+        let err = parse_spec(bad, &CampaignConfig::default()).unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+        let bad = "[grid]\nn = 12\nc = 1\nstrategies = \"fixed:1\"\nrotation = \"spin\"\n";
+        assert!(parse_spec(bad, &CampaignConfig::default()).is_err());
     }
 
     #[test]

@@ -89,17 +89,24 @@ fn every_registered_backend_scores_through_the_trait_object() {
     // the registry is the only dispatch point: score one feasible cell
     // with each backend via `&dyn EvalBackend` and cross-check engines
     use anonroute_core::engine::EvaluatorCache;
-    use anonroute_core::{PathKind, SystemModel};
+    use anonroute_core::epochs::EpochView;
+    use anonroute_core::{EpochSchedule, PathKind, SystemModel};
 
     let scenario_for = |kind| anonroute_campaign::Scenario {
         n: 8,
         c: 1,
         path_kind: PathKind::Simple,
         strategy: StrategySpec::Uniform(1, 3),
+        dynamics: EpochSchedule::one_shot(),
         engine: kind,
     };
     let model = SystemModel::new(8, 1).unwrap();
     let dist = StrategySpec::Uniform(1, 3).realize(&model).unwrap();
+    let views = vec![EpochView {
+        epoch: 0,
+        active: (0..8).collect(),
+        compromised: vec![7],
+    }];
     let cache = EvaluatorCache::new();
     let config = CampaignConfig {
         mc_samples: 10_000,
@@ -114,7 +121,9 @@ fn every_registered_backend_scores_through_the_trait_object() {
             scenario: &scenario,
             model: &model,
             dist: &dist,
+            views: &views,
             seed: 17,
+            dynamics_seed: 17,
             config: &config,
             cache: &cache,
         };
@@ -127,4 +136,114 @@ fn every_registered_backend_scores_through_the_trait_object() {
             }
         }
     }
+}
+
+/// The multi-round conformance grid: every engine scores the same
+/// multi-epoch cells — static, rotating, and churning — and must agree
+/// on the cumulative anonymity within std-error bounds, because all four
+/// realize identical epochs from the engine-free dynamics seed (only
+/// their session sampling is independent).
+#[test]
+fn all_four_engines_agree_on_multi_epoch_cells() {
+    use anonroute_core::{ChurnModel, RotationPolicy};
+
+    // U(1,2) stays feasible at any churned size the realize guard
+    // permits (n_e >= c + 2 = 3), so every cell must score
+    let grid = ScenarioGrid::new()
+        .ns([8])
+        .cs([1])
+        .strategies([StrategySpec::Uniform(1, 2)])
+        .epochs([3])
+        .rotations([RotationPolicy::Static, RotationPolicy::Shift { step: 3 }])
+        .churns([ChurnModel::None, ChurnModel::Iid { rate: 0.2 }])
+        .engines(EngineKind::ALL);
+    let config = CampaignConfig {
+        mc_samples: 12_000,
+        sim_messages: 2_400,
+        live_messages: 360,
+        seed: 404,
+        ..CampaignConfig::default()
+    };
+    let outcome = run(&grid, &config);
+    assert_eq!(outcome.cells.len(), 16);
+    assert_eq!(
+        outcome.error_count(),
+        0,
+        "{:?}",
+        outcome
+            .cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().err())
+            .collect::<Vec<_>>()
+    );
+    // engine expands outside the dynamics axes: cells[e * 4 + d] is
+    // engine e on dynamics combination d
+    let dynamics_combos = 4;
+    for d in 0..dynamics_combos {
+        let exact_cell = &outcome.cells[d];
+        let exact = exact_cell.outcome.as_ref().unwrap();
+        assert_eq!(exact_cell.scenario.engine, EngineKind::Exact);
+        assert_eq!(exact.epochs, 3, "three epochs folded");
+        let anchor = exact.h_epoch1.expect("multi-epoch cells carry an anchor");
+        // the exact anchor is the closed-form single-round H*(S)
+        let model = anonroute_core::SystemModel::new(8, 1).unwrap();
+        let dist = exact_cell.scenario.strategy.realize(&model).unwrap();
+        let h1 = anonroute_core::engine::anonymity_degree(&model, &dist).unwrap();
+        assert!((anchor - h1).abs() < 1e-12, "anchor {anchor} vs exact {h1}");
+        // folding epochs can only help the adversary
+        assert!(
+            exact.h_star <= anchor + 1e-9,
+            "{}: cumulative {} above anchor {anchor}",
+            exact_cell.scenario,
+            exact.h_star
+        );
+        let exact_est = exact
+            .sampled()
+            .expect("multi-epoch exact cells are sampled");
+        for e in 1..EngineKind::ALL.len() {
+            let cell = &outcome.cells[e * dynamics_combos + d];
+            assert_eq!(cell.scenario.dynamics, exact_cell.scenario.dynamics);
+            let metrics = cell.outcome.as_ref().unwrap();
+            let est = metrics.sampled().expect("sampling engines report errors");
+            assert_eq!(metrics.epochs, 3);
+            // pooled tolerance: both sides of the comparison are estimates
+            let pooled = (est.std_error.powi(2) + exact_est.std_error.powi(2)).sqrt();
+            assert!(
+                (est.h_star - exact_est.h_star).abs() <= 5.0 * pooled + 1e-9,
+                "{}: {est} vs exact {}",
+                cell.scenario,
+                exact_est
+            );
+        }
+    }
+}
+
+/// Multi-epoch cells obey the same bit-identical-per-seed contract as
+/// everything else, across thread counts and engines (incl. live TCP).
+#[test]
+fn multi_epoch_cells_are_deterministic_per_seed_at_any_thread_count() {
+    use anonroute_core::ChurnModel;
+
+    let grid = ScenarioGrid::new()
+        .ns([8])
+        .cs([1])
+        .strategies([StrategySpec::Fixed(2)])
+        .epochs([2])
+        .churns([ChurnModel::Iid { rate: 0.2 }])
+        .engines(EngineKind::ALL);
+    let config = |threads| CampaignConfig {
+        threads,
+        mc_samples: 4_000,
+        sim_messages: 600,
+        live_messages: 120,
+        seed: 77,
+        ..CampaignConfig::default()
+    };
+    let serial = report::render_jsonl(&run(&grid, &config(1)), false);
+    let parallel = report::render_jsonl(&run(&grid, &config(4)), false);
+    assert_eq!(serial, parallel, "thread count must not leak into results");
+    let rerun = report::render_jsonl(&run(&grid, &config(4)), false);
+    assert_eq!(parallel, rerun, "reruns must be byte-identical");
+    assert!(serial.contains("\"epochs\":2"));
+    assert!(serial.contains("\"dynamics\":\"epochs=2;churn=iid:0.2\""));
 }

@@ -1,0 +1,95 @@
+//! Golden-file regression tests: a tiny campaign's JSONL and CSV
+//! artifacts are pinned byte-for-byte, so *any* schema drift — a
+//! renamed column, a reordered field, a float formatting change, or a
+//! missing epoch column — fails CI loudly instead of silently breaking
+//! downstream parsers.
+//!
+//! The grid deliberately covers the full row vocabulary: a one-shot
+//! exact cell (closed form, `p_exposed`, no sampling fields), a
+//! multi-epoch exact cell (sampled decay with an `h_epoch1` anchor and
+//! `epochs` column), and an infeasible cell (error row). Everything is
+//! a pure function of `(grid, config)`, so the bytes are stable across
+//! runs and thread counts by the campaign's determinism contract.
+
+use anonroute_campaign::{report, run, CampaignConfig, ScenarioGrid, StrategySpec};
+
+fn golden_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .ns([10])
+        .cs([1])
+        .strategies([StrategySpec::Fixed(3), StrategySpec::Fixed(20)])
+        .epochs([1, 2])
+}
+
+fn golden_config() -> CampaignConfig {
+    CampaignConfig {
+        threads: 2,
+        seed: 11,
+        mc_samples: 2_000,
+        ..CampaignConfig::default()
+    }
+}
+
+/// The pinned JSONL artifact. Regenerate deliberately (and review the
+/// diff!) with:
+/// `PRINT_GOLDEN=1 cargo test -p anonroute-campaign --test golden -- --nocapture`
+const GOLDEN_JSONL: &str = r#"{"cell":0,"n":10,"c":1,"path":"simple","strategy":"fixed:3","family":"fixed","engine":"exact","dynamics":"epochs=1","seed":5833679380957638813,"status":"ok","h_star":2.3807354922057598,"normalized":0.7166727948957861,"mean_len":3,"p_exposed":0.19999999999999996,"std_error":null,"samples":null,"epochs":1,"h_epoch1":null}
+{"cell":1,"n":10,"c":1,"path":"simple","strategy":"fixed:3","family":"fixed","engine":"exact","dynamics":"epochs=2","seed":4839782808629744545,"status":"ok","h_star":1.9515582836001042,"normalized":0.587477581650146,"mean_len":3,"p_exposed":null,"std_error":0.04050317429046618,"samples":1000,"epochs":2,"h_epoch1":2.3807354922057598}
+{"cell":2,"n":10,"c":1,"path":"simple","strategy":"fixed:20","family":"fixed","engine":"exact","dynamics":"epochs=1","seed":11769803791402734189,"status":"error","error":"invalid path-length distribution: simple paths in an n=10 system support at most 9 intermediate nodes, but the distribution places mass 1.000e0 beyond that"}
+{"cell":3,"n":10,"c":1,"path":"simple","strategy":"fixed:20","family":"fixed","engine":"exact","dynamics":"epochs=2","seed":9308485889748266480,"status":"error","error":"invalid path-length distribution: simple paths in an n=10 system support at most 9 intermediate nodes, but the distribution places mass 1.000e0 beyond that"}
+"#;
+
+/// The pinned CSV artifact.
+const GOLDEN_CSV: &str = r#"cell,n,c,path,strategy,family,engine,dynamics,seed,status,h_star,normalized,mean_len,p_exposed,std_error,samples,epochs,h_epoch1,error
+0,10,1,simple,fixed:3,fixed,exact,epochs=1,5833679380957638813,ok,2.3807354922057598,0.7166727948957861,3,0.19999999999999996,,,1,,
+1,10,1,simple,fixed:3,fixed,exact,epochs=2,4839782808629744545,ok,1.9515582836001042,0.587477581650146,3,,0.04050317429046618,1000,2,2.3807354922057598,
+2,10,1,simple,fixed:20,fixed,exact,epochs=1,11769803791402734189,error,,,,,,,,,invalid path-length distribution: simple paths in an n=10 system support at most 9 intermediate nodes; but the distribution places mass 1.000e0 beyond that
+3,10,1,simple,fixed:20,fixed,exact,epochs=2,9308485889748266480,error,,,,,,,,,invalid path-length distribution: simple paths in an n=10 system support at most 9 intermediate nodes; but the distribution places mass 1.000e0 beyond that
+"#;
+
+#[test]
+fn campaign_jsonl_is_byte_identical_to_the_golden_file() {
+    let outcome = run(&golden_grid(), &golden_config());
+    let jsonl = report::render_jsonl(&outcome, false);
+    if std::env::var_os("PRINT_GOLDEN").is_some() {
+        println!(
+            "=== JSONL ===\n{jsonl}=== CSV ===\n{}",
+            report::render_csv(&outcome)
+        );
+    }
+    assert_eq!(
+        jsonl, GOLDEN_JSONL,
+        "campaign JSONL schema or values drifted from the golden file"
+    );
+}
+
+/// Structural companion to the byte pins, so a deliberate regeneration
+/// still has its semantics checked: the multi-epoch cell's anchor is
+/// bit-identical to the one-shot cell's closed form, and folding a
+/// second epoch can only lower the cumulative entropy.
+#[test]
+fn golden_grid_anchors_epoch_one_to_the_one_shot_value() {
+    let outcome = run(&golden_grid(), &golden_config());
+    let one_shot = outcome.cells[0].outcome.as_ref().unwrap();
+    let multi = outcome.cells[1].outcome.as_ref().unwrap();
+    assert_eq!(one_shot.epochs, 1);
+    assert_eq!(multi.epochs, 2);
+    assert_eq!(
+        multi.h_epoch1,
+        Some(one_shot.h_star),
+        "the decay must start exactly at the single-round H*(S)"
+    );
+    assert!(multi.h_star <= one_shot.h_star);
+    assert!(outcome.cells[2].outcome.is_err());
+    assert!(outcome.cells[3].outcome.is_err());
+}
+
+#[test]
+fn campaign_csv_is_byte_identical_to_the_golden_file() {
+    let outcome = run(&golden_grid(), &golden_config());
+    let csv = report::render_csv(&outcome);
+    assert_eq!(
+        csv, GOLDEN_CSV,
+        "campaign CSV schema or values drifted from the golden file"
+    );
+}

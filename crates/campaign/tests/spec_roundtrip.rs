@@ -2,9 +2,38 @@
 //! scenario vocabulary — strategy specs, engine kinds, and full
 //! scenarios — over generated inputs rather than hand-picked cases.
 
-use anonroute_campaign::{EngineKind, Scenario, StrategySpec};
+use anonroute_campaign::{
+    ChurnModel, EngineKind, EpochSchedule, RotationPolicy, Scenario, StrategySpec,
+};
 use anonroute_core::PathKind;
 use proptest::prelude::*;
+
+/// Generates an arbitrary epoch schedule from raw parameters; index 0
+/// yields the one-shot default so the legacy five-token form stays
+/// covered.
+fn build_dynamics(variant: usize, epochs: usize, step: usize, millis: usize) -> EpochSchedule {
+    let rotation = match variant % 3 {
+        0 => RotationPolicy::Static,
+        1 => RotationPolicy::Shift { step },
+        _ => RotationPolicy::Resample,
+    };
+    let churn = if variant.is_multiple_of(2) {
+        ChurnModel::None
+    } else {
+        ChurnModel::Iid {
+            rate: millis as f64 / 1001.0,
+        }
+    };
+    if variant == 0 {
+        EpochSchedule::one_shot()
+    } else {
+        EpochSchedule {
+            epochs: epochs.max(1),
+            rotation,
+            churn,
+        }
+    }
+}
 
 /// Generates an arbitrary strategy spec from generated raw parameters.
 /// Probabilities come in thousandths so their `Display` text is short
@@ -62,18 +91,36 @@ proptest! {
         a in 0usize..200,
         b in 0usize..200,
         millis in 0usize..1000,
+        dyn_variant in 0usize..12,
+        epochs in 1usize..40,
+        step in 0usize..10,
     ) {
         let scenario = Scenario {
             n,
             c,
             path_kind: if cyclic { PathKind::Cyclic } else { PathKind::Simple },
             strategy: build_strategy(family, a, b, millis),
+            dynamics: build_dynamics(dyn_variant, epochs, step, millis),
             engine: EngineKind::ALL[engine],
         };
         let text = scenario.to_string();
         let parsed = Scenario::parse(&text);
         prop_assert!(parsed.is_ok(), "`{}` failed to parse", text);
         prop_assert_eq!(parsed.unwrap(), scenario);
+    }
+
+    #[test]
+    fn dynamics_display_parse_round_trips(
+        variant in 0usize..12,
+        epochs in 1usize..100,
+        step in 0usize..20,
+        millis in 0usize..1000,
+    ) {
+        let schedule = build_dynamics(variant, epochs, step, millis);
+        let text = schedule.to_string();
+        let parsed = EpochSchedule::parse(&text);
+        prop_assert!(parsed.is_ok(), "`{}` failed to parse", text);
+        prop_assert_eq!(parsed.unwrap(), schedule);
     }
 
     #[test]

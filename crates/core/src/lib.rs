@@ -46,6 +46,7 @@
 pub mod analytic;
 pub mod dist;
 pub mod engine;
+pub mod epochs;
 pub mod error;
 pub mod mathutil;
 pub mod metrics;
@@ -54,6 +55,7 @@ pub mod optimize;
 pub mod strategies;
 
 pub use dist::PathLengthDist;
+pub use epochs::{ChurnModel, EpochSchedule, IntersectionPosterior, RotationPolicy};
 pub use error::{Error, Result};
 pub use metrics::{AnonymityReport, SampledDegree};
 pub use model::{PathKind, SystemModel};

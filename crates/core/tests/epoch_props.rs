@@ -1,0 +1,198 @@
+//! Property-based tests (vendored proptest) for the multi-round
+//! dynamics layer: the `IntersectionPosterior` accumulator's invariants,
+//! the schedule realizer's determinism, and the sampled decay curve's
+//! statistical behavior.
+//!
+//! The accumulator invariants pinned here:
+//!
+//! * the cumulative posterior always stays normalized;
+//! * a single folded epoch is **bit-identical** to the one-shot
+//!   posterior path (no renormalization noise);
+//! * the support never grows as epochs fold in (the intersection attack
+//!   proper: a candidate excluded once stays excluded);
+//! * re-folding the same evidence never increases entropy (escort
+//!   sharpening), the per-realization half of the "entropy decays"
+//!   claim — the full claim holds in expectation over sessions
+//!   (conditioning reduces entropy) and is asserted on sampled decay
+//!   curves with a standard-error tolerance.
+
+use anonroute_core::engine::{observe, sender_posterior};
+use anonroute_core::epochs::{
+    estimate_decay, ChurnModel, EpochSchedule, IntersectionPosterior, RotationPolicy,
+};
+use anonroute_core::mathutil::entropy_bits;
+use anonroute_core::{PathLengthDist, SystemModel};
+use proptest::prelude::*;
+
+/// Builds a normalized posterior over `n` candidates from raw weights
+/// and a kill mask (observation-excluded candidates), always keeping
+/// candidate 0 alive so folded sequences never go extinct.
+fn posterior_from(raw: &[f64], kill: &[bool], n: usize) -> Vec<f64> {
+    let mut post: Vec<f64> = (0..n)
+        .map(|i| {
+            let w = 0.01 + raw[i % raw.len()].abs().fract();
+            if i != 0 && kill[i % kill.len()] {
+                0.0
+            } else {
+                w
+            }
+        })
+        .collect();
+    let total: f64 = post.iter().sum();
+    for p in &mut post {
+        *p /= total;
+    }
+    post
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accumulator_stays_normalized_and_support_never_grows(
+        raw in proptest::collection::vec(0.0f64..1.0, 9..=54),
+        kill in proptest::collection::vec(any::<bool>(), 9..=54),
+        round_count in 1usize..7,
+    ) {
+        let n = 9;
+        let rounds: Vec<Vec<f64>> = (0..round_count)
+            .map(|r| posterior_from(&raw[(r * 3) % raw.len()..], &kill[(r * 5) % kill.len()..], n))
+            .collect();
+        let mut acc = IntersectionPosterior::new(n);
+        let mut prev_support = acc.support();
+        prop_assert_eq!(prev_support, n);
+        for round in &rounds {
+            acc.fold(round).unwrap();
+            let post = acc.posterior();
+            let total: f64 = post.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "sum {}", total);
+            prop_assert!(post.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+            // the intersection attack proper: support is monotone
+            let support = acc.support();
+            prop_assert!(support <= prev_support, "{} > {}", support, prev_support);
+            prev_support = support;
+            // entropy is bounded by the surviving anonymity-set size
+            prop_assert!(acc.entropy_bits() <= (support as f64).log2() + 1e-9);
+        }
+        prop_assert_eq!(acc.folds(), rounds.len());
+    }
+
+    #[test]
+    fn single_epoch_fold_is_bit_identical_to_the_one_shot_posterior(
+        n in 5usize..10,
+        comp in 0usize..5,
+        path_seed in any::<u64>(),
+    ) {
+        // generate a real observation posterior through the one-shot
+        // path, fold it once, and demand the identical bits back
+        prop_assume!(comp < n);
+        let model = SystemModel::new(n, 1).unwrap();
+        let dist = PathLengthDist::uniform(1, 2).unwrap();
+        let compromised: Vec<bool> = (0..n).map(|i| i == n - 1).collect();
+        let sender = (path_seed as usize) % (n - 1); // honest sender
+        let mid = comp % (n - 1);
+        let path = if mid == sender { vec![n - 1] } else { vec![mid] };
+        let obs = observe(sender, &path, &compromised);
+        let one_shot = sender_posterior(&model, &dist, &obs, &compromised).unwrap();
+        let mut acc = IntersectionPosterior::new(n);
+        acc.fold(&one_shot).unwrap();
+        prop_assert_eq!(acc.posterior(), one_shot.clone());
+        // bitwise, not approximately: the one-shot pipeline and a
+        // single-epoch dynamics run must render identical artifacts
+        let direct = entropy_bits(&one_shot);
+        prop_assert!(acc.entropy_bits().to_bits() == direct.to_bits());
+    }
+
+    #[test]
+    fn refolding_the_same_evidence_never_increases_entropy(
+        raw in proptest::collection::vec(0.0f64..1.0, 8),
+        kill in proptest::collection::vec(any::<bool>(), 8),
+        repeats in 1usize..5,
+    ) {
+        let post = posterior_from(&raw, &kill, 8);
+        let mut acc = IntersectionPosterior::new(8);
+        acc.fold(&post).unwrap();
+        let mut prev = acc.entropy_bits();
+        for _ in 0..repeats {
+            acc.fold(&post).unwrap();
+            let h = acc.entropy_bits();
+            prop_assert!(h <= prev + 1e-12, "entropy rose {} -> {}", prev, h);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn schedules_realize_deterministically_with_anchored_first_epochs(
+        n in 6usize..20,
+        c in 1usize..3,
+        epochs in 1usize..6,
+        rotation in 0usize..3,
+        churn_millis in 0usize..500,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(c + 2 <= n);
+        let schedule = EpochSchedule {
+            epochs,
+            rotation: match rotation {
+                0 => RotationPolicy::Static,
+                1 => RotationPolicy::Shift { step: 1 + rotation },
+                _ => RotationPolicy::Resample,
+            },
+            churn: if churn_millis == 0 {
+                ChurnModel::None
+            } else {
+                ChurnModel::Iid { rate: churn_millis as f64 / 1000.0 }
+            },
+        };
+        let Ok(views) = schedule.realize(n, c, seed) else {
+            // brutal churn on a small system may legitimately refuse
+            return Ok(());
+        };
+        prop_assert_eq!(views.len(), epochs);
+        // epoch 1 is always the one-shot anchor
+        prop_assert_eq!(views[0].active.len(), n);
+        prop_assert_eq!(views[0].compromised.clone(), (n - c..n).collect::<Vec<_>>());
+        for view in &views {
+            prop_assert!(view.active.len() >= c + 2);
+            prop_assert_eq!(view.compromised.len(), c);
+            prop_assert!(view.compromised.iter().all(|&u| view.is_active(u)));
+            prop_assert!(view.active.windows(2).all(|w| w[0] < w[1]), "sorted");
+        }
+        // bit-identical determinism
+        prop_assert_eq!(views, schedule.realize(n, c, seed).unwrap());
+    }
+
+    #[test]
+    fn sampled_decay_curves_shrink_entropy_within_noise(
+        epochs in 2usize..5,
+        rotation in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        // mean cumulative entropy is non-increasing in expectation;
+        // sampled curves must respect that within standard error
+        let model = SystemModel::new(12, 1).unwrap();
+        let dist = PathLengthDist::uniform(1, 3).unwrap();
+        let schedule = EpochSchedule {
+            epochs,
+            rotation: match rotation {
+                0 => RotationPolicy::Static,
+                1 => RotationPolicy::Shift { step: 2 },
+                _ => RotationPolicy::Resample,
+            },
+            churn: ChurnModel::None,
+        };
+        let curve = estimate_decay(&model, &dist, &schedule, 400, seed, 0).unwrap();
+        prop_assert_eq!(curve.per_epoch.len(), epochs);
+        for w in curve.per_epoch.windows(2) {
+            let slack = 3.0 * (w[0].std_error + w[1].std_error);
+            prop_assert!(
+                w[1].mean_entropy_bits <= w[0].mean_entropy_bits + slack,
+                "entropy rose beyond noise: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+            // support shrinks per session, so its mean is strictly monotone
+            prop_assert!(w[1].mean_support <= w[0].mean_support + 1e-9);
+        }
+    }
+}

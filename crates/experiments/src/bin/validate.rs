@@ -1,9 +1,11 @@
 //! Cross-validation: exact engine vs Monte-Carlo vs attacking the fully
-//! simulated protocol stack (onion crypto + network + adversary), plus
-//! the live-vs-analytic grid — the same attack against a real loopback
-//! TCP relay cluster through the campaign backend layer.
+//! simulated protocol stack (onion crypto + network + adversary), the
+//! live-vs-analytic grid — the same attack against a real loopback TCP
+//! relay cluster through the campaign backend layer — and the
+//! multi-round anonymity-decay table (the intersection adversary across
+//! epochs, anchored to the single-round closed form).
 
-use anonroute_experiments::validation::{live_vs_analytic_table, validation_table};
+use anonroute_experiments::validation::{decay_table, live_vs_analytic_table, validation_table};
 
 fn main() {
     let messages = std::env::args()
@@ -66,4 +68,36 @@ fn main() {
         "live validation failed: TCP measurements disagree with the exact engine"
     );
     println!("\nlive TCP measurements agree with the exact engine (5-sigma).");
+
+    let sessions = (messages * 2 / 3).max(500);
+    println!("\n== multi-round anonymity decay ({sessions} persistent sessions) ==");
+    println!(
+        "{:<46} {:>10} {:>28} {:>8} {:>6}",
+        "scenario", "exact H*1", "cumulative H* per epoch", "id-rate", "ok?"
+    );
+    let mut decay_ok = true;
+    for row in decay_table(sessions, 2026) {
+        let ok = row.consistent();
+        decay_ok &= ok;
+        let curve: Vec<String> = row
+            .curve
+            .per_epoch
+            .iter()
+            .map(|s| format!("{:.3}", s.mean_entropy_bits))
+            .collect();
+        println!(
+            "{:<46} {:>10.4} {:>28} {:>8.3} {:>6}",
+            row.case,
+            row.exact_h1,
+            curve.join(" > "),
+            row.curve.last().identification_rate,
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    assert!(
+        decay_ok,
+        "decay validation failed: epoch-1 must match the single-round H*(S) and \
+         cumulative entropy must be non-increasing"
+    );
+    println!("\ndecay curves anchor to the one-shot closed form and are non-increasing.");
 }

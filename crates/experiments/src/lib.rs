@@ -15,7 +15,7 @@
 //! | `fig6` | Figure 6: optimal path-length distribution vs uniform/fixed |
 //! | `theorems` | Theorems 1–3 closed forms vs the general engine |
 //! | `systems` | Section 2 survey quantified + DC-Net baseline |
-//! | `validate` | exact vs Monte-Carlo vs simulated-protocol attack |
+//! | `validate` | exact vs Monte-Carlo vs simulated-protocol attack, live-vs-analytic TCP grid, and the multi-round anonymity-decay table |
 //! | `extensions` | c-sweep and cyclic-vs-simple paths |
 //! | `all` | everything above |
 

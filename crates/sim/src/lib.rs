@@ -15,7 +15,8 @@
 //!   `anonroute-adversary` crate filters it down to the threat model);
 //! * **workload generators** ([`traffic`]): Poisson and fixed-interval
 //!   arrivals with uniformly random senders, matching the paper's a-priori
-//!   sender distribution;
+//!   sender distribution, plus persistent multi-epoch sessions
+//!   ([`traffic::SessionTraffic`]) for intersection-attack workloads;
 //! * **run statistics** ([`stats::RunStats`]): delivery ratio and latency
 //!   percentiles — the overhead side of the anonymity/overhead trade-off;
 //! * a **live multi-threaded runtime** ([`runtime::run_live`]) executing
@@ -47,5 +48,5 @@ pub mod prelude {
     pub use crate::node::{Action, Ctx, NodeBehavior};
     pub use crate::simulation::{Origination, Simulation};
     pub use crate::time::SimTime;
-    pub use crate::traffic::{Arrival, PoissonTraffic, UniformTraffic};
+    pub use crate::traffic::{Arrival, PoissonTraffic, SessionTraffic, UniformTraffic};
 }

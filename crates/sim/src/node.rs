@@ -90,6 +90,23 @@ pub trait NodeBehavior {
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _tag: u64) {}
 }
 
+/// Boxed behaviors forward to their contents, so heterogeneous or
+/// runtime-chosen networks (`Vec<Box<dyn NodeBehavior>>`) run in the
+/// same simulator as concrete ones.
+impl<T: NodeBehavior + ?Sized> NodeBehavior for Box<T> {
+    fn on_originate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        (**self).on_originate(ctx, msg);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: Endpoint, msg: Message) {
+        (**self).on_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        (**self).on_timer(ctx, tag);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,6 +65,8 @@ COMMANDS:
     campaign   evaluate a declarative scenario grid in parallel
                --n <list> --c <list> --strategies <list>
                [--paths simple,cyclic] [--engines exact,mc,sim,live]
+               [--epochs 1,4] [--rotation static,shift:2,resample]
+               [--churn none,iid:0.25]
                [--spec grid.toml] [--threads 0] [--seed 7]
                [--mc-samples 20000] [--messages 1500]
                [--live-messages 300] [--live-timeout 120000]
@@ -73,6 +75,9 @@ COMMANDS:
                lists take values and ranges: 50,100,200 or 1..=5
                writes <basename>.jsonl, <basename>.csv, <basename>_timings.csv
                `live` cells boot a real loopback TCP relay cluster per cell
+               epochs > 1 runs the multi-round intersection adversary:
+               persistent sessions, per-epoch compromised-set rotation,
+               node churn, and cumulative anonymity-decay scoring
     help       show this text
 
 DISTRIBUTION SPECS:
@@ -513,7 +518,16 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         Some(path) => {
             // a spec file owns the grid axes; axis flags alongside it would
             // be silently ignored, so reject the combination outright
-            for axis in ["n", "c", "strategies", "paths", "engines"] {
+            for axis in [
+                "n",
+                "c",
+                "strategies",
+                "paths",
+                "engines",
+                "epochs",
+                "rotation",
+                "churn",
+            ] {
                 if flags.contains_key(axis) {
                     return Err(format!(
                         "--{axis} conflicts with --spec: the spec file defines the grid axes \
@@ -530,8 +544,20 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
             let strategies: String = require(flags, "strategies")?;
             let paths: String = get(flags, "paths", String::new())?;
             let engines: String = get(flags, "engines", String::new())?;
+            let epochs: String = get(flags, "epochs", String::new())?;
+            let rotation: String = get(flags, "rotation", String::new())?;
+            let churn: String = get(flags, "churn", String::new())?;
             (
-                spec::grid_from_flags(&ns, &cs, &paths, &strategies, &engines)?,
+                spec::grid_from_flags(
+                    &ns,
+                    &cs,
+                    &paths,
+                    &strategies,
+                    &engines,
+                    &epochs,
+                    &rotation,
+                    &churn,
+                )?,
                 config,
             )
         }
@@ -773,6 +799,31 @@ mod tests {
             .expect("live cell rendered");
         assert!(live_line.contains("\"status\":\"ok\""), "{live_line}");
         assert!(live_line.contains("\"samples\":40"), "{live_line}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_runs_a_multi_epoch_grid_from_flags() {
+        let dir = std::env::temp_dir().join("anonroute-cli-campaign-epochs-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("decay");
+        let flags = flag_map(&[
+            ("n", "12"),
+            ("c", "1"),
+            ("strategies", "uniform:1:2"),
+            ("engines", "exact,mc"),
+            ("epochs", "1,3"),
+            ("churn", "none,iid:0.2"),
+            ("mc-samples", "2000"),
+            ("out", out.to_str().unwrap()),
+        ]);
+        cmd_campaign(&flags).unwrap();
+        let jsonl = std::fs::read_to_string(out.with_extension("jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 8, "2 engines x 2 epochs x 2 churns");
+        assert!(jsonl.contains("\"dynamics\":\"epochs=3;churn=iid:0.2\""));
+        assert!(jsonl.contains("\"epochs\":3"));
+        assert!(jsonl.contains("\"h_epoch1\":"));
+        assert!(!jsonl.contains("\"status\":\"error\""), "{jsonl}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
