@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use anonroute_core::SystemModel;
 use anonroute_relay::budget::ClusterBudget;
-use anonroute_relay::{run_cluster_budgeted_unless, ClusterConfig, ClusterOutcome};
+use anonroute_relay::{run_cluster_budgeted_observed, ClusterConfig, ClusterOutcome, PhaseCell};
 use anonroute_sim::traffic::{SessionTraffic, UniformTraffic};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -168,9 +168,16 @@ fn run_watchdogged(
     let (tx, rx) = mpsc::channel();
     let abandoned = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&abandoned);
+    let phase = Arc::new(PhaseCell::new());
+    let run_phase = Arc::clone(&phase);
     std::thread::spawn(move || {
-        let outcome =
-            run_cluster_budgeted_unless(&config, &arrivals, ClusterBudget::global(), &flag);
+        let outcome = run_cluster_budgeted_observed(
+            &config,
+            &arrivals,
+            ClusterBudget::global(),
+            &flag,
+            &run_phase,
+        );
         if let Some(result) = outcome {
             // the receiver may have hung up (watchdog fired); nothing to do
             let _ = tx.send(result);
@@ -180,9 +187,15 @@ fn run_watchdogged(
         Ok(result) => result.map_err(|e| e.to_string()),
         Err(_) => {
             abandoned.store(true, Ordering::SeqCst);
+            // the shared phase cell says where the run was when the
+            // deadline fired — queued on the budget, booting, first
+            // handshake, traffic, drain, or teardown — which is the
+            // difference between "loopback is oversubscribed" and "a
+            // relay is eating cells"
             Err(format!(
-                "live cell wedged: no cluster outcome within {deadline:?} \
-                 (n={n} relays; raise --live-timeout if the machine is just slow)"
+                "live cell wedged in {} phase: no cluster outcome within {deadline:?} \
+                 (n={n} relays; raise --live-timeout if the machine is just slow)",
+                phase.get()
             ))
         }
     }

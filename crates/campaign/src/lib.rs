@@ -35,8 +35,11 @@
 //! the campaign seed and its grid index — so results are bit-for-bit
 //! identical at any thread count (live cells: per seed; see the
 //! determinism contract in [`backend`]). [`report`] renders JSON Lines
-//! and CSV; [`spec`] parses grids from compact flag values or a
-//! TOML-subset file.
+//! and CSV; [`manifest`] writes a machine-readable run manifest next to
+//! them; [`spec`] parses grids from compact flag values or a TOML-subset
+//! file. [`progress`] carries live sweep progress to a stderr ticker and
+//! the `anonroute-obs` metrics endpoint — strictly write-only from the
+//! runner's side, so observability never perturbs results.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,8 @@
 
 pub mod backend;
 pub mod grid;
+pub mod manifest;
+pub mod progress;
 pub mod report;
 pub mod runner;
 pub mod spec;
@@ -72,4 +77,6 @@ pub mod spec;
 pub use anonroute_core::epochs::{ChurnModel, EpochSchedule, RotationPolicy};
 pub use backend::{CellCtx, CellMetrics, EvalBackend};
 pub use grid::{parse_path_kind, EngineKind, Scenario, ScenarioGrid, StrategySpec};
+pub use manifest::{render_manifest, validate_manifest, write_manifest};
+pub use progress::{ObsSession, SweepProgress};
 pub use runner::{cell_seed, run, CampaignConfig, CampaignOutcome, CellResult};

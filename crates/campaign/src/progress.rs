@@ -1,0 +1,413 @@
+//! Live sweep progress: shared counters, a stderr ticker, and the
+//! observability session behind `--progress` / `--metrics-addr`.
+//!
+//! [`SweepProgress`] is a bundle of atomics the runner updates around
+//! every cell — total/done/errored/in-flight, plus per-engine tallies
+//! and cumulative cell time. It is **write-only from the runner's side**
+//! (the determinism boundary documented in `anonroute-obs`): scheduling
+//! and evaluation never read it, so a sweep with observability on
+//! renders byte-identical artifacts to one with it off — pinned by the
+//! golden determinism tests.
+//!
+//! [`ObsSession`] is the per-run lifecycle: it re-points the global
+//! registry's `anonroute_campaign_*` polled series at this run's
+//! progress (replace-on-reregister), optionally binds the HTTP endpoint
+//! and starts the ~1 Hz ticker, and unwinds both when the sweep ends.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use anonroute_obs::{Health, ObsServer, Registry};
+use anonroute_relay::ClusterMetrics;
+
+use crate::grid::EngineKind;
+use crate::runner::CampaignConfig;
+
+/// Per-engine slice of the sweep's progress.
+#[derive(Debug, Default)]
+struct EngineProgress {
+    done: AtomicU64,
+    errors: AtomicU64,
+    micros: AtomicU64,
+}
+
+/// Shared progress state of one running sweep.
+#[derive(Debug)]
+pub struct SweepProgress {
+    total: u64,
+    started: Instant,
+    done: AtomicU64,
+    errors: AtomicU64,
+    in_flight: AtomicU64,
+    engines: [EngineProgress; EngineKind::ALL.len()],
+}
+
+fn engine_index(kind: EngineKind) -> usize {
+    EngineKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("EngineKind::ALL covers every engine")
+}
+
+impl SweepProgress {
+    /// Progress over a sweep of `total` cells, starting now.
+    pub fn new(total: usize) -> Self {
+        SweepProgress {
+            total: total as u64,
+            started: Instant::now(),
+            done: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            engines: Default::default(),
+        }
+    }
+
+    /// Marks one cell as dispatched to its backend.
+    pub fn cell_started(&self, _engine: EngineKind) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one cell as finished (with or without metrics).
+    pub fn cell_finished(&self, engine: EngineKind, ok: bool, elapsed: Duration) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.engines[engine_index(engine)];
+        slot.done.fetch_add(1, Ordering::Relaxed);
+        slot.micros
+            .fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            slot.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total cells in the sweep.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cells finished so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Finished cells that recorded an error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Cells currently inside a backend.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock since the sweep started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Naive remaining-time estimate: elapsed scaled by remaining/done.
+    /// `None` until the first cell lands (and after the last).
+    pub fn eta(&self) -> Option<Duration> {
+        let done = self.done();
+        let remaining = self.total.saturating_sub(done);
+        if done == 0 || remaining == 0 {
+            return None;
+        }
+        Some(self.elapsed().mul_f64(remaining as f64 / done as f64))
+    }
+
+    /// `(done, errors, cumulative cell seconds)` for one engine.
+    pub fn engine_tally(&self, kind: EngineKind) -> (u64, u64, f64) {
+        let slot = &self.engines[engine_index(kind)];
+        (
+            slot.done.load(Ordering::Relaxed),
+            slot.errors.load(Ordering::Relaxed),
+            slot.micros.load(Ordering::Relaxed) as f64 / 1e6,
+        )
+    }
+
+    /// The ticker line: progress, errors, in-flight, elapsed, ETA.
+    pub fn render_line(&self) -> String {
+        let eta = match self.eta() {
+            Some(eta) => format!("{:.0}s", eta.as_secs_f64()),
+            None => "?".to_string(),
+        };
+        format!(
+            "[campaign] {}/{} cells ({} errors, {} in flight) elapsed {:.1}s eta {eta}",
+            self.done(),
+            self.total,
+            self.errors(),
+            self.in_flight(),
+            self.elapsed().as_secs_f64(),
+        )
+    }
+}
+
+/// Registers (or re-points, on later runs) the global registry's
+/// `anonroute_campaign_*` polled series at `progress`.
+fn register_metrics(registry: &'static Registry, progress: &Arc<SweepProgress>) {
+    let p = Arc::clone(progress);
+    registry.gauge_fn(
+        "anonroute_campaign_cells",
+        "Cells in the current sweep's grid.",
+        &[],
+        move || p.total() as f64,
+    );
+    let p = Arc::clone(progress);
+    registry.counter_fn(
+        "anonroute_campaign_cells_done_total",
+        "Cells finished in the current sweep.",
+        &[],
+        move || p.done() as f64,
+    );
+    let p = Arc::clone(progress);
+    registry.counter_fn(
+        "anonroute_campaign_cells_errored_total",
+        "Finished cells that recorded an error in the current sweep.",
+        &[],
+        move || p.errors() as f64,
+    );
+    let p = Arc::clone(progress);
+    registry.gauge_fn(
+        "anonroute_campaign_cells_in_flight",
+        "Cells currently being evaluated.",
+        &[],
+        move || p.in_flight() as f64,
+    );
+    let p = Arc::clone(progress);
+    registry.gauge_fn(
+        "anonroute_campaign_elapsed_seconds",
+        "Wall-clock since the current sweep started.",
+        &[],
+        move || p.elapsed().as_secs_f64(),
+    );
+    let p = Arc::clone(progress);
+    registry.gauge_fn(
+        "anonroute_campaign_eta_seconds",
+        "Naive remaining-time estimate for the current sweep (NaN until known).",
+        &[],
+        move || p.eta().map_or(f64::NAN, |eta| eta.as_secs_f64()),
+    );
+    for kind in EngineKind::ALL {
+        let engine = kind.to_string();
+        let p = Arc::clone(progress);
+        registry.counter_fn(
+            "anonroute_campaign_engine_cells_done_total",
+            "Cells finished in the current sweep, by engine.",
+            &[("engine", &engine)],
+            move || p.engine_tally(kind).0 as f64,
+        );
+        let p = Arc::clone(progress);
+        registry.counter_fn(
+            "anonroute_campaign_engine_errors_total",
+            "Error cells in the current sweep, by engine.",
+            &[("engine", &engine)],
+            move || p.engine_tally(kind).1 as f64,
+        );
+        let p = Arc::clone(progress);
+        registry.counter_fn(
+            "anonroute_campaign_engine_seconds_total",
+            "Cumulative cell wall-clock in the current sweep, by engine.",
+            &[("engine", &engine)],
+            move || p.engine_tally(kind).2,
+        );
+    }
+}
+
+/// The ~1 Hz stderr ticker thread; prints a final line when stopped.
+struct ProgressTicker {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ProgressTicker {
+    fn start(progress: Arc<SweepProgress>) -> ProgressTicker {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("campaign-progress".to_string())
+            .spawn(move || {
+                let (flag, wake) = &*shared;
+                let mut stopped = flag.lock().expect("ticker lock");
+                loop {
+                    let (next, timeout) = wake
+                        .wait_timeout(stopped, Duration::from_secs(1))
+                        .expect("ticker lock");
+                    stopped = next;
+                    if *stopped {
+                        break;
+                    }
+                    if timeout.timed_out() {
+                        eprintln!("{}", progress.render_line());
+                    }
+                }
+                drop(stopped);
+                eprintln!("{}", progress.render_line());
+            })
+            .expect("spawning the progress ticker");
+        ProgressTicker {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for ProgressTicker {
+    fn drop(&mut self) {
+        let (flag, wake) = &*self.stop;
+        *flag.lock().expect("ticker lock") = true;
+        wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// The observability lifecycle of one sweep: metrics registration, the
+/// optional HTTP endpoint, and the optional stderr ticker. Dropping the
+/// session flips readiness off, stops the ticker (with a final line),
+/// and shuts the endpoint down.
+pub struct ObsSession {
+    // declaration order is drop order: ticker's final line first, then
+    // readiness, then the server stops answering
+    ticker: Option<ProgressTicker>,
+    health: Arc<Health>,
+    server: Option<ObsServer>,
+}
+
+impl std::fmt::Debug for ObsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsSession")
+            .field("ticker", &self.ticker.is_some())
+            .field("server", &self.server.as_ref().map(|s| s.addr()))
+            .finish()
+    }
+}
+
+impl ObsSession {
+    /// Starts whatever `config` asks for; `None` when observability is
+    /// fully disabled (the common, zero-overhead path).
+    pub fn start(config: &CampaignConfig, progress: &Arc<SweepProgress>) -> Option<ObsSession> {
+        if !config.progress && config.metrics_addr.is_none() {
+            return None;
+        }
+        let registry = Registry::global();
+        register_metrics(registry, progress);
+        // make the cluster-level families (boots, cells, budget) visible
+        // on /metrics even before the first live cell runs
+        let _ = ClusterMetrics::global();
+        let health = Arc::new(Health::new());
+        let server = config.metrics_addr.and_then(|addr| {
+            match ObsServer::serve(addr, registry, Arc::clone(&health)) {
+                Ok(server) => {
+                    eprintln!("[campaign] metrics: http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("[campaign] metrics endpoint failed to bind {addr}: {e}");
+                    None
+                }
+            }
+        });
+        health.set_ready(true);
+        health.set_status("sweep running");
+        let ticker = config
+            .progress
+            .then(|| ProgressTicker::start(Arc::clone(progress)));
+        Some(ObsSession {
+            ticker,
+            health,
+            server,
+        })
+    }
+
+    /// The bound metrics address, when an endpoint is up.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(|s| s.addr())
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        self.health.set_ready(false);
+        self.health.set_status("sweep complete");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_tracks_cells_and_eta() {
+        let p = SweepProgress::new(4);
+        assert_eq!((p.total(), p.done(), p.in_flight()), (4, 0, 0));
+        assert!(p.eta().is_none(), "no estimate before the first cell");
+        p.cell_started(EngineKind::Exact);
+        assert_eq!(p.in_flight(), 1);
+        p.cell_finished(EngineKind::Exact, true, Duration::from_millis(10));
+        p.cell_started(EngineKind::Live);
+        p.cell_finished(EngineKind::Live, false, Duration::from_millis(30));
+        assert_eq!((p.done(), p.errors(), p.in_flight()), (2, 1, 0));
+        assert!(p.eta().is_some());
+        let (live_done, live_errors, live_secs) = p.engine_tally(EngineKind::Live);
+        assert_eq!((live_done, live_errors), (1, 1));
+        assert!((live_secs - 0.03).abs() < 1e-9);
+        let line = p.render_line();
+        assert!(line.contains("2/4 cells"), "{line}");
+        assert!(line.contains("1 errors"), "{line}");
+    }
+
+    #[test]
+    fn finished_sweeps_report_no_eta() {
+        let p = SweepProgress::new(1);
+        p.cell_started(EngineKind::Exact);
+        p.cell_finished(EngineKind::Exact, true, Duration::from_millis(1));
+        assert!(p.eta().is_none());
+        assert!(p.render_line().contains("eta ?"));
+    }
+
+    #[test]
+    fn obs_session_is_none_when_disabled() {
+        let config = CampaignConfig::default();
+        let progress = Arc::new(SweepProgress::new(1));
+        assert!(ObsSession::start(&config, &progress).is_none());
+    }
+
+    #[test]
+    fn obs_session_serves_campaign_metrics() {
+        use std::io::{Read, Write};
+        let config = CampaignConfig {
+            metrics_addr: Some("127.0.0.1:0".parse().expect("static addr")),
+            ..CampaignConfig::default()
+        };
+        let progress = Arc::new(SweepProgress::new(3));
+        progress.cell_started(EngineKind::Exact);
+        progress.cell_finished(EngineKind::Exact, true, Duration::from_millis(2));
+        let session = ObsSession::start(&config, &progress).expect("session starts");
+        let addr = session.metrics_addr().expect("endpoint bound");
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").expect("request");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("response");
+        assert!(
+            body.contains("anonroute_campaign_cells_done_total 1"),
+            "{body}"
+        );
+        assert!(body.contains("anonroute_campaign_cells 3"), "{body}");
+        assert!(
+            body.contains("anonroute_cluster_boots_total"),
+            "cluster families registered: {body}"
+        );
+        // readiness flips with the session lifecycle
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /readyz HTTP/1.1\r\n\r\n").expect("request");
+        let mut probe = String::new();
+        stream.read_to_string(&mut probe).expect("response");
+        assert!(probe.starts_with("HTTP/1.1 200"), "{probe}");
+        drop(session);
+    }
+}

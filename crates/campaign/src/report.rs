@@ -242,7 +242,7 @@ fn csv_sanitize(s: &str) -> String {
         .replace(['\r', '\n'], " ")
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -260,7 +260,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let text = v.to_string();
         // JSON requires a fraction or integer form; Rust's shortest-repr

@@ -23,6 +23,7 @@
 //!   records an error string; it never aborts the sweep. Live cells add a
 //!   per-cell watchdog so even a wedged cluster degrades to an error.
 
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,6 +35,7 @@ use rayon::ThreadPoolBuilder;
 
 use crate::backend::{self, CellCtx, CellMetrics};
 use crate::grid::{Scenario, ScenarioGrid};
+use crate::progress::{ObsSession, SweepProgress};
 
 /// Execution settings of one campaign run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +60,14 @@ pub struct CampaignConfig {
     /// Fixed relay-cell size for live cells, in bytes (bounds the
     /// longest onion route at ~64 bytes of overhead per hop).
     pub live_cell_size: usize,
+    /// Emit a ~1 Hz progress ticker (done/errors/in-flight/ETA) on
+    /// stderr while the sweep runs. Observability only — never touches
+    /// the evaluation path, so artifacts stay byte-identical per seed.
+    pub progress: bool,
+    /// Serve `/metrics`, `/healthz`, and `/readyz` on this address for
+    /// the duration of the sweep (port 0 picks a free port; the bound
+    /// address is announced on stderr). `None` disables the endpoint.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +81,8 @@ impl Default for CampaignConfig {
             live_timeout_ms: 120_000,
             live_max_n: 64,
             live_cell_size: 1_024,
+            progress: false,
+            metrics_addr: None,
         }
     }
 }
@@ -130,6 +142,10 @@ pub fn run(grid: &ScenarioGrid, config: &CampaignConfig) -> CampaignOutcome {
     let threads = pool.current_num_threads();
     let cache = Arc::new(EvaluatorCache::new());
     let scenarios = grid.cells();
+    // progress is tracked unconditionally (a few atomic stores per cell);
+    // the ticker thread and the /metrics endpoint only exist on request
+    let progress = Arc::new(SweepProgress::new(scenarios.len()));
+    let _obs = ObsSession::start(config, &progress);
     let start = Instant::now();
     let cells: Vec<CellResult> = pool.install(|| {
         scenarios
@@ -139,13 +155,16 @@ pub fn run(grid: &ScenarioGrid, config: &CampaignConfig) -> CampaignOutcome {
             .into_par_iter()
             .map(|(index, scenario)| {
                 let seed = cell_seed(config.seed, index);
+                progress.cell_started(scenario.engine);
                 let cell_start = Instant::now();
                 let outcome = run_cell(&scenario, seed, config, &cache);
+                let elapsed = cell_start.elapsed();
+                progress.cell_finished(scenario.engine, outcome.is_ok(), elapsed);
                 CellResult {
                     index,
                     scenario,
                     seed,
-                    elapsed_micros: cell_start.elapsed().as_micros() as u64,
+                    elapsed_micros: elapsed.as_micros() as u64,
                     outcome,
                 }
             })

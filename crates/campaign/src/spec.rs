@@ -13,11 +13,13 @@
 //! The spec file carries the same axes (plus run settings) in a TOML
 //! subset parsed in-tree — this build environment is offline, so no TOML
 //! crate is available. Supported: `[grid]` / `[run]` (alias `[config]`)
-//! tables, `#` comments, integer / float / quoted-string scalars, and
-//! flat arrays thereof. The run section accepts every sampling knob
-//! (`mc_samples`, `sim_messages`, `live_messages`, `live_timeout_ms`,
-//! `live_max_n`, `live_cell_size`), so a grid file fully describes a run
-//! without CLI flags.
+//! tables, `#` comments, integer / float / boolean / quoted-string
+//! scalars, and flat arrays thereof. The run section accepts every
+//! sampling knob (`mc_samples`, `sim_messages`, `live_messages`,
+//! `live_timeout_ms`, `live_max_n`, `live_cell_size`) plus the
+//! observability switches (`progress = true`,
+//! `metrics_addr = "127.0.0.1:9464"`), so a grid file fully describes a
+//! run without CLI flags.
 
 use anonroute_core::epochs::{ChurnModel, RotationPolicy};
 
@@ -129,6 +131,7 @@ pub fn grid_from_flags(
 enum Value {
     Int(i64),
     Float(f64),
+    Bool(bool),
     Str(String),
     Array(Vec<Value>),
 }
@@ -157,6 +160,12 @@ impl Value {
                 .strip_suffix('"')
                 .ok_or_else(|| format!("unterminated string `{raw}`"))?;
             return Ok(Value::Str(inner.to_string()));
+        }
+        if raw == "true" {
+            return Ok(Value::Bool(true));
+        }
+        if raw == "false" {
+            return Ok(Value::Bool(false));
         }
         if let Ok(i) = raw.parse::<i64>() {
             return Ok(Value::Int(i));
@@ -210,6 +219,20 @@ impl Value {
             other => Err(format!(
                 "{key}: expected non-negative integer, got {other:?}"
             )),
+        }
+    }
+
+    fn as_bool(&self, key: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("{key}: expected true or false, got {other:?}")),
+        }
+    }
+
+    fn as_one_str(&self, key: &str) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("{key}: expected a quoted string, got {other:?}")),
         }
     }
 }
@@ -358,6 +381,15 @@ pub fn parse_spec(
             ("run", "live_max_n") => config.live_max_n = value.as_u64(key).map_err(at)? as usize,
             ("run", "live_cell_size") => {
                 config.live_cell_size = value.as_u64(key).map_err(at)? as usize
+            }
+            ("run", "progress") => config.progress = value.as_bool(key).map_err(at)?,
+            ("run", "metrics_addr") => {
+                let addr = value.as_one_str(key).map_err(at)?;
+                config.metrics_addr = Some(addr.parse().map_err(|e| {
+                    at(format!(
+                        "metrics_addr: `{addr}` is not a socket address ({e})"
+                    ))
+                })?);
             }
             ("", _) => return Err(at(format!("key `{key}` outside [grid]/[run] section"))),
             (_, _) => return Err(at(format!("unknown key `{key}` in section [{section}]"))),
@@ -521,6 +553,31 @@ churn = ["none", "iid:0.2"]
         assert!(err.contains("line 5"), "{err}");
         let bad = "[grid]\nn = 12\nc = 1\nstrategies = \"fixed:1\"\nrotation = \"spin\"\n";
         assert!(parse_spec(bad, &CampaignConfig::default()).is_err());
+    }
+
+    #[test]
+    fn run_section_carries_observability_switches() {
+        let text = r#"
+[grid]
+n = 10
+c = 1
+strategies = "fixed:2"
+
+[run]
+progress = true
+metrics_addr = "127.0.0.1:9464"
+"#;
+        let (_, config) = parse_spec(text, &CampaignConfig::default()).unwrap();
+        assert!(config.progress);
+        assert_eq!(config.metrics_addr, Some("127.0.0.1:9464".parse().unwrap()));
+        // bad values are rejected with line info
+        let bad = "[grid]\nn = 10\nc = 1\nstrategies = \"fixed:2\"\n[run]\nprogress = 1\n";
+        let err = parse_spec(bad, &CampaignConfig::default()).unwrap_err();
+        assert!(err.contains("line 6"), "{err}");
+        let bad =
+            "[grid]\nn = 10\nc = 1\nstrategies = \"fixed:2\"\n[run]\nmetrics_addr = \"nope\"\n";
+        let err = parse_spec(bad, &CampaignConfig::default()).unwrap_err();
+        assert!(err.contains("socket address"), "{err}");
     }
 
     #[test]

@@ -93,3 +93,29 @@ fn campaign_csv_is_byte_identical_to_the_golden_file() {
         "campaign CSV schema or values drifted from the golden file"
     );
 }
+
+/// The observability determinism guard: running the *same* golden grid
+/// with the metrics endpoint live (and progress counters registered)
+/// must render byte-identical JSONL and CSV. Metrics are write-only
+/// sinks — if instrumentation ever feeds back into seeding, scheduling,
+/// or scoring, this fails against the same pins as the tests above.
+#[test]
+fn artifacts_are_byte_identical_with_observability_enabled() {
+    let config = CampaignConfig {
+        // port 0: a real /metrics endpoint on an ephemeral port, no
+        // ticker (stderr noise stays out of test output)
+        metrics_addr: Some("127.0.0.1:0".parse().expect("static addr")),
+        ..golden_config()
+    };
+    let outcome = run(&golden_grid(), &config);
+    assert_eq!(
+        report::render_jsonl(&outcome, false),
+        GOLDEN_JSONL,
+        "enabling the metrics endpoint changed the JSONL artifact"
+    );
+    assert_eq!(
+        report::render_csv(&outcome),
+        GOLDEN_CSV,
+        "enabling the metrics endpoint changed the CSV artifact"
+    );
+}

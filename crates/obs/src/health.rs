@@ -1,0 +1,95 @@
+//! Process health: liveness, readiness, and a status note.
+//!
+//! The split follows the usual orchestration contract: **liveness**
+//! ("is the process making progress at all?") should flip to false only
+//! when the process is wedged beyond recovery, while **readiness** ("can
+//! it do useful work right now?") starts false, flips true once startup
+//! completes (relays bound, directory built, sweep scheduled), and flips
+//! back to false during drain/shutdown so probes stop routing to it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Shared liveness/readiness state served by
+/// [`ObsServer`](crate::ObsServer)'s `/healthz` and `/readyz`.
+#[derive(Debug)]
+pub struct Health {
+    live: AtomicBool,
+    ready: AtomicBool,
+    status: Mutex<String>,
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health::new()
+    }
+}
+
+impl Health {
+    /// A fresh process: live, not yet ready, status `"starting"`.
+    pub fn new() -> Self {
+        Health {
+            live: AtomicBool::new(true),
+            ready: AtomicBool::new(false),
+            status: Mutex::new("starting".to_string()),
+        }
+    }
+
+    /// Whether the process is making progress.
+    pub fn is_live(&self) -> bool {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Whether the process can serve useful work right now.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+
+    /// Marks the process wedged; `/healthz` turns 503.
+    pub fn set_live(&self, live: bool) {
+        self.live.store(live, Ordering::Relaxed);
+    }
+
+    /// Flips readiness; `/readyz` follows.
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::Relaxed);
+    }
+
+    /// Replaces the free-form status note included in probe bodies
+    /// (e.g. `"serving"`, `"draining"`, `"sweep 3/8"`).
+    pub fn set_status(&self, status: impl Into<String>) {
+        *self.status.lock().expect("health status lock") = status.into();
+    }
+
+    /// The current status note.
+    pub fn status(&self) -> String {
+        self.status.lock().expect("health status lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_live_but_not_ready() {
+        let h = Health::new();
+        assert!(h.is_live());
+        assert!(!h.is_ready());
+        assert_eq!(h.status(), "starting");
+    }
+
+    #[test]
+    fn transitions_are_visible() {
+        let h = Health::new();
+        h.set_ready(true);
+        h.set_status("serving");
+        assert!(h.is_ready());
+        assert_eq!(h.status(), "serving");
+        h.set_ready(false);
+        h.set_live(false);
+        h.set_status("wedged in traffic phase");
+        assert!(!h.is_ready());
+        assert!(!h.is_live());
+    }
+}

@@ -1,0 +1,251 @@
+//! A tiny hand-rolled HTTP/1.1 server for the observability surface.
+//!
+//! [`ObsServer`] binds a listener, answers `GET /metrics` (rendered from
+//! a shared [`Registry`]), `GET /healthz`, and `GET /readyz` (from a
+//! shared [`Health`]), and nothing else. It is deliberately minimal:
+//! thread-per-connection, `Connection: close` on every response, a read
+//! timeout so a stalled scraper cannot pin a handler thread, and the
+//! same shutdown discipline as the relay daemon — an atomic flag plus a
+//! self-connect to wake the accept loop, then a bounded join.
+//!
+//! This is an operator endpoint for `curl` and Prometheus scrapers, not
+//! a general web server: no keep-alive, no TLS, no request bodies.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::health::Health;
+use crate::registry::Registry;
+
+/// How long a handler waits for a request line before hanging up.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running observability endpoint; shuts down when dropped.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (port 0 picks a free port — see [`ObsServer::addr`])
+    /// and starts serving `/metrics`, `/healthz`, and `/readyz` from the
+    /// shared registry and health state.
+    pub fn serve(
+        addr: impl ToSocketAddrs,
+        registry: &'static Registry,
+        health: Arc<Health>,
+    ) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_loop = std::thread::Builder::new()
+            .name("obs-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_stop, registry, health))?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// The bound address — the real port when `serve` was given port 0.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; if the
+        // connect fails the listener is already gone, which is fine.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_loop.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    registry: &'static Registry,
+    health: Arc<Health>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let health = Arc::clone(&health);
+        // Handlers are detached: each is bounded by READ_TIMEOUT plus one
+        // response write, so none outlives shutdown by more than that.
+        let _ = std::thread::Builder::new()
+            .name("obs-conn".to_string())
+            .spawn(move || handle_connection(stream, registry, &health));
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Registry, health: &Health) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let peer = stream.peer_addr();
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() || request_line.is_empty() {
+        return;
+    }
+    // We answer from the request line alone; drain headers best-effort so
+    // well-behaved clients see a clean close.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path, registry, health);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    if stream.write_all(response.as_bytes()).is_err() {
+        // The scraper hung up mid-response; nothing to do.
+        let _ = peer;
+    }
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    registry: &Registry,
+    health: &Health,
+) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.render(),
+        ),
+        "/healthz" => probe(health.is_live(), "live", health),
+        "/readyz" => probe(health.is_ready(), "ready", health),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    }
+}
+
+fn probe(ok: bool, what: &str, health: &Health) -> (&'static str, &'static str, String) {
+    let status = if ok {
+        "200 OK"
+    } else {
+        "503 Service Unavailable"
+    };
+    let verdict = if ok { "ok" } else { "unavailable" };
+    (
+        status,
+        "text/plain; charset=utf-8",
+        format!("{verdict}: {what} ({})\n", health.status()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::sync::OnceLock;
+
+    fn test_registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let r = Registry::new();
+            r.counter("obs_test_requests_total", "test counter", &[])
+                .add(42);
+            r
+        })
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn serves_metrics_health_and_ready() {
+        let health = Arc::new(Health::new());
+        let mut server = ObsServer::serve("127.0.0.1:0", test_registry(), Arc::clone(&health))
+            .expect("bind obs server");
+        let addr = server.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("obs_test_requests_total 42"));
+
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200 OK"));
+        assert!(get(addr, "/readyz").starts_with("HTTP/1.1 503"));
+        health.set_ready(true);
+        health.set_status("serving");
+        let ready = get(addr, "/readyz");
+        assert!(ready.starts_with("HTTP/1.1 200 OK"));
+        assert!(ready.contains("serving"));
+
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        assert!(TcpStream::connect(addr).is_err() || get_fails(addr));
+    }
+
+    // After shutdown the port may still accept (TIME_WAIT races on some
+    // platforms) but nothing answers; either outcome proves the loop died.
+    fn get_fails(addr: SocketAddr) -> bool {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return true;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = write!(stream, "GET /healthz HTTP/1.1\r\n\r\n");
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).is_err() || buf.is_empty()
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let health = Arc::new(Health::new());
+        let server = ObsServer::serve("127.0.0.1:0", test_registry(), health).expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 405"));
+    }
+}

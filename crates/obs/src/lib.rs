@@ -1,0 +1,43 @@
+//! # anonroute-obs
+//!
+//! Observability for long-running anonroute processes — relay daemons
+//! and multi-minute campaign sweeps — built entirely on `std` (atomics,
+//! `std::net`, threads; the workspace's vendored-deps constraint rules
+//! out tokio/hyper/prometheus crates):
+//!
+//! * [`metrics`] — lock-cheap instruments: [`Counter`] and [`Gauge`]
+//!   over single atomics, [`Histogram`] over an atomic bucket array with
+//!   a CAS-accumulated sum;
+//! * [`registry`] — a labeled [`Registry`] of named metric families with
+//!   deterministic Prometheus-style text exposition (stable family and
+//!   series ordering, label escaping);
+//! * [`health`] — process [`Health`]: liveness, readiness, and a
+//!   free-form status note for probe bodies;
+//! * [`http`] — [`ObsServer`], a tiny hand-rolled HTTP/1.1 server
+//!   exposing `GET /metrics`, `/healthz`, and `/readyz` on a
+//!   thread-per-connection accept loop with bounded shutdown.
+//!
+//! ## Determinism boundary
+//!
+//! Metrics are **write-only sinks**: evaluation code may increment
+//! counters, set gauges, and observe histograms, but must never *read*
+//! a metric to make a decision. The workspace's seeded evaluation
+//! pipeline (campaign cells, cluster runs, adversary scoring) promises
+//! byte-identical artifacts per seed with observability on or off —
+//! pinned by the campaign golden-file tests — and that contract holds
+//! exactly because nothing numeric ever flows back out of this crate
+//! into an evaluator. Instrument reads ([`Counter::get`] and friends)
+//! exist for exposition and tests only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+
+pub use health::Health;
+pub use http::ObsServer;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;

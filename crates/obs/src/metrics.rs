@@ -1,0 +1,292 @@
+//! The instruments: counters, gauges, and histograms over atomics.
+//!
+//! Every instrument is `Sync`, internally lock-free, and cheap enough to
+//! sit on a hot forwarding or scoring path: a [`Counter`] increment is
+//! one relaxed `fetch_add`, a [`Gauge`] update one relaxed store/add,
+//! and a [`Histogram`] observation one relaxed `fetch_add` plus one CAS
+//! loop on the running sum. Instruments are shared by `Arc`: the code
+//! being instrumented and the [`Registry`](crate::Registry) rendering
+//! `/metrics` hold clones of the same atomics, so wiring a component up
+//! never adds a layer of locking around its counters.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value (exposition and tests only — see the crate-level
+    /// determinism boundary).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level: queue depths, in-flight work, permits
+/// in use.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the level outright.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `delta`.
+    pub fn sub(&self, delta: i64) {
+        self.0.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// Current level (exposition and tests only).
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A distribution of observed values over fixed upper-bound buckets,
+/// Prometheus-style: `bounds` are the finite `le` thresholds and an
+/// implicit `+Inf` bucket catches everything beyond the last one.
+///
+/// Per-bucket counts are stored *non*-cumulatively (one `fetch_add` per
+/// observation); the cumulative view Prometheus expects is computed at
+/// snapshot time. The running sum is an `f64` accumulated through a CAS
+/// loop on its bit pattern — `std` has no atomic float.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+/// A coherent-enough point-in-time view of a [`Histogram`] (individual
+/// loads are relaxed; concurrent observers may skew `sum` against
+/// `count` by in-flight observations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Cumulative count per finite bound, in bound order, with the
+    /// `(+Inf, total)` bucket appended.
+    pub cumulative: Vec<(f64, u64)>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given finite upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// If `bounds` is empty, non-finite, or not strictly increasing —
+    /// bucket layouts are compile-time decisions, so a bad one is a
+    /// programming error, not a runtime condition.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly increasing"
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// An exponential bucket layout: `count` bounds starting at `start`,
+    /// each `factor` times the previous.
+    ///
+    /// # Panics
+    ///
+    /// Via [`Histogram::new`] when the resulting bounds are invalid
+    /// (`start <= 0`, `factor <= 1`, or `count == 0`).
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        let mut bounds = Vec::with_capacity(count);
+        let mut bound = start;
+        for _ in 0..count {
+            bounds.push(bound);
+            bound *= factor;
+        }
+        Histogram::new(&bounds)
+    }
+
+    /// Records one observation. NaN is counted in the `+Inf` bucket and
+    /// excluded from the sum, so a single bad value cannot poison the
+    /// whole series.
+    pub fn observe(&self, value: f64) {
+        let index = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[index].fetch_add(1, Ordering::Relaxed);
+        if value.is_nan() {
+            return;
+        }
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// The finite upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Total number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed (non-NaN) values so far.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The cumulative bucket view exposition renders.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.counts.len());
+        let mut running = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            running += count.load(Ordering::Relaxed);
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            cumulative.push((bound, running));
+        }
+        HistogramSnapshot {
+            cumulative,
+            count: running,
+            sum: self.sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(12);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sums() {
+        let h = Histogram::new(&[1.0, 5.0, 10.0]);
+        for v in [0.5, 0.9, 3.0, 7.0, 100.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.cumulative,
+            vec![(1.0, 2), (5.0, 3), (10.0, 4), (f64::INFINITY, 5)]
+        );
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 111.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_boundary_values_fall_in_the_closed_bucket() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(1.0); // le="1" is inclusive
+        assert_eq!(h.snapshot().cumulative[0].1, 1);
+    }
+
+    #[test]
+    fn histogram_nan_lands_in_inf_without_poisoning_the_sum() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(0.5);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 0.5);
+    }
+
+    #[test]
+    fn exponential_layout() {
+        let h = Histogram::exponential(0.001, 10.0, 4);
+        assert_eq!(h.bounds(), &[0.001, 0.01, 0.1, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let h = Arc::new(Histogram::new(&[10.0]));
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = Arc::clone(&h);
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(1.0);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.sum(), 8000.0);
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,0 +1,452 @@
+//! The labeled metric registry and its text exposition.
+//!
+//! A [`Registry`] maps metric family names to help text, a kind, and a
+//! set of labeled series. Instrumented code and the registry share the
+//! same atomics through `Arc`, so registration happens once at wiring
+//! time and the hot path never touches the registry's lock.
+//!
+//! ## Exposition determinism
+//!
+//! [`Registry::render`] produces the Prometheus text format
+//! (`text/plain; version=0.0.4`) with **fully deterministic ordering**:
+//! families sort by metric name, series within a family sort by their
+//! rendered label set, and labels within a series sort by label name.
+//! Label values are escaped (`\\`, `\"`, `\n`) per the format spec.
+//! The golden-file test in `tests/exposition_golden.rs` pins the exact
+//! bytes, so any drift in ordering, escaping, or number formatting
+//! fails loudly.
+//!
+//! ## Polled series
+//!
+//! [`Registry::counter_fn`] / [`Registry::gauge_fn`] register a closure
+//! evaluated at render time — the natural fit for values owned by
+//! someone else (budget permits in use, a sweep's in-flight cell count).
+//! Re-registering a polled series **replaces** the closure: a new
+//! campaign run re-pointing `anonroute_campaign_*` at its own progress
+//! state is the intended use. Closures run under the registry lock and
+//! must not call back into the registry.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// What a metric family measures — fixes the `# TYPE` line and which
+/// instruments the family accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered series: a shared instrument or a render-time poll.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    /// Polled; rendered as its family's kind (counter or gauge).
+    Polled(Box<dyn Fn() -> f64 + Send + Sync>),
+}
+
+struct Family {
+    kind: Kind,
+    help: String,
+    /// Keyed by the rendered label block (`{a="b",c="d"}` or empty), so
+    /// iteration order *is* exposition order.
+    series: BTreeMap<String, Instrument>,
+}
+
+/// A named, labeled collection of metrics with deterministic
+/// Prometheus-style text exposition.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().expect("registry lock");
+        f.debug_struct("Registry")
+            .field("families", &families.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry shared by every instrumented subsystem
+    /// (relay clusters, campaign sweeps); the default target of
+    /// `--metrics-addr` endpoints.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Gets or creates the counter series `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid metric/label name, or when `name` is already
+    /// registered as a different kind or `name{labels}` as a different
+    /// instrument — metric layouts are wiring-time decisions, so a
+    /// conflict is a programming error.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.intern_with(
+            name,
+            help,
+            labels,
+            Kind::Counter,
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |instrument| match instrument {
+                Instrument::Counter(c) => Arc::clone(c),
+                _ => panic!("series {name} is registered as a non-counter instrument"),
+            },
+        )
+    }
+
+    /// Gets or creates the gauge series `name{labels}`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.intern_with(
+            name,
+            help,
+            labels,
+            Kind::Gauge,
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |instrument| match instrument {
+                Instrument::Gauge(g) => Arc::clone(g),
+                _ => panic!("series {name} is registered as a non-gauge instrument"),
+            },
+        )
+    }
+
+    /// Gets or creates the histogram series `name{labels}`. When the
+    /// series already exists its original bucket bounds win — the key is
+    /// `name{labels}`, not the layout.
+    ///
+    /// # Panics
+    ///
+    /// As [`Registry::counter`], or via [`Histogram::new`] on an invalid
+    /// bucket layout.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        self.intern_with(
+            name,
+            help,
+            labels,
+            Kind::Histogram,
+            || Instrument::Histogram(Arc::new(Histogram::new(bounds))),
+            |instrument| match instrument {
+                Instrument::Histogram(h) => Arc::clone(h),
+                _ => panic!("series {name} is registered as a non-histogram instrument"),
+            },
+        )
+    }
+
+    /// Registers (or **replaces**) a polled counter series: `poll` is
+    /// evaluated at render time and must be monotone non-decreasing for
+    /// the series to behave as a counter.
+    ///
+    /// # Panics
+    ///
+    /// On invalid names or a family-kind conflict.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        poll: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.insert_polled(name, help, labels, Kind::Counter, Box::new(poll));
+    }
+
+    /// Registers (or **replaces**) a polled gauge series.
+    ///
+    /// # Panics
+    ///
+    /// On invalid names or a family-kind conflict.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        poll: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.insert_polled(name, help, labels, Kind::Gauge, Box::new(poll));
+    }
+
+    fn insert_polled(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        poll: Box<dyn Fn() -> f64 + Send + Sync>,
+    ) {
+        validate_names(name, labels);
+        let key = render_labels(labels);
+        let mut families = self.families.lock().expect("registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric family {name} is registered as a {}, not a {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        family.series.insert(key, Instrument::Polled(poll));
+    }
+
+    /// Get-or-create of a shared-instrument series; `make` builds the
+    /// instrument only when the series is new, and `read` extracts the
+    /// caller's `Arc` clone inside the critical section.
+    fn intern_with<R>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: impl FnOnce() -> Instrument,
+        read: impl FnOnce(&Instrument) -> R,
+    ) -> R {
+        validate_names(name, labels);
+        let key = render_labels(labels);
+        let mut families = self.families.lock().expect("registry lock");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric family {name} is registered as a {}, not a {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let instrument = family.series.entry(key).or_insert_with(make);
+        read(instrument)
+    }
+
+    /// Renders every family in the Prometheus text exposition format,
+    /// deterministically ordered.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("registry lock");
+        let mut out = String::with_capacity(1024);
+        for (name, family) in families.iter() {
+            writeln!(out, "# HELP {name} {}", escape_help(&family.help))
+                .expect("writing to a String cannot fail");
+            writeln!(out, "# TYPE {name} {}", family.kind.as_str())
+                .expect("writing to a String cannot fail");
+            for (labels, instrument) in &family.series {
+                render_series(&mut out, name, labels, instrument);
+            }
+        }
+        out
+    }
+}
+
+fn render_series(out: &mut String, name: &str, labels: &str, instrument: &Instrument) {
+    match instrument {
+        Instrument::Counter(c) => {
+            writeln!(out, "{name}{labels} {}", c.get()).expect("writing to a String cannot fail");
+        }
+        Instrument::Gauge(g) => {
+            writeln!(out, "{name}{labels} {}", g.get()).expect("writing to a String cannot fail");
+        }
+        Instrument::Polled(poll) => {
+            writeln!(out, "{name}{labels} {}", format_f64(poll()))
+                .expect("writing to a String cannot fail");
+        }
+        Instrument::Histogram(h) => {
+            let snap = h.snapshot();
+            for (bound, cumulative) in &snap.cumulative {
+                let le = if bound.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    format_f64(*bound)
+                };
+                let with_le = splice_label(labels, &format!("le=\"{le}\""));
+                writeln!(out, "{name}_bucket{with_le} {cumulative}")
+                    .expect("writing to a String cannot fail");
+            }
+            writeln!(out, "{name}_sum{labels} {}", format_f64(snap.sum))
+                .expect("writing to a String cannot fail");
+            writeln!(out, "{name}_count{labels} {}", snap.count)
+                .expect("writing to a String cannot fail");
+        }
+    }
+}
+
+/// Appends `extra` to a rendered label block (`""` or `{...}`).
+fn splice_label(labels: &str, extra: &str) -> String {
+    match labels.strip_suffix('}') {
+        Some(open) => format!("{open},{extra}}}"),
+        None => format!("{{{extra}}}"),
+    }
+}
+
+/// Renders a label set as `{a="b",c="d"}` (empty string for no labels),
+/// sorted by label name, values escaped.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(h: &str) -> String {
+    h.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Shortest-repr float with Prometheus spellings for the specials.
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        v.to_string()
+    }
+}
+
+fn validate_names(name: &str, labels: &[(&str, &str)]) {
+    assert!(valid_metric_name(name), "invalid metric name `{name}`");
+    for (key, _) in labels {
+        assert!(valid_label_name(key), "invalid label name `{key}`");
+        assert!(*key != "le", "label `le` is reserved for histogram buckets");
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_and_idempotent() {
+        let registry = Registry::new();
+        let a = registry.counter("requests_total", "requests", &[("path", "/metrics")]);
+        let b = registry.counter("requests_total", "requests", &[("path", "/metrics")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same series shares one atomic");
+        let other = registry.counter("requests_total", "requests", &[("path", "/healthz")]);
+        other.inc();
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let registry = Registry::new();
+        let a = registry.counter("x_total", "x", &[("a", "1"), ("b", "2")]);
+        let b = registry.counter("x_total", "x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_conflicts_are_programming_errors() {
+        let registry = Registry::new();
+        let _ = registry.counter("x_total", "x", &[]);
+        let _ = registry.gauge("x_total", "x", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_metric_names_are_rejected() {
+        let _ = Registry::new().counter("2bad", "x", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn le_label_is_reserved() {
+        let _ = Registry::new().histogram("h", "x", &[("le", "1")], &[1.0]);
+    }
+
+    #[test]
+    fn polled_series_replace_on_reregistration() {
+        let registry = Registry::new();
+        registry.gauge_fn("depth", "queue depth", &[], || 1.0);
+        registry.gauge_fn("depth", "queue depth", &[], || 7.0);
+        assert!(registry.render().contains("depth 7"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        assert!(std::ptr::eq(Registry::global(), Registry::global()));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_seconds", "latency", &[("engine", "live")], &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = registry.render();
+        assert!(text.contains("lat_seconds_bucket{engine=\"live\",le=\"0.1\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{engine=\"live\",le=\"1\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{engine=\"live\",le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_sum{engine=\"live\"} 5.55"));
+        assert!(text.contains("lat_seconds_count{engine=\"live\"} 3"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Golden-file test for the `/metrics` exposition.
+//!
+//! Pins the exact bytes `Registry::render` produces for a registry
+//! exercising every instrument kind, label escaping, and the ordering
+//! rules (families by name, series by rendered label set, labels by
+//! label name). Scrapers and the CI smoke-run grep this format, so any
+//! drift — reordering, a formatting change, an escaping fix — must show
+//! up here as a deliberate golden update, not as silent churn.
+
+use anonroute_obs::Registry;
+
+const GOLDEN: &str = "\
+# HELP relay_cells_total Cells handled by the relay, by outcome.
+# TYPE relay_cells_total counter
+relay_cells_total{outcome=\"dropped\"} 1
+relay_cells_total{outcome=\"relayed\"} 3
+# HELP sweep_boot_seconds Cluster boot wall-clock.
+# TYPE sweep_boot_seconds histogram
+sweep_boot_seconds_bucket{engine=\"live\",le=\"0.5\"} 1
+sweep_boot_seconds_bucket{engine=\"live\",le=\"2.5\"} 2
+sweep_boot_seconds_bucket{engine=\"live\",le=\"+Inf\"} 3
+sweep_boot_seconds_sum{engine=\"live\"} 10.25
+sweep_boot_seconds_count{engine=\"live\"} 3
+# HELP sweep_budget_in_use Cluster budget permits in use.
+# TYPE sweep_budget_in_use gauge
+sweep_budget_in_use 1.5
+# HELP sweep_cells_in_flight Cells currently being evaluated.
+# TYPE sweep_cells_in_flight gauge
+sweep_cells_in_flight -2
+# HELP weird_total Help with a \\\\ backslash\\nand a newline.
+# TYPE weird_total counter
+weird_total{path=\"a\\\\b\\\"c\\nd\"} 1
+";
+
+#[test]
+fn metrics_exposition_matches_golden_bytes() {
+    let registry = Registry::new();
+    // Registration order is deliberately scrambled relative to the
+    // golden: exposition order must come from the registry, not from
+    // who registered first.
+    registry
+        .counter(
+            "weird_total",
+            "Help with a \\ backslash\nand a newline.",
+            &[("path", "a\\b\"c\nd")],
+        )
+        .inc();
+    registry
+        .gauge(
+            "sweep_cells_in_flight",
+            "Cells currently being evaluated.",
+            &[],
+        )
+        .set(-2);
+    registry
+        .counter(
+            "relay_cells_total",
+            "Cells handled by the relay, by outcome.",
+            &[("outcome", "relayed")],
+        )
+        .add(3);
+    registry.gauge_fn(
+        "sweep_budget_in_use",
+        "Cluster budget permits in use.",
+        &[],
+        || 1.5,
+    );
+    let boot = registry.histogram(
+        "sweep_boot_seconds",
+        "Cluster boot wall-clock.",
+        &[("engine", "live")],
+        &[0.5, 2.5],
+    );
+    boot.observe(0.25);
+    boot.observe(1.0);
+    boot.observe(9.0);
+    registry
+        .counter(
+            "relay_cells_total",
+            "Cells handled by the relay, by outcome.",
+            &[("outcome", "dropped")],
+        )
+        .inc();
+
+    assert_eq!(registry.render(), GOLDEN);
+}
+
+#[test]
+fn rendering_is_stable_across_repeated_calls() {
+    let registry = Registry::new();
+    registry.counter("a_total", "a", &[("k", "v")]).inc();
+    registry.gauge("b", "b", &[]).set(4);
+    let first = registry.render();
+    assert_eq!(registry.render(), first);
+}

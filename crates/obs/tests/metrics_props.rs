@@ -1,0 +1,86 @@
+//! Property tests for the histogram invariants the exposition format
+//! relies on: cumulative bucket counts are monotone non-decreasing in
+//! bound order, the `+Inf` bucket equals the sample count, and the sum
+//! tracks the observed values.
+
+use anonroute_obs::Histogram;
+use proptest::prelude::*;
+
+/// Strictly increasing finite bounds derived from arbitrary positive
+/// step sizes.
+fn bounds_from(steps: &[f64]) -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(steps.len());
+    let mut bound = 0.0;
+    for step in steps {
+        bound += 0.001 + step.abs();
+        bounds.push(bound);
+    }
+    bounds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_counts_are_monotone_and_sum_to_sample_count(
+        steps in proptest::collection::vec(0.0f64..10.0, 1..8),
+        samples in proptest::collection::vec(-5.0f64..100.0, 0..64),
+    ) {
+        let bounds = bounds_from(&steps);
+        let h = Histogram::new(&bounds);
+        for &v in &samples {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+
+        // one entry per finite bound plus the +Inf bucket
+        prop_assert_eq!(snap.cumulative.len(), bounds.len() + 1);
+        prop_assert!(snap.cumulative.last().unwrap().0.is_infinite());
+
+        // cumulative counts never decrease in bound order
+        for pair in snap.cumulative.windows(2) {
+            prop_assert!(
+                pair[0].1 <= pair[1].1,
+                "cumulative counts decreased: {:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+
+        // the +Inf bucket and the count both equal the sample count
+        prop_assert_eq!(snap.cumulative.last().unwrap().1, samples.len() as u64);
+        prop_assert_eq!(snap.count, samples.len() as u64);
+
+        // each cumulative bucket counts exactly the samples <= its bound
+        for &(bound, cumulative) in &snap.cumulative {
+            let expected = samples.iter().filter(|&&v| v <= bound).count() as u64;
+            prop_assert_eq!(cumulative, expected, "bound {}", bound);
+        }
+
+        // the sum tracks the observed values (float addition reorders,
+        // so compare with a tolerance scaled to the magnitudes involved)
+        let expected_sum: f64 = samples.iter().sum();
+        prop_assert!(
+            (snap.sum - expected_sum).abs() <= 1e-9 * (1.0 + expected_sum.abs()),
+            "sum {} != {}",
+            snap.sum,
+            expected_sum
+        );
+    }
+
+    #[test]
+    fn observations_at_exact_bounds_are_inclusive(
+        steps in proptest::collection::vec(0.0f64..10.0, 1..6),
+    ) {
+        let bounds = bounds_from(&steps);
+        let h = Histogram::new(&bounds);
+        for &b in &bounds {
+            h.observe(b); // le is <=, so each lands in its own bucket
+        }
+        let snap = h.snapshot();
+        for (i, &(_, cumulative)) in snap.cumulative.iter().enumerate() {
+            let expected = (i + 1).min(bounds.len()) as u64;
+            prop_assert_eq!(cumulative, expected);
+        }
+    }
+}

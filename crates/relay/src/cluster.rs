@@ -18,7 +18,7 @@
 //! scheduling is not.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use anonroute_core::{PathKind, PathLengthDist};
 use anonroute_crypto::handshake::NodeIdentity;
@@ -32,6 +32,7 @@ use crate::client::Client;
 use crate::daemon::{PendingRelay, Relay, RelayConfig, RelayStats};
 use crate::directory::{Directory, NodeInfo};
 use crate::error::{Error, Result};
+use crate::obs::{ClusterMetrics, Phase, PhaseCell};
 use crate::receiver::ReceiverServer;
 use crate::tap::LinkTap;
 
@@ -148,11 +149,26 @@ pub fn run_cluster_budgeted_unless(
     budget: &crate::budget::ClusterBudget,
     abandoned: &std::sync::atomic::AtomicBool,
 ) -> Option<Result<ClusterOutcome>> {
+    run_cluster_budgeted_observed(config, arrivals, budget, abandoned, &PhaseCell::new())
+}
+
+/// [`run_cluster_budgeted_unless`] with a shared [`PhaseCell`] the run
+/// keeps current — the observable form sweep watchdogs use to report
+/// *where* a timed-out cell was (queued on the budget vs booting vs
+/// handshaking vs passing traffic) instead of just that it wedged.
+pub fn run_cluster_budgeted_observed(
+    config: &ClusterConfig,
+    arrivals: &[Arrival],
+    budget: &crate::budget::ClusterBudget,
+    abandoned: &std::sync::atomic::AtomicBool,
+    phase: &PhaseCell,
+) -> Option<Result<ClusterOutcome>> {
+    phase.set(Phase::Queued);
     let _permit = budget.acquire(config.budget_slots());
     if abandoned.load(std::sync::atomic::Ordering::SeqCst) {
         return None;
     }
-    Some(run_cluster(config, arrivals))
+    Some(run_cluster_observed(config, arrivals, phase))
 }
 
 /// Runs `arrivals` through a fresh loopback cluster and drains it.
@@ -165,6 +181,39 @@ pub fn run_cluster_budgeted_unless(
 /// when any relay/receiver thread panicked, and I/O or strategy errors
 /// from setup.
 pub fn run_cluster(config: &ClusterConfig, arrivals: &[Arrival]) -> Result<ClusterOutcome> {
+    run_cluster_observed(config, arrivals, &PhaseCell::new())
+}
+
+/// [`run_cluster`] keeping `phase` current as the run advances through
+/// its lifecycle, and feeding the process-wide
+/// [`ClusterMetrics`] aggregates. Metrics
+/// are write-only sinks: nothing the run computes depends on them, so
+/// observed and unobserved runs produce identical outcomes per seed.
+///
+/// # Errors
+///
+/// Exactly those of [`run_cluster`].
+pub fn run_cluster_observed(
+    config: &ClusterConfig,
+    arrivals: &[Arrival],
+    phase: &PhaseCell,
+) -> Result<ClusterOutcome> {
+    let metrics = ClusterMetrics::global();
+    let result = run_cluster_inner(config, arrivals, phase, metrics);
+    match &result {
+        Ok(outcome) => metrics.record_run(true, &outcome.stats),
+        Err(_) => metrics.record_run(false, &[]),
+    }
+    phase.set(Phase::Done);
+    result
+}
+
+fn run_cluster_inner(
+    config: &ClusterConfig,
+    arrivals: &[Arrival],
+    phase: &PhaseCell,
+    metrics: &ClusterMetrics,
+) -> Result<ClusterOutcome> {
     if config.n == 0 {
         return Err(Error::Config("a cluster needs at least one relay".into()));
     }
@@ -176,6 +225,8 @@ pub fn run_cluster(config: &ClusterConfig, arrivals: &[Arrival]) -> Result<Clust
             )));
         }
     }
+    phase.set(Phase::Boot);
+    let boot_start = Instant::now();
     let tap = LinkTap::new();
     let receiver = ReceiverServer::spawn(tap.clone(), config.io_timeout)?;
     let relay_cfg = RelayConfig {
@@ -220,9 +271,15 @@ pub fn run_cluster(config: &ClusterConfig, arrivals: &[Arrival]) -> Result<Clust
             p.serve(Arc::clone(&directory), tap.clone(), junk_seed)
         })
         .collect();
+    metrics.boots.inc();
+    metrics
+        .boot_seconds
+        .observe(boot_start.elapsed().as_secs_f64());
 
     // drive the workload; the client drops (closing its connections) as
-    // soon as the last cell is on the wire
+    // soon as the last cell is on the wire. The first send is where
+    // onion handshakes can first fail, so it gets its own phase.
+    phase.set(Phase::Handshake);
     let send_result = (|| -> Result<Vec<Origination>> {
         let mut client = Client::new(
             Arc::clone(&directory),
@@ -245,16 +302,23 @@ pub fn run_cluster(config: &ClusterConfig, arrivals: &[Arrival]) -> Result<Clust
                 msg,
             });
             client.send(arrival.sender, msg, &arrival.payload, &mut rng)?;
+            if i == 0 {
+                phase.set(Phase::Traffic);
+            }
         }
         Ok(originations)
     })();
 
     let all_arrived = match &send_result {
-        Ok(_) => receiver.wait_for(arrivals.len(), config.deliver_timeout),
+        Ok(_) => {
+            phase.set(Phase::Drain);
+            receiver.wait_for(arrivals.len(), config.deliver_timeout)
+        }
         Err(_) => false,
     };
 
     // teardown is unconditional and bounded; keep the first error seen
+    phase.set(Phase::Teardown);
     let mut stats = Vec::with_capacity(config.n);
     let mut teardown_err: Option<Error> = None;
     for relay in relays {

@@ -15,10 +15,12 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use anonroute_obs::Registry;
 
 use anonroute_crypto::handshake::NodeIdentity;
 use anonroute_crypto::onion::{self, Peeled};
@@ -66,6 +68,11 @@ pub struct RelayStats {
     /// Cells dropped: wrong size, failed authentication, unknown next
     /// hop, unexpected frame type, or a dead downstream link.
     pub dropped: u64,
+    /// The handshake-failure subset of `dropped`: correctly sized cells
+    /// whose layer failed to authenticate/decrypt at this relay — the
+    /// signal that distinguishes a misdelivered or corrupted circuit
+    /// from transport-level trouble.
+    pub peel_failures: u64,
 }
 
 #[derive(Debug, Default)]
@@ -73,6 +80,9 @@ struct Counters {
     relayed: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
+    peel_failures: AtomicU64,
+    /// Worker connections currently open (accept .. socket close).
+    connections: AtomicI64,
 }
 
 impl Counters {
@@ -81,7 +91,18 @@ impl Counters {
             relayed: self.relayed.load(Ordering::Relaxed),
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
+            peel_failures: self.peel_failures.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Decrements the open-connection gauge when a worker unwinds, panic or
+/// not.
+struct ConnectionGuard(Arc<Counters>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -212,6 +233,59 @@ impl Relay {
         self.counters.snapshot()
     }
 
+    /// Registers this relay's live counters as polled series in
+    /// `registry`, labeled `relay="<id>"` — the wiring for a standalone
+    /// daemon's `--metrics-addr` endpoint. Per-relay label cardinality is
+    /// deliberate here and wrong for ephemeral cluster members; sweeps
+    /// aggregate through [`crate::obs::ClusterMetrics`] instead.
+    pub fn register_metrics(&self, registry: &'static Registry) {
+        let id = self.id.to_string();
+        let labels: &[(&str, &str)] = &[("relay", &id)];
+        for (outcome, read) in [
+            ("relayed", {
+                let c = Arc::clone(&self.counters);
+                Box::new(move || c.relayed.load(Ordering::Relaxed) as f64)
+                    as Box<dyn Fn() -> f64 + Send + Sync>
+            }),
+            ("delivered", {
+                let c = Arc::clone(&self.counters);
+                Box::new(move || c.delivered.load(Ordering::Relaxed) as f64)
+            }),
+            ("dropped", {
+                let c = Arc::clone(&self.counters);
+                Box::new(move || c.dropped.load(Ordering::Relaxed) as f64)
+            }),
+        ] {
+            registry.counter_fn(
+                "anonroute_relay_cells_total",
+                "Cells handled by this relay, by outcome.",
+                &[("outcome", outcome), ("relay", &id)],
+                read,
+            );
+        }
+        let counters = Arc::clone(&self.counters);
+        registry.counter_fn(
+            "anonroute_relay_handshake_failures_total",
+            "Cells whose onion layer failed to authenticate at this relay.",
+            labels,
+            move || counters.peel_failures.load(Ordering::Relaxed) as f64,
+        );
+        let counters = Arc::clone(&self.counters);
+        registry.gauge_fn(
+            "anonroute_relay_connections",
+            "Worker connections currently open on this relay.",
+            labels,
+            move || counters.connections.load(Ordering::Relaxed) as f64,
+        );
+        let shutdown = Arc::clone(&self.shutdown);
+        registry.gauge_fn(
+            "anonroute_relay_shutting_down",
+            "1 once shutdown has been requested, else 0.",
+            labels,
+            move || f64::from(u8::from(shutdown.load(Ordering::SeqCst))),
+        );
+    }
+
     /// Requests shutdown: raises the flag and wakes the blocked accept.
     /// Idempotent; returns immediately — pair with [`Relay::join`].
     pub fn shutdown(&self) {
@@ -304,6 +378,8 @@ fn serve_conn(
     config: RelayConfig,
     mut junk_rng: StdRng,
 ) {
+    counters.connections.fetch_add(1, Ordering::Relaxed);
+    let _open = ConnectionGuard(Arc::clone(&counters));
     // downstream connections cached per next hop (receiver = usize::MAX),
     // owned by this worker so no locks sit on the forwarding path
     let mut downstream: HashMap<usize, TcpStream> = HashMap::new();
@@ -390,7 +466,10 @@ fn handle_cell(
             }
         }
         Err(_) => {
-            // not addressed to us / corrupted: a real router drops it
+            // not addressed to us / corrupted: a real router drops it,
+            // but the handshake-failure count is what an operator (and
+            // the sweep watchdog) diagnoses from
+            counters.peel_failures.fetch_add(1, Ordering::Relaxed);
             counters.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -28,7 +28,10 @@
 //!   prediction;
 //! * [`budget`] — relay-slot budgeting so many concurrent clusters (a
 //!   campaign sweep's live cells) share the loopback without exhausting
-//!   ports or file descriptors.
+//!   ports or file descriptors;
+//! * [`obs`] — cluster run phases (for wedge diagnosis) and process-wide
+//!   aggregate metrics over all cluster runs, registered in
+//!   `anonroute-obs`'s global registry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +43,7 @@ pub mod cluster;
 pub mod daemon;
 pub mod directory;
 pub mod error;
+pub mod obs;
 pub mod receiver;
 pub mod tap;
 pub mod wire;
@@ -49,11 +53,12 @@ pub use budget::{BudgetPermit, ClusterBudget, DEFAULT_CLUSTER_SLOTS};
 pub use circuit::DEFAULT_CELL_SIZE;
 pub use client::Client;
 pub use cluster::{
-    cluster_identity, run_cluster, run_cluster_budgeted_unless, run_cluster_with_budget,
-    ClusterConfig, ClusterOutcome,
+    cluster_identity, run_cluster, run_cluster_budgeted_observed, run_cluster_budgeted_unless,
+    run_cluster_observed, run_cluster_with_budget, ClusterConfig, ClusterOutcome,
 };
 pub use daemon::{PendingRelay, Relay, RelayConfig, RelayStats};
 pub use directory::{Directory, NodeInfo};
 pub use error::{Error, Result};
+pub use obs::{ClusterMetrics, Phase, PhaseCell};
 pub use receiver::ReceiverServer;
 pub use tap::LinkTap;

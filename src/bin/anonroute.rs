@@ -17,8 +17,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use anonroute::adversary::{attack_trace, Adversary};
-use anonroute::campaign::{report, spec};
+use anonroute::campaign::{manifest, report, spec};
 use anonroute::crypto::handshake::NodeIdentity;
+use anonroute::obs::{Health, ObsServer, Registry};
 use anonroute::prelude::*;
 use anonroute::protocols::onion_routing::onion_network;
 use anonroute::protocols::RouteSampler;
@@ -57,6 +58,7 @@ COMMANDS:
     relay      run one standalone TCP relay daemon against a directory
                --directory <file> --id <id>
                [--net-seed <str>] [--cell 2048] [--seed 7]
+               [--metrics-addr 127.0.0.1:9464]
                (--receiver instead of --id runs the destination server)
     send       build onion circuits and send payloads over a live net
                --directory <file> --sender <id> --dist <spec>
@@ -72,12 +74,21 @@ COMMANDS:
                [--live-messages 300] [--live-timeout 120000]
                [--live-max-n 64] [--live-cell 1024]
                [--out <basename>] [--timing]
+               [--progress] [--metrics-addr 127.0.0.1:0]
                lists take values and ranges: 50,100,200 or 1..=5
-               writes <basename>.jsonl, <basename>.csv, <basename>_timings.csv
+               writes <basename>.jsonl, <basename>.csv,
+               <basename>_timings.csv, <basename>_manifest.json
                `live` cells boot a real loopback TCP relay cluster per cell
                epochs > 1 runs the multi-round intersection adversary:
                persistent sessions, per-epoch compromised-set rotation,
                node churn, and cumulative anonymity-decay scoring
+               --progress prints a ~1 Hz ticker on stderr; --metrics-addr
+               serves /metrics, /healthz, /readyz for the sweep's duration
+               (observability never changes results: artifacts stay
+               byte-identical per seed with it on or off)
+    manifest-check
+               validate a campaign run manifest written by `campaign`
+               --file <path>_manifest.json
     help       show this text
 
 DISTRIBUTION SPECS:
@@ -117,6 +128,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "simulate" => cmd_simulate(&flags),
         "frontier" => cmd_frontier(&flags),
         "campaign" => cmd_campaign(&flags),
+        "manifest-check" => cmd_manifest_check(&flags),
         "cluster" => cmd_cluster(&flags),
         "relay" => cmd_relay(&flags),
         "send" => cmd_send(&flags),
@@ -127,7 +139,7 @@ fn run(args: &[String]) -> Result<(), String> {
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["cyclic", "timing", "receiver"];
+const BOOLEAN_FLAGS: &[&str] = &["cyclic", "timing", "receiver", "progress"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = HashMap::new();
@@ -475,6 +487,22 @@ fn cmd_relay(flags: &Flags) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let relay = pending.serve(std::sync::Arc::new(directory), LinkTap::new(), seed);
     println!("relay {id} listening on {} (ctrl-c to stop)", relay.addr());
+    let _obs = match flags.get("metrics-addr") {
+        Some(addr) => {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|e| format!("--metrics-addr: `{addr}` is not a socket address ({e})"))?;
+            relay.register_metrics(Registry::global());
+            let health = std::sync::Arc::new(Health::new());
+            health.set_ready(true);
+            health.set_status(format!("relay {id} serving"));
+            let server =
+                ObsServer::serve(addr, Registry::global(), health).map_err(|e| e.to_string())?;
+            println!("metrics: http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
@@ -572,6 +600,15 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     config.live_timeout_ms = get(flags, "live-timeout", config.live_timeout_ms)?;
     config.live_max_n = get(flags, "live-max-n", config.live_max_n)?;
     config.live_cell_size = get(flags, "live-cell", config.live_cell_size)?;
+    if flags.contains_key("progress") {
+        config.progress = true;
+    }
+    if let Some(addr) = flags.get("metrics-addr") {
+        config.metrics_addr = Some(
+            addr.parse()
+                .map_err(|e| format!("--metrics-addr: `{addr}` is not a socket address ({e})"))?,
+        );
+    }
     if grid.is_empty() {
         return Err("the grid has no cells (every axis needs at least one value)".into());
     }
@@ -612,17 +649,29 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     let jsonl = with_suffix(".jsonl");
     let csv = with_suffix(".csv");
     let timings = with_suffix("_timings.csv");
+    let manifest_path = with_suffix("_manifest.json");
     report::write_jsonl(&jsonl, &outcome, include_timing).map_err(|e| e.to_string())?;
     report::write_csv(&csv, &outcome).map_err(|e| e.to_string())?;
     report::write_timings_csv(&timings, &outcome).map_err(|e| e.to_string())?;
+    manifest::write_manifest(&manifest_path, &grid, &config, &outcome)
+        .map_err(|e| e.to_string())?;
 
     print!("{}", report::summary(&outcome));
     println!(
-        "results: {} + {} (timings: {})",
+        "results: {} + {} (timings: {}, manifest: {})",
         jsonl.display(),
         csv.display(),
-        timings.display()
+        timings.display(),
+        manifest_path.display()
     );
+    Ok(())
+}
+
+fn cmd_manifest_check(flags: &Flags) -> Result<(), String> {
+    let path: String = require(flags, "file")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("--file {path}: {e}"))?;
+    manifest::validate_manifest(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: valid {}", manifest::MANIFEST_SCHEMA);
     Ok(())
 }
 
@@ -775,6 +824,45 @@ mod tests {
         assert_eq!(csv.lines().count(), 9);
         assert!(dir.join("sweep_timings.csv").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_writes_a_validating_manifest() {
+        let dir = std::env::temp_dir().join("anonroute-cli-campaign-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("obs");
+        let flags = flag_map(&[
+            ("n", "15"),
+            ("c", "1"),
+            ("strategies", "fixed:3,fixed:40"),
+            ("metrics-addr", "127.0.0.1:0"),
+            ("out", out.to_str().unwrap()),
+        ]);
+        cmd_campaign(&flags).unwrap();
+        let manifest_path = dir.join("obs_manifest.json");
+        let text = std::fs::read_to_string(&manifest_path).unwrap();
+        assert!(text.contains("anonroute-campaign-manifest/v1"), "{text}");
+        assert!(text.contains("\"ok\": 1"), "{text}");
+        assert!(text.contains("\"errors\": 1"), "F(40) infeasible: {text}");
+        cmd_manifest_check(&flag_map(&[("file", manifest_path.to_str().unwrap())])).unwrap();
+        // a corrupted manifest is rejected
+        std::fs::write(&manifest_path, text.replace("\"ok\": 1", "\"ok\": 7")).unwrap();
+        let err = cmd_manifest_check(&flag_map(&[("file", manifest_path.to_str().unwrap())]))
+            .unwrap_err();
+        assert!(err.contains("tally mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_bad_metrics_addresses() {
+        let flags = flag_map(&[
+            ("n", "10"),
+            ("c", "1"),
+            ("strategies", "fixed:2"),
+            ("metrics-addr", "not-an-addr"),
+        ]);
+        let err = cmd_campaign(&flags).unwrap_err();
+        assert!(err.contains("socket address"), "{err}");
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //! * [`relay`] ([`anonroute_relay`]) — a real TCP relay network serving
 //!   the onion circuits end to end: wire protocol, relay daemon,
 //!   circuit-building client, and an in-process cluster harness whose
-//!   link tap feeds the adversary.
+//!   link tap feeds the adversary;
+//! * [`obs`] ([`anonroute_obs`]) — the observability layer: an atomic
+//!   metrics registry with Prometheus text exposition plus a
+//!   dependency-free HTTP endpoint serving `/metrics`, `/healthz`, and
+//!   `/readyz` for relay daemons and campaign sweeps.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@ pub use anonroute_adversary as adversary;
 pub use anonroute_campaign as campaign;
 pub use anonroute_core as core;
 pub use anonroute_crypto as crypto;
+pub use anonroute_obs as obs;
 pub use anonroute_protocols as protocols;
 pub use anonroute_relay as relay;
 pub use anonroute_sim as sim;

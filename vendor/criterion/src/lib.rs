@@ -5,11 +5,20 @@
 //! an adaptive batch, and the mean time per iteration is printed. Passing
 //! `--test` (as `cargo test --benches` does for harness-less targets) runs
 //! every benchmark exactly once so CI stays fast.
+//!
+//! Setting `BENCH_JSON=<path>` additionally writes every measurement of
+//! the run as a JSON array of `{"id", "ns_per_iter", "iters"}` objects —
+//! the trajectory format the repository's committed `BENCH_*.json`
+//! snapshots use for tracking performance across PRs.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Measurements accumulated for the `BENCH_JSON` report.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
 
 pub use std::hint::black_box;
 
@@ -187,6 +196,35 @@ fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
         format_ns(per_iter),
         bencher.iters_done
     );
+    RESULTS
+        .lock()
+        .expect("results lock")
+        .push((id.to_string(), per_iter, bencher.iters_done));
+}
+
+/// Writes all measurements of this run to the path in `BENCH_JSON` (a
+/// no-op when the variable is unset). `criterion_main!` calls this after
+/// the last group; write failures are reported on stderr, never fatal.
+pub fn write_json_report() {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results lock");
+    let mut out = String::from("[\n");
+    for (i, (id, ns, iters)) in results.iter().enumerate() {
+        let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}"
+        ));
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("BENCH_JSON: cannot write {}: {e}", path.to_string_lossy());
+    }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -218,6 +256,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
@@ -244,6 +283,29 @@ mod tests {
             quick: true,
         };
         sample_bench(&mut c);
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let dir = std::env::temp_dir().join("criterion-bench-json-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::env::set_var("BENCH_JSON", &path);
+        let mut c = Criterion {
+            target_time: Duration::from_millis(1),
+            quick: true,
+        };
+        c.bench_function("json/report", |b| b.iter(|| black_box(3 + 4)));
+        write_json_report();
+        std::env::remove_var("BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert!(text.contains("\"id\": \"json/report\""), "{text}");
+        assert!(text.contains("\"ns_per_iter\": "), "{text}");
+        assert!(text.contains("\"iters\": 1"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
