@@ -1,0 +1,64 @@
+//! Benchmarks of the multi-round intersection accumulator — the hot
+//! inner loop every engine shares when a cell has `epochs > 1`.
+//!
+//! `fold` is the accumulate-and-renormalize step (one multiply +
+//! normalize pass over the universe per epoch); `posterior` and
+//! `entropy_bits` are the read-side folds the scorer takes per cell.
+
+use anonroute_core::IntersectionPosterior;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A deterministic, strictly positive round posterior over `n`
+/// candidates (normalized), with enough spread to exercise the
+/// renormalization arithmetic.
+fn round_posterior(n: usize) -> Vec<f64> {
+    let mut p: Vec<f64> = (0..n).map(|i| 1.0 + (i % 17) as f64 / 16.0).collect();
+    let total: f64 = p.iter().sum();
+    for w in &mut p {
+        *w /= total;
+    }
+    p
+}
+
+/// An accumulator that has already folded twice, so further folds take
+/// the multiply-and-renormalize path rather than the verbatim first copy.
+fn warmed(n: usize, round: &[f64]) -> IntersectionPosterior {
+    let mut acc = IntersectionPosterior::new(n);
+    acc.fold(round).unwrap();
+    acc.fold(round).unwrap();
+    acc
+}
+
+fn bench_intersection_posterior(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection_posterior");
+    for n in [1_000usize, 100_000] {
+        let round = round_posterior(n);
+        let acc = warmed(n, &round);
+        group.bench_with_input(
+            BenchmarkId::new("accumulate", format!("n{n}")),
+            &(acc.clone(), round.clone()),
+            |b, (acc, round)| {
+                b.iter(|| {
+                    let mut a = acc.clone();
+                    a.fold(black_box(round)).unwrap();
+                    a.folds()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("renormalize", format!("n{n}")),
+            &acc,
+            |b, acc| b.iter(|| black_box(acc).posterior()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("entropy_bits", format!("n{n}")),
+            &acc,
+            |b, acc| b.iter(|| black_box(acc).entropy_bits()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection_posterior);
+criterion_main!(benches);

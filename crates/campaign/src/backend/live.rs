@@ -15,11 +15,15 @@
 //!   of clusters at once.
 //! * **Watchdog** — the cluster runs on a helper thread and the backend
 //!   waits at most `CampaignConfig::live_timeout_ms`; a wedged cluster
-//!   becomes an error string in `CellResult::outcome` (the helper thread
-//!   is leaked rather than blocked on, mirroring the relay daemon's
-//!   bounded-shutdown discipline). An abandoned cell still queued on the
-//!   budget never boots; one already running returns its slots when the
-//!   cluster's own bounded delivery/teardown deadlines expire.
+//!   becomes an error string in `CellResult::outcome` naming the phase
+//!   (and span path) it wedged in. The helper thread is *abandoned*, not
+//!   blocked on: it lands in a process-wide registry and the sweep
+//!   reaps it at the end with a bounded join (`join_abandoned`) —
+//!   helpers whose clusters finished their own bounded teardown are
+//!   joined, truly wedged ones stay registered for the next sweep's
+//!   reap rather than hanging anyone. An abandoned cell still queued on
+//!   the budget never boots; one already running returns its slots when
+//!   the cluster's own bounded delivery/teardown deadlines expire.
 //!
 //! Determinism: cluster identities, routes, handshake ephemerals, nonces,
 //! and junk all derive from `ctx.seed`, and the adversary consumes only
@@ -27,8 +31,9 @@
 //! even though TCP scheduling is not (pinned by `tests/engines.rs`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use anonroute_core::SystemModel;
 use anonroute_relay::budget::ClusterBudget;
@@ -38,8 +43,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::backend::{
-    attack_and_score, intersect_and_score, remap_to_sessions, session_count, CellCtx, CellMetrics,
-    EpochRun, EvalBackend,
+    attack_and_score, intersect_and_score, phase_timer, remap_to_sessions, session_count, CellCtx,
+    CellMetrics, EpochRun, EvalBackend,
 };
 use crate::grid::EngineKind;
 
@@ -83,14 +88,22 @@ impl EvalBackend for LiveBackend {
         }
         .generate(n, &mut StdRng::seed_from_u64(ctx.seed ^ WORKLOAD_SALT));
 
+        let evaluate = phase_timer("cell.evaluate");
         let outcome = run_watchdogged(
             cluster,
             arrivals,
             Duration::from_millis(ctx.config.live_timeout_ms),
         )?;
+        let evaluate_us = evaluate.stop_us();
 
+        let attack = phase_timer("cell.attack");
         let est = attack_and_score(ctx.model, ctx.dist, &outcome.trace, &outcome.originations)?;
-        Ok(CellMetrics::from_sampled(ctx.model, ctx.dist, est))
+        let mut metrics = CellMetrics::from_sampled(ctx.model, ctx.dist, est);
+        metrics.profile.attack_us = attack.stop_us();
+        metrics.profile.evaluate_us = evaluate_us;
+        metrics.profile.boot_us = outcome.boot_micros;
+        metrics.profile.traffic_us = outcome.traffic_micros;
+        Ok(metrics)
     }
 }
 
@@ -116,6 +129,8 @@ fn evaluate_epochs(ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
     };
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ LIVE_SESSION_SALT);
     let senders = traffic.senders(n, &mut rng);
+    let evaluate = phase_timer("cell.evaluate");
+    let (mut boot_us, mut traffic_us) = (0u64, 0u64);
     let mut runs = Vec::with_capacity(ctx.views.len());
     for view in ctx.views {
         let ne = view.n();
@@ -134,6 +149,8 @@ fn evaluate_epochs(ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
             Duration::from_millis(ctx.config.live_timeout_ms),
         )
         .map_err(|e| format!("epoch {}: {e}", view.epoch + 1))?;
+        boot_us += outcome.boot_micros;
+        traffic_us += outcome.traffic_micros;
         let mut trace = outcome.trace;
         let mut originations = outcome.originations;
         remap_to_sessions(&mut trace, &mut originations, &session_of);
@@ -143,7 +160,14 @@ fn evaluate_epochs(ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
             originations,
         });
     }
-    intersect_and_score(ctx, &runs)
+    let evaluate_us = evaluate.stop_us();
+    let fold = phase_timer("cell.fold");
+    let mut metrics = intersect_and_score(ctx, &runs)?;
+    metrics.profile.fold_us = fold.stop_us();
+    metrics.profile.evaluate_us = evaluate_us;
+    metrics.profile.boot_us = boot_us;
+    metrics.profile.traffic_us = traffic_us;
+    Ok(metrics)
 }
 
 /// Runs the cluster on a helper thread under the per-cell watchdog. The
@@ -166,11 +190,13 @@ fn run_watchdogged(
 ) -> Result<ClusterOutcome, String> {
     let n = config.n;
     let (tx, rx) = mpsc::channel();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
     let abandoned = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&abandoned);
     let phase = Arc::new(PhaseCell::new());
     let run_phase = Arc::clone(&phase);
-    std::thread::spawn(move || {
+    let helper = std::thread::spawn(move || {
+        let _done = HelperDone(done_tx);
         let outcome = run_cluster_budgeted_observed(
             &config,
             &arrivals,
@@ -184,21 +210,90 @@ fn run_watchdogged(
         }
     });
     match rx.recv_timeout(deadline) {
-        Ok(result) => result.map_err(|e| e.to_string()),
+        Ok(result) => {
+            // the helper has already sent its outcome: nothing left but
+            // the guard drop and return, so this join is near-instant
+            let _ = helper.join();
+            result.map_err(|e| e.to_string())
+        }
         Err(_) => {
             abandoned.store(true, Ordering::SeqCst);
+            // park the helper for the sweep-end bounded reap instead of
+            // detaching it forever
+            abandoned_registry()
+                .lock()
+                .expect("abandoned watchdog registry lock")
+                .push((done_rx, helper));
             // the shared phase cell says where the run was when the
             // deadline fired — queued on the budget, booting, first
             // handshake, traffic, drain, or teardown — which is the
             // difference between "loopback is oversubscribed" and "a
-            // relay is eating cells"
+            // relay is eating cells"; the span path says which part of
+            // the sweep asked for the run
             Err(format!(
-                "live cell wedged in {} phase: no cluster outcome within {deadline:?} \
+                "live cell wedged in {} phase (span {}): no cluster outcome within {deadline:?} \
                  (n={n} relays; raise --live-timeout if the machine is just slow)",
-                phase.get()
+                phase.get(),
+                anonroute_obs::trace::current_path(),
             ))
         }
     }
+}
+
+/// Sends on its channel when the watchdog helper thread unwinds — panic
+/// or not — so abandoned helpers can later be joined with a bound.
+struct HelperDone(mpsc::Sender<()>);
+
+impl Drop for HelperDone {
+    fn drop(&mut self) {
+        let _ = self.0.send(());
+    }
+}
+
+/// An abandoned watchdog helper: the done-signal receiver paired with
+/// the thread to join once it fires.
+type AbandonedHelper = (mpsc::Receiver<()>, JoinHandle<()>);
+
+/// Helper threads abandoned by their watchdog deadline, awaiting a
+/// bounded join at the end of a sweep.
+fn abandoned_registry() -> &'static Mutex<Vec<AbandonedHelper>> {
+    static REGISTRY: OnceLock<Mutex<Vec<AbandonedHelper>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Reaps watchdog helper threads abandoned by timed-out live cells:
+/// joins (with `deadline` as the *total* bound) every helper whose
+/// cluster has finished its own bounded teardown, and leaves the rest
+/// registered for a later reap. Returns `(joined, still_pending)`. The
+/// runner calls this at the end of every sweep — including drained and
+/// aborted ones — so abandoned threads don't pile up across a campaign.
+pub(crate) fn join_abandoned(deadline: Duration) -> (usize, usize) {
+    let mut pending = {
+        let mut registry = abandoned_registry()
+            .lock()
+            .expect("abandoned watchdog registry lock");
+        std::mem::take(&mut *registry)
+    };
+    let start = Instant::now();
+    let mut joined = 0;
+    let mut still = Vec::new();
+    for (done, helper) in pending.drain(..) {
+        let remaining = deadline.saturating_sub(start.elapsed());
+        match done.recv_timeout(remaining) {
+            // a disconnect means the guard dropped — the helper is done
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = helper.join();
+                joined += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => still.push((done, helper)),
+        }
+    }
+    let still_pending = still.len();
+    abandoned_registry()
+        .lock()
+        .expect("abandoned watchdog registry lock")
+        .extend(still);
+    (joined, still_pending)
 }
 
 #[cfg(test)]
@@ -232,6 +327,20 @@ mod tests {
             compromised: (n - c..n).collect(),
         }];
         (scenario, model, views)
+    }
+
+    #[test]
+    fn join_abandoned_reaps_finished_helpers_with_a_bound() {
+        let (done_tx, done_rx) = mpsc::channel();
+        let helper = std::thread::spawn(move || {
+            let _done = HelperDone(done_tx);
+        });
+        while !helper.is_finished() {
+            std::thread::yield_now();
+        }
+        abandoned_registry().lock().unwrap().push((done_rx, helper));
+        let (joined, _pending) = join_abandoned(Duration::from_secs(5));
+        assert!(joined >= 1, "a finished helper must be reaped");
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub mod live;
 pub mod monte_carlo;
 pub mod simulated;
 
+use std::time::Instant;
+
 use anonroute_adversary::{attack_trace, intersection_attack, Adversary, EpochTrace};
 use anonroute_core::engine::EvaluatorCache;
 use anonroute_core::epochs::{DecayCurve, EpochView};
@@ -93,8 +95,73 @@ pub struct CellCtx<'a> {
     pub cache: &'a EvaluatorCache,
 }
 
+/// Where one cell's wall-clock went, phase by phase, in microseconds.
+///
+/// Operator observability only: every field is wall-clock and therefore
+/// **nondeterministic** — profiles are excluded from `CellMetrics`
+/// equality and from all seeded artifacts (they appear in JSONL only
+/// under `--timing`, in the timings CSV, and as aggregate totals in the
+/// run manifest). For live cells `boot_us`/`traffic_us` are sub-phases
+/// *inside* `evaluate_us`, so [`total_us`](PhaseProfile::total_us) sums
+/// only the four top-level phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Realizing the model, strategy distribution, and epoch views.
+    pub setup_us: u64,
+    /// Producing the evidence: closed-form analysis, sampling, protocol
+    /// simulation, or driving a live cluster.
+    pub evaluate_us: u64,
+    /// Scoring a produced trace with the passive adversary
+    /// (trace-producing engines only).
+    pub attack_us: u64,
+    /// Folding multi-epoch evidence (decay estimation or the
+    /// intersection adversary).
+    pub fold_us: u64,
+    /// Live cells: cluster boot (bind, directory, daemons serving),
+    /// summed over epochs. Contained in `evaluate_us`.
+    pub boot_us: u64,
+    /// Live cells: first handshake to full delivery, summed over epochs.
+    /// Contained in `evaluate_us`.
+    pub traffic_us: u64,
+}
+
+impl PhaseProfile {
+    /// Total profiled wall-clock: the four top-level phases (boot and
+    /// traffic are already inside `evaluate_us`).
+    pub fn total_us(&self) -> u64 {
+        self.setup_us + self.evaluate_us + self.attack_us + self.fold_us
+    }
+}
+
+/// Times one cell phase and marks it as a trace span. Consuming it with
+/// [`stop_us`](PhaseTimer::stop_us) closes the span and yields the
+/// elapsed microseconds for the cell's [`PhaseProfile`].
+pub(crate) struct PhaseTimer {
+    start: Instant,
+    _span: anonroute_obs::Span,
+}
+
+/// Starts timing the phase traced as `name` (category `"campaign"`).
+pub(crate) fn phase_timer(name: &'static str) -> PhaseTimer {
+    PhaseTimer {
+        start: Instant::now(),
+        _span: anonroute_obs::span(name, "campaign"),
+    }
+}
+
+impl PhaseTimer {
+    /// Stops the timer (closing its trace span) and returns elapsed µs.
+    pub(crate) fn stop_us(self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
 /// Numeric outcome of one feasible cell.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Equality deliberately ignores [`profile`](CellMetrics::profile):
+/// backends promise *equal contexts → equal metrics*, and the phase
+/// profile is wall-clock noise riding along for operators.
+#[derive(Debug, Clone, Copy)]
 pub struct CellMetrics {
     /// Anonymity degree `H*` in bits (exact, estimated, or empirical,
     /// per the cell's engine). For multi-epoch cells this is the
@@ -120,6 +187,35 @@ pub struct CellMetrics {
     /// sampled mean otherwise). `None` for one-shot cells, where
     /// `h_star` *is* the single-round value.
     pub h_epoch1: Option<f64>,
+    /// Nondeterministic per-phase wall-clock breakdown (excluded from
+    /// equality and from seeded artifacts).
+    pub profile: PhaseProfile,
+}
+
+impl PartialEq for CellMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        // profile is wall-clock observability; the determinism contract
+        // ("equal contexts → equal CellMetrics") is over the numbers only
+        (
+            self.h_star,
+            self.normalized,
+            self.mean_len,
+            self.p_exposed,
+            self.std_error,
+            self.samples,
+            self.epochs,
+            self.h_epoch1,
+        ) == (
+            other.h_star,
+            other.normalized,
+            other.mean_len,
+            other.p_exposed,
+            other.std_error,
+            other.samples,
+            other.epochs,
+            other.h_epoch1,
+        )
+    }
 }
 
 impl CellMetrics {
@@ -135,6 +231,7 @@ impl CellMetrics {
             samples: Some(est.samples),
             epochs: 1,
             h_epoch1: None,
+            profile: PhaseProfile::default(),
         }
     }
 
@@ -153,6 +250,7 @@ impl CellMetrics {
             samples: Some(last.sessions),
             epochs: curve.per_epoch.len(),
             h_epoch1: Some(curve.first().mean_entropy_bits),
+            profile: PhaseProfile::default(),
         }
     }
 
@@ -316,5 +414,25 @@ mod tests {
         assert_eq!(metrics.p_exposed, None);
         assert!((metrics.normalized - 3.5 / 20f64.log2()).abs() < 1e-12);
         assert_eq!(metrics.mean_len, 3.0);
+    }
+
+    #[test]
+    fn equality_ignores_the_phase_profile() {
+        let model = SystemModel::new(20, 1).unwrap();
+        let dist = PathLengthDist::fixed(3);
+        let est = SampledDegree {
+            h_star: 3.5,
+            std_error: 0.04,
+            samples: 500,
+        };
+        let a = CellMetrics::from_sampled(&model, &dist, est);
+        let mut b = a;
+        b.profile.evaluate_us = 123_456;
+        b.profile.boot_us = 9;
+        assert_eq!(a, b, "profiles are wall-clock noise, not results");
+        assert_eq!(b.profile.total_us(), 123_456, "boot is inside evaluate");
+        let mut c = a;
+        c.h_star += 1.0;
+        assert_ne!(a, c);
     }
 }

@@ -7,7 +7,7 @@
 
 use anonroute_core::{engine, epochs, SampledDegree};
 
-use crate::backend::{session_count, CellCtx, CellMetrics, EvalBackend};
+use crate::backend::{phase_timer, session_count, CellCtx, CellMetrics, EvalBackend};
 use crate::grid::EngineKind;
 
 /// Stream separator from the exact backend's decay sessions.
@@ -26,6 +26,7 @@ impl EvalBackend for MonteCarloBackend {
 
     fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
         if !ctx.scenario.dynamics.is_one_shot() {
+            let fold = phase_timer("cell.fold");
             let sessions = session_count(ctx.config.mc_samples, ctx.scenario.dynamics.epochs);
             let curve = epochs::estimate_decay(
                 ctx.model,
@@ -36,12 +37,15 @@ impl EvalBackend for MonteCarloBackend {
                 ctx.seed ^ MC_DECAY_STREAM,
             )
             .map_err(|e| e.to_string())?;
-            return Ok(CellMetrics::from_decay(ctx.model, ctx.dist, &curve));
+            let mut metrics = CellMetrics::from_decay(ctx.model, ctx.dist, &curve);
+            metrics.profile.fold_us = fold.stop_us();
+            return Ok(metrics);
         }
+        let evaluate = phase_timer("cell.evaluate");
         let est =
             engine::estimate_anonymity_degree(ctx.model, ctx.dist, ctx.config.mc_samples, ctx.seed)
                 .map_err(|e| e.to_string())?;
-        Ok(CellMetrics::from_sampled(
+        let mut metrics = CellMetrics::from_sampled(
             ctx.model,
             ctx.dist,
             SampledDegree {
@@ -49,6 +53,8 @@ impl EvalBackend for MonteCarloBackend {
                 std_error: est.std_error,
                 samples: est.samples,
             },
-        ))
+        );
+        metrics.profile.evaluate_us = evaluate.stop_us();
+        Ok(metrics)
     }
 }

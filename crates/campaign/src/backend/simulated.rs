@@ -28,8 +28,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::backend::{
-    attack_and_score, intersect_and_score, remap_to_sessions, session_count, CellCtx, CellMetrics,
-    EpochRun, EvalBackend,
+    attack_and_score, intersect_and_score, phase_timer, remap_to_sessions, session_count, CellCtx,
+    CellMetrics, EpochRun, EvalBackend,
 };
 use crate::grid::{EngineKind, StrategySpec};
 
@@ -142,11 +142,17 @@ fn evaluate_epochs(ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
     };
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ SIM_SESSION_SALT);
     let senders = traffic.senders(n, &mut rng);
+    let evaluate = phase_timer("cell.evaluate");
     let mut runs = Vec::with_capacity(ctx.views.len());
     for view in ctx.views {
         runs.push(run_epoch(ctx, view, &traffic, &senders, &mut rng)?);
     }
-    intersect_and_score(ctx, &runs)
+    let evaluate_us = evaluate.stop_us();
+    let fold = phase_timer("cell.fold");
+    let mut metrics = intersect_and_score(ctx, &runs)?;
+    metrics.profile.evaluate_us = evaluate_us;
+    metrics.profile.fold_us = fold.stop_us();
+    Ok(metrics)
 }
 
 /// One epoch: a fresh network over the active set, one origination per
@@ -193,6 +199,7 @@ fn attack_simulation<B: anonroute_sim::NodeBehavior>(
     seed: u64,
 ) -> Result<CellMetrics, String> {
     let n = model.n();
+    let evaluate = phase_timer("cell.evaluate");
     let mut sim = Simulation::new(nodes, latency, seed);
     let mut salt = seed | 1;
     for i in 0..messages as u64 {
@@ -206,6 +213,11 @@ fn attack_simulation<B: anonroute_sim::NodeBehavior>(
         );
     }
     sim.run();
+    let evaluate_us = evaluate.stop_us();
+    let attack = phase_timer("cell.attack");
     let est = attack_and_score(model, dist, sim.trace(), sim.originations())?;
-    Ok(CellMetrics::from_sampled(model, dist, est))
+    let mut metrics = CellMetrics::from_sampled(model, dist, est);
+    metrics.profile.evaluate_us = evaluate_us;
+    metrics.profile.attack_us = attack.stop_us();
+    Ok(metrics)
 }

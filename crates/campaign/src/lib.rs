@@ -75,8 +75,11 @@ pub mod runner;
 pub mod spec;
 
 pub use anonroute_core::epochs::{ChurnModel, EpochSchedule, RotationPolicy};
-pub use backend::{CellCtx, CellMetrics, EvalBackend};
+pub use anonroute_obs::{SweepControl, SweepState};
+pub use backend::{CellCtx, CellMetrics, EvalBackend, PhaseProfile};
 pub use grid::{parse_path_kind, EngineKind, Scenario, ScenarioGrid, StrategySpec};
 pub use manifest::{render_manifest, validate_manifest, write_manifest};
 pub use progress::{ObsSession, SweepProgress};
-pub use runner::{cell_seed, run, CampaignConfig, CampaignOutcome, CellResult};
+pub use runner::{
+    cell_seed, run, run_controlled, CampaignConfig, CampaignOutcome, CellResult, SweepStatus,
+};

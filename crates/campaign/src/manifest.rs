@@ -26,7 +26,12 @@ use crate::report::{json_escape, json_f64};
 use crate::runner::{CampaignConfig, CampaignOutcome};
 
 /// The manifest format identifier; bump the suffix on breaking change.
-pub const MANIFEST_SCHEMA: &str = "anonroute-campaign-manifest/v1";
+///
+/// v2 adds `outcome.status` / `outcome.skipped` (operator control plane:
+/// a sweep may end `drained` or `aborted` with only the completed cells
+/// present), `outcome.profile` (per-phase second totals over ok cells),
+/// and `config.trace_out`.
+pub const MANIFEST_SCHEMA: &str = "anonroute-campaign-manifest/v2";
 
 fn json_str_array<T: std::fmt::Display>(items: &[T]) -> String {
     let rendered: Vec<String> = items
@@ -80,10 +85,21 @@ pub fn render_manifest(
     writeln!(out, "    \"live_messages\": {},", config.live_messages).expect("write to String");
     writeln!(out, "    \"live_timeout_ms\": {},", config.live_timeout_ms).expect("write to String");
     writeln!(out, "    \"live_max_n\": {},", config.live_max_n).expect("write to String");
-    writeln!(out, "    \"live_cell_size\": {}", config.live_cell_size).expect("write to String");
+    writeln!(out, "    \"live_cell_size\": {},", config.live_cell_size).expect("write to String");
+    writeln!(
+        out,
+        "    \"trace_out\": {}",
+        config.trace_out.as_ref().map_or_else(
+            || "null".to_string(),
+            |p| format!("\"{}\"", json_escape(&p.display().to_string()))
+        )
+    )
+    .expect("write to String");
     out.push_str("  },\n");
     out.push_str("  \"outcome\": {\n");
+    writeln!(out, "    \"status\": \"{}\",", outcome.status.as_str()).expect("write to String");
     writeln!(out, "    \"cells\": {},", outcome.cells.len()).expect("write to String");
+    writeln!(out, "    \"skipped\": {},", outcome.skipped).expect("write to String");
     writeln!(out, "    \"ok\": {},", outcome.ok_count()).expect("write to String");
     writeln!(out, "    \"errors\": {},", outcome.error_count()).expect("write to String");
     writeln!(out, "    \"threads\": {},", outcome.threads).expect("write to String");
@@ -101,6 +117,37 @@ pub fn render_manifest(
     .expect("write to String");
     writeln!(out, "    \"cache_hits\": {},", outcome.cache.hits).expect("write to String");
     writeln!(out, "    \"cache_misses\": {},", outcome.cache.misses).expect("write to String");
+    // per-phase wall totals over ok cells, in seconds — the operator
+    // profile; zeros when a phase does not apply to the engines swept
+    let mut phases = crate::backend::PhaseProfile::default();
+    for cell in &outcome.cells {
+        if let Ok(m) = &cell.outcome {
+            phases.setup_us += m.profile.setup_us;
+            phases.evaluate_us += m.profile.evaluate_us;
+            phases.attack_us += m.profile.attack_us;
+            phases.fold_us += m.profile.fold_us;
+            phases.boot_us += m.profile.boot_us;
+            phases.traffic_us += m.profile.traffic_us;
+        }
+    }
+    out.push_str("    \"profile\": {");
+    for (i, (name, micros)) in [
+        ("setup_seconds", phases.setup_us),
+        ("evaluate_seconds", phases.evaluate_us),
+        ("attack_seconds", phases.attack_us),
+        ("fold_seconds", phases.fold_us),
+        ("boot_seconds", phases.boot_us),
+        ("traffic_seconds", phases.traffic_us),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "\"{name}\": {}", json_f64(micros as f64 / 1e6)).expect("write to String");
+    }
+    out.push_str("},\n");
     // per-engine tallies over the cells actually swept, in a stable
     // (alphabetical) key order so manifests diff cleanly
     let mut engines: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
@@ -154,8 +201,9 @@ pub fn write_manifest(
 
 /// Checks that `text` is a well-formed manifest: valid JSON, the
 /// expected schema tag, every required section and key present with the
-/// right type, and internally consistent tallies
-/// (`ok + errors == cells`, engine cells sum to the total).
+/// right type, a recognized outcome status, and internally consistent
+/// tallies (`ok + errors == cells`, `cells + skipped == grid.cells`,
+/// engine cells sum to the total, a completed sweep skips nothing).
 ///
 /// # Errors
 ///
@@ -200,10 +248,19 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
     ] {
         get(config, key)?.as_number(key)?;
     }
+    match get(config, "trace_out")? {
+        json::Value::Null | json::Value::String(_) => {}
+        other => {
+            return Err(format!(
+                "trace_out: expected a string or null, found {other:?}"
+            ))
+        }
+    }
 
     let outcome = get(top, "outcome")?.as_object("outcome")?;
     for key in [
         "cells",
+        "skipped",
         "ok",
         "errors",
         "threads",
@@ -214,7 +271,14 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
     ] {
         get(outcome, key)?.as_number(key)?;
     }
+    let status = get(outcome, "status")?.as_str("outcome.status")?;
+    if !matches!(status, "completed" | "drained" | "aborted") {
+        return Err(format!(
+            "outcome.status: expected \"completed\", \"drained\", or \"aborted\", found \"{status}\""
+        ));
+    }
     let cells = get(outcome, "cells")?.as_number("outcome.cells")?;
+    let skipped = get(outcome, "skipped")?.as_number("outcome.skipped")?;
     let ok = get(outcome, "ok")?.as_number("outcome.ok")?;
     let errors = get(outcome, "errors")?.as_number("outcome.errors")?;
     if ok + errors != cells {
@@ -222,11 +286,27 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
             "tally mismatch: ok ({ok}) + errors ({errors}) != cells ({cells})"
         ));
     }
-    let grid_cells = get(grid, "cells")?.as_number("grid.cells")?;
-    if grid_cells != cells {
+    if status == "completed" && skipped != 0.0 {
         return Err(format!(
-            "tally mismatch: grid.cells ({grid_cells}) != outcome.cells ({cells})"
+            "tally mismatch: a completed sweep cannot skip cells (skipped = {skipped})"
         ));
+    }
+    let grid_cells = get(grid, "cells")?.as_number("grid.cells")?;
+    if cells + skipped != grid_cells {
+        return Err(format!(
+            "tally mismatch: outcome.cells ({cells}) + skipped ({skipped}) != grid.cells ({grid_cells})"
+        ));
+    }
+    let profile = get(outcome, "profile")?.as_object("outcome.profile")?;
+    for key in [
+        "setup_seconds",
+        "evaluate_seconds",
+        "attack_seconds",
+        "fold_seconds",
+        "boot_seconds",
+        "traffic_seconds",
+    ] {
+        get(profile, key)?.as_number(key)?;
     }
     let engines = get(outcome, "engines")?.as_object("outcome.engines")?;
     let mut engine_cells = 0.0;
@@ -502,6 +582,10 @@ mod tests {
         let text = render_manifest(&grid, &config, &outcome);
         validate_manifest(&text).expect("fresh manifest validates");
         assert!(text.contains(MANIFEST_SCHEMA));
+        assert!(text.contains("\"status\": \"completed\""));
+        assert!(text.contains("\"skipped\": 0"));
+        assert!(text.contains("\"trace_out\": null"));
+        assert!(text.contains("\"profile\": {\"setup_seconds\": "));
         assert!(text.contains("\"ok\": 1"));
         assert!(text.contains("\"errors\": 1"));
         assert!(text.contains("\"exact\": {\"cells\": 2"));
@@ -536,6 +620,14 @@ mod tests {
         // inconsistent tallies
         let skewed = good.replace("\"ok\": 1", "\"ok\": 5");
         assert!(validate_manifest(&skewed)
+            .unwrap_err()
+            .contains("tally mismatch"));
+        // unrecognized sweep status
+        let odd = good.replace("\"status\": \"completed\"", "\"status\": \"paused\"");
+        assert!(validate_manifest(&odd).unwrap_err().contains("status"));
+        // a completed sweep cannot have skipped cells
+        let contradictory = good.replace("\"skipped\": 0", "\"skipped\": 1");
+        assert!(validate_manifest(&contradictory)
             .unwrap_err()
             .contains("tally mismatch"));
     }

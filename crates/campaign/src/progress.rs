@@ -19,7 +19,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use anonroute_obs::{Health, ObsServer, Registry};
+use anonroute_obs::{Health, ObsServer, Registry, SweepControl};
 use anonroute_relay::ClusterMetrics;
 
 use crate::grid::EngineKind;
@@ -41,6 +41,7 @@ pub struct SweepProgress {
     done: AtomicU64,
     errors: AtomicU64,
     in_flight: AtomicU64,
+    skipped: AtomicU64,
     engines: [EngineProgress; EngineKind::ALL.len()],
 }
 
@@ -60,8 +61,19 @@ impl SweepProgress {
             done: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
             engines: Default::default(),
         }
+    }
+
+    /// Marks one cell as skipped (the sweep is draining or aborted).
+    pub fn cell_skipped(&self) {
+        self.skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cells skipped by a drain/abort so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped.load(Ordering::Relaxed)
     }
 
     /// Marks one cell as dispatched to its backend.
@@ -178,6 +190,13 @@ fn register_metrics(registry: &'static Registry, progress: &Arc<SweepProgress>) 
         move || p.in_flight() as f64,
     );
     let p = Arc::clone(progress);
+    registry.counter_fn(
+        "anonroute_campaign_cells_skipped_total",
+        "Cells skipped because the sweep drained or aborted.",
+        &[],
+        move || p.skipped() as f64,
+    );
+    let p = Arc::clone(progress);
     registry.gauge_fn(
         "anonroute_campaign_elapsed_seconds",
         "Wall-clock since the current sweep started.",
@@ -224,9 +243,22 @@ struct ProgressTicker {
 }
 
 impl ProgressTicker {
-    fn start(progress: Arc<SweepProgress>) -> ProgressTicker {
+    fn start(progress: Arc<SweepProgress>, control: Arc<SweepControl>) -> ProgressTicker {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let shared = Arc::clone(&stop);
+        let render = move || {
+            let skipped = progress.skipped();
+            let skipped = if skipped > 0 {
+                format!(", {skipped} skipped")
+            } else {
+                String::new()
+            };
+            format!(
+                "{} state={}{skipped}",
+                progress.render_line(),
+                control.state().as_str()
+            )
+        };
         let thread = std::thread::Builder::new()
             .name("campaign-progress".to_string())
             .spawn(move || {
@@ -241,11 +273,11 @@ impl ProgressTicker {
                         break;
                     }
                     if timeout.timed_out() {
-                        eprintln!("{}", progress.render_line());
+                        eprintln!("{}", render());
                     }
                 }
                 drop(stopped);
-                eprintln!("{}", progress.render_line());
+                eprintln!("{}", render());
             })
             .expect("spawning the progress ticker");
         ProgressTicker {
@@ -289,8 +321,14 @@ impl std::fmt::Debug for ObsSession {
 
 impl ObsSession {
     /// Starts whatever `config` asks for; `None` when observability is
-    /// fully disabled (the common, zero-overhead path).
-    pub fn start(config: &CampaignConfig, progress: &Arc<SweepProgress>) -> Option<ObsSession> {
+    /// fully disabled (the common, zero-overhead path). The control
+    /// handle backs the endpoint's `POST /control/*` routes and the
+    /// ticker's state label.
+    pub fn start(
+        config: &CampaignConfig,
+        progress: &Arc<SweepProgress>,
+        control: &Arc<SweepControl>,
+    ) -> Option<ObsSession> {
         if !config.progress && config.metrics_addr.is_none() {
             return None;
         }
@@ -301,7 +339,12 @@ impl ObsSession {
         let _ = ClusterMetrics::global();
         let health = Arc::new(Health::new());
         let server = config.metrics_addr.and_then(|addr| {
-            match ObsServer::serve(addr, registry, Arc::clone(&health)) {
+            match ObsServer::serve_with_control(
+                addr,
+                registry,
+                Arc::clone(&health),
+                Some(Arc::clone(control)),
+            ) {
                 Ok(server) => {
                     eprintln!("[campaign] metrics: http://{}/metrics", server.addr());
                     Some(server)
@@ -316,7 +359,7 @@ impl ObsSession {
         health.set_status("sweep running");
         let ticker = config
             .progress
-            .then(|| ProgressTicker::start(Arc::clone(progress)));
+            .then(|| ProgressTicker::start(Arc::clone(progress), Arc::clone(control)));
         Some(ObsSession {
             ticker,
             health,
@@ -374,7 +417,8 @@ mod tests {
     fn obs_session_is_none_when_disabled() {
         let config = CampaignConfig::default();
         let progress = Arc::new(SweepProgress::new(1));
-        assert!(ObsSession::start(&config, &progress).is_none());
+        let control = Arc::new(SweepControl::new());
+        assert!(ObsSession::start(&config, &progress, &control).is_none());
     }
 
     #[test]
@@ -387,7 +431,8 @@ mod tests {
         let progress = Arc::new(SweepProgress::new(3));
         progress.cell_started(EngineKind::Exact);
         progress.cell_finished(EngineKind::Exact, true, Duration::from_millis(2));
-        let session = ObsSession::start(&config, &progress).expect("session starts");
+        let control = Arc::new(SweepControl::new());
+        let session = ObsSession::start(&config, &progress, &control).expect("session starts");
         let addr = session.metrics_addr().expect("endpoint bound");
         let mut stream = std::net::TcpStream::connect(addr).expect("connect");
         write!(stream, "GET /metrics HTTP/1.1\r\n\r\n").expect("request");
@@ -408,6 +453,15 @@ mod tests {
         let mut probe = String::new();
         stream.read_to_string(&mut probe).expect("response");
         assert!(probe.starts_with("HTTP/1.1 200"), "{probe}");
+        // the control plane acts on the session's handle
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /control/pause HTTP/1.1\r\n\r\n").expect("request");
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).expect("response");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.ends_with("paused\n"), "{reply}");
+        assert_eq!(control.state(), anonroute_obs::SweepState::Paused);
+        control.resume();
         drop(session);
     }
 }

@@ -59,6 +59,15 @@ pub fn jsonl_line(cell: &CellResult, include_timing: bool) -> String {
     if include_timing {
         write!(out, ",\"elapsed_us\":{}", cell.elapsed_micros)
             .expect("writing to a String cannot fail");
+        if let Ok(m) = &cell.outcome {
+            let p = m.profile;
+            write!(
+                out,
+                ",\"profile\":{{\"setup_us\":{},\"evaluate_us\":{},\"attack_us\":{},\"fold_us\":{},\"boot_us\":{},\"traffic_us\":{}}}",
+                p.setup_us, p.evaluate_us, p.attack_us, p.fold_us, p.boot_us, p.traffic_us,
+            )
+            .expect("writing to a String cannot fail");
+        }
     }
     out.push('}');
     out
@@ -154,8 +163,9 @@ pub fn write_csv(path: &Path, outcome: &CampaignOutcome) -> std::io::Result<()> 
     fs::write(path, render_csv(outcome))
 }
 
-/// Writes per-cell wall times to `path` as CSV — timing lives in its own
-/// artifact so the main results stay byte-reproducible.
+/// Writes per-cell wall times and phase breakdowns to `path` as CSV —
+/// timing lives in its own artifact so the main results stay
+/// byte-reproducible.
 ///
 /// # Errors
 ///
@@ -165,19 +175,30 @@ pub fn write_timings_csv(path: &Path, outcome: &CampaignOutcome) -> std::io::Res
         fs::create_dir_all(dir)?;
     }
     let mut f = fs::File::create(path)?;
-    writeln!(f, "cell,n,c,path,strategy,engine,elapsed_us")?;
+    writeln!(
+        f,
+        "cell,n,c,path,strategy,engine,elapsed_us,setup_us,evaluate_us,attack_us,fold_us,boot_us,traffic_us"
+    )?;
     for cell in &outcome.cells {
         let s = &cell.scenario;
+        // error cells carry a zeroed profile: the columns stay aligned
+        let p = cell.outcome.as_ref().map(|m| m.profile).unwrap_or_default();
         writeln!(
             f,
-            "{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
             cell.index,
             s.n,
             s.c,
             s.path_kind,
             csv_sanitize(&s.strategy.to_string()),
             s.engine,
-            cell.elapsed_micros
+            cell.elapsed_micros,
+            p.setup_us,
+            p.evaluate_us,
+            p.attack_us,
+            p.fold_us,
+            p.boot_us,
+            p.traffic_us,
         )?;
     }
     Ok(())
@@ -203,6 +224,15 @@ pub fn summary(outcome: &CampaignOutcome) -> String {
         },
     )
     .expect("writing to a String cannot fail");
+    if outcome.status != crate::runner::SweepStatus::Completed {
+        writeln!(
+            out,
+            "sweep {}: {} cell(s) skipped by the control plane",
+            outcome.status.as_str(),
+            outcome.skipped,
+        )
+        .expect("writing to a String cannot fail");
+    }
     writeln!(
         out,
         "evaluator cache: {} built, {} reused; cell cpu time {:.3}s (speedup ×{:.2})",
@@ -393,6 +423,8 @@ mod tests {
             wall: std::time::Duration::from_millis(1),
             threads: 1,
             cache: Default::default(),
+            status: crate::runner::SweepStatus::Completed,
+            skipped: 0,
         };
         let text = render_csv(&outcome);
         let lines: Vec<&str> = text.lines().collect();

@@ -24,21 +24,23 @@
 //!   per-cell watchdog so even a wedged cluster degrades to an error.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use anonroute_core::engine::{CacheStats, EvaluatorCache};
 use anonroute_core::epochs::EpochView;
 use anonroute_core::SystemModel;
+use anonroute_obs::{trace, Checkpoint, SweepControl, SweepState, TraceSink};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
-use crate::backend::{self, CellCtx, CellMetrics};
+use crate::backend::{self, phase_timer, CellCtx, CellMetrics};
 use crate::grid::{Scenario, ScenarioGrid};
 use crate::progress::{ObsSession, SweepProgress};
 
 /// Execution settings of one campaign run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignConfig {
     /// Worker threads; `0` auto-detects the machine's parallelism.
     pub threads: usize,
@@ -68,6 +70,10 @@ pub struct CampaignConfig {
     /// the duration of the sweep (port 0 picks a free port; the bound
     /// address is announced on stderr). `None` disables the endpoint.
     pub metrics_addr: Option<SocketAddr>,
+    /// Write a Chrome-trace/Perfetto JSON file of the sweep's spans to
+    /// this path when the run finishes. Tracing is a write-only sink:
+    /// seeded artifacts are byte-identical with it on or off.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -83,6 +89,31 @@ impl Default for CampaignConfig {
             live_cell_size: 1_024,
             progress: false,
             metrics_addr: None,
+            trace_out: None,
+        }
+    }
+}
+
+/// How a sweep ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepStatus {
+    /// Every scheduled cell ran.
+    Completed,
+    /// An operator drained the sweep: in-flight cells finished, the rest
+    /// were skipped.
+    Drained,
+    /// An operator aborted the sweep (same scheduling consequence as a
+    /// drain — threads cannot be killed — recorded as an abort).
+    Aborted,
+}
+
+impl SweepStatus {
+    /// Stable lowercase label (manifests, summaries).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SweepStatus::Completed => "completed",
+            SweepStatus::Drained => "drained",
+            SweepStatus::Aborted => "aborted",
         }
     }
 }
@@ -105,7 +136,8 @@ pub struct CellResult {
 /// A completed campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignOutcome {
-    /// Per-cell results, in grid order.
+    /// Per-cell results, in grid order. A drained/aborted sweep carries
+    /// only the cells that actually ran.
     pub cells: Vec<CellResult>,
     /// Total wall-clock time of the sweep.
     pub wall: Duration,
@@ -113,6 +145,10 @@ pub struct CampaignOutcome {
     pub threads: usize,
     /// Evaluator-cache hit/miss counters.
     pub cache: CacheStats,
+    /// How the sweep ended (completed, drained, or aborted).
+    pub status: SweepStatus,
+    /// Cells skipped because the sweep drained or aborted first.
+    pub skipped: usize,
 }
 
 impl CampaignOutcome {
@@ -133,8 +169,23 @@ impl CampaignOutcome {
 }
 
 /// Runs every cell of `grid` under `config` and returns results in grid
-/// order.
+/// order. Equivalent to [`run_controlled`] with a fresh (never touched)
+/// control handle.
 pub fn run(grid: &ScenarioGrid, config: &CampaignConfig) -> CampaignOutcome {
+    run_controlled(grid, config, &Arc::new(SweepControl::new()))
+}
+
+/// [`run`] under an operator control handle: the runner polls
+/// [`SweepControl::checkpoint`] once per cell, *before* committing to
+/// it, so pause merely delays the same deterministic schedule and
+/// drain/abort skip whole cells — every cell that does run produces
+/// byte-identical output. The handle is also what the obs server's
+/// `POST /control/*` routes act on when `metrics_addr` is set.
+pub fn run_controlled(
+    grid: &ScenarioGrid,
+    config: &CampaignConfig,
+    control: &Arc<SweepControl>,
+) -> CampaignOutcome {
     let pool = ThreadPoolBuilder::new()
         .num_threads(config.threads)
         .build()
@@ -142,40 +193,89 @@ pub fn run(grid: &ScenarioGrid, config: &CampaignConfig) -> CampaignOutcome {
     let threads = pool.current_num_threads();
     let cache = Arc::new(EvaluatorCache::new());
     let scenarios = grid.cells();
+    if config.trace_out.is_some() {
+        let sink = TraceSink::global();
+        sink.drain(); // discard stale events from any earlier sweep
+        sink.enable();
+    }
     // progress is tracked unconditionally (a few atomic stores per cell);
     // the ticker thread and the /metrics endpoint only exist on request
     let progress = Arc::new(SweepProgress::new(scenarios.len()));
-    let _obs = ObsSession::start(config, &progress);
+    let _obs = ObsSession::start(config, &progress, control);
     let start = Instant::now();
-    let cells: Vec<CellResult> = pool.install(|| {
+    let sweep_span = trace::span_with(
+        "campaign.sweep",
+        "campaign",
+        &[("cells", scenarios.len() as u64)],
+    );
+    let maybe_cells: Vec<Option<CellResult>> = pool.install(|| {
         scenarios
             .into_iter()
             .enumerate()
             .collect::<Vec<_>>()
             .into_par_iter()
             .map(|(index, scenario)| {
+                if control.checkpoint() == Checkpoint::Skip {
+                    progress.cell_skipped();
+                    return None;
+                }
                 let seed = cell_seed(config.seed, index);
                 progress.cell_started(scenario.engine);
                 let cell_start = Instant::now();
+                let cell_span = trace::span_with(
+                    "campaign.cell",
+                    "campaign",
+                    &[
+                        ("cell", index as u64),
+                        ("epochs", scenario.dynamics.epochs as u64),
+                    ],
+                );
                 let outcome = run_cell(&scenario, seed, config, &cache);
+                drop(cell_span);
+                // rayon pool threads outlive the sweep; hand buffered
+                // events to the sink at this natural quiescence point
+                trace::flush();
                 let elapsed = cell_start.elapsed();
                 progress.cell_finished(scenario.engine, outcome.is_ok(), elapsed);
-                CellResult {
+                Some(CellResult {
                     index,
                     scenario,
                     seed,
                     elapsed_micros: elapsed.as_micros() as u64,
                     outcome,
-                }
+                })
             })
             .collect()
     });
-    CampaignOutcome {
+    let skipped = maybe_cells.iter().filter(|c| c.is_none()).count();
+    let cells: Vec<CellResult> = maybe_cells.into_iter().flatten().collect();
+    let status = match control.state() {
+        SweepState::Aborted => SweepStatus::Aborted,
+        SweepState::Draining => SweepStatus::Drained,
+        SweepState::Running | SweepState::Paused => SweepStatus::Completed,
+    };
+    drop(sweep_span);
+    trace::flush();
+    // reap watchdog helpers abandoned by timed-out live cells (bounded;
+    // truly wedged helpers stay registered rather than hanging the sweep)
+    backend::live::join_abandoned(Duration::from_millis(config.live_timeout_ms.min(5_000)));
+    let outcome = CampaignOutcome {
         cells,
         wall: start.elapsed(),
         threads,
         cache: cache.stats(),
+        status,
+        skipped,
+    };
+    if let Some(path) = &config.trace_out {
+        let sink = TraceSink::global();
+        sink.disable();
+        let rendered = trace::render_chrome_trace(&sink.drain());
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("[campaign] failed to write trace {}: {e}", path.display());
+        }
     }
+    outcome
 }
 
 /// Derives the deterministic per-cell seed: a SplitMix64 mix of the
@@ -217,6 +317,7 @@ fn run_cell(
     config: &CampaignConfig,
     cache: &EvaluatorCache,
 ) -> Result<CellMetrics, String> {
+    let setup = phase_timer("cell.setup");
     let model = SystemModel::with_path_kind(scenario.n, scenario.c, scenario.path_kind)
         .map_err(|e| e.to_string())?;
     let dist = scenario.strategy.realize(&model)?;
@@ -246,7 +347,8 @@ fn run_cell(
         }
         views
     };
-    backend::backend(scenario.engine).evaluate(&CellCtx {
+    let setup_us = setup.stop_us();
+    let mut metrics = backend::backend(scenario.engine).evaluate(&CellCtx {
         scenario,
         model: &model,
         dist: &dist,
@@ -255,7 +357,9 @@ fn run_cell(
         dynamics_seed: dyn_seed,
         config,
         cache,
-    })
+    })?;
+    metrics.profile.setup_us = setup_us;
+    Ok(metrics)
 }
 
 #[cfg(test)]

@@ -281,7 +281,7 @@ pub fn parse_spec(
     base: &CampaignConfig,
 ) -> Result<(ScenarioGrid, CampaignConfig), String> {
     let mut grid = ScenarioGrid::new();
-    let mut config = *base;
+    let mut config = base.clone();
     let mut section = String::new();
     let mut saw_strategies = false;
     for (lineno, raw_line) in text.lines().enumerate() {
@@ -383,6 +383,10 @@ pub fn parse_spec(
                 config.live_cell_size = value.as_u64(key).map_err(at)? as usize
             }
             ("run", "progress") => config.progress = value.as_bool(key).map_err(at)?,
+            ("run", "trace_out") => {
+                config.trace_out =
+                    Some(std::path::PathBuf::from(value.as_one_str(key).map_err(at)?));
+            }
             ("run", "metrics_addr") => {
                 let addr = value.as_one_str(key).map_err(at)?;
                 config.metrics_addr = Some(addr.parse().map_err(|e| {

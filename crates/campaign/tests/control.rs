@@ -1,0 +1,138 @@
+//! Integration tests for the operator control plane and the trace
+//! export: pause/resume and drain must never perturb per-seed output
+//! bytes, drain must yield a clean prefix of the uninterrupted sweep,
+//! and tracing must be write-only.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use anonroute_campaign::{
+    manifest, report, run, run_controlled, CampaignConfig, EngineKind, ScenarioGrid, StrategySpec,
+    SweepControl, SweepState, SweepStatus,
+};
+
+/// A small all-exact grid: fast, fully deterministic, eight cells.
+fn grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .ns([10, 15])
+        .cs([1, 2])
+        .strategies([StrategySpec::Fixed(3), StrategySpec::Uniform(1, 4)])
+        .engines([EngineKind::Exact])
+}
+
+fn serial_config() -> CampaignConfig {
+    CampaignConfig {
+        threads: 1,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pause_then_resume_yields_byte_identical_jsonl() {
+    let baseline = run(&grid(), &serial_config());
+    let control = Arc::new(SweepControl::new());
+    // pause before the sweep starts: the first checkpoint blocks until
+    // the resume below, so the pause path is exercised deterministically
+    control.pause();
+    let resumer = {
+        let control = Arc::clone(&control);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(control.state(), SweepState::Paused);
+            control.resume();
+        })
+    };
+    let outcome = run_controlled(&grid(), &serial_config(), &control);
+    resumer.join().expect("resumer thread");
+    assert_eq!(outcome.status, SweepStatus::Completed);
+    assert_eq!(outcome.skipped, 0);
+    assert_eq!(
+        report::render_jsonl(&outcome, false),
+        report::render_jsonl(&baseline, false),
+        "pause/resume must not perturb output bytes"
+    );
+}
+
+#[test]
+fn drained_sweeps_emit_a_clean_prefix_and_a_valid_manifest() {
+    let full = run(&grid(), &serial_config());
+    let full_jsonl = report::render_jsonl(&full, false);
+    let k = 3;
+    let control = Arc::new(SweepControl::new());
+    control.drain_after_checkpoints(k);
+    let outcome = run_controlled(&grid(), &serial_config(), &control);
+    assert_eq!(outcome.status, SweepStatus::Drained);
+    assert_eq!(outcome.cells.len(), k as usize);
+    assert_eq!(outcome.skipped, grid().len() - k as usize);
+    // at threads = 1 cells run in index order, so the drained artifact
+    // is exactly the first k lines of the uninterrupted run
+    let prefix: String = full_jsonl
+        .lines()
+        .take(k as usize)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(report::render_jsonl(&outcome, false), prefix);
+    let text = manifest::render_manifest(&grid(), &serial_config(), &outcome);
+    manifest::validate_manifest(&text).expect("drained manifest validates");
+    assert!(text.contains("\"status\": \"drained\""));
+    assert!(text.contains("\"skipped\": 5"));
+}
+
+#[test]
+fn aborted_sweeps_skip_every_remaining_cell() {
+    let control = Arc::new(SweepControl::new());
+    control.abort();
+    let outcome = run_controlled(&grid(), &serial_config(), &control);
+    assert_eq!(outcome.status, SweepStatus::Aborted);
+    assert!(outcome.cells.is_empty());
+    assert_eq!(outcome.skipped, grid().len());
+    let text = manifest::render_manifest(&grid(), &serial_config(), &outcome);
+    manifest::validate_manifest(&text).expect("aborted manifest validates");
+    assert!(text.contains("\"status\": \"aborted\""));
+}
+
+#[test]
+fn tracing_never_changes_result_bytes_and_exports_cell_spans() {
+    let dir = std::env::temp_dir().join("anonroute-campaign-control-trace-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let plain = run(&grid(), &serial_config());
+    let trace_path = dir.join("trace.json");
+    let traced = run(
+        &grid(),
+        &CampaignConfig {
+            threads: 1,
+            trace_out: Some(trace_path.clone()),
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        report::render_jsonl(&traced, false),
+        report::render_jsonl(&plain, false),
+        "tracing is write-only: result bytes must not change"
+    );
+    assert_eq!(report::render_csv(&traced), report::render_csv(&plain));
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"name\":\"campaign.sweep\""));
+    assert!(trace.contains("\"name\":\"campaign.cell\""));
+    assert!(trace.contains("\"name\":\"cell.evaluate\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profiles_land_in_timing_gated_artifacts_only() {
+    let outcome = run(&grid(), &serial_config());
+    let plain = report::render_jsonl(&outcome, false);
+    assert!(
+        !plain.contains("\"profile\""),
+        "untimed JSONL stays diffable"
+    );
+    let timed = report::render_jsonl(&outcome, true);
+    let first = timed.lines().next().unwrap();
+    assert!(
+        first.contains("\"profile\":{\"setup_us\":"),
+        "timed JSONL carries the phase profile: {first}"
+    );
+    assert!(first.contains("\"evaluate_us\":"));
+}

@@ -1,0 +1,241 @@
+//! The operator control plane for long-running sweeps.
+//!
+//! A [`SweepControl`] is a tiny state machine
+//! (`running → paused → running`, `running|paused → draining`,
+//! `any → aborted`) shared between an operator surface (the
+//! `POST /control/*` routes of [`ObsServer`](crate::ObsServer)) and a
+//! worker loop that polls [`SweepControl::checkpoint`] at its own
+//! scheduling points.
+//!
+//! The determinism contract leans on *where* the worker checkpoints:
+//! the campaign runner asks only **before** committing to a unit of
+//! work (a cell), so pausing merely delays the same deterministic
+//! schedule and drain/abort skip whole cells — the bytes of every cell
+//! that does run are untouched. Pause blocks the checkpointing thread
+//! on a condvar (no spinning); drain and abort wake all paused waiters
+//! and turn every subsequent checkpoint into [`Checkpoint::Skip`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Lifecycle of a controlled sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepState {
+    /// Scheduling work normally.
+    Running,
+    /// Checkpoints block until resumed (or drained/aborted).
+    Paused,
+    /// In-flight work finishes; nothing new is scheduled.
+    Draining,
+    /// As draining, recorded as an abort.
+    Aborted,
+}
+
+impl SweepState {
+    /// Stable lowercase label (HTTP bodies, tickers, manifests).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SweepState::Running => "running",
+            SweepState::Paused => "paused",
+            SweepState::Draining => "draining",
+            SweepState::Aborted => "aborted",
+        }
+    }
+}
+
+/// What a worker should do with the unit of work it checkpointed for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Checkpoint {
+    /// Run it.
+    Proceed,
+    /// Skip it (and everything after): the sweep is draining or aborted.
+    Skip,
+}
+
+/// Shared pause/resume/drain/abort handle for one sweep.
+#[derive(Debug)]
+pub struct SweepControl {
+    state: Mutex<SweepState>,
+    changed: Condvar,
+    checkpoints: AtomicU64,
+    /// Checkpoint index at which to self-drain; `u64::MAX` = never.
+    /// A deterministic test hook: with one worker thread, exactly the
+    /// first `k` units of a sweep run, in schedule order.
+    drain_after: AtomicU64,
+}
+
+impl Default for SweepControl {
+    fn default() -> Self {
+        SweepControl::new()
+    }
+}
+
+impl SweepControl {
+    /// A control handle in the `Running` state.
+    pub fn new() -> Self {
+        SweepControl {
+            state: Mutex::new(SweepState::Running),
+            changed: Condvar::new(),
+            checkpoints: AtomicU64::new(0),
+            drain_after: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> SweepState {
+        *self.state.lock().expect("sweep control lock")
+    }
+
+    /// How many checkpoints have been taken so far.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.load(Ordering::SeqCst)
+    }
+
+    /// Pauses a running sweep (no-op in any other state). Returns the
+    /// resulting state.
+    pub fn pause(&self) -> SweepState {
+        let mut state = self.state.lock().expect("sweep control lock");
+        if *state == SweepState::Running {
+            *state = SweepState::Paused;
+        }
+        *state
+    }
+
+    /// Resumes a paused sweep (no-op in any other state).
+    pub fn resume(&self) -> SweepState {
+        let mut state = self.state.lock().expect("sweep control lock");
+        if *state == SweepState::Paused {
+            *state = SweepState::Running;
+            self.changed.notify_all();
+        }
+        *state
+    }
+
+    /// Stops scheduling new work; in-flight work finishes. Wakes paused
+    /// checkpoints (they skip). No-op once aborted.
+    pub fn drain(&self) -> SweepState {
+        let mut state = self.state.lock().expect("sweep control lock");
+        if matches!(*state, SweepState::Running | SweepState::Paused) {
+            *state = SweepState::Draining;
+            self.changed.notify_all();
+        }
+        *state
+    }
+
+    /// As [`drain`](SweepControl::drain), recorded as an abort. Threads
+    /// cannot be killed, so in-flight work still completes; only the
+    /// recorded outcome differs.
+    pub fn abort(&self) -> SweepState {
+        let mut state = self.state.lock().expect("sweep control lock");
+        *state = SweepState::Aborted;
+        self.changed.notify_all();
+        *state
+    }
+
+    /// Arms the deterministic self-drain hook: the checkpoint with
+    /// 0-based index `k` (and every later one) drains the sweep, so
+    /// exactly `k` units proceed. Tests use this with one worker thread
+    /// to pin drained-output prefixes without timing races.
+    pub fn drain_after_checkpoints(&self, k: u64) {
+        self.drain_after.store(k, Ordering::SeqCst);
+    }
+
+    /// The worker-side poll, called before committing to each unit of
+    /// work. Blocks while paused; returns [`Checkpoint::Skip`] once the
+    /// sweep is draining or aborted.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let index = self.checkpoints.fetch_add(1, Ordering::SeqCst);
+        if index >= self.drain_after.load(Ordering::SeqCst) {
+            self.drain();
+        }
+        let mut state = self.state.lock().expect("sweep control lock");
+        while *state == SweepState::Paused {
+            state = self.changed.wait(state).expect("sweep control lock");
+        }
+        match *state {
+            SweepState::Running => Checkpoint::Proceed,
+            SweepState::Paused => unreachable!("the wait loop holds until unpaused"),
+            SweepState::Draining | SweepState::Aborted => Checkpoint::Skip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lifecycle_transitions() {
+        let c = SweepControl::new();
+        assert_eq!(c.state(), SweepState::Running);
+        assert_eq!(
+            c.resume(),
+            SweepState::Running,
+            "resume while running: no-op"
+        );
+        assert_eq!(c.pause(), SweepState::Paused);
+        assert_eq!(c.pause(), SweepState::Paused, "pause is idempotent");
+        assert_eq!(c.resume(), SweepState::Running);
+        assert_eq!(c.drain(), SweepState::Draining);
+        assert_eq!(c.pause(), SweepState::Draining, "draining cannot pause");
+        assert_eq!(c.abort(), SweepState::Aborted);
+        assert_eq!(c.drain(), SweepState::Aborted, "aborted is terminal");
+    }
+
+    #[test]
+    fn checkpoints_proceed_until_drained() {
+        let c = SweepControl::new();
+        assert_eq!(c.checkpoint(), Checkpoint::Proceed);
+        c.drain();
+        assert_eq!(c.checkpoint(), Checkpoint::Skip);
+        assert_eq!(c.checkpoints(), 2);
+    }
+
+    #[test]
+    fn drain_after_k_lets_exactly_k_proceed() {
+        let c = SweepControl::new();
+        c.drain_after_checkpoints(3);
+        let verdicts: Vec<Checkpoint> = (0..5).map(|_| c.checkpoint()).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                Checkpoint::Proceed,
+                Checkpoint::Proceed,
+                Checkpoint::Proceed,
+                Checkpoint::Skip,
+                Checkpoint::Skip
+            ]
+        );
+        assert_eq!(c.state(), SweepState::Draining);
+    }
+
+    #[test]
+    fn pause_blocks_checkpoints_until_resume() {
+        let c = Arc::new(SweepControl::new());
+        c.pause();
+        let worker = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.checkpoint())
+        };
+        // the worker is (very probably) parked on the condvar by now
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!worker.is_finished(), "checkpoint must block while paused");
+        c.resume();
+        assert_eq!(worker.join().expect("worker"), Checkpoint::Proceed);
+    }
+
+    #[test]
+    fn drain_wakes_paused_checkpoints_into_skip() {
+        let c = Arc::new(SweepControl::new());
+        c.pause();
+        let worker = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.checkpoint())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        c.drain();
+        assert_eq!(worker.join().expect("worker"), Checkpoint::Skip);
+    }
+}

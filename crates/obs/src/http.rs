@@ -2,7 +2,10 @@
 //!
 //! [`ObsServer`] binds a listener, answers `GET /metrics` (rendered from
 //! a shared [`Registry`]), `GET /healthz`, and `GET /readyz` (from a
-//! shared [`Health`]), and nothing else. It is deliberately minimal:
+//! shared [`Health`]) — plus, when a [`SweepControl`] handle is
+//! attached, the operator control plane: `POST /control/pause`,
+//! `/control/resume`, `/control/drain`, and `/control/abort`, each
+//! answering the sweep's resulting state. It is deliberately minimal:
 //! thread-per-connection, `Connection: close` on every response, a read
 //! timeout so a stalled scraper cannot pin a handler thread, and the
 //! same shutdown discipline as the relay daemon — an atomic flag plus a
@@ -18,6 +21,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::control::SweepControl;
 use crate::health::Health;
 use crate::registry::Registry;
 
@@ -35,11 +39,25 @@ pub struct ObsServer {
 impl ObsServer {
     /// Binds `addr` (port 0 picks a free port — see [`ObsServer::addr`])
     /// and starts serving `/metrics`, `/healthz`, and `/readyz` from the
-    /// shared registry and health state.
+    /// shared registry and health state. `POST /control/*` answers 404
+    /// (read-only endpoint); use [`ObsServer::serve_with_control`] to
+    /// attach a control plane.
     pub fn serve(
         addr: impl ToSocketAddrs,
         registry: &'static Registry,
         health: Arc<Health>,
+    ) -> io::Result<ObsServer> {
+        ObsServer::serve_with_control(addr, registry, health, None)
+    }
+
+    /// [`ObsServer::serve`] with an optional [`SweepControl`] handle;
+    /// when present, `POST /control/{pause,resume,drain,abort}` drive
+    /// it and answer the resulting state.
+    pub fn serve_with_control(
+        addr: impl ToSocketAddrs,
+        registry: &'static Registry,
+        health: Arc<Health>,
+        control: Option<Arc<SweepControl>>,
     ) -> io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -47,7 +65,7 @@ impl ObsServer {
         let accept_stop = Arc::clone(&stop);
         let accept_loop = std::thread::Builder::new()
             .name("obs-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_stop, registry, health))?;
+            .spawn(move || accept_loop(listener, accept_stop, registry, health, control))?;
         Ok(ObsServer {
             addr,
             stop,
@@ -84,6 +102,7 @@ fn accept_loop(
     stop: Arc<AtomicBool>,
     registry: &'static Registry,
     health: Arc<Health>,
+    control: Option<Arc<SweepControl>>,
 ) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -91,15 +110,21 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         let health = Arc::clone(&health);
+        let control = control.clone();
         // Handlers are detached: each is bounded by READ_TIMEOUT plus one
         // response write, so none outlives shutdown by more than that.
         let _ = std::thread::Builder::new()
             .name("obs-conn".to_string())
-            .spawn(move || handle_connection(stream, registry, &health));
+            .spawn(move || handle_connection(stream, registry, &health, control.as_deref()));
     }
 }
 
-fn handle_connection(stream: TcpStream, registry: &Registry, health: &Health) {
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    health: &Health,
+    control: Option<&SweepControl>,
+) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let peer = stream.peer_addr();
     let mut reader = BufReader::new(stream);
@@ -122,7 +147,7 @@ fn handle_connection(stream: TcpStream, registry: &Registry, health: &Health) {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = route(method, path, registry, health);
+    let (status, content_type, body) = route(method, path, registry, health, control);
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
@@ -138,7 +163,13 @@ fn route(
     path: &str,
     registry: &Registry,
     health: &Health,
+    control: Option<&SweepControl>,
 ) -> (&'static str, &'static str, String) {
+    if method == "POST" {
+        if let Some(action) = path.strip_prefix("/control/") {
+            return control_route(action, control);
+        }
+    }
     if method != "GET" {
         return (
             "405 Method Not Allowed",
@@ -160,6 +191,39 @@ fn route(
             "not found\n".to_string(),
         ),
     }
+}
+
+/// Handles `POST /control/<action>`. Without an attached handle the
+/// control plane does not exist: 404, matching any other unknown path.
+fn control_route(
+    action: &str,
+    control: Option<&SweepControl>,
+) -> (&'static str, &'static str, String) {
+    let Some(control) = control else {
+        return (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "no sweep control attached\n".to_string(),
+        );
+    };
+    let state = match action {
+        "pause" => control.pause(),
+        "resume" => control.resume(),
+        "drain" => control.drain(),
+        "abort" => control.abort(),
+        _ => {
+            return (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "unknown control action\n".to_string(),
+            )
+        }
+    };
+    (
+        "200 OK",
+        "text/plain; charset=utf-8",
+        format!("{}\n", state.as_str()),
+    )
 }
 
 fn probe(ok: bool, what: &str, health: &Health) -> (&'static str, &'static str, String) {
@@ -247,5 +311,52 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("response");
         assert!(response.starts_with("HTTP/1.1 405"));
+    }
+
+    fn post(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    #[test]
+    fn control_routes_drive_the_sweep_handle() {
+        use crate::control::{SweepControl, SweepState};
+        let health = Arc::new(Health::new());
+        let control = Arc::new(SweepControl::new());
+        let server = ObsServer::serve_with_control(
+            "127.0.0.1:0",
+            test_registry(),
+            health,
+            Some(Arc::clone(&control)),
+        )
+        .expect("bind");
+        let addr = server.addr();
+
+        let paused = post(addr, "/control/pause");
+        assert!(paused.starts_with("HTTP/1.1 200 OK"), "{paused}");
+        assert!(paused.ends_with("paused\n"));
+        assert_eq!(control.state(), SweepState::Paused);
+
+        assert!(post(addr, "/control/resume").ends_with("running\n"));
+        assert_eq!(control.state(), SweepState::Running);
+
+        assert!(post(addr, "/control/nope").starts_with("HTTP/1.1 404"));
+        // GET on a control path is not a control action
+        assert!(get(addr, "/control/pause").starts_with("HTTP/1.1 404"));
+
+        assert!(post(addr, "/control/drain").ends_with("draining\n"));
+        assert!(post(addr, "/control/abort").ends_with("aborted\n"));
+        assert_eq!(control.state(), SweepState::Aborted);
+    }
+
+    #[test]
+    fn control_routes_without_a_handle_are_absent() {
+        let health = Arc::new(Health::new());
+        let server = ObsServer::serve("127.0.0.1:0", test_registry(), health).expect("bind");
+        let response = post(server.addr(), "/control/pause");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
     }
 }

@@ -15,29 +15,44 @@
 //!   free-form status note for probe bodies;
 //! * [`http`] — [`ObsServer`], a tiny hand-rolled HTTP/1.1 server
 //!   exposing `GET /metrics`, `/healthz`, and `/readyz` on a
-//!   thread-per-connection accept loop with bounded shutdown.
+//!   thread-per-connection accept loop with bounded shutdown — plus the
+//!   `POST /control/*` operator routes when a control handle is
+//!   attached;
+//! * [`control`] — [`SweepControl`], the pause/resume/drain/abort state
+//!   machine a sweep polls at its deterministic scheduling points;
+//! * [`trace`] — deterministic span tracing ([`span`] guards over
+//!   thread-local stacks and buffers, a process-wide [`TraceSink`]) with
+//!   Chrome-trace/Perfetto JSON export.
 //!
 //! ## Determinism boundary
 //!
-//! Metrics are **write-only sinks**: evaluation code may increment
-//! counters, set gauges, and observe histograms, but must never *read*
-//! a metric to make a decision. The workspace's seeded evaluation
-//! pipeline (campaign cells, cluster runs, adversary scoring) promises
-//! byte-identical artifacts per seed with observability on or off —
-//! pinned by the campaign golden-file tests — and that contract holds
-//! exactly because nothing numeric ever flows back out of this crate
-//! into an evaluator. Instrument reads ([`Counter::get`] and friends)
-//! exist for exposition and tests only.
+//! Metrics and traces are **write-only sinks**: evaluation code may
+//! increment counters, set gauges, observe histograms, and emit spans,
+//! but must never *read* one to make a decision. The workspace's seeded
+//! evaluation pipeline (campaign cells, cluster runs, adversary
+//! scoring) promises byte-identical artifacts per seed with
+//! observability on or off — pinned by the campaign golden-file tests —
+//! and that contract holds exactly because nothing numeric ever flows
+//! back out of this crate into an evaluator. Instrument reads
+//! ([`Counter::get`] and friends) exist for exposition and tests only.
+//! The two deliberate, still-deterministic exceptions are
+//! [`trace::current_path`] (built purely from `'static` span names) and
+//! [`SweepControl::checkpoint`], which only ever delays or skips whole
+//! units of work at scheduling boundaries — see their module docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod health;
 pub mod http;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
 
+pub use control::{Checkpoint, SweepControl, SweepState};
 pub use health::Health;
 pub use http::ObsServer;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::Registry;
+pub use trace::{render_chrome_trace, span, span_with, Span, TraceEvent, TraceSink};

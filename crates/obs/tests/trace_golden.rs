@@ -1,0 +1,82 @@
+//! Golden-file test for the Chrome-trace export.
+//!
+//! Pins the exact bytes `render_chrome_trace` produces for a fixed
+//! event set exercising sorting, args, and name escaping. Perfetto and
+//! the CI smoke-run consume this format, so any drift — reordering, a
+//! field rename, an escaping fix — must show up here as a deliberate
+//! golden update, not as silent churn.
+
+use anonroute_obs::{render_chrome_trace, TraceEvent};
+
+const GOLDEN: &str = "{\"traceEvents\":[\n\
+{\"name\":\"campaign.sweep\",\"cat\":\"campaign\",\"ph\":\"X\",\"ts\":0,\"dur\":900,\"pid\":1,\"tid\":1,\"args\":{\"cells\":2}},\n\
+{\"name\":\"campaign.cell\",\"cat\":\"campaign\",\"ph\":\"X\",\"ts\":10,\"dur\":400,\"pid\":1,\"tid\":2,\"args\":{\"cell\":0,\"epochs\":1}},\n\
+{\"name\":\"cell.evaluate\",\"cat\":\"campaign\",\"ph\":\"X\",\"ts\":15,\"dur\":300,\"pid\":1,\"tid\":2},\n\
+{\"name\":\"campaign.cell\",\"cat\":\"campaign\",\"ph\":\"X\",\"ts\":15,\"dur\":500,\"pid\":1,\"tid\":3,\"args\":{\"cell\":1,\"epochs\":4}},\n\
+{\"name\":\"a\\\"quoted\\\\name\",\"cat\":\"relay\",\"ph\":\"X\",\"ts\":20,\"dur\":1,\"pid\":1,\"tid\":3}\n\
+]}\n";
+
+/// The same events, deliberately out of order: the renderer must sort
+/// by `(ts, tid, name)` so equal event sets render equal bytes no
+/// matter how thread buffers drained.
+fn events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent {
+            name: "a\"quoted\\name",
+            cat: "relay",
+            ts_us: 20,
+            dur_us: 1,
+            tid: 3,
+            args: vec![],
+        },
+        TraceEvent {
+            name: "campaign.cell",
+            cat: "campaign",
+            ts_us: 15,
+            dur_us: 500,
+            tid: 3,
+            args: vec![("cell", 1), ("epochs", 4)],
+        },
+        TraceEvent {
+            name: "cell.evaluate",
+            cat: "campaign",
+            ts_us: 15,
+            dur_us: 300,
+            tid: 2,
+            args: vec![],
+        },
+        TraceEvent {
+            name: "campaign.sweep",
+            cat: "campaign",
+            ts_us: 0,
+            dur_us: 900,
+            tid: 1,
+            args: vec![("cells", 2)],
+        },
+        TraceEvent {
+            name: "campaign.cell",
+            cat: "campaign",
+            ts_us: 10,
+            dur_us: 400,
+            tid: 2,
+            args: vec![("cell", 0), ("epochs", 1)],
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_golden_bytes() {
+    assert_eq!(render_chrome_trace(&events()), GOLDEN);
+}
+
+#[test]
+fn rendering_is_independent_of_input_order() {
+    let mut reversed = events();
+    reversed.reverse();
+    assert_eq!(render_chrome_trace(&reversed), GOLDEN);
+}
+
+#[test]
+fn empty_trace_is_still_a_loadable_document() {
+    assert_eq!(render_chrome_trace(&[]), "{\"traceEvents\":[\n\n]}\n");
+}

@@ -1,0 +1,64 @@
+//! Property tests for the span-name stack: under arbitrary open/close
+//! programs the stack stays balanced, `current_path` always mirrors the
+//! model stack, and everything unwinds to empty — the invariant that
+//! makes `current_path` safe to embed in seeded artifacts.
+
+use anonroute_obs::trace::{current_depth, current_path, span, Span};
+use proptest::prelude::*;
+
+/// The fixed pool of `'static` span names the generator draws from.
+const NAMES: [&str; 6] = [
+    "campaign.sweep",
+    "campaign.cell",
+    "cell.evaluate",
+    "cell.fold",
+    "relay.cell",
+    "cluster.boot",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // `ops` encodes an arbitrary open/close program: a value below
+    // `NAMES.len()` opens a span with that name, anything else closes
+    // the innermost open span (a no-op when none is open). RAII makes
+    // closes inherently LIFO — exactly the discipline real
+    // instrumentation follows.
+    #[test]
+    fn span_stack_mirrors_the_model_under_arbitrary_programs(
+        ops in proptest::collection::vec(0usize..NAMES.len() + 3, 0..64),
+    ) {
+        // a test runner thread may interleave other tests' spans only on
+        // other threads: the stack is thread-local, so we start at our
+        // own baseline
+        let base_depth = current_depth();
+        let base_path = current_path();
+        let mut open: Vec<Span> = Vec::new();
+        let mut model: Vec<&'static str> = Vec::new();
+        for op in ops {
+            if op < NAMES.len() {
+                open.push(span(NAMES[op], "prop-test"));
+                model.push(NAMES[op]);
+            } else {
+                open.pop();
+                model.pop();
+            }
+            prop_assert_eq!(current_depth(), base_depth + model.len());
+            let expected = if base_path.is_empty() {
+                model.join("/")
+            } else if model.is_empty() {
+                base_path.clone()
+            } else {
+                format!("{base_path}/{}", model.join("/"))
+            };
+            prop_assert_eq!(current_path(), expected);
+        }
+        // unwind innermost-first: dropping the Vec itself would drop
+        // index 0 first and violate the LIFO span discipline
+        while let Some(innermost) = open.pop() {
+            drop(innermost);
+        }
+        prop_assert_eq!(current_depth(), base_depth);
+        prop_assert_eq!(current_path(), base_path);
+    }
+}

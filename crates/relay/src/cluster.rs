@@ -100,6 +100,13 @@ pub struct ClusterOutcome {
     pub originations: Vec<Origination>,
     /// Per-relay traffic counters, indexed by member id.
     pub stats: Vec<RelayStats>,
+    /// Wall-clock from first bind to all daemons serving, in
+    /// microseconds. Operator profile only — nondeterministic, never fed
+    /// back into evaluation.
+    pub boot_micros: u64,
+    /// Wall-clock from the first handshake to full delivery at the
+    /// receiver, in microseconds (same caveat).
+    pub traffic_micros: u64,
 }
 
 /// Derives the deterministic identity provisioning seed of a cluster.
@@ -227,6 +234,7 @@ fn run_cluster_inner(
     }
     phase.set(Phase::Boot);
     let boot_start = Instant::now();
+    let boot_span = anonroute_obs::span_with("cluster.boot", "relay", &[("epoch", config.epoch)]);
     let tap = LinkTap::new();
     let receiver = ReceiverServer::spawn(tap.clone(), config.io_timeout)?;
     let relay_cfg = RelayConfig {
@@ -275,11 +283,16 @@ fn run_cluster_inner(
     metrics
         .boot_seconds
         .observe(boot_start.elapsed().as_secs_f64());
+    let boot_micros = boot_start.elapsed().as_micros() as u64;
+    drop(boot_span);
 
     // drive the workload; the client drops (closing its connections) as
     // soon as the last cell is on the wire. The first send is where
     // onion handshakes can first fail, so it gets its own phase.
     phase.set(Phase::Handshake);
+    let traffic_start = Instant::now();
+    let traffic_span =
+        anonroute_obs::span_with("cluster.traffic", "relay", &[("epoch", config.epoch)]);
     let send_result = (|| -> Result<Vec<Origination>> {
         let mut client = Client::new(
             Arc::clone(&directory),
@@ -316,9 +329,13 @@ fn run_cluster_inner(
         }
         Err(_) => false,
     };
+    let traffic_micros = traffic_start.elapsed().as_micros() as u64;
+    drop(traffic_span);
 
     // teardown is unconditional and bounded; keep the first error seen
     phase.set(Phase::Teardown);
+    let _teardown_span =
+        anonroute_obs::span_with("cluster.teardown", "relay", &[("epoch", config.epoch)]);
     let mut stats = Vec::with_capacity(config.n);
     let mut teardown_err: Option<Error> = None;
     for relay in relays {
@@ -355,6 +372,8 @@ fn run_cluster_inner(
         deliveries,
         originations,
         stats,
+        boot_micros,
+        traffic_micros,
     })
 }
 

@@ -31,6 +31,7 @@ use rand::{Rng, SeedableRng};
 use crate::circuit;
 use crate::directory::Directory;
 use crate::error::{panic_message, Error, Result};
+use crate::obs;
 use crate::tap::LinkTap;
 use crate::wire::{self, Frame, ReadOutcome};
 use crate::workers;
@@ -83,6 +84,12 @@ struct Counters {
     peel_failures: AtomicU64,
     /// Worker connections currently open (accept .. socket close).
     connections: AtomicI64,
+    /// Inbound queue: live (unreaped) worker threads on the accept loop.
+    /// The honest depth for a thread-per-connection daemon — there is no
+    /// buffered queue of cells, connections *are* the backlog.
+    inbound: obs::QueueDepth,
+    /// Outbound queue: downstream frame writes currently in progress.
+    outbound: obs::QueueDepth,
 }
 
 impl Counters {
@@ -284,6 +291,45 @@ impl Relay {
             labels,
             move || f64::from(u8::from(shutdown.load(Ordering::SeqCst))),
         );
+        for (queue, depth, high_water) in [
+            (
+                "inbound",
+                {
+                    let c = Arc::clone(&self.counters);
+                    Box::new(move || c.inbound.depth() as f64) as Box<dyn Fn() -> f64 + Send + Sync>
+                },
+                {
+                    let c = Arc::clone(&self.counters);
+                    Box::new(move || c.inbound.high_water() as f64)
+                        as Box<dyn Fn() -> f64 + Send + Sync>
+                },
+            ),
+            (
+                "outbound",
+                {
+                    let c = Arc::clone(&self.counters);
+                    Box::new(move || c.outbound.depth() as f64)
+                },
+                {
+                    let c = Arc::clone(&self.counters);
+                    Box::new(move || c.outbound.high_water() as f64)
+                },
+            ),
+        ] {
+            registry.gauge_fn(
+                "anonroute_relay_queue_depth",
+                "Current work-queue depth on this relay (inbound = live worker \
+                 connections, outbound = downstream writes in progress).",
+                &[("queue", queue), ("relay", &id)],
+                depth,
+            );
+            registry.gauge_fn(
+                "anonroute_relay_queue_high_water",
+                "Deepest the queue has been since the relay started.",
+                &[("queue", queue), ("relay", &id)],
+                high_water,
+            );
+        }
     }
 
     /// Requests shutdown: raises the flag and wakes the blocked accept.
@@ -349,6 +395,7 @@ fn accept_loop(
         &shutdown,
         config.io_timeout,
         &label,
+        Some(&counters.inbound),
         |stream, conn_index| {
             let junk_rng =
                 StdRng::seed_from_u64(seed ^ conn_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -434,7 +481,12 @@ fn handle_cell(
         counters.dropped.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    match circuit::peel(identity, cell) {
+    let _cell_span = anonroute_obs::span("relay.cell", "relay");
+    let peeled = {
+        let _peel_span = anonroute_obs::span("relay.peel", "relay");
+        circuit::peel(identity, cell)
+    };
+    match peeled {
         Ok(Peeled::Forward { next, content }) => {
             let next_id = next as usize;
             let Some(info) = directory.node(next_id) else {
@@ -446,7 +498,11 @@ fn handle_cell(
             // record before sending: per-message tap order = path order
             tap.record(Endpoint::Node(id), Endpoint::Node(next_id), MsgId(msg));
             let frame = Frame::Cell { msg, cell: framed };
-            if send_cached(downstream, next_id, info.addr, &frame).is_ok() {
+            let _fwd_span = anonroute_obs::span("relay.forward", "relay");
+            counters.outbound.enter();
+            let sent = send_cached(downstream, next_id, info.addr, &frame);
+            counters.outbound.exit();
+            if sent.is_ok() {
                 counters.relayed.fetch_add(1, Ordering::Relaxed);
             } else {
                 counters.dropped.fetch_add(1, Ordering::Relaxed);
@@ -459,7 +515,11 @@ fn handle_cell(
                 from: id as u16,
                 payload,
             };
-            if send_cached(downstream, usize::MAX, directory.receiver(), &frame).is_ok() {
+            let _deliver_span = anonroute_obs::span("relay.deliver", "relay");
+            counters.outbound.enter();
+            let sent = send_cached(downstream, usize::MAX, directory.receiver(), &frame);
+            counters.outbound.exit();
+            if sent.is_ok() {
                 counters.delivered.fetch_add(1, Ordering::Relaxed);
             } else {
                 counters.dropped.fetch_add(1, Ordering::Relaxed);

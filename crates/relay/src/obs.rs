@@ -16,7 +16,7 @@
 //! Everything here is a write-only sink per the determinism boundary
 //! documented in `anonroute-obs`: cluster evaluation never reads these.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use anonroute_obs::{Counter, Histogram, Registry};
@@ -75,6 +75,58 @@ impl Phase {
 impl std::fmt::Display for Phase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+/// A current-depth / high-water-mark gauge pair for one relay work
+/// queue (inbound worker connections, outbound writes in progress).
+///
+/// Depth moves with [`enter`](QueueDepth::enter)/[`exit`](QueueDepth::exit)
+/// (or [`set`](QueueDepth::set) for externally counted queues); the high
+/// water mark is CAS-maxed on every raise and never resets, so a scrape
+/// after a burst still shows how deep the queue got.
+#[derive(Debug, Default)]
+pub struct QueueDepth {
+    depth: AtomicI64,
+    high_water: AtomicI64,
+}
+
+impl QueueDepth {
+    /// An empty queue gauge.
+    pub fn new() -> Self {
+        QueueDepth::default()
+    }
+
+    /// One item entered the queue.
+    pub fn enter(&self) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.raise(depth);
+    }
+
+    /// One item left the queue.
+    pub fn exit(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the depth with an externally counted value (e.g. the
+    /// accept loop's live-worker count after a reap pass).
+    pub fn set(&self, depth: i64) {
+        self.depth.store(depth, Ordering::Relaxed);
+        self.raise(depth);
+    }
+
+    fn raise(&self, depth: i64) {
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The current depth.
+    pub fn depth(&self) -> i64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_water(&self) -> i64 {
+        self.high_water.load(Ordering::Relaxed)
     }
 }
 
@@ -254,6 +306,21 @@ mod tests {
                 "done"
             ]
         );
+    }
+
+    #[test]
+    fn queue_depth_tracks_current_and_high_water() {
+        let q = QueueDepth::new();
+        assert_eq!((q.depth(), q.high_water()), (0, 0));
+        q.enter();
+        q.enter();
+        assert_eq!((q.depth(), q.high_water()), (2, 2));
+        q.exit();
+        assert_eq!((q.depth(), q.high_water()), (1, 2), "high water sticks");
+        q.set(5);
+        assert_eq!((q.depth(), q.high_water()), (5, 5));
+        q.set(0);
+        assert_eq!((q.depth(), q.high_water()), (0, 5));
     }
 
     #[test]

@@ -164,12 +164,19 @@ fn accept_loop(
     shutdown: Arc<AtomicBool>,
     io_timeout: Duration,
 ) -> Result<()> {
-    workers::accept_loop(listener, &shutdown, io_timeout, "receiver", |stream, _| {
-        let inbox = Arc::clone(&inbox);
-        let tap = tap.clone();
-        let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || serve_conn(stream, inbox, tap, shutdown))
-    })
+    workers::accept_loop(
+        listener,
+        &shutdown,
+        io_timeout,
+        "receiver",
+        None,
+        |stream, _| {
+            let inbox = Arc::clone(&inbox);
+            let tap = tap.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve_conn(stream, inbox, tap, shutdown))
+        },
+    )
 }
 
 /// Mirrors [`crate::daemon::RelayConfig::default`]'s `max_stalls`: the

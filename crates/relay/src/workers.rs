@@ -10,6 +10,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::error::{panic_message, Error, Result};
+use crate::obs::QueueDepth;
 
 /// Signals its channel even when the owning thread unwinds, so bounded
 /// joins ([`std::sync::mpsc::Receiver::recv_timeout`] on the paired
@@ -28,12 +29,15 @@ impl Drop for DoneGuard {
 /// long-running daemon keeps O(live connections) thread handles, not
 /// O(all connections ever) — and joining the rest at shutdown. Worker
 /// panics are collected and reported as one [`Error::WorkerPanic`]
-/// prefixed with `label`.
+/// prefixed with `label`. When `depth` is given, the live-worker count
+/// after each reap pass is published there as the daemon's inbound
+/// queue depth.
 pub(crate) fn accept_loop(
     listener: TcpListener,
     shutdown: &AtomicBool,
     io_timeout: Duration,
     label: &str,
+    depth: Option<&QueueDepth>,
     mut spawn_worker: impl FnMut(TcpStream, u64) -> JoinHandle<()>,
 ) -> Result<()> {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
@@ -58,6 +62,12 @@ pub(crate) fn accept_loop(
         conn_index += 1;
         workers.push(spawn_worker(stream, conn_index));
         reap_finished(&mut workers, &mut panics);
+        if let Some(depth) = depth {
+            depth.set(workers.len() as i64);
+        }
+    }
+    if let Some(depth) = depth {
+        depth.set(0);
     }
     drop(listener);
     for worker in workers {

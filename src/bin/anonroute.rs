@@ -75,6 +75,7 @@ COMMANDS:
                [--live-max-n 64] [--live-cell 1024]
                [--out <basename>] [--timing]
                [--progress] [--metrics-addr 127.0.0.1:0]
+               [--trace-out trace.json]
                lists take values and ranges: 50,100,200 or 1..=5
                writes <basename>.jsonl, <basename>.csv,
                <basename>_timings.csv, <basename>_manifest.json
@@ -83,7 +84,11 @@ COMMANDS:
                persistent sessions, per-epoch compromised-set rotation,
                node churn, and cumulative anonymity-decay scoring
                --progress prints a ~1 Hz ticker on stderr; --metrics-addr
-               serves /metrics, /healthz, /readyz for the sweep's duration
+               serves /metrics, /healthz, /readyz, and the operator
+               control plane (POST /control/pause|resume|drain|abort)
+               for the sweep's duration; --trace-out writes a Chrome-trace
+               JSON span timeline (load it in Perfetto or
+               chrome://tracing)
                (observability never changes results: artifacts stay
                byte-identical per seed with it on or off)
     manifest-check
@@ -609,6 +614,9 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
                 .map_err(|e| format!("--metrics-addr: `{addr}` is not a socket address ({e})"))?,
         );
     }
+    if let Some(path) = flags.get("trace-out") {
+        config.trace_out = Some(PathBuf::from(path));
+    }
     if grid.is_empty() {
         return Err("the grid has no cells (every axis needs at least one value)".into());
     }
@@ -664,6 +672,12 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
         timings.display(),
         manifest_path.display()
     );
+    if let Some(trace) = &config.trace_out {
+        println!(
+            "trace: {} (open in Perfetto or chrome://tracing)",
+            trace.display()
+        );
+    }
     Ok(())
 }
 
@@ -841,7 +855,7 @@ mod tests {
         cmd_campaign(&flags).unwrap();
         let manifest_path = dir.join("obs_manifest.json");
         let text = std::fs::read_to_string(&manifest_path).unwrap();
-        assert!(text.contains("anonroute-campaign-manifest/v1"), "{text}");
+        assert!(text.contains("anonroute-campaign-manifest/v2"), "{text}");
         assert!(text.contains("\"ok\": 1"), "{text}");
         assert!(text.contains("\"errors\": 1"), "F(40) infeasible: {text}");
         cmd_manifest_check(&flag_map(&[("file", manifest_path.to_str().unwrap())])).unwrap();
