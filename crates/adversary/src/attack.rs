@@ -10,8 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use anonroute_core::engine::sender_posterior;
-use anonroute_core::epochs::{DecayCurve, EpochStat, EpochView, IntersectionPosterior};
+use anonroute_core::engine::FoldWorkspace;
+use anonroute_core::epochs::{
+    DecayCurve, EpochStat, EpochView, IntersectionPosterior, LiftScratch,
+};
 use anonroute_core::mathutil::entropy_bits;
 use anonroute_core::{PathLengthDist, SystemModel};
 use anonroute_sim::{MsgId, NodeId, Origination, TransferRecord};
@@ -91,11 +93,23 @@ pub fn attack_trace(
     }
     let observations = adversary.reconstruct_all(trace);
     let mut verdicts = Vec::new();
+    // built lazily on the first attackable message, then reused for the
+    // whole trace: one log-factorial table instead of one per message
+    let mut workspace: Option<FoldWorkspace> = None;
     for o in originations {
         let Some(obs) = observations.get(&o.msg) else {
             continue; // undelivered within the trace
         };
-        let posterior = sender_posterior(model, dist, obs, adversary.compromised())
+        if workspace.is_none() {
+            workspace =
+                Some(FoldWorkspace::new(model, dist).map_err(|e| {
+                    Error::BadInput(format!("posterior failed for {:?}: {e}", o.msg))
+                })?);
+        }
+        let posterior = workspace
+            .as_ref()
+            .expect("workspace was just initialized")
+            .posterior(obs, adversary.compromised())
             .map_err(|e| Error::BadInput(format!("posterior failed for {:?}: {e}", o.msg)))?;
         verdicts.push(verdict_for(o.msg, posterior, o.sender));
     }
@@ -209,6 +223,9 @@ pub fn intersection_attack(
     // session id -> (ground-truth universe sender, cumulative posterior)
     let mut sessions: BTreeMap<MsgId, (NodeId, IntersectionPosterior)> = BTreeMap::new();
     let mut per_epoch = Vec::with_capacity(rounds.len());
+    // reused across every session of every round: no per-fold allocation
+    let mut posterior: Vec<f64> = Vec::new();
+    let mut lift = LiftScratch::new(universe);
     for round in rounds {
         let view = round.view;
         if round.model.n() != view.n() || round.model.c() != view.compromised.len() {
@@ -223,6 +240,13 @@ pub fn intersection_attack(
         }
         let adversary = Adversary::new(view.n(), &view.local_compromised_ids())?;
         let observations = adversary.reconstruct_all(round.trace);
+        // the epoch's lift degenerates to the identity when every member
+        // is active, letting the fold skip the scatter entirely
+        let identity_lift =
+            view.n() == universe && view.active.iter().enumerate().all(|(i, &u)| i == u);
+        // one workspace per epoch, shared by every session this round —
+        // built lazily so rounds with nothing delivered build nothing
+        let mut workspace: Option<FoldWorkspace> = None;
         for o in round.originations {
             if o.sender >= view.n() {
                 return Err(Error::BadInput(format!(
@@ -246,16 +270,27 @@ pub fn intersection_attack(
             let Some(obs) = observations.get(&o.msg) else {
                 continue; // undelivered within this epoch's trace
             };
-            let posterior = sender_posterior(round.model, round.dist, obs, adversary.compromised())
-                .map_err(|e| {
-                    Error::BadInput(format!(
-                        "posterior failed for {:?} in epoch {}: {e}",
-                        o.msg,
-                        view.epoch + 1
-                    ))
-                })?;
-            acc.fold(&view.lift(&posterior, universe))
-                .map_err(|e| Error::BadInput(e.to_string()))?;
+            let wrap = |e: anonroute_core::Error| {
+                Error::BadInput(format!(
+                    "posterior failed for {:?} in epoch {}: {e}",
+                    o.msg,
+                    view.epoch + 1
+                ))
+            };
+            if workspace.is_none() {
+                workspace = Some(FoldWorkspace::new(round.model, round.dist).map_err(wrap)?);
+            }
+            workspace
+                .as_ref()
+                .expect("workspace was just initialized")
+                .posterior_into(obs, adversary.compromised(), &mut posterior)
+                .map_err(wrap)?;
+            if identity_lift {
+                acc.fold(&posterior)
+            } else {
+                lift.lifted(&view.active, &posterior, |p| acc.fold(p))
+            }
+            .map_err(|e| Error::BadInput(e.to_string()))?;
         }
         if sessions.is_empty() {
             return Err(Error::BadInput("no sessions observed so far".into()));

@@ -30,6 +30,26 @@ fn warmed(n: usize, round: &[f64]) -> IntersectionPosterior {
     acc
 }
 
+/// A round that eliminates everyone except `k` evenly spaced survivors.
+fn collapsing_round(n: usize, k: usize) -> Vec<f64> {
+    let stride = n / k;
+    let mut p = vec![0.0; n];
+    for j in 0..k {
+        p[j * stride] = 1.0 / k as f64;
+    }
+    p
+}
+
+/// An accumulator collapsed to `k` surviving candidates out of `n` — the
+/// regime the intersection attack reaches after a few epochs, where the
+/// accumulator has switched to its sparse representation.
+fn collapsed(n: usize, k: usize, round: &[f64]) -> IntersectionPosterior {
+    let mut acc = warmed(n, round);
+    acc.fold(&collapsing_round(n, k)).unwrap();
+    assert!(acc.is_sparse(), "k << n must trigger the sparse switchover");
+    acc
+}
+
 fn bench_intersection_posterior(c: &mut Criterion) {
     let mut group = c.benchmark_group("intersection_posterior");
     for n in [1_000usize, 100_000] {
@@ -55,6 +75,39 @@ fn bench_intersection_posterior(c: &mut Criterion) {
             BenchmarkId::new("entropy_bits", format!("n{n}")),
             &acc,
             |b, acc| b.iter(|| black_box(acc).entropy_bits()),
+        );
+    }
+    // shrunken-support cases: after heavy elimination only 64 candidates
+    // survive, so the sparse representation folds/scores in O(support)
+    // regardless of the universe size
+    for n in [100_000usize, 1_000_000] {
+        let round = round_posterior(n);
+        let acc = collapsed(n, 64, &round);
+        group.bench_with_input(
+            BenchmarkId::new("accumulate_collapsed", format!("n{n}")),
+            &(acc.clone(), round.clone()),
+            |b, (acc, round)| {
+                b.iter(|| {
+                    let mut a = acc.clone();
+                    a.fold(black_box(round)).unwrap();
+                    a.folds()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("entropy_bits_collapsed", format!("n{n}")),
+            &acc,
+            |b, acc| b.iter(|| black_box(acc).entropy_bits()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("support_collapsed", format!("n{n}")),
+            &acc,
+            |b, acc| b.iter(|| black_box(acc).support()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("best_guess_collapsed", format!("n{n}")),
+            &acc,
+            |b, acc| b.iter(|| black_box(acc).best_guess()),
         );
     }
     group.finish();

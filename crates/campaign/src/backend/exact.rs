@@ -66,13 +66,16 @@ impl EvalBackend for ExactBackend {
         }
         let fold = phase_timer("cell.fold");
         let sessions = session_count(ctx.config.mc_samples, ctx.scenario.dynamics.epochs);
-        let curve = epochs::estimate_decay(
+        // the shared cache hands every epoch its memoized fold workspace,
+        // so sweeps over one model amortize the per-epoch table builds
+        let curve = epochs::estimate_decay_with(
             ctx.model,
             ctx.dist,
             &ctx.scenario.dynamics,
             sessions,
             ctx.dynamics_seed,
             ctx.seed ^ EXACT_DECAY_STREAM,
+            ctx.cache,
         )
         .map_err(|e| e.to_string())?;
         let mut metrics = CellMetrics::from_decay(ctx.model, ctx.dist, &curve);

@@ -28,13 +28,15 @@ impl EvalBackend for MonteCarloBackend {
         if !ctx.scenario.dynamics.is_one_shot() {
             let fold = phase_timer("cell.fold");
             let sessions = session_count(ctx.config.mc_samples, ctx.scenario.dynamics.epochs);
-            let curve = epochs::estimate_decay(
+            // shares per-epoch fold workspaces through the campaign cache
+            let curve = epochs::estimate_decay_with(
                 ctx.model,
                 ctx.dist,
                 &ctx.scenario.dynamics,
                 sessions,
                 ctx.dynamics_seed,
                 ctx.seed ^ MC_DECAY_STREAM,
+                ctx.cache,
             )
             .map_err(|e| e.to_string())?;
             let mut metrics = CellMetrics::from_decay(ctx.model, ctx.dist, &curve);

@@ -178,8 +178,8 @@ fn run_epoch(
         sim.schedule_origination(arrival.at, arrival.sender, arrival.payload.clone());
     }
     sim.run();
-    let mut trace = sim.trace().to_vec();
-    let mut originations = sim.originations().to_vec();
+    // take ownership of the per-epoch artifacts instead of copying them
+    let (mut trace, mut originations) = sim.into_artifacts();
     remap_to_sessions(&mut trace, &mut originations, &session_of);
     Ok(EpochRun {
         model,

@@ -1,4 +1,5 @@
-//! Shared, memoized [`Evaluator`] handles for multi-scenario sweeps.
+//! Shared, memoized [`Evaluator`] and [`FoldWorkspace`] handles for
+//! multi-scenario sweeps.
 //!
 //! Building an [`Evaluator`] precomputes log-factorial tables for a
 //! `(model, lmax)` pair; a parameter sweep evaluates many strategies
@@ -7,11 +8,19 @@
 //! between `O(cells)` and `O(models)` table builds. The cache hands out
 //! cheap-to-clone [`SharedEvaluator`] handles (`Arc`s) keyed by
 //! `(n, c, path_kind, lmax)` and is safe to use concurrently.
+//!
+//! The same cache also memoizes [`FoldWorkspace`]s keyed by
+//! `(model, path-length distribution)`, so multi-epoch estimators reuse
+//! one workspace per epoch model instead of rebuilding per-session tables
+//! (counted separately — see [`EvaluatorCache::workspace_stats`]).
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::dist::PathLengthDist;
+use crate::engine::fold::FoldWorkspace;
 use crate::engine::simple::Evaluator;
 use crate::error::Result;
 use crate::model::{PathKind, SystemModel};
@@ -19,8 +28,25 @@ use crate::model::{PathKind, SystemModel};
 /// A cheap-to-clone, thread-shareable handle to an exact [`Evaluator`].
 pub type SharedEvaluator = Arc<Evaluator>;
 
+/// A cheap-to-clone, thread-shareable handle to a [`FoldWorkspace`].
+pub type SharedWorkspace = Arc<FoldWorkspace>;
+
+/// One cache entry: present-but-empty while unbuilt, filled exactly once.
+/// Builders hold the slot's own lock for the duration of the build, so
+/// concurrent first lookups of one key dedupe (one builds, the rest wait)
+/// without serializing unrelated keys behind the map lock.
+type Slot<T> = Arc<Mutex<Option<Arc<T>>>>;
+
+/// Evaluators are keyed by the model identity plus the table ceiling.
+type EvaluatorKey = (usize, usize, PathKind, usize);
+
+/// Workspaces are keyed by the model identity plus the exact pmf bits
+/// (`PathLengthDist` trims trailing zeros, so the pmf determines
+/// `max_len` too).
+type WorkspaceKey = (usize, usize, PathKind, Vec<u64>);
+
 /// Concurrency-safe memoization of [`Evaluator`] construction, keyed by
-/// `(n, c, path_kind, lmax)`.
+/// `(n, c, path_kind, lmax)`, with a secondary [`FoldWorkspace`] map.
 ///
 /// # Examples
 ///
@@ -40,18 +66,85 @@ pub type SharedEvaluator = Arc<Evaluator>;
 /// ```
 #[derive(Debug, Default)]
 pub struct EvaluatorCache {
-    map: Mutex<HashMap<(usize, usize, PathKind, usize), SharedEvaluator>>,
+    map: Mutex<HashMap<EvaluatorKey, Slot<Evaluator>>>,
+    workspaces: Mutex<HashMap<WorkspaceKey, Slot<FoldWorkspace>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    ws_hits: AtomicUsize,
+    ws_misses: AtomicUsize,
 }
 
-/// Hit/miss counters of an [`EvaluatorCache`].
+/// Hit/miss counters of an [`EvaluatorCache`] map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: usize,
-    /// Lookups that had to build a fresh evaluator.
+    /// Lookups that had to build a fresh entry.
     pub misses: usize,
+}
+
+/// Looks up `key`, building at most once per key across all threads.
+///
+/// The build runs under the key's own slot lock: concurrent first lookups
+/// of the same key wait for the winner instead of duplicating the build,
+/// while lookups of other keys proceed (the map lock is only held to
+/// fetch the slot). A failed build removes the still-empty slot so the
+/// error does not poison later lookups, and counts neither hit nor miss —
+/// `misses` is exactly the number of successfully built entries,
+/// deterministically, whatever the interleaving.
+fn get_or_build<K, T, F>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    hits: &AtomicUsize,
+    misses: &AtomicUsize,
+    key: K,
+    build: F,
+) -> Result<Arc<T>>
+where
+    K: Eq + Hash + Clone,
+    F: FnOnce() -> Result<T>,
+{
+    let slot = Arc::clone(
+        map.lock()
+            .expect("cache lock")
+            .entry(key.clone())
+            .or_default(),
+    );
+    let mut guard = slot.lock().expect("cache slot lock");
+    if let Some(found) = guard.as_ref() {
+        hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(found));
+    }
+    match build() {
+        Ok(built) => {
+            let shared = Arc::new(built);
+            *guard = Some(Arc::clone(&shared));
+            misses.fetch_add(1, Ordering::Relaxed);
+            Ok(shared)
+        }
+        Err(e) => {
+            // release the slot before touching the map: no thread ever
+            // waits on the map while holding a slot
+            drop(guard);
+            let mut map = map.lock().expect("cache lock");
+            if let Some(current) = map.get(&key) {
+                let still_empty = Arc::ptr_eq(current, &slot)
+                    && current.lock().expect("cache slot lock").is_none();
+                if still_empty {
+                    map.remove(&key);
+                }
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Number of built entries in a slot map.
+fn built_len<K, T>(map: &Mutex<HashMap<K, Slot<T>>>) -> usize {
+    map.lock()
+        .expect("cache lock")
+        .values()
+        .filter(|slot| slot.lock().expect("cache slot lock").is_some())
+        .count()
 }
 
 impl EvaluatorCache {
@@ -63,11 +156,10 @@ impl EvaluatorCache {
     /// Returns the shared evaluator for `(model, lmax)`, building it on
     /// first use.
     ///
-    /// The table is built outside the cache lock, so a slow build does not
-    /// serialize unrelated lookups. If two threads race on the same key the
-    /// first insert wins, the duplicate build is dropped, and the loser
-    /// counts a *hit* — `misses` is exactly the number of distinct cached
-    /// evaluators, deterministically, whatever the interleaving.
+    /// Concurrent first lookups of one key build once: the losers block on
+    /// the key's slot and then count a *hit*, so `misses` is exactly the
+    /// number of distinct cached evaluators, deterministically, whatever
+    /// the interleaving.
     ///
     /// # Errors
     ///
@@ -75,41 +167,64 @@ impl EvaluatorCache {
     /// `lmax > n - 1`).
     pub fn evaluator(&self, model: &SystemModel, lmax: usize) -> Result<SharedEvaluator> {
         let key = (model.n(), model.c(), model.path_kind(), lmax);
-        if let Some(found) = self.map.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(found));
-        }
-        let built = Arc::new(Evaluator::new(model, lmax)?);
-        let mut map = self.map.lock().expect("cache lock");
-        let shared = match map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(entry) => {
-                // another thread inserted while we were building
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(entry.get())
-            }
-            std::collections::hash_map::Entry::Vacant(entry) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(entry.insert(built))
-            }
-        };
-        Ok(shared)
+        get_or_build(&self.map, &self.hits, &self.misses, key, || {
+            Evaluator::new(model, lmax)
+        })
+    }
+
+    /// Returns the shared [`FoldWorkspace`] for `(model, dist)`, building
+    /// it on first use with the same once-per-key deduplication as
+    /// [`EvaluatorCache::evaluator`]. Counted in
+    /// [`EvaluatorCache::workspace_stats`], not in the evaluator stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FoldWorkspace::new`] validation (distributions the
+    /// model rejects).
+    pub fn workspace(&self, model: &SystemModel, dist: &PathLengthDist) -> Result<SharedWorkspace> {
+        let key = (
+            model.n(),
+            model.c(),
+            model.path_kind(),
+            dist.pmf().iter().map(|p| p.to_bits()).collect(),
+        );
+        get_or_build(
+            &self.workspaces,
+            &self.ws_hits,
+            &self.ws_misses,
+            key,
+            || FoldWorkspace::new(model, dist),
+        )
     }
 
     /// Number of distinct evaluators currently cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        built_len(&self.map)
     }
 
-    /// Whether the cache is empty.
+    /// Whether the cache holds no evaluators.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Current hit/miss counters.
+    /// Number of distinct fold workspaces currently cached.
+    pub fn workspace_len(&self) -> usize {
+        built_len(&self.workspaces)
+    }
+
+    /// Current evaluator hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current fold-workspace hit/miss counters.
+    pub fn workspace_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.ws_hits.load(Ordering::Relaxed),
+            misses: self.ws_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -159,6 +274,12 @@ mod tests {
         assert!(cache.evaluator(&model, 10).is_err()); // lmax > n-1
         assert!(cache.evaluator(&model, 9).is_ok());
         assert_eq!(cache.len(), 1);
+        // same for workspaces: an infeasible dist fails, then a valid
+        // lookup of the same model succeeds
+        assert!(cache.workspace(&model, &PathLengthDist::fixed(10)).is_err());
+        assert!(cache.workspace(&model, &PathLengthDist::fixed(5)).is_ok());
+        assert_eq!(cache.workspace_len(), 1);
+        assert_eq!(cache.workspace_stats(), CacheStats { hits: 0, misses: 1 });
     }
 
     #[test]
@@ -178,8 +299,38 @@ mod tests {
         assert_eq!(cache.len(), 3);
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 40);
-        // racing builds may duplicate work, but the counters stay exact:
-        // misses == distinct keys regardless of interleaving
+        // per-key dedup: racing first lookups build once (losers wait on
+        // the slot and count hits), so misses == distinct keys exactly
         assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn workspace_lookups_dedupe_by_model_and_pmf() {
+        let cache = EvaluatorCache::new();
+        let model = SystemModel::new(30, 2).unwrap();
+        let d1 = PathLengthDist::uniform(1, 6).unwrap();
+        let d2 = PathLengthDist::fixed(4);
+        cache.workspace(&model, &d1).unwrap();
+        cache.workspace(&model, &d1).unwrap();
+        cache.workspace(&model, &d2).unwrap();
+        assert_eq!(cache.workspace_len(), 2);
+        assert_eq!(cache.workspace_stats(), CacheStats { hits: 1, misses: 2 });
+        // workspace traffic leaves evaluator stats untouched
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+    }
+
+    #[test]
+    fn cached_workspace_matches_one_shot_posterior() {
+        use crate::engine::observation::observe;
+        use crate::engine::posterior::sender_posterior;
+        let cache = EvaluatorCache::new();
+        let model = SystemModel::new(12, 1).unwrap();
+        let dist = PathLengthDist::uniform(1, 5).unwrap();
+        let compromised: Vec<bool> = (0..12).map(|i| i == 11).collect();
+        let ws = cache.workspace(&model, &dist).unwrap();
+        let obs = observe(2, &[11, 4, 6], &compromised);
+        let got = ws.posterior(&obs, &compromised).unwrap();
+        let expect = sender_posterior(&model, &dist, &obs, &compromised).unwrap();
+        assert_eq!(got, expect);
     }
 }

@@ -20,10 +20,8 @@
 //!    distinct boundaries), and the engine sums over both explanations.
 
 use crate::dist::PathLengthDist;
-use crate::engine::observation::Observation;
-use crate::engine::posterior::signature_of;
 use crate::engine::simple::{AnonymityAnalysis, ClassReport, EndGap, ObservationClass};
-use crate::error::{Error, Result};
+use crate::error::Result;
 use crate::mathutil::{entropy_bits_grouped, LnFact};
 use crate::model::SystemModel;
 
@@ -31,7 +29,7 @@ use crate::model::SystemModel;
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidDistribution`] for distributions the model
+/// Returns [`Error::InvalidDistribution`](crate::error::Error::InvalidDistribution) for distributions the model
 /// rejects.
 pub fn anonymity_degree(model: &SystemModel, dist: &PathLengthDist) -> Result<f64> {
     Ok(analysis(model, dist)?.h_star)
@@ -45,7 +43,7 @@ pub fn anonymity_degree(model: &SystemModel, dist: &PathLengthDist) -> Result<f6
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidDistribution`] for distributions the model
+/// Returns [`Error::InvalidDistribution`](crate::error::Error::InvalidDistribution) for distributions the model
 /// rejects.
 pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityAnalysis> {
     model.validate_dist(dist)?;
@@ -86,7 +84,7 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
 
     // --- clean class ------------------------------------------------------
     {
-        let (w_a, w_b) = clean_weights(q, lmax, ln_n, ln_nh);
+        let (w_a, w_b) = cyclic_clean_weights(q, lmax, ln_n, ln_nh);
         let entropy = entropy_bits_grouped(&[(w_a + w_b, 1), (w_b, nh - 1)]);
         let z = w_a + w_b * nh as f64;
         let suspect = if z > 0.0 { (w_a + w_b) / z } else { 0.0 };
@@ -119,7 +117,8 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
             for j_eq in 0..m {
                 let ln_mf = lf.ln_binom(m - 1, j_eq).expect("j_eq <= m-1");
                 for end in EndGap::ALL {
-                    let (w_a, w_b) = run_weights(&lf, q, lmax, ln_n, ln_nh, nh, s, m, j_eq, end);
+                    let (w_a, w_b) =
+                        cyclic_run_weights(&lf, q, lmax, ln_n, ln_nh, nh, s, m, j_eq, end);
                     let p_cls = class_probability(
                         &lf,
                         q,
@@ -171,7 +170,7 @@ pub fn analysis(model: &SystemModel, dist: &PathLengthDist) -> Result<AnonymityA
 /// `(w_a, w_b)` for the clean class: `w_a` is the extra weight on the
 /// receiver's predecessor (the `l = 0` hypothesis), `w_b` the common weight
 /// of every honest candidate.
-fn clean_weights(q: &[f64], lmax: usize, ln_n: f64, ln_nh: f64) -> (f64, f64) {
+pub(crate) fn cyclic_clean_weights(q: &[f64], lmax: usize, ln_n: f64, ln_nh: f64) -> (f64, f64) {
     let w_a = q.first().copied().unwrap_or(0.0);
     let mut w_b = 0.0;
     for (l, &ql) in q.iter().enumerate().take(lmax + 1).skip(1) {
@@ -189,7 +188,7 @@ fn clean_weights(q: &[f64], lmax: usize, ln_n: f64, ln_nh: f64) -> (f64, f64) {
 /// "leading gap = 0" hypothesis. `w_b`: common weight of every honest
 /// candidate (the sender is unconstrained once the leading gap is ≥ 1).
 #[allow(clippy::too_many_arguments)]
-fn run_weights(
+pub(crate) fn cyclic_run_weights(
     lf: &LnFact,
     q: &[f64],
     lmax: usize,
@@ -310,59 +309,6 @@ fn class_probability(
         }
     }
     p * nh as f64 / n as f64
-}
-
-/// Posterior over senders for one concrete cyclic-path observation.
-///
-/// Called through [`crate::engine::sender_posterior`]; see there for the
-/// contract.
-pub(crate) fn cyclic_posterior(
-    model: &SystemModel,
-    dist: &PathLengthDist,
-    obs: &Observation,
-    compromised: &[bool],
-) -> Result<Vec<f64>> {
-    let n = model.n();
-    let nh = model.honest();
-    let q = dist.pmf();
-    let lmax = dist.max_len();
-    let lf = LnFact::new(2 * lmax + 8);
-    let ln_n = (n as f64).ln();
-    let ln_nh = if nh > 0 {
-        (nh as f64).ln()
-    } else {
-        f64::NEG_INFINITY
-    };
-
-    let (w_a, w_b, suspect) = if obs.runs.is_empty() {
-        let (w_a, w_b) = clean_weights(q, lmax, ln_n, ln_nh);
-        (w_a, w_b, obs.receiver_pred)
-    } else {
-        // s here counts *sightings*, which can exceed c through revisits.
-        let (s, m, j_eq, end) = signature_of(obs);
-        let (w_a, w_b) = run_weights(&lf, q, lmax, ln_n, ln_nh, nh, s, m, j_eq, end);
-        (w_a, w_b, obs.runs[0].pred)
-    };
-
-    let mut post = vec![0.0; n];
-    let mut z = 0.0;
-    for i in 0..n {
-        if compromised[i] {
-            continue;
-        }
-        let w = if i == suspect { w_a + w_b } else { w_b };
-        post[i] = w;
-        z += w;
-    }
-    if z <= 0.0 {
-        return Err(Error::InvalidObservation(
-            "observation has zero likelihood under the strategy".into(),
-        ));
-    }
-    for p in &mut post {
-        *p /= z;
-    }
-    Ok(post)
 }
 
 #[cfg(test)]

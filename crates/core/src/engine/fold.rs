@@ -1,0 +1,357 @@
+//! Epoch-incremental posterior evaluation: a reusable fold workspace.
+//!
+//! [`crate::engine::sender_posterior`] is mathematically a table lookup —
+//! the posterior depends on the observation only through its identity-free
+//! *signature* `(sightings, runs, unit_gaps, end-gap)` plus a handful of
+//! observed identities — but the one-shot entry point rebuilds the
+//! log-factorial table and re-derives the hypothesis weights on every
+//! call. Over a multi-epoch intersection attack (thousands of sessions
+//! against one `(model, strategy)` pair) that is almost all of the cost.
+//!
+//! [`FoldWorkspace`] hoists everything observation-independent out of the
+//! loop: it is built once per `(model, path-length distribution)` pair,
+//! owns the log-factorial table and the clean-class weights, and memoizes
+//! per-signature run weights as the attack discovers them. Each call to
+//! [`FoldWorkspace::posterior_into`] then only fills a caller-provided
+//! buffer — no allocation, no table construction — and produces bytes
+//! identical to `sender_posterior` (the golden and conformance suites pin
+//! this).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::dist::PathLengthDist;
+use crate::engine::cyclic::{cyclic_clean_weights, cyclic_run_weights};
+use crate::engine::observation::{Observation, Succ};
+use crate::engine::posterior::{signature_of, validate_structure};
+use crate::engine::simple::{clean_hypothesis_weights, run_hypothesis_weights, EndGap};
+use crate::error::{Error, Result};
+use crate::kernels;
+use crate::mathutil::LnFact;
+use crate::model::{PathKind, SystemModel};
+
+/// Precomputed, reusable state for evaluating many sender posteriors
+/// against one `(model, strategy)` pair. See the module docs.
+///
+/// The workspace is immutable after construction apart from an interior
+/// memo of per-signature hypothesis weights, so shared references can be
+/// used from many threads at once. A racing pair of threads may derive
+/// the same signature's weights twice; the derivation is a pure function
+/// of the key, so whichever insert wins the results are bit-identical.
+#[derive(Debug)]
+pub struct FoldWorkspace {
+    n: usize,
+    c: usize,
+    nh: usize,
+    path_kind: PathKind,
+    lmax: usize,
+    q: Vec<f64>,
+    lf: LnFact,
+    ln_n: f64,
+    ln_nh: f64,
+    /// `(w_suspect, w_hidden)` of the run-free observation class.
+    clean: (f64, f64),
+    /// Memoized `(w_suspect, w_hidden)` per run signature.
+    runs: Mutex<RunMemo>,
+}
+
+/// Interior memo: `(w_suspect, w_hidden)` keyed by run signature
+/// `(runs, unit_gaps, receiver_pred, end_gap)`.
+type RunMemo = HashMap<(usize, usize, usize, EndGap), (f64, f64)>;
+
+impl FoldWorkspace {
+    /// Builds the workspace: validates the distribution against the model
+    /// and precomputes the log-factorial table and clean-class weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDistribution`] for distributions the model
+    /// rejects (e.g. simple paths longer than `n - 1`).
+    pub fn new(model: &SystemModel, dist: &PathLengthDist) -> Result<Self> {
+        model.validate_dist(dist)?;
+        let n = model.n();
+        let nh = model.honest();
+        let q = dist.pmf().to_vec();
+        let ln_n = (n as f64).ln();
+        let ln_nh = if nh > 0 {
+            (nh as f64).ln()
+        } else {
+            f64::NEG_INFINITY
+        };
+        let (lmax, lf) = match model.path_kind() {
+            PathKind::Simple => {
+                let lmax = dist.max_len().min(n - 1);
+                (lmax, LnFact::new(n + lmax + 4))
+            }
+            PathKind::Cyclic => {
+                let lmax = dist.max_len();
+                (lmax, LnFact::new(2 * lmax + 8))
+            }
+        };
+        let clean = match model.path_kind() {
+            PathKind::Simple => clean_hypothesis_weights(&lf, &q, lmax, n, nh),
+            PathKind::Cyclic => cyclic_clean_weights(&q, lmax, ln_n, ln_nh),
+        };
+        Ok(FoldWorkspace {
+            n,
+            c: model.c(),
+            nh,
+            path_kind: model.path_kind(),
+            lmax,
+            q,
+            lf,
+            ln_n,
+            ln_nh,
+            clean,
+            runs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Number of member nodes of the underlying model.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Path kind of the underlying model.
+    pub fn path_kind(&self) -> PathKind {
+        self.path_kind
+    }
+
+    /// Number of distinct run signatures memoized so far.
+    pub fn memoized_signatures(&self) -> usize {
+        self.runs.lock().expect("workspace lock").len()
+    }
+
+    /// `(w_suspect, w_hidden)` for a run signature, derived on first use.
+    fn run_weights_for(&self, sig: (usize, usize, usize, EndGap)) -> (f64, f64) {
+        if let Some(&w) = self.runs.lock().expect("workspace lock").get(&sig) {
+            return w;
+        }
+        // derive outside the lock: a pure function of the key, so a racing
+        // duplicate derivation produces the same bits
+        let (s, m, unit_gaps, end) = sig;
+        let w = match self.path_kind {
+            PathKind::Simple => {
+                let obs0 = unit_gaps + 2 * (m - 1 - unit_gaps) + end.observed();
+                let k0 = (m - 1 - unit_gaps) + usize::from(end.is_free());
+                run_hypothesis_weights(&self.lf, &self.q, self.lmax, self.n, self.nh, s, obs0, k0)
+            }
+            PathKind::Cyclic => cyclic_run_weights(
+                &self.lf, &self.q, self.lmax, self.ln_n, self.ln_nh, self.nh, s, m, unit_gaps, end,
+            ),
+        };
+        *self
+            .runs
+            .lock()
+            .expect("workspace lock")
+            .entry(sig)
+            .or_insert(w)
+    }
+
+    /// Computes the sender posterior for one observation into `out`
+    /// (resized to `n`), bit-identical to
+    /// [`crate::engine::sender_posterior`] on the same inputs but without
+    /// per-call allocation or table construction.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::engine::sender_posterior`].
+    pub fn posterior_into(
+        &self,
+        obs: &Observation,
+        compromised: &[bool],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        if compromised.len() != self.n {
+            return Err(Error::InvalidObservation(format!(
+                "compromised vector has length {}, model has n={}",
+                compromised.len(),
+                self.n
+            )));
+        }
+        let c_actual = compromised.iter().filter(|&&b| b).count();
+        if c_actual != self.c {
+            return Err(Error::InvalidObservation(format!(
+                "compromised vector marks {c_actual} nodes, model says c={}",
+                self.c
+            )));
+        }
+        validate_structure(self.n, obs, compromised)?;
+
+        // Compromised sender: the origin agent saw everything.
+        if let Some(s) = obs.origin {
+            out.clear();
+            out.resize(self.n, 0.0);
+            out[s] = 1.0;
+            return Ok(());
+        }
+        self.fill_posterior(obs, compromised, out)
+    }
+
+    /// Convenience wrapper around [`FoldWorkspace::posterior_into`]
+    /// returning a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FoldWorkspace::posterior_into`].
+    pub fn posterior(&self, obs: &Observation, compromised: &[bool]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.posterior_into(obs, compromised, &mut out)?;
+        Ok(out)
+    }
+
+    /// The fill pass proper: weights, normalizer, divide. Assumes the
+    /// observation was already validated and has no origin report.
+    pub(crate) fn fill_posterior(
+        &self,
+        obs: &Observation,
+        compromised: &[bool],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let (w_suspect, w_hidden, suspect) = if obs.runs.is_empty() {
+            (self.clean.0, self.clean.1, obs.receiver_pred)
+        } else {
+            let (a, b) = self.run_weights_for(signature_of(obs));
+            (a, b, obs.runs[0].pred)
+        };
+
+        out.resize(self.n, 0.0);
+        match self.path_kind {
+            PathKind::Simple => {
+                for (o, &bad) in out.iter_mut().zip(compromised) {
+                    // a compromised sender would have reported origin
+                    *o = if bad { 0.0 } else { w_hidden };
+                }
+                // an observed honest intermediate cannot be the sender on
+                // a simple path
+                let mut mark = |id: usize| {
+                    if !compromised[id] {
+                        out[id] = 0.0;
+                    }
+                };
+                mark(obs.receiver_pred);
+                for run in &obs.runs {
+                    mark(run.pred);
+                    if let Succ::Node(v) = run.succ {
+                        mark(v);
+                    }
+                }
+                // last: the suspect keeps its weight even when observed
+                if !compromised[suspect] {
+                    out[suspect] = w_suspect;
+                }
+            }
+            PathKind::Cyclic => {
+                // everyone honest stays a candidate — the sender may
+                // reappear as an intermediate on a cyclic path
+                for (o, &bad) in out.iter_mut().zip(compromised) {
+                    *o = if bad { 0.0 } else { w_hidden };
+                }
+                if !compromised[suspect] {
+                    out[suspect] = w_suspect + w_hidden;
+                }
+            }
+        }
+        // the compromised entries contribute exact +0.0 exactly as the
+        // historical skip-and-accumulate loop did
+        let z = kernels::sum_ordered(out);
+        if z <= 0.0 {
+            return Err(Error::InvalidObservation(
+                "observation has zero likelihood under the strategy".into(),
+            ));
+        }
+        kernels::div_in_place(out, z);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::observation::observe;
+    use crate::engine::posterior::sender_posterior;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn comp(n: usize, ids: &[usize]) -> Vec<bool> {
+        let mut v = vec![false; n];
+        for &i in ids {
+            v[i] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn workspace_matches_one_shot_posterior_bitwise() {
+        for kind in [PathKind::Simple, PathKind::Cyclic] {
+            let model = SystemModel::with_path_kind(12, 2, kind).unwrap();
+            let dist = PathLengthDist::uniform(0, 5).unwrap();
+            let compromised = comp(12, &[3, 9]);
+            let ws = FoldWorkspace::new(&model, &dist).unwrap();
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut scratch: Vec<usize> = (0..12).collect();
+            let mut buf = Vec::new();
+            for _ in 0..200 {
+                let sender = rng.gen_range(0..12);
+                let l = dist.sample(&mut rng);
+                let path = crate::engine::montecarlo::sample_path(
+                    &model,
+                    sender,
+                    l,
+                    &mut rng,
+                    &mut scratch,
+                );
+                let obs = observe(sender, &path, &compromised);
+                let expect = sender_posterior(&model, &dist, &obs, &compromised).unwrap();
+                ws.posterior_into(&obs, &compromised, &mut buf).unwrap();
+                assert_eq!(
+                    buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "kind={kind:?} obs={obs:?}"
+                );
+            }
+            assert!(ws.memoized_signatures() > 0 || kind == PathKind::Cyclic);
+        }
+    }
+
+    #[test]
+    fn workspace_validates_like_the_one_shot_entry_point() {
+        let model = SystemModel::new(8, 1).unwrap();
+        let dist = PathLengthDist::fixed(2);
+        let compromised = comp(8, &[7]);
+        let ws = FoldWorkspace::new(&model, &dist).unwrap();
+        let obs = observe(0, &[1, 2], &compromised);
+        // wrong length and wrong count fail with the same errors
+        assert!(ws.posterior(&obs, &comp(9, &[7])).is_err());
+        assert!(ws.posterior(&obs, &comp(8, &[1, 2])).is_err());
+        // infeasible strategy is rejected at construction, like validate_dist
+        assert!(FoldWorkspace::new(&model, &PathLengthDist::fixed(8)).is_err());
+    }
+
+    #[test]
+    fn workspace_is_shareable_across_threads() {
+        let model = SystemModel::new(16, 2).unwrap();
+        let dist = PathLengthDist::uniform(1, 6).unwrap();
+        let compromised = comp(16, &[0, 8]);
+        let ws = FoldWorkspace::new(&model, &dist).unwrap();
+        let expected = {
+            let obs = observe(3, &[1, 0, 5, 2], &compromised);
+            sender_posterior(&model, &dist, &obs, &compromised).unwrap()
+        };
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ws = &ws;
+                let compromised = &compromised;
+                let expected = &expected;
+                s.spawn(move || {
+                    let obs = observe(3, &[1, 0, 5, 2], compromised);
+                    let mut buf = Vec::new();
+                    for _ in 0..50 {
+                        ws.posterior_into(&obs, compromised, &mut buf).unwrap();
+                        assert_eq!(&buf, expected);
+                    }
+                });
+            }
+        });
+    }
+}

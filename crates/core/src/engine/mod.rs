@@ -11,13 +11,17 @@
 pub mod brute;
 mod cache;
 pub mod cyclic;
+mod fold;
 mod montecarlo;
 mod observation;
 mod posterior;
 pub mod simple;
 
-pub use cache::{CacheStats, EvaluatorCache, SharedEvaluator};
-pub use montecarlo::{estimate_anonymity_degree, sample_path, MonteCarloEstimate};
+pub use cache::{CacheStats, EvaluatorCache, SharedEvaluator, SharedWorkspace};
+pub use fold::FoldWorkspace;
+pub use montecarlo::{
+    estimate_anonymity_degree, sample_path, sample_path_into, MonteCarloEstimate,
+};
 pub use observation::{observe, NodeId, Observation, RunObservation, Succ};
 pub use posterior::sender_posterior;
 pub use simple::{AnonymityAnalysis, ClassReport, EndGap, Evaluator, ObservationClass};

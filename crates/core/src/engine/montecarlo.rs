@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dist::PathLengthDist;
+use crate::engine::fold::FoldWorkspace;
 use crate::engine::observation::observe;
-use crate::engine::posterior::sender_posterior;
 use crate::error::Result;
 use crate::mathutil::entropy_bits;
 use crate::model::{PathKind, SystemModel};
@@ -60,7 +60,9 @@ pub fn estimate_anonymity_degree(
     samples: usize,
     seed: u64,
 ) -> Result<MonteCarloEstimate> {
-    model.validate_dist(dist)?;
+    // validates the distribution and hoists the log-factorial table and
+    // hypothesis weights out of the sampling loop
+    let workspace = FoldWorkspace::new(model, dist)?;
     let n = model.n();
     let c = model.c();
     let compromised: Vec<bool> = (0..n).map(|i| i < c).collect();
@@ -69,15 +71,18 @@ pub fn estimate_anonymity_degree(
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
     let mut scratch: Vec<usize> = (0..n).collect();
+    let mut path: Vec<usize> = Vec::new();
+    let mut post: Vec<f64> = Vec::new();
     for _ in 0..samples {
         let sender = rng.gen_range(0..n);
         let h = if compromised[sender] {
             0.0
         } else {
             let l = dist.sample(&mut rng);
-            let path = sample_path(model, sender, l, &mut rng, &mut scratch);
+            sample_path_into(model, sender, l, &mut rng, &mut scratch, &mut path);
             let obs = observe(sender, &path, &compromised);
-            let post = sender_posterior(model, dist, &obs, &compromised)
+            workspace
+                .posterior_into(&obs, &compromised, &mut post)
                 .expect("generated observations are consistent by construction");
             entropy_bits(&post)
         };
@@ -104,6 +109,23 @@ pub fn sample_path<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut [usize],
 ) -> Vec<usize> {
+    let mut path = Vec::with_capacity(l);
+    sample_path_into(model, sender, l, rng, scratch, &mut path);
+    path
+}
+
+/// [`sample_path`] into a caller-provided buffer, consuming exactly the
+/// same random draws — for sampling loops that must not allocate a fresh
+/// path per iteration.
+pub fn sample_path_into<R: Rng + ?Sized>(
+    model: &SystemModel,
+    sender: usize,
+    l: usize,
+    rng: &mut R,
+    scratch: &mut [usize],
+    out: &mut Vec<usize>,
+) {
+    out.clear();
     match model.path_kind() {
         PathKind::Simple => {
             // partial Fisher-Yates over the other n-1 nodes
@@ -116,15 +138,13 @@ pub fn sample_path<R: Rng + ?Sized>(
             let last = scratch.len() - 1;
             scratch.swap(pos, last);
             let m = last; // candidates live in scratch[..m]
-            let mut path = Vec::with_capacity(l);
             for k in 0..l {
                 let j = rng.gen_range(k..m);
                 scratch.swap(k, j);
-                path.push(scratch[k]);
+                out.push(scratch[k]);
             }
-            path
         }
-        PathKind::Cyclic => (0..l).map(|_| rng.gen_range(0..model.n())).collect(),
+        PathKind::Cyclic => out.extend((0..l).map(|_| rng.gen_range(0..model.n()))),
     }
 }
 

@@ -10,11 +10,11 @@
 //! individual messages.
 
 use crate::dist::PathLengthDist;
+use crate::engine::fold::FoldWorkspace;
 use crate::engine::observation::{Observation, Succ};
-use crate::engine::simple::{clean_hypothesis_weights, run_hypothesis_weights, EndGap};
+use crate::engine::simple::EndGap;
 use crate::error::{Error, Result};
-use crate::mathutil::LnFact;
-use crate::model::{PathKind, SystemModel};
+use crate::model::SystemModel;
 
 /// Computes the posterior probability that each member node is the sender,
 /// given one observation, for the model's path kind.
@@ -51,7 +51,7 @@ pub fn sender_posterior(
             model.c()
         )));
     }
-    validate_structure(model, obs, compromised)?;
+    validate_structure(model.n(), obs, compromised)?;
 
     let n = model.n();
 
@@ -62,14 +62,19 @@ pub fn sender_posterior(
         return Ok(post);
     }
 
-    match model.path_kind() {
-        PathKind::Simple => simple_posterior(model, dist, obs, compromised),
-        PathKind::Cyclic => crate::engine::cyclic::cyclic_posterior(model, dist, obs, compromised),
-    }
+    // One-shot path: build a throwaway workspace. Loops that evaluate many
+    // observations against one (model, dist) pair should build a
+    // `FoldWorkspace` once instead.
+    let workspace = FoldWorkspace::new(model, dist)?;
+    let mut post = Vec::new();
+    workspace.fill_posterior(obs, compromised, &mut post)?;
+    Ok(post)
 }
 
-fn validate_structure(model: &SystemModel, obs: &Observation, compromised: &[bool]) -> Result<()> {
-    let n = model.n();
+/// Structural consistency checks shared by [`sender_posterior`] and
+/// [`FoldWorkspace`]: id ranges, run composition, and boundary-merge
+/// invariants over a model of `n` member nodes.
+pub(crate) fn validate_structure(n: usize, obs: &Observation, compromised: &[bool]) -> Result<()> {
     let check = |id: usize| -> Result<()> {
         if id >= n {
             return Err(Error::InvalidObservation(format!(
@@ -162,77 +167,6 @@ pub(crate) fn signature_of(obs: &Observation) -> (usize, usize, usize, EndGap) {
         Succ::Node(_) => EndGap::TwoPlus,
     };
     (s, m, unit_gaps, end)
-}
-
-/// Set of honest nodes observed by identity (run boundaries plus the
-/// receiver's predecessor), as a boolean mask.
-pub(crate) fn observed_honest_mask(obs: &Observation, n: usize, compromised: &[bool]) -> Vec<bool> {
-    let mut mask = vec![false; n];
-    let mut mark = |id: usize| {
-        if !compromised[id] {
-            mask[id] = true;
-        }
-    };
-    mark(obs.receiver_pred);
-    for run in &obs.runs {
-        mark(run.pred);
-        if let Succ::Node(v) = run.succ {
-            mark(v);
-        }
-    }
-    mask
-}
-
-fn simple_posterior(
-    model: &SystemModel,
-    dist: &PathLengthDist,
-    obs: &Observation,
-    compromised: &[bool],
-) -> Result<Vec<f64>> {
-    model.validate_dist(dist)?;
-    let n = model.n();
-    let nh = model.honest();
-    let q = dist.pmf();
-    let lmax = dist.max_len().min(n - 1);
-    let lf = LnFact::new(n + lmax + 4);
-
-    let observed = observed_honest_mask(obs, n, compromised);
-    let (w_suspect, w_hidden, suspect) = if obs.runs.is_empty() {
-        let (w_a, w_b) = clean_hypothesis_weights(&lf, q, lmax, n, nh);
-        (w_a, w_b, obs.receiver_pred)
-    } else {
-        let (s, m, unit_gaps, end) = signature_of(obs);
-        let obs0 = unit_gaps + 2 * (m - 1 - unit_gaps) + end.observed();
-        let k0 = (m - 1 - unit_gaps) + usize::from(end.is_free());
-        let (w_a, w_b) = run_hypothesis_weights(&lf, q, lmax, n, nh, s, obs0, k0);
-        (w_a, w_b, obs.runs[0].pred)
-    };
-
-    let mut post = vec![0.0; n];
-    let mut z = 0.0;
-    for i in 0..n {
-        if compromised[i] {
-            continue; // a compromised sender would have reported origin
-        }
-        let w = if i == suspect {
-            w_suspect
-        } else if observed[i] {
-            0.0 // an observed honest intermediate cannot be the sender on a simple path
-        } else {
-            w_hidden
-        };
-        post[i] = w;
-        z += w;
-    }
-    if z <= 0.0 {
-        return Err(Error::InvalidObservation(
-            "observation has zero likelihood under the strategy".into(),
-        ));
-    }
-    for p in &mut post {
-        *p /= z;
-    }
-    Ok(post)
 }
 
 #[cfg(test)]

@@ -52,8 +52,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dist::PathLengthDist;
-use crate::engine::{observe, sample_path, sender_posterior};
+use crate::engine::{observe, sample_path_into, EvaluatorCache};
 use crate::error::{Error, Result};
+use crate::kernels;
 use crate::mathutil::entropy_bits;
 use crate::model::SystemModel;
 
@@ -409,19 +410,57 @@ impl EpochView {
 /// fold is a verbatim copy, so single-epoch results are **bit-identical**
 /// to the one-shot posterior path. Later folds renormalize, keeping the
 /// accumulator stable over arbitrarily many rounds.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// ## Sparse representation
+///
+/// Support shrinks monotonically — a candidate zeroed once stays zero —
+/// so once a fold leaves at most `universe / `[`SPARSE_SWITCH_DIVISOR`]
+/// survivors the accumulator switches to a sparse `(index, weight)` pair
+/// list and every subsequent `fold`/`entropy_bits`/`support`/`best_guess`
+/// is `O(support)` instead of `O(universe)`. The switch is one-way and
+/// **bit-preserving**: eliminated candidates carry exact `+0.0`, which is
+/// the additive identity of the nonnegative left-to-right sums, so the
+/// sparse arithmetic produces the same bits the dense scan would (pinned
+/// by the golden-file and conformance suites, and by a differential
+/// proptest). The one observable difference is validation scope: a
+/// sparse fold only inspects the round posterior at surviving indices, so
+/// a negative or non-finite entry at an already-eliminated index is no
+/// longer detected.
+///
+/// After a `fold` error the accumulator state is unspecified; callers
+/// are expected to discard it (every error is terminal for the session).
+#[derive(Debug, Clone)]
 pub struct IntersectionPosterior {
-    weights: Vec<f64>,
+    universe: usize,
     folds: usize,
+    repr: Repr,
 }
+
+/// Internal storage of the accumulator. `Uniform` is the fold-free prior
+/// (no allocation at all); `Dense` mirrors the historical `Vec<f64>` over
+/// the whole universe; `Sparse` keeps only the surviving support as
+/// ascending `(index, weight)` pairs.
+#[derive(Debug, Clone)]
+enum Repr {
+    Uniform,
+    Dense(Vec<f64>),
+    Sparse { idx: Vec<u32>, w: Vec<f64> },
+}
+
+/// A fold switches to the sparse representation once
+/// `support <= universe / SPARSE_SWITCH_DIVISOR` (and indices fit `u32`).
+/// Below that point the dense multiply touches at least this factor of
+/// dead zeroes per surviving candidate.
+pub const SPARSE_SWITCH_DIVISOR: usize = 4;
 
 impl IntersectionPosterior {
     /// A fresh accumulator over `universe` candidate senders (uniform
     /// prior).
     pub fn new(universe: usize) -> Self {
         IntersectionPosterior {
-            weights: vec![1.0; universe],
+            universe,
             folds: 0,
+            repr: Repr::Uniform,
         }
     }
 
@@ -432,7 +471,34 @@ impl IntersectionPosterior {
 
     /// Number of candidate senders (the universe size).
     pub fn universe(&self) -> usize {
-        self.weights.len()
+        self.universe
+    }
+
+    /// Whether the accumulator currently stores only its surviving
+    /// support (see the type docs). Diagnostic only — results never
+    /// depend on the representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse { .. })
+    }
+
+    /// Whether a post-fold support size warrants the sparse switch.
+    fn prefer_sparse(support: usize, universe: usize) -> bool {
+        support * SPARSE_SWITCH_DIVISOR <= universe && universe <= u32::MAX as usize
+    }
+
+    /// The sparse pair list of a dense weight vector (positive entries
+    /// only, ascending index order).
+    fn sparsify(weights: &[f64]) -> Repr {
+        let support = weights.iter().filter(|&&w| w > 0.0).count();
+        let mut idx = Vec::with_capacity(support);
+        let mut w = Vec::with_capacity(support);
+        for (i, &wi) in weights.iter().enumerate() {
+            if wi > 0.0 {
+                idx.push(i as u32);
+                w.push(wi);
+            }
+        }
+        Repr::Sparse { idx, w }
     }
 
     /// Folds one round's posterior into the accumulator.
@@ -440,85 +506,240 @@ impl IntersectionPosterior {
     /// # Errors
     ///
     /// Returns [`Error::InvalidObservation`] if the posterior has the
-    /// wrong length, a non-finite or negative entry, or is inconsistent
-    /// with every surviving candidate (zero total mass after the fold).
+    /// wrong length, a non-finite or negative entry (checked on the
+    /// surviving support only, once sparse), or is inconsistent with
+    /// every surviving candidate (zero total mass after the fold).
     pub fn fold(&mut self, round_posterior: &[f64]) -> Result<()> {
-        if round_posterior.len() != self.weights.len() {
+        if round_posterior.len() != self.universe {
             return Err(Error::InvalidObservation(format!(
                 "round posterior has length {}, accumulator universe is {}",
                 round_posterior.len(),
-                self.weights.len()
+                self.universe
             )));
         }
-        if round_posterior.iter().any(|p| !p.is_finite() || *p < 0.0) {
-            return Err(Error::InvalidObservation(
-                "round posterior has a negative or non-finite entry".into(),
-            ));
-        }
-        if self.folds == 0 {
-            // verbatim copy: single-epoch results must be bit-identical
-            // to the one-shot posterior path
-            self.weights.copy_from_slice(round_posterior);
-        } else {
-            let mut total = 0.0;
-            for (w, &p) in self.weights.iter_mut().zip(round_posterior) {
-                *w *= p;
-                total += *w;
+        match &mut self.repr {
+            Repr::Uniform => {
+                if !kernels::is_valid_weights(round_posterior) {
+                    return Err(Error::InvalidObservation(
+                        "round posterior has a negative or non-finite entry".into(),
+                    ));
+                }
+                // verbatim values: single-epoch results must be
+                // bit-identical to the one-shot posterior path
+                let support = round_posterior.iter().filter(|&&p| p > 0.0).count();
+                self.repr = if Self::prefer_sparse(support, self.universe) {
+                    Self::sparsify(round_posterior)
+                } else {
+                    Repr::Dense(round_posterior.to_vec())
+                };
             }
-            if total <= 0.0 {
-                return Err(Error::InvalidObservation(
-                    "intersection fold eliminated every candidate sender".into(),
-                ));
+            Repr::Dense(weights) => {
+                if !kernels::is_valid_weights(round_posterior) {
+                    return Err(Error::InvalidObservation(
+                        "round posterior has a negative or non-finite entry".into(),
+                    ));
+                }
+                kernels::mul_in_place(weights, round_posterior);
+                let total = kernels::sum_ordered(weights);
+                if total <= 0.0 {
+                    return Err(Error::InvalidObservation(
+                        "intersection fold eliminated every candidate sender".into(),
+                    ));
+                }
+                kernels::div_in_place(weights, total);
+                let support = weights.iter().filter(|&&w| w > 0.0).count();
+                if Self::prefer_sparse(support, self.universe) {
+                    self.repr = Self::sparsify(weights);
+                }
             }
-            for w in &mut self.weights {
-                *w /= total;
+            Repr::Sparse { idx, w } => {
+                // eliminated candidates contribute exact +0.0 to the
+                // dense running total, so summing the survivors alone in
+                // ascending index order reproduces its bits
+                let mut total = 0.0;
+                for (&i, wi) in idx.iter().zip(w.iter_mut()) {
+                    let p = round_posterior[i as usize];
+                    if !p.is_finite() || p < 0.0 {
+                        return Err(Error::InvalidObservation(
+                            "round posterior has a negative or non-finite entry".into(),
+                        ));
+                    }
+                    *wi *= p;
+                    total += *wi;
+                }
+                if total <= 0.0 {
+                    return Err(Error::InvalidObservation(
+                        "intersection fold eliminated every candidate sender".into(),
+                    ));
+                }
+                kernels::div_in_place(w, total);
+                // compact newly eliminated candidates in place
+                let mut keep = 0;
+                for k in 0..w.len() {
+                    if w[k] > 0.0 {
+                        idx[keep] = idx[k];
+                        w[keep] = w[k];
+                        keep += 1;
+                    }
+                }
+                idx.truncate(keep);
+                w.truncate(keep);
             }
         }
         self.folds += 1;
         Ok(())
     }
 
-    /// The cumulative posterior, normalized to sum 1. Before any fold
-    /// this is the uniform prior.
+    /// The cumulative posterior, normalized to sum 1, as a dense
+    /// universe-length vector. Before any fold this is the uniform prior.
     pub fn posterior(&self) -> Vec<f64> {
-        if self.folds <= 1 {
+        match &self.repr {
             // first fold is stored verbatim (already normalized by the
             // round's own computation); renormalizing would perturb bits
-            return if self.folds == 1 {
-                self.weights.clone()
-            } else {
-                vec![1.0 / self.weights.len() as f64; self.weights.len()]
-            };
+            Repr::Uniform => vec![1.0 / self.universe as f64; self.universe],
+            Repr::Dense(weights) => weights.clone(),
+            Repr::Sparse { idx, w } => {
+                let mut out = vec![0.0; self.universe];
+                for (&i, &wi) in idx.iter().zip(w) {
+                    out[i as usize] = wi;
+                }
+                out
+            }
         }
-        self.weights.clone()
     }
 
     /// Shannon entropy of the cumulative posterior, in bits.
     pub fn entropy_bits(&self) -> f64 {
-        if self.folds == 0 {
-            return (self.weights.len() as f64).log2();
+        match &self.repr {
+            Repr::Uniform => (self.universe as f64).log2(),
+            Repr::Dense(weights) => entropy_bits(weights),
+            // `entropy_bits` sums its normalizer left-to-right and skips
+            // nonpositive entries, so the survivors alone give the same
+            // bits as the dense vector
+            Repr::Sparse { w, .. } => entropy_bits(w),
         }
-        entropy_bits(&self.weights)
     }
 
     /// Number of candidates still carrying positive mass. Monotonically
     /// non-increasing as rounds fold in — the intersection attack proper.
     pub fn support(&self) -> usize {
-        if self.folds == 0 {
-            return self.weights.len();
+        match &self.repr {
+            Repr::Uniform => self.universe,
+            Repr::Dense(weights) => weights.iter().filter(|&&w| w > 0.0).count(),
+            Repr::Sparse { w, .. } => w.len(),
         }
-        self.weights.iter().filter(|&&w| w > 0.0).count()
     }
 
-    /// The most likely sender and its cumulative posterior probability.
+    /// The most likely sender and its normalized cumulative posterior
+    /// probability, `O(support)`. Ties resolve to the highest index (the
+    /// historical dense-scan behavior); eliminated candidates never tie a
+    /// positive maximum, so the sparse argmax matches the dense one.
     pub fn best_guess(&self) -> (usize, f64) {
-        let total: f64 = self.weights.iter().sum();
-        self.weights
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
-            .map(|(i, &w)| (i, w / total))
-            .expect("accumulator universe is nonempty")
+        match &self.repr {
+            // the dense scan over an all-ones prior: every candidate
+            // ties, the last index wins, and the total is exactly n
+            Repr::Uniform => (self.universe - 1, 1.0 / self.universe as f64),
+            Repr::Dense(weights) => {
+                let total = kernels::sum_ordered(weights);
+                weights
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+                    .map(|(i, &w)| (i, w / total))
+                    .expect("accumulator universe is nonempty")
+            }
+            Repr::Sparse { idx, w } => {
+                let Some((k, &best)) = w
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+                else {
+                    // an all-zero first fold: the dense scan returned the
+                    // last index with probability 0/0
+                    return (self.universe - 1, f64::NAN);
+                };
+                let total = kernels::sum_ordered(w);
+                (idx[k] as usize, best / total)
+            }
+        }
+    }
+
+    /// Iterates the candidates carrying nonzero mass as
+    /// `(universe index, weight)`, ascending by index.
+    fn positive_entries(&self) -> Box<dyn Iterator<Item = (usize, f64)> + '_> {
+        match &self.repr {
+            Repr::Uniform => Box::new((0..self.universe).map(|i| (i, 1.0))),
+            Repr::Dense(weights) => Box::new(
+                weights
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w != 0.0)
+                    .map(|(i, &w)| (i, w)),
+            ),
+            Repr::Sparse { idx, w } => Box::new(
+                idx.iter()
+                    .zip(w)
+                    .filter(|&(_, &w)| w != 0.0)
+                    .map(|(&i, &w)| (i as usize, w)),
+            ),
+        }
+    }
+}
+
+/// Representation-agnostic equality: two accumulators are equal when
+/// they agree on the universe, the fold count, and every candidate's
+/// weight — whether stored dense or sparse.
+impl PartialEq for IntersectionPosterior {
+    fn eq(&self, other: &Self) -> bool {
+        self.universe == other.universe
+            && self.folds == other.folds
+            && self.positive_entries().eq(other.positive_entries())
+    }
+}
+
+/// A reusable universe-sized buffer for lifting local-space posteriors
+/// into universe space without a fresh `O(universe)` allocation per fold
+/// (the per-round `Vec` churn [`EpochView::lift`] pays).
+///
+/// The buffer holds zeroes between calls; [`LiftScratch::lifted`]
+/// scatters the local posterior onto the active indices, hands the dense
+/// view to the callback, and re-zeroes exactly the written positions —
+/// `O(n_e)` maintenance instead of `O(universe)` allocate-and-zero.
+#[derive(Debug)]
+pub struct LiftScratch {
+    buf: Vec<f64>,
+}
+
+impl LiftScratch {
+    /// A zeroed scratch buffer over `universe` candidates.
+    pub fn new(universe: usize) -> Self {
+        LiftScratch {
+            buf: vec![0.0; universe],
+        }
+    }
+
+    /// Runs `f` on the universe-space lift of `local` at the sorted
+    /// `active` indices — bit-identical to `f(&view.lift(local, u))` —
+    /// then restores the scratch to all zeroes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len() != local.len()` or an active index is out
+    /// of universe range (the same contract as [`EpochView::lift`]).
+    pub fn lifted<R>(&mut self, active: &[usize], local: &[f64], f: impl FnOnce(&[f64]) -> R) -> R {
+        assert_eq!(
+            local.len(),
+            active.len(),
+            "posterior length must match epoch size"
+        );
+        for (&u, &p) in active.iter().zip(local) {
+            self.buf[u] = p;
+        }
+        let out = f(&self.buf);
+        for &u in active {
+            self.buf[u] = 0.0;
+        }
+        out
     }
 }
 
@@ -613,20 +834,50 @@ pub fn estimate_decay(
     seed: u64,
     stream: u64,
 ) -> Result<DecayCurve> {
+    estimate_decay_with(
+        model,
+        dist,
+        schedule,
+        sessions,
+        seed,
+        stream,
+        &EvaluatorCache::new(),
+    )
+}
+
+/// [`estimate_decay`] sharing fold workspaces through an external
+/// [`EvaluatorCache`], so repeated estimations over the same epoch models
+/// (e.g. a campaign's exact and Monte-Carlo cells sweeping strategies)
+/// amortize the per-epoch table builds. Bit-identical to
+/// [`estimate_decay`] on equal arguments.
+///
+/// # Errors
+///
+/// Same conditions as [`estimate_decay`].
+pub fn estimate_decay_with(
+    model: &SystemModel,
+    dist: &PathLengthDist,
+    schedule: &EpochSchedule,
+    sessions: usize,
+    seed: u64,
+    stream: u64,
+    cache: &EvaluatorCache,
+) -> Result<DecayCurve> {
     if sessions == 0 {
         return Err(Error::InvalidModel("need at least one session".into()));
     }
     let n = model.n();
     let c = model.c();
     let views = schedule.realize(n, c, seed)?;
-    // per-epoch local models and compromised masks, validated up front
+    // per-epoch local models, shared fold workspaces, and compromised
+    // masks, validated up front
     let mut epochs = Vec::with_capacity(views.len());
     for view in &views {
         let local_model = SystemModel::with_path_kind(view.n(), c, model.path_kind())?;
-        local_model
-            .validate_dist(dist)
+        let workspace = cache
+            .workspace(&local_model, dist)
             .map_err(|e| Error::InvalidDistribution(format!("epoch {}: {e}", view.epoch + 1)))?;
-        epochs.push((view, local_model, view.local_compromised_mask()));
+        epochs.push((view, local_model, workspace, view.local_compromised_mask()));
     }
 
     let mut rng = StdRng::seed_from_u64(mix64(mix64(seed, SESSION_SALT), stream));
@@ -635,27 +886,43 @@ pub fn estimate_decay(
     let mut supports = vec![0.0; views.len()];
     let mut identified = vec![0usize; views.len()];
     let mut scratch: Vec<usize> = Vec::new();
+    let mut path: Vec<usize> = Vec::new();
+    let mut posterior: Vec<f64> = Vec::new();
+    let mut lift = LiftScratch::new(n);
 
     for _ in 0..sessions {
         let sender = rng.gen_range(0..n);
         let mut acc = IntersectionPosterior::new(n);
-        for (e, (view, local_model, mask)) in epochs.iter().enumerate() {
+        for (e, (view, local_model, workspace, mask)) in epochs.iter().enumerate() {
             if let Some(local_sender) = view.local_of(sender) {
-                let posterior = if mask[local_sender] {
+                if mask[local_sender] {
                     // a compromised sender reports itself: delta posterior
-                    let mut delta = vec![0.0; view.n()];
-                    delta[local_sender] = 1.0;
-                    delta
+                    posterior.clear();
+                    posterior.resize(view.n(), 0.0);
+                    posterior[local_sender] = 1.0;
                 } else {
                     let l = dist.sample(&mut rng);
                     scratch.clear();
                     scratch.extend(0..view.n());
-                    let path = sample_path(local_model, local_sender, l, &mut rng, &mut scratch);
+                    sample_path_into(
+                        local_model,
+                        local_sender,
+                        l,
+                        &mut rng,
+                        &mut scratch,
+                        &mut path,
+                    );
                     let obs = observe(local_sender, &path, mask);
-                    sender_posterior(local_model, dist, &obs, mask)
-                        .expect("generated observations are consistent by construction")
-                };
-                acc.fold(&view.lift(&posterior, n))?;
+                    workspace
+                        .posterior_into(&obs, mask, &mut posterior)
+                        .expect("generated observations are consistent by construction");
+                }
+                if view.n() == n {
+                    // full-membership epoch: the lift is the identity
+                    acc.fold(&posterior)?;
+                } else {
+                    lift.lifted(&view.active, &posterior, |p| acc.fold(p))?;
+                }
             }
             // an inactive sender stays silent: the round folds nothing
             // and the cumulative state carries forward

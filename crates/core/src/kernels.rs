@@ -1,0 +1,172 @@
+//! Chunked fold kernels for the hot multiply-accumulate loops.
+//!
+//! The intersection accumulator ([`crate::epochs::IntersectionPosterior`])
+//! and the posterior normalization passes spend their time in three tiny
+//! loops: elementwise multiply, ordered sum, and elementwise divide. This
+//! module provides them as standalone kernels written so the compiler can
+//! auto-vectorize the elementwise passes (fixed-width `chunks_exact`
+//! bodies, no indexed bounds checks in the inner loop) without touching
+//! the workspace-wide determinism contract.
+//!
+//! ## Determinism boundary
+//!
+//! Every seeded artifact in this workspace (campaign JSONL/CSV, golden
+//! files, the four-engine conformance cells) is pinned **byte-identical
+//! per seed at any thread count**, so floating-point *summation order* is
+//! part of the public contract:
+//!
+//! * [`mul_in_place`] and [`div_in_place`] are elementwise — each output
+//!   lane depends on exactly one input lane, so chunking cannot change any
+//!   result bit. These are the only passes that may be chunked, unrolled,
+//!   or vectorized.
+//! * [`sum_ordered`] MUST remain a strict left-to-right reduction with a
+//!   single accumulator. Pairwise/tree/SIMD-lane reductions produce
+//!   different (often more accurate!) bits and would silently break every
+//!   golden file. Do not "optimize" it into a chunked reduction, and do
+//!   not let a parallel runtime split it: the sum must not depend on
+//!   thread count.
+//!
+//! Splitting the historical interleaved `w *= p; total += w` fold into a
+//! multiply pass followed by an ordered sum is bit-identical: the products
+//! are the same values, and the sum visits them in the same order.
+
+/// Elementwise `dst[i] *= src[i]`.
+///
+/// Chunked so the inner loop has no bounds checks and auto-vectorizes;
+/// safe to reorder freely because each lane is independent.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_in_place(dst: &mut [f64], src: &[f64]) {
+    assert_eq!(dst.len(), src.len(), "kernel operands must match in length");
+    const LANES: usize = 8;
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in d.by_ref().zip(s.by_ref()) {
+        for k in 0..LANES {
+            dc[k] *= sc[k];
+        }
+    }
+    for (x, &y) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *x *= y;
+    }
+}
+
+/// Elementwise `xs[i] /= divisor`.
+///
+/// Kept as a division (not a multiply by the reciprocal): the historical
+/// renormalization divides, and `x / t` and `x * (1/t)` differ in the
+/// last bit often enough to break byte-pinned artifacts.
+pub fn div_in_place(xs: &mut [f64], divisor: f64) {
+    const LANES: usize = 8;
+    let mut it = xs.chunks_exact_mut(LANES);
+    for chunk in it.by_ref() {
+        for x in chunk {
+            *x /= divisor;
+        }
+    }
+    for x in it.into_remainder() {
+        *x /= divisor;
+    }
+}
+
+/// Strict left-to-right sum with a single accumulator starting at `0.0`.
+///
+/// This is the determinism-critical reduction — see the module docs. Its
+/// bits equal those of the naive `for` loop every caller used to inline,
+/// including the identity `acc + 0.0 == acc` for nonnegative
+/// accumulators, which is what makes sparse iteration over the surviving
+/// support bit-identical to the dense scan.
+#[inline]
+pub fn sum_ordered(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Whether every entry is a finite, nonnegative probability weight — the
+/// validation predicate of the fold path. Order-independent, so it is
+/// free to chunk.
+pub fn is_valid_weights(xs: &[f64]) -> bool {
+    const LANES: usize = 8;
+    let mut it = xs.chunks_exact(LANES);
+    for chunk in it.by_ref() {
+        let mut ok = true;
+        for &x in chunk {
+            ok &= x.is_finite() && x >= 0.0;
+        }
+        if !ok {
+            return false;
+        }
+    }
+    it.remainder().iter().all(|&x| x.is_finite() && x >= 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_scalar_loop_bitwise() {
+        let a: Vec<f64> = (0..37).map(|i| 0.1 + i as f64 * 0.37).collect();
+        let b: Vec<f64> = (0..37).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut chunked = a.clone();
+        mul_in_place(&mut chunked, &b);
+        let scalar: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x * y).collect();
+        assert_eq!(
+            chunked.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn div_matches_scalar_loop_bitwise() {
+        let mut xs: Vec<f64> = (0..19).map(|i| 0.3 + i as f64).collect();
+        let scalar: Vec<f64> = xs.iter().map(|x| x / 0.7).collect();
+        div_in_place(&mut xs, 0.7);
+        assert_eq!(
+            xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sum_is_strictly_left_to_right() {
+        // an order-sensitive sequence: reassociating changes the bits
+        let xs = [1.0e16, 1.0, -1.0e16, 1.0, 0.1, 1e-9];
+        let mut acc = 0.0;
+        for &x in &xs {
+            acc += x;
+        }
+        assert_eq!(sum_ordered(&xs).to_bits(), acc.to_bits());
+    }
+
+    #[test]
+    fn zeros_are_additive_identity_for_nonnegative_sums() {
+        // the sparse-iteration contract: dropping exact zeros from a
+        // nonnegative sum leaves the accumulator bits unchanged
+        let dense = [0.0, 0.125, 0.0, 0.375, 0.0, 0.5, 0.0];
+        let sparse = [0.125, 0.375, 0.5];
+        assert_eq!(
+            sum_ordered(&dense).to_bits(),
+            sum_ordered(&sparse).to_bits()
+        );
+    }
+
+    #[test]
+    fn validation_predicate_flags_bad_entries() {
+        let good: Vec<f64> = (0..33).map(|i| i as f64 * 0.01).collect();
+        assert!(is_valid_weights(&good));
+        let mut bad = good.clone();
+        bad[20] = -0.5;
+        assert!(!is_valid_weights(&bad));
+        bad[20] = f64::NAN;
+        assert!(!is_valid_weights(&bad));
+        bad[20] = f64::INFINITY;
+        assert!(!is_valid_weights(&bad));
+        assert!(is_valid_weights(&[]));
+    }
+}

@@ -48,6 +48,7 @@ pub mod dist;
 pub mod engine;
 pub mod epochs;
 pub mod error;
+pub mod kernels;
 pub mod mathutil;
 pub mod metrics;
 pub mod model;

@@ -45,8 +45,204 @@ fn posterior_from(raw: &[f64], kill: &[bool], n: usize) -> Vec<f64> {
     post
 }
 
+/// A verbatim reimplementation of the historical dense-only accumulator
+/// (a `Vec<f64>` over the whole universe, interleaved multiply-accumulate
+/// fold) — the reference the sparse representation must match bit for
+/// bit.
+struct DenseRef {
+    weights: Vec<f64>,
+    folds: usize,
+}
+
+impl DenseRef {
+    fn new(universe: usize) -> Self {
+        DenseRef {
+            weights: vec![1.0; universe],
+            folds: 0,
+        }
+    }
+
+    fn fold(&mut self, round: &[f64]) -> Result<(), ()> {
+        if round.len() != self.weights.len() {
+            return Err(());
+        }
+        if round.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(());
+        }
+        if self.folds == 0 {
+            self.weights.copy_from_slice(round);
+        } else {
+            let mut total = 0.0;
+            for (w, &p) in self.weights.iter_mut().zip(round) {
+                *w *= p;
+                total += *w;
+            }
+            if total <= 0.0 {
+                return Err(());
+            }
+            for w in &mut self.weights {
+                *w /= total;
+            }
+        }
+        self.folds += 1;
+        Ok(())
+    }
+
+    fn posterior(&self) -> Vec<f64> {
+        if self.folds == 0 {
+            return vec![1.0 / self.weights.len() as f64; self.weights.len()];
+        }
+        self.weights.clone()
+    }
+
+    fn entropy_bits(&self) -> f64 {
+        if self.folds == 0 {
+            return (self.weights.len() as f64).log2();
+        }
+        entropy_bits(&self.weights)
+    }
+
+    fn support(&self) -> usize {
+        if self.folds == 0 {
+            return self.weights.len();
+        }
+        self.weights.iter().filter(|&&w| w > 0.0).count()
+    }
+
+    fn best_guess(&self) -> (usize, f64) {
+        let total: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, &w)| (i, w / total))
+            .expect("nonempty")
+    }
+}
+
+/// Like [`posterior_from`] but with a byte-threshold kill rule, so a high
+/// `threshold` zeroes almost the whole universe (candidate 0 always
+/// survives).
+fn thresholded_posterior(raw: &[f64], keep: &[u8], threshold: u8, n: usize) -> Vec<f64> {
+    let mut post: Vec<f64> = (0..n)
+        .map(|i| {
+            let w = 0.01 + raw[i % raw.len()].abs().fract();
+            if i != 0 && keep[i % keep.len()] < threshold {
+                0.0
+            } else {
+                w
+            }
+        })
+        .collect();
+    let total: f64 = post.iter().sum();
+    for p in &mut post {
+        *p /= total;
+    }
+    post
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Asserts every observable of the accumulator matches the dense
+/// reference bit for bit.
+fn assert_matches_reference(acc: &IntersectionPosterior, reference: &DenseRef) {
+    assert_eq!(bits(&acc.posterior()), bits(&reference.posterior()));
+    assert_eq!(
+        acc.entropy_bits().to_bits(),
+        reference.entropy_bits().to_bits()
+    );
+    assert_eq!(acc.support(), reference.support());
+    let (gi, gp) = acc.best_guess();
+    let (ri, rp) = reference.best_guess();
+    assert_eq!(gi, ri);
+    assert_eq!(gp.to_bits(), rp.to_bits());
+}
+
+#[test]
+fn sparse_switchover_is_transparent_and_rejects_contradictions_like_dense() {
+    let n = 40;
+    let mut acc = IntersectionPosterior::new(n);
+    let mut reference = DenseRef::new(n);
+    // a mild first round keeps 3n/4 of the support: stays dense
+    let mild: Vec<u8> = (0..n as u8)
+        .map(|i| if i % 4 == 1 { 0 } else { 255 })
+        .collect();
+    let raw: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let round = thresholded_posterior(&raw, &mild, 128, n);
+    acc.fold(&round).unwrap();
+    reference.fold(&round).unwrap();
+    assert!(!acc.is_sparse(), "3n/4 support must stay dense");
+    assert_matches_reference(&acc, &reference);
+    // a heavy round collapses to <= n/4 survivors: switches to sparse
+    let heavy: Vec<u8> = (0..n as u8)
+        .map(|i| if i % 8 == 0 { 255 } else { 0 })
+        .collect();
+    let round = thresholded_posterior(&raw, &heavy, 128, n);
+    acc.fold(&round).unwrap();
+    reference.fold(&round).unwrap();
+    assert!(acc.is_sparse(), "collapsed support must go sparse");
+    assert_matches_reference(&acc, &reference);
+    // folding from the sparse side still matches
+    let round = thresholded_posterior(&raw[3..], &mild, 128, n);
+    acc.fold(&round).unwrap();
+    reference.fold(&round).unwrap();
+    assert_matches_reference(&acc, &reference);
+    // a contradictory round (mass only where the support is gone) errors
+    // in both representations
+    let mut contradiction = vec![0.0; n];
+    for (i, slot) in contradiction.iter_mut().enumerate() {
+        if i % 8 != 0 && i != 0 {
+            *slot = 1.0;
+        }
+    }
+    // survivors are exactly {0, multiples of 8} after the heavy round
+    contradiction[0] = 0.0;
+    assert!(acc.fold(&contradiction).is_err());
+    assert!(reference.fold(&contradiction).is_err());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparse_and_dense_accumulators_agree_bit_for_bit(
+        raw in proptest::collection::vec(0.0f64..1.0, 24..=96),
+        keep in proptest::collection::vec(any::<u8>(), 24..=96),
+        thresholds in proptest::collection::vec(0u8..=250, 1..8),
+    ) {
+        let n = 64;
+        let mut acc = IntersectionPosterior::new(n);
+        let mut reference = DenseRef::new(n);
+        // force the sparse regime up front: a heavy opening round zeroes
+        // most of the universe, so every later fold runs sparse-vs-dense
+        let opener = thresholded_posterior(&raw, &keep, 240, n);
+        acc.fold(&opener).unwrap();
+        reference.fold(&opener).unwrap();
+        for (r, &threshold) in thresholds.iter().enumerate() {
+            let round = thresholded_posterior(
+                &raw[(r * 7) % raw.len()..],
+                &keep[(r * 11) % keep.len()..],
+                threshold,
+                n,
+            );
+            // candidate 0 survives every round, so folds cannot go extinct
+            acc.fold(&round).unwrap();
+            reference.fold(&round).unwrap();
+            prop_assert_eq!(bits(&acc.posterior()), bits(&reference.posterior()));
+            prop_assert_eq!(
+                acc.entropy_bits().to_bits(),
+                reference.entropy_bits().to_bits()
+            );
+            prop_assert_eq!(acc.support(), reference.support());
+            let (gi, gp) = acc.best_guess();
+            let (ri, rp) = reference.best_guess();
+            prop_assert_eq!(gi, ri);
+            prop_assert_eq!(gp.to_bits(), rp.to_bits());
+            prop_assert_eq!(acc.folds(), reference.folds);
+        }
+    }
 
     #[test]
     fn accumulator_stays_normalized_and_support_never_grows(

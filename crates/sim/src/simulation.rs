@@ -172,6 +172,14 @@ impl<B: NodeBehavior> Simulation<B> {
         &self.originations
     }
 
+    /// Consumes the simulation, returning the owned `(trace,
+    /// originations)` pair — what a post-run attack needs — without
+    /// copying either vector. Use after [`Simulation::run`] when the
+    /// simulation itself is no longer needed.
+    pub fn into_artifacts(self) -> (Vec<TransferRecord>, Vec<Origination>) {
+        (self.trace, self.originations)
+    }
+
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
