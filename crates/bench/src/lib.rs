@@ -6,6 +6,8 @@
 //! * `engine` — exact anonymity-degree engines, posteriors, optimizer;
 //! * `crypto` — SHA-256 / ChaCha20 throughput, onion build/peel;
 //! * `simulation` — discrete-event throughput with full onion protocol;
+//! * `sim` — raw discrete-event core throughput (events/sec) at 10³,
+//!   10⁵, and 10⁶ member nodes — the committed `BENCH_sim.json`;
 //! * `figures` — wall-clock cost of regenerating each paper figure;
 //! * `campaign` — serial-vs-parallel scenario-sweep throughput;
 //! * `relay` — TCP relay network: end-to-end circuit latency over

@@ -31,9 +31,8 @@
 //! even though TCP scheduling is not (pinned by `tests/engines.rs`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 use anonroute_core::SystemModel;
 use anonroute_relay::budget::ClusterBudget;
@@ -196,7 +195,7 @@ fn run_watchdogged(
     let phase = Arc::new(PhaseCell::new());
     let run_phase = Arc::clone(&phase);
     let helper = std::thread::spawn(move || {
-        let _done = HelperDone(done_tx);
+        let _done = anonroute_sim::reaper::DoneGuard::new(done_tx);
         let outcome = run_cluster_budgeted_observed(
             &config,
             &arrivals,
@@ -220,10 +219,7 @@ fn run_watchdogged(
             abandoned.store(true, Ordering::SeqCst);
             // park the helper for the sweep-end bounded reap instead of
             // detaching it forever
-            abandoned_registry()
-                .lock()
-                .expect("abandoned watchdog registry lock")
-                .push((done_rx, helper));
+            anonroute_sim::reaper::global().register(done_rx, helper);
             // the shared phase cell says where the run was when the
             // deadline fired — queued on the budget, booting, first
             // handshake, traffic, drain, or teardown — which is the
@@ -240,60 +236,17 @@ fn run_watchdogged(
     }
 }
 
-/// Sends on its channel when the watchdog helper thread unwinds — panic
-/// or not — so abandoned helpers can later be joined with a bound.
-struct HelperDone(mpsc::Sender<()>);
-
-impl Drop for HelperDone {
-    fn drop(&mut self) {
-        let _ = self.0.send(());
-    }
-}
-
-/// An abandoned watchdog helper: the done-signal receiver paired with
-/// the thread to join once it fires.
-type AbandonedHelper = (mpsc::Receiver<()>, JoinHandle<()>);
-
-/// Helper threads abandoned by their watchdog deadline, awaiting a
-/// bounded join at the end of a sweep.
-fn abandoned_registry() -> &'static Mutex<Vec<AbandonedHelper>> {
-    static REGISTRY: OnceLock<Mutex<Vec<AbandonedHelper>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
-}
-
 /// Reaps watchdog helper threads abandoned by timed-out live cells:
 /// joins (with `deadline` as the *total* bound) every helper whose
 /// cluster has finished its own bounded teardown, and leaves the rest
 /// registered for a later reap. Returns `(joined, still_pending)`. The
 /// runner calls this at the end of every sweep — including drained and
 /// aborted ones — so abandoned threads don't pile up across a campaign.
+///
+/// The registry itself is the process-wide [`anonroute_sim::reaper`],
+/// shared with the sim runtime's own deadline-bounded runs.
 pub(crate) fn join_abandoned(deadline: Duration) -> (usize, usize) {
-    let mut pending = {
-        let mut registry = abandoned_registry()
-            .lock()
-            .expect("abandoned watchdog registry lock");
-        std::mem::take(&mut *registry)
-    };
-    let start = Instant::now();
-    let mut joined = 0;
-    let mut still = Vec::new();
-    for (done, helper) in pending.drain(..) {
-        let remaining = deadline.saturating_sub(start.elapsed());
-        match done.recv_timeout(remaining) {
-            // a disconnect means the guard dropped — the helper is done
-            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
-                let _ = helper.join();
-                joined += 1;
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => still.push((done, helper)),
-        }
-    }
-    let still_pending = still.len();
-    abandoned_registry()
-        .lock()
-        .expect("abandoned watchdog registry lock")
-        .extend(still);
-    (joined, still_pending)
+    anonroute_sim::reaper::global().join_abandoned(deadline)
 }
 
 #[cfg(test)]
@@ -333,12 +286,12 @@ mod tests {
     fn join_abandoned_reaps_finished_helpers_with_a_bound() {
         let (done_tx, done_rx) = mpsc::channel();
         let helper = std::thread::spawn(move || {
-            let _done = HelperDone(done_tx);
+            let _done = anonroute_sim::reaper::DoneGuard::new(done_tx);
         });
         while !helper.is_finished() {
             std::thread::yield_now();
         }
-        abandoned_registry().lock().unwrap().push((done_rx, helper));
+        anonroute_sim::reaper::global().register(done_rx, helper);
         let (joined, _pending) = join_abandoned(Duration::from_secs(5));
         assert!(joined >= 1, "a finished helper must be reaped");
     }

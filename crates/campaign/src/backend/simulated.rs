@@ -49,6 +49,14 @@ impl EvalBackend for SimulatedBackend {
     }
 
     fn evaluate(&self, ctx: &CellCtx<'_>) -> Result<CellMetrics, String> {
+        let n = ctx.model.n();
+        if n > ctx.config.sim_max_n {
+            return Err(format!(
+                "sim cell n={n} exceeds sim_max_n={} (each sim cell provisions n onion keys \
+                 and an n-wide posterior per message; raise --sim-max-n to allow it)",
+                ctx.config.sim_max_n
+            ));
+        }
         if !ctx.scenario.dynamics.is_one_shot() {
             return evaluate_epochs(ctx);
         }
@@ -174,9 +182,7 @@ fn run_epoch(
         .wrapping_add((view.epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut sim = Simulation::new(nodes, latency, epoch_seed);
     let (arrivals, session_of) = traffic.epoch_arrivals(senders, |u| view.local_of(u), rng);
-    for arrival in &arrivals {
-        sim.schedule_origination(arrival.at, arrival.sender, arrival.payload.clone());
-    }
+    sim.schedule_arrivals(arrivals);
     sim.run();
     // take ownership of the per-epoch artifacts instead of copying them
     let (mut trace, mut originations) = sim.into_artifacts();
@@ -220,4 +226,48 @@ fn attack_simulation<B: anonroute_sim::NodeBehavior>(
     metrics.profile.evaluate_us = evaluate_us;
     metrics.profile.attack_us = attack.stop_us();
     Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Scenario;
+    use crate::runner::CampaignConfig;
+
+    #[test]
+    fn oversized_sim_cells_are_rejected_before_provisioning_keys() {
+        let n = 10;
+        let scenario = Scenario {
+            n,
+            c: 1,
+            path_kind: PathKind::Simple,
+            strategy: StrategySpec::Uniform(1, 3),
+            dynamics: anonroute_core::EpochSchedule::one_shot(),
+            engine: EngineKind::Simulated,
+        };
+        let model = SystemModel::new(n, 1).unwrap();
+        let dist = scenario.strategy.realize(&model).unwrap();
+        let views = vec![EpochView {
+            epoch: 0,
+            active: (0..n).collect(),
+            compromised: (n - 1..n).collect(),
+        }];
+        let config = CampaignConfig {
+            sim_max_n: 9,
+            ..CampaignConfig::default()
+        };
+        let cache = anonroute_core::engine::EvaluatorCache::new();
+        let ctx = CellCtx {
+            scenario: &scenario,
+            model: &model,
+            dist: &dist,
+            views: &views,
+            seed: 1,
+            dynamics_seed: 1,
+            config: &config,
+            cache: &cache,
+        };
+        let err = SimulatedBackend.evaluate(&ctx).unwrap_err();
+        assert!(err.contains("sim_max_n"), "{err}");
+    }
 }

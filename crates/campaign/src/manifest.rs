@@ -82,6 +82,7 @@ pub fn render_manifest(
     writeln!(out, "    \"threads\": {},", config.threads).expect("write to String");
     writeln!(out, "    \"mc_samples\": {},", config.mc_samples).expect("write to String");
     writeln!(out, "    \"sim_messages\": {},", config.sim_messages).expect("write to String");
+    writeln!(out, "    \"sim_max_n\": {},", config.sim_max_n).expect("write to String");
     writeln!(out, "    \"live_messages\": {},", config.live_messages).expect("write to String");
     writeln!(out, "    \"live_timeout_ms\": {},", config.live_timeout_ms).expect("write to String");
     writeln!(out, "    \"live_max_n\": {},", config.live_max_n).expect("write to String");
@@ -241,6 +242,7 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
         "threads",
         "mc_samples",
         "sim_messages",
+        "sim_max_n",
         "live_messages",
         "live_timeout_ms",
         "live_max_n",

@@ -36,7 +36,7 @@ use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
 use crate::backend::{self, phase_timer, CellCtx, CellMetrics};
-use crate::grid::{Scenario, ScenarioGrid};
+use crate::grid::{EngineKind, Scenario, ScenarioGrid};
 use crate::progress::{ObsSession, SweepProgress};
 
 /// Execution settings of one campaign run.
@@ -50,6 +50,12 @@ pub struct CampaignConfig {
     pub mc_samples: usize,
     /// Message count for simulated-attack engine cells.
     pub sim_messages: usize,
+    /// Largest system size a simulated cell may build. The discrete-event
+    /// engine itself is happy at 10⁶ nodes, but each sim cell still
+    /// provisions `n` onion keys and an `n`-wide posterior per attacked
+    /// message, so an accidental `--n 10000000` sweep should fail fast
+    /// with a clear message rather than thrash.
+    pub sim_max_n: usize,
     /// Message count for live TCP engine cells.
     pub live_messages: usize,
     /// Watchdog deadline per live cell, in milliseconds: a cluster that
@@ -83,6 +89,7 @@ impl Default for CampaignConfig {
             seed: 7,
             mc_samples: 20_000,
             sim_messages: 1_500,
+            sim_max_n: 1_000_000,
             live_messages: 300,
             live_timeout_ms: 120_000,
             live_max_n: 64,
@@ -186,13 +193,13 @@ pub fn run_controlled(
     config: &CampaignConfig,
     control: &Arc<SweepControl>,
 ) -> CampaignOutcome {
+    let scenarios = grid.cells();
     let pool = ThreadPoolBuilder::new()
-        .num_threads(config.threads)
+        .num_threads(effective_threads(config, &scenarios))
         .build()
         .expect("thread pool construction is infallible");
     let threads = pool.current_num_threads();
     let cache = Arc::new(EvaluatorCache::new());
-    let scenarios = grid.cells();
     if config.trace_out.is_some() {
         let sink = TraceSink::global();
         sink.drain(); // discard stale events from any earlier sweep
@@ -276,6 +283,26 @@ pub fn run_controlled(
         }
     }
     outcome
+}
+
+/// Below this many cells, an auto-threaded (`threads == 0`) sweep of
+/// pure closed-form cells runs serially: exact cells finish in
+/// microseconds, so spawning a worker pool costs more than it saves
+/// (`BENCH_campaign.json`'s 90-cell sweep was ~11% *slower* on the auto
+/// pool than on one thread). Output is unaffected either way — cells are
+/// seeded independently of the schedule — and an explicit `--threads`
+/// value is always respected.
+const SERIAL_SWEEP_MAX_CELLS: usize = 128;
+
+/// The worker-count request for this sweep: `config.threads`, except
+/// that small all-exact auto-threaded grids collapse to one thread.
+fn effective_threads(config: &CampaignConfig, scenarios: &[Scenario]) -> usize {
+    let all_exact = scenarios.iter().all(|s| s.engine == EngineKind::Exact);
+    if config.threads == 0 && scenarios.len() < SERIAL_SWEEP_MAX_CELLS && all_exact {
+        1
+    } else {
+        config.threads
+    }
 }
 
 /// Derives the deterministic per-cell seed: a SplitMix64 mix of the
@@ -485,6 +512,43 @@ mod tests {
                 exact.h_star
             );
         }
+    }
+
+    #[test]
+    fn serial_fallback_is_byte_identical_to_a_parallel_sweep() {
+        // small_grid is 12 all-exact cells, below SERIAL_SWEEP_MAX_CELLS:
+        // auto threading (0) collapses to one worker, an explicit count
+        // does not — and the rendered report must not notice
+        let auto = CampaignConfig::default();
+        assert_eq!(effective_threads(&auto, &small_grid().cells()), 1);
+        let explicit = CampaignConfig {
+            threads: 4,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(effective_threads(&explicit, &small_grid().cells()), 4);
+        let serial = run(&small_grid(), &auto);
+        let parallel = run(&small_grid(), &explicit);
+        assert_eq!(serial.threads, 1);
+        assert_eq!(parallel.threads, 4);
+        assert_eq!(
+            crate::report::render_csv(&serial),
+            crate::report::render_csv(&parallel)
+        );
+    }
+
+    #[test]
+    fn auto_threading_is_kept_for_non_exact_or_large_sweeps() {
+        // a simulated engine in the mix disables the serial fallback …
+        let config = CampaignConfig::default();
+        let mixed = small_grid().engines([EngineKind::Exact, EngineKind::Simulated]);
+        assert_eq!(effective_threads(&config, &mixed.cells()), 0);
+        // … and so does an all-exact grid at or above the threshold
+        let wide = ScenarioGrid::new()
+            .ns((20..150).collect::<Vec<_>>())
+            .cs([1])
+            .strategies([StrategySpec::Fixed(3)]);
+        assert!(wide.cells().len() >= SERIAL_SWEEP_MAX_CELLS);
+        assert_eq!(effective_threads(&config, &wide.cells()), 0);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! crate is available. Supported: `[grid]` / `[run]` (alias `[config]`)
 //! tables, `#` comments, integer / float / boolean / quoted-string
 //! scalars, and flat arrays thereof. The run section accepts every
-//! sampling knob (`mc_samples`, `sim_messages`, `live_messages`,
-//! `live_timeout_ms`, `live_max_n`, `live_cell_size`) plus the
+//! sampling knob (`mc_samples`, `sim_messages`, `sim_max_n`,
+//! `live_messages`, `live_timeout_ms`, `live_max_n`, `live_cell_size`)
+//! plus the
 //! observability switches (`progress = true`,
 //! `metrics_addr = "127.0.0.1:9464"`), so a grid file fully describes a
 //! run without CLI flags.
@@ -374,6 +375,7 @@ pub fn parse_spec(
             ("run", "sim_messages") => {
                 config.sim_messages = value.as_u64(key).map_err(at)? as usize
             }
+            ("run", "sim_max_n") => config.sim_max_n = value.as_u64(key).map_err(at)? as usize,
             ("run", "live_messages") => {
                 config.live_messages = value.as_u64(key).map_err(at)? as usize
             }
@@ -511,6 +513,7 @@ engines = ["exact", "live"]
 seed = 5
 mc_samples = 1234
 sim_messages = 567
+sim_max_n = 200000
 live_messages = 89
 live_timeout_ms = 2500
 live_max_n = 12
@@ -521,6 +524,7 @@ live_cell_size = 512
         assert_eq!(config.seed, 5);
         assert_eq!(config.mc_samples, 1234);
         assert_eq!(config.sim_messages, 567);
+        assert_eq!(config.sim_max_n, 200_000);
         assert_eq!(config.live_messages, 89);
         assert_eq!(config.live_timeout_ms, 2500);
         assert_eq!(config.live_max_n, 12);

@@ -1,18 +1,49 @@
 //! Route sampling: turning a path-length strategy into concrete paths.
 
-use anonroute_core::engine::sample_path;
+use anonroute_core::engine::sample_path_into;
 use anonroute_core::{PathKind, PathLengthDist, SystemModel};
 use anonroute_sim::NodeId;
 use rand::Rng;
 
 /// Samples rerouting routes according to a path-length distribution and a
 /// path kind (the two knobs of the paper's Figure-2 selection algorithm).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Memory: the sampler is O(1) in the system size. Short simple paths
+/// (`l ≪ n`, the regime of every realistic strategy) are drawn by
+/// rejection sampling — uniform over distinct non-sender nodes, the same
+/// distribution a partial Fisher–Yates produces — so a million-node
+/// network can clone one sampler per node (as
+/// [`crate::onion_routing::onion_network`] does) without materializing a
+/// million `0..n` scratch tables. Only when a path needs a large
+/// fraction of the membership does the sampler lazily build the
+/// Fisher–Yates scratch, and a [`Clone`] never copies it.
+#[derive(Debug)]
 pub struct RouteSampler {
     dist: PathLengthDist,
     kind: PathKind,
     n: usize,
+    /// Lazily built Fisher–Yates table (long-path fallback only).
     scratch: Vec<NodeId>,
+}
+
+/// Clones share configuration, never the (re-buildable) scratch table.
+impl Clone for RouteSampler {
+    fn clone(&self) -> Self {
+        RouteSampler {
+            dist: self.dist.clone(),
+            kind: self.kind,
+            n: self.n,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Samplers are equal when they draw from the same distribution over the
+/// same system — scratch is cached state, not identity.
+impl PartialEq for RouteSampler {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.kind == other.kind && self.n == other.n
+    }
 }
 
 impl RouteSampler {
@@ -29,7 +60,7 @@ impl RouteSampler {
             dist,
             kind,
             n,
-            scratch: (0..n).collect(),
+            scratch: Vec::new(),
         })
     }
 
@@ -51,11 +82,39 @@ impl RouteSampler {
     /// Draws a route (sequence of intermediate nodes) for `sender`.
     pub fn sample<R: Rng + ?Sized>(&mut self, sender: NodeId, rng: &mut R) -> Vec<NodeId> {
         let l = self.dist.sample(rng);
-        // SystemModel::with_path_kind(n, 0, …) cannot fail here: n >= 1 was
-        // validated at construction.
-        let model =
-            SystemModel::with_path_kind(self.n, 0, self.kind).expect("validated at construction");
-        sample_path(&model, sender, l, rng, &mut self.scratch)
+        let mut route = Vec::with_capacity(l);
+        match self.kind {
+            PathKind::Cyclic => {
+                // intermediates are i.i.d. uniform over all members
+                route.extend((0..l).map(|_| rng.gen_range(0..self.n)));
+            }
+            // short simple paths (the common case): rejection sampling is
+            // uniform over l-subsets-in-order excluding the sender — the
+            // same law as partial Fisher–Yates — with expected < 2 draws
+            // per hop at l ≤ n/2, and no O(n) scratch at all
+            PathKind::Simple if 2 * (l + 1) <= self.n => {
+                while route.len() < l {
+                    let candidate = rng.gen_range(0..self.n);
+                    if candidate != sender && !route.contains(&candidate) {
+                        route.push(candidate);
+                    }
+                }
+            }
+            // long paths relative to n: fall back to partial Fisher–Yates
+            // over a lazily built (and reused) scratch table
+            PathKind::Simple => {
+                if self.scratch.len() != self.n {
+                    self.scratch.clear();
+                    self.scratch.extend(0..self.n);
+                }
+                // SystemModel::with_path_kind(n, 0, …) cannot fail here:
+                // n >= 1 was validated at construction.
+                let model = SystemModel::with_path_kind(self.n, 0, self.kind)
+                    .expect("validated at construction");
+                sample_path_into(&model, sender, l, rng, &mut self.scratch, &mut route);
+            }
+        }
+        route
     }
 }
 
@@ -119,6 +178,66 @@ mod tests {
         }
         let freq = twos as f64 / trials as f64;
         assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn long_path_fallback_still_avoids_sender_and_repeats() {
+        // l = n - 1 forces the Fisher–Yates branch (rejection sampling
+        // would thrash near exhaustion)
+        let mut s = RouteSampler::new(8, PathLengthDist::fixed(7), PathKind::Simple).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let route = s.sample(2, &mut rng);
+            assert_eq!(route.len(), 7);
+            assert!(!route.contains(&2));
+            let mut dedup = route.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 7, "all non-sender nodes exactly once");
+        }
+    }
+
+    #[test]
+    fn rejection_branch_is_unbiased_over_non_sender_nodes() {
+        // n = 40, l = 3: every non-sender node should appear in routes
+        // with equal frequency (3/39 per route)
+        let n = 40;
+        let mut s = RouteSampler::new(n, PathLengthDist::fixed(3), PathKind::Simple).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let trials = 30_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            for hop in s.sample(0, &mut rng) {
+                counts[hop] += 1;
+            }
+        }
+        assert_eq!(counts[0], 0, "the sender never appears");
+        let expect = 3.0 * trials as f64 / (n - 1) as f64;
+        for (node, &count) in counts.iter().enumerate().skip(1) {
+            let ratio = count as f64 / expect;
+            assert!(
+                (0.9..=1.1).contains(&ratio),
+                "node {node}: {count} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn clones_are_cheap_and_equal() {
+        let mut s = RouteSampler::new(
+            1_000_000,
+            PathLengthDist::uniform(1, 6).unwrap(),
+            PathKind::Simple,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // sampling at n = 1e6 must not build an n-entry table
+        let route = s.sample(123, &mut rng);
+        assert!(!route.is_empty());
+        assert!(s.scratch.is_empty(), "short paths never build scratch");
+        let clone = s.clone();
+        assert_eq!(clone, s);
+        assert!(clone.scratch.is_empty());
     }
 
     #[test]

@@ -9,44 +9,64 @@
 //! mix batching, … — lives in `anonroute-protocols`), while this crate
 //! provides:
 //!
-//! * a seeded, reproducible **event engine** ([`Simulation`]) with virtual
-//!   time, link-latency models, timers, and a complete ground-truth
-//!   [`TransferRecord`] trace (what an omniscient observer would see; the
-//!   `anonroute-adversary` crate filters it down to the threat model);
+//! * a seeded **discrete-event core** ([`des::DesCore`]): one monotone
+//!   clock, one per-simulation PRNG, and a cancelable
+//!   [`event::EventQueue`] with deterministic `(time, sequence)`
+//!   ordering — the dslab-style kernel that lets one process simulate
+//!   10⁵–10⁶ member nodes;
+//! * the **protocol engine** ([`Simulation`]) on top of it: virtual
+//!   time, link-latency models, per-hop queueing delay, timers, and a
+//!   complete ground-truth [`TransferRecord`] trace (what an omniscient
+//!   observer would see; the `anonroute-adversary` crate filters it down
+//!   to the threat model);
 //! * **workload generators** ([`traffic`]): Poisson and fixed-interval
 //!   arrivals with uniformly random senders, matching the paper's a-priori
-//!   sender distribution, plus persistent multi-epoch sessions
-//!   ([`traffic::SessionTraffic`]) for intersection-attack workloads;
+//!   sender distribution; streamed cover/Poisson processes
+//!   ([`simulation::TrafficProcess`]) that cost O(1) queue memory; and
+//!   persistent multi-epoch sessions ([`traffic::SessionTraffic`]) for
+//!   intersection-attack workloads;
 //! * **run statistics** ([`stats::RunStats`]): delivery ratio and latency
 //!   percentiles — the overhead side of the anonymity/overhead trade-off;
 //! * a **live multi-threaded runtime** ([`runtime::run_live`]) executing
 //!   the identical behaviors over `crossbeam` channels, demonstrating the
-//!   protocols under real concurrency.
+//!   protocols under real concurrency (small n only — use the
+//!   discrete-event engine for scale and reproducibility), plus the
+//!   [`reaper`] for bounded cleanup of abandoned watchdogged threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod des;
+pub mod event;
 pub mod latency;
 pub mod message;
 pub mod node;
+pub mod reaper;
 pub mod runtime;
 pub mod simulation;
 pub mod stats;
 pub mod time;
 pub mod traffic;
 
+pub use des::DesCore;
+pub use event::{EventId, EventQueue};
 pub use latency::LatencyModel;
 pub use message::{Delivery, Endpoint, Message, MsgId, NodeId, TransferRecord};
 pub use node::{Action, Ctx, NodeBehavior};
-pub use simulation::{Origination, Simulation};
+pub use simulation::{Origination, Simulation, TrafficProcess};
 pub use time::SimTime;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::des::DesCore;
+    pub use crate::event::{EventId, EventQueue};
     pub use crate::latency::LatencyModel;
     pub use crate::message::{Delivery, Endpoint, Message, MsgId, NodeId, TransferRecord};
     pub use crate::node::{Action, Ctx, NodeBehavior};
-    pub use crate::simulation::{Origination, Simulation};
+    pub use crate::simulation::{Origination, Simulation, TrafficProcess};
     pub use crate::time::SimTime;
-    pub use crate::traffic::{Arrival, PoissonTraffic, SessionTraffic, UniformTraffic};
+    pub use crate::traffic::{
+        Arrival, CoverTraffic, PoissonProcess, PoissonTraffic, SessionTraffic, UniformProcess,
+        UniformTraffic,
+    };
 }

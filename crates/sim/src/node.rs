@@ -1,4 +1,12 @@
 //! Node behaviors: the protocol logic plugged into the simulator.
+//!
+//! A behavior is a **passive event handler**: the discrete-event loop
+//! calls it with one event at a time and a [`Ctx`] to emit actions
+//! through. Behaviors never block, sleep, or spawn — time only passes
+//! between events — which is what lets one process host a million of
+//! them. The same handlers also run unmodified on the thread-per-node
+//! live runtime ([`crate::runtime`]), where the no-blocking discipline
+//! is a correctness requirement rather than a structural guarantee.
 
 use rand::rngs::StdRng;
 

@@ -311,6 +311,58 @@ where
     }
 }
 
+/// [`run_live`] under a wall-clock deadline: the runtime runs on a
+/// watchdog helper thread and the caller waits at most `deadline` for
+/// its outcome. A run that overruns — or panics — becomes an `Err`
+/// instead of a hang, and an overrunning helper is **registered with
+/// the process-wide [`crate::reaper`]** rather than leaked: the next
+/// [`crate::reaper::ThreadReaper::join_abandoned`] call joins it once
+/// its own teardown finishes.
+///
+/// # Errors
+///
+/// Returns an error if a node or router thread panicked, or if no
+/// outcome arrived within `deadline`.
+pub fn run_live_deadline<B>(
+    nodes: Vec<B>,
+    latency: LatencyModel,
+    seed: u64,
+    arrivals: Vec<Arrival>,
+    config: LiveConfig,
+    deadline: Duration,
+) -> Result<LiveOutcome, String>
+where
+    B: NodeBehavior + Send + 'static,
+{
+    let n = nodes.len();
+    let (result_tx, result_rx) = std::sync::mpsc::channel();
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let runner = std::thread::spawn(move || {
+        let _done = crate::reaper::DoneGuard::new(done_tx);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_live(nodes, latency, seed, arrivals, config)
+        }));
+        // the receiver may have hung up (deadline fired); nothing to do
+        let _ = result_tx.send(result);
+    });
+    match result_rx.recv_timeout(deadline) {
+        Ok(result) => {
+            // the runner already sent its outcome: nothing left but the
+            // guard drop and return, so this join is near-instant
+            let _ = runner.join();
+            result.map_err(|payload| format!("live runtime panicked: {}", panic_text(payload)))
+        }
+        Err(_) => {
+            // park the runner for a bounded reap instead of leaking it
+            crate::reaper::global().register(done_rx, runner);
+            Err(format!(
+                "live run exceeded its {deadline:?} deadline (n={n} node threads); the runner \
+                 thread was handed to the abandoned-thread reaper"
+            ))
+        }
+    }
+}
+
 /// Renders a `JoinHandle::join` panic payload as a message (shared with
 /// the downstream crates that join worker threads, e.g. `anonroute-relay`).
 pub fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -440,33 +492,59 @@ mod tests {
     #[test]
     fn crashing_behavior_propagates_instead_of_hanging() {
         // run_live must surface the panic within a bound, not deadlock on
-        // the drained-work counter that the crashed node never decremented
-        let runner = std::thread::spawn(|| {
-            let nodes: Vec<Crasher> = (0..4).map(|_| Crasher { n: 4 }).collect();
-            let arrivals = vec![Arrival {
-                at: SimTime::ZERO,
-                sender: 0,
-                payload: vec![1],
-            }];
-            run_live(
-                nodes,
-                LatencyModel::Constant(1),
-                3,
-                arrivals,
-                LiveConfig::default(),
-            )
-        });
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while !runner.is_finished() {
-            assert!(
-                Instant::now() < deadline,
-                "run_live hung on a crashed behavior"
-            );
-            std::thread::sleep(Duration::from_millis(10));
+        // the drained-work counter that the crashed node never decremented;
+        // run_live_deadline joins the runner (or parks it with the reaper
+        // on overrun) instead of leaking a polled thread
+        let nodes: Vec<Crasher> = (0..4).map(|_| Crasher { n: 4 }).collect();
+        let arrivals = vec![Arrival {
+            at: SimTime::ZERO,
+            sender: 0,
+            payload: vec![1],
+        }];
+        let err = run_live_deadline(
+            nodes,
+            LatencyModel::Constant(1),
+            3,
+            arrivals,
+            LiveConfig::default(),
+            Duration::from_secs(10),
+        )
+        .expect_err("the panic must propagate");
+        assert!(err.contains("crashed relaying"), "unexpected panic: {err}");
+    }
+
+    /// A behavior that wedges its node thread long enough to overrun a
+    /// short deadline.
+    struct SlowPoke;
+    impl NodeBehavior for SlowPoke {
+        fn on_originate(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            std::thread::sleep(Duration::from_millis(300));
+            ctx.send_to_receiver(msg);
         }
-        let err = runner.join().expect_err("the panic must propagate");
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("crashed relaying"), "unexpected panic: {msg}");
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: Endpoint, _: Message) {}
+    }
+
+    #[test]
+    fn overrunning_live_runs_are_parked_with_the_reaper_not_leaked() {
+        let arrivals = vec![Arrival {
+            at: SimTime::ZERO,
+            sender: 0,
+            payload: vec![1],
+        }];
+        let err = run_live_deadline(
+            vec![SlowPoke],
+            LatencyModel::Constant(1),
+            8,
+            arrivals,
+            LiveConfig::default(),
+            Duration::from_millis(20),
+        )
+        .expect_err("a 300 ms node cannot beat a 20 ms deadline");
+        assert!(err.contains("deadline"), "unexpected error: {err}");
+        // the runner was registered, and once its sleep drains the reaper
+        // joins it within the bound
+        let (joined, _pending) = crate::reaper::global().join_abandoned(Duration::from_secs(10));
+        assert!(joined >= 1, "the overrunning runner must be reaped");
     }
 
     #[test]

@@ -1,15 +1,25 @@
 //! The deterministic discrete-event simulation engine.
+//!
+//! [`Simulation`] is a thin protocol layer over [`DesCore`]: nodes are
+//! passive [`NodeBehavior`] handlers invoked from the single event loop,
+//! latencies and timers are scheduled events, and the whole run is a pure
+//! function of the seed. One process comfortably simulates 10⁵–10⁶
+//! member nodes — there are no per-node threads or channels, only a
+//! binary heap of `(time, seq)`-ordered events and one PRNG.
+//!
+//! Scale notes: memory is O(nodes + pending events + trace). The trace
+//! records every edge, so a long run's footprint is dominated by
+//! `TransferRecord`s (32 bytes each); cap workloads accordingly or drain
+//! via [`Simulation::run_until`] windows.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use rand::Rng;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
+use crate::des::DesCore;
 use crate::latency::LatencyModel;
 use crate::message::{Delivery, Endpoint, Message, MsgId, NodeId, TransferRecord};
 use crate::node::{Action, Ctx, NodeBehavior};
 use crate::time::SimTime;
+use crate::traffic::Arrival;
 
 #[derive(Debug)]
 enum EventKind {
@@ -26,30 +36,11 @@ enum EventKind {
         node: NodeId,
         tag: u64,
     },
-}
-
-#[derive(Debug)]
-struct QueuedEvent {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for QueuedEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QueuedEvent {}
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+    /// A streamed workload's next origination is due (see
+    /// [`Simulation::attach_traffic`]).
+    NextArrival {
+        stream: usize,
+    },
 }
 
 /// Record of a message origination (ground truth, used by statistics and
@@ -64,9 +55,30 @@ pub struct Origination {
     pub msg: MsgId,
 }
 
+/// A lazily generated workload: instead of materializing every
+/// [`Arrival`] up front, the simulation asks the process for the next
+/// one each time the previous fires — million-message cover or session
+/// streams cost O(1) memory in the queue.
+///
+/// Randomness comes from the simulation's own PRNG (passed in), so a
+/// streamed run is exactly as seed-deterministic as a pre-scheduled one.
+pub trait TrafficProcess: std::fmt::Debug {
+    /// Returns the next origination at or after `now`, or `None` when
+    /// the stream is exhausted.
+    fn next_arrival(&mut self, now: SimTime, rng: &mut rand::rngs::StdRng) -> Option<Arrival>;
+}
+
+/// A streamed workload attached to the simulation: the generator plus
+/// its already-drawn next arrival (scheduled as a `NextArrival` event).
+#[derive(Debug)]
+struct StreamSlot {
+    process: Box<dyn TrafficProcess>,
+    pending: Option<Arrival>,
+}
+
 /// A deterministic discrete-event simulation of a clique of `n` nodes
-/// running protocol behavior `B`, with per-hop latencies and a full
-/// ground-truth trace.
+/// running protocol behavior `B`, with per-hop latencies, optional
+/// per-hop queueing delay, and a full ground-truth trace.
 ///
 /// # Examples
 ///
@@ -90,18 +102,22 @@ pub struct Origination {
 #[derive(Debug)]
 pub struct Simulation<B> {
     nodes: Vec<B>,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
-    seq: u64,
-    now: SimTime,
-    rng: StdRng,
+    core: DesCore<EventKind>,
     latency: LatencyModel,
     loss_probability: f64,
     lost: u64,
+    /// Per-hop service time in µs; 0 disables the queueing model.
+    service_us: u64,
+    /// When each node finishes its current backlog (queueing model).
+    node_ready: Vec<SimTime>,
+    streams: Vec<StreamSlot>,
     trace: Vec<TransferRecord>,
     deliveries: Vec<Delivery>,
     originations: Vec<Origination>,
     next_msg: u64,
-    events_processed: u64,
+    /// Reusable action buffer: one allocation for the whole run instead
+    /// of one per event.
+    scratch: Vec<Action>,
 }
 
 impl<B: NodeBehavior> Simulation<B> {
@@ -109,18 +125,18 @@ impl<B: NodeBehavior> Simulation<B> {
     pub fn new(nodes: Vec<B>, latency: LatencyModel, seed: u64) -> Self {
         Simulation {
             nodes,
-            queue: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-            rng: StdRng::seed_from_u64(seed),
+            core: DesCore::new(seed),
             latency,
             loss_probability: 0.0,
             lost: 0,
+            service_us: 0,
+            node_ready: Vec::new(),
+            streams: Vec::new(),
             trace: Vec::new(),
             deliveries: Vec::new(),
             originations: Vec::new(),
             next_msg: 0,
-            events_processed: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -141,6 +157,22 @@ impl<B: NodeBehavior> Simulation<B> {
         self
     }
 
+    /// Enables the per-hop queueing model: each node serves incoming
+    /// transmissions one at a time, `service_us` virtual microseconds
+    /// apiece, so a hot relay builds a backlog and deliveries queue
+    /// behind it. `0` (the default) disables queueing — transmissions
+    /// are handled the instant their link latency elapses — and leaves
+    /// existing seeded runs byte-identical.
+    pub fn with_service_time(mut self, service_us: u64) -> Self {
+        self.service_us = service_us;
+        if service_us > 0 {
+            self.node_ready = vec![SimTime::ZERO; self.nodes.len()];
+        } else {
+            self.node_ready = Vec::new();
+        }
+        self
+    }
+
     /// Transmissions dropped by fault injection so far.
     pub fn lost(&self) -> u64 {
         self.lost
@@ -153,7 +185,7 @@ impl<B: NodeBehavior> Simulation<B> {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.core.now()
     }
 
     /// Ground-truth edge trace, in delivery-time order.
@@ -182,7 +214,7 @@ impl<B: NodeBehavior> Simulation<B> {
 
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.core.events_processed()
     }
 
     /// Immutable access to a node's behavior (e.g. to read protocol
@@ -205,7 +237,7 @@ impl<B: NodeBehavior> Simulation<B> {
         assert!(sender < self.nodes.len(), "sender {sender} out of range");
         let id = MsgId(self.next_msg);
         self.next_msg += 1;
-        self.push(
+        self.core.schedule_at(
             at,
             EventKind::Originate {
                 sender,
@@ -215,10 +247,39 @@ impl<B: NodeBehavior> Simulation<B> {
         id
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QueuedEvent { at, seq, kind }));
+    /// Schedules a whole batch of arrivals, consuming them (no payload
+    /// clones). Message ids are assigned in iteration order, exactly as
+    /// if [`Simulation::schedule_origination`] had been called per
+    /// arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an arrival names a sender out of range.
+    pub fn schedule_arrivals(&mut self, arrivals: impl IntoIterator<Item = Arrival>) {
+        for arrival in arrivals {
+            self.schedule_origination(arrival.at, arrival.sender, arrival.payload);
+        }
+    }
+
+    /// Attaches a lazily generated workload: the process's arrivals are
+    /// scheduled one at a time, each drawing from the simulation PRNG in
+    /// event order. Any number of streams can run alongside pre-scheduled
+    /// originations; interleaving is by `(time, seq)` like every other
+    /// event.
+    pub fn attach_traffic(&mut self, process: impl TrafficProcess + 'static) {
+        let mut process: Box<dyn TrafficProcess> = Box::new(process);
+        let stream = self.streams.len();
+        let pending = process.next_arrival(self.core.now(), self.core.rng());
+        if let Some(arrival) = &pending {
+            assert!(
+                arrival.sender < self.nodes.len(),
+                "stream sender {} out of range",
+                arrival.sender
+            );
+            let at = arrival.at.max(self.core.now());
+            self.core.schedule_at(at, EventKind::NextArrival { stream });
+        }
+        self.streams.push(StreamSlot { process, pending });
     }
 
     /// Runs until the event queue is empty. Returns the final time.
@@ -228,36 +289,35 @@ impl<B: NodeBehavior> Simulation<B> {
 
     /// Runs until the queue drains or virtual time would pass `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
-        while let Some(Reverse(ev)) = self.queue.pop() {
-            if ev.at > horizon {
-                // put it back and stop
-                self.queue.push(Reverse(ev));
-                self.now = horizon;
-                break;
-            }
-            self.now = ev.at;
-            self.events_processed += 1;
-            self.dispatch(ev.kind);
+        while let Some(kind) = self.core.pop_due(horizon) {
+            self.dispatch(kind);
         }
-        self.now
+        if !self.core.is_idle() {
+            // events remain beyond the horizon: the window was exhausted,
+            // so the clock pins to it (resume later from here)
+            self.core.advance_to(horizon);
+        }
+        self.core.now()
     }
 
     fn dispatch(&mut self, kind: EventKind) {
-        let mut actions = Vec::new();
+        // reuse one actions buffer across all events (returned below)
+        let mut actions = std::mem::take(&mut self.scratch);
+        let now = self.core.now();
         match kind {
             EventKind::Originate { sender, msg } => {
                 self.originations.push(Origination {
-                    time: self.now,
+                    time: now,
                     sender,
                     msg: msg.id,
                 });
-                let mut ctx = Ctx::new(self.now, sender, &mut self.rng, &mut actions);
+                let mut ctx = Ctx::new(now, sender, self.core.rng(), &mut actions);
                 self.nodes[sender].on_originate(&mut ctx, msg);
-                self.apply(Endpoint::Node(sender), actions);
+                self.apply(Endpoint::Node(sender), &mut actions);
             }
             EventKind::Deliver { from, to, msg } => {
                 self.trace.push(TransferRecord {
-                    time: self.now,
+                    time: now,
                     from,
                     to,
                     msg: msg.id,
@@ -265,50 +325,90 @@ impl<B: NodeBehavior> Simulation<B> {
                 match to {
                     Endpoint::Receiver => {
                         self.deliveries.push(Delivery {
-                            time: self.now,
+                            time: now,
                             msg: msg.id,
                             last_hop: from,
                             payload: msg.bytes,
                         });
                     }
                     Endpoint::Node(id) => {
-                        let mut ctx = Ctx::new(self.now, id, &mut self.rng, &mut actions);
+                        let mut ctx = Ctx::new(now, id, self.core.rng(), &mut actions);
                         self.nodes[id].on_message(&mut ctx, from, msg);
-                        self.apply(Endpoint::Node(id), actions);
+                        self.apply(Endpoint::Node(id), &mut actions);
                     }
                 }
             }
             EventKind::Timer { node, tag } => {
-                let mut ctx = Ctx::new(self.now, node, &mut self.rng, &mut actions);
+                let mut ctx = Ctx::new(now, node, self.core.rng(), &mut actions);
                 self.nodes[node].on_timer(&mut ctx, tag);
-                self.apply(Endpoint::Node(node), actions);
+                self.apply(Endpoint::Node(node), &mut actions);
+            }
+            EventKind::NextArrival { stream } => {
+                let arrival = self.streams[stream]
+                    .pending
+                    .take()
+                    .expect("a scheduled NextArrival has a pending arrival");
+                let id = MsgId(self.next_msg);
+                self.next_msg += 1;
+                self.originations.push(Origination {
+                    time: now,
+                    sender: arrival.sender,
+                    msg: id,
+                });
+                let msg = Message::new(id, arrival.payload);
+                let mut ctx = Ctx::new(now, arrival.sender, self.core.rng(), &mut actions);
+                self.nodes[arrival.sender].on_originate(&mut ctx, msg);
+                self.apply(Endpoint::Node(arrival.sender), &mut actions);
+                // pull the stream's next arrival and reschedule
+                let slot = &mut self.streams[stream];
+                if let Some(next) = slot.process.next_arrival(now, self.core.rng()) {
+                    assert!(
+                        next.sender < self.nodes.len(),
+                        "stream sender {} out of range",
+                        next.sender
+                    );
+                    let at = next.at.max(now);
+                    slot.pending = Some(next);
+                    self.core.schedule_at(at, EventKind::NextArrival { stream });
+                }
             }
         }
+        debug_assert!(actions.is_empty(), "apply drains every action");
+        self.scratch = actions;
     }
 
-    fn apply(&mut self, me: Endpoint, actions: Vec<Action>) {
-        for action in actions {
+    fn apply(&mut self, me: Endpoint, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
-                    if self.loss_probability > 0.0 {
-                        use rand::Rng;
-                        if self.rng.gen::<f64>() < self.loss_probability {
-                            self.lost += 1;
-                            continue;
-                        }
+                    if self.loss_probability > 0.0
+                        && self.core.rng().gen::<f64>() < self.loss_probability
+                    {
+                        self.lost += 1;
+                        continue;
                     }
-                    let delay = self.latency.sample(&mut self.rng);
-                    let at = self.now.after_micros(delay);
-                    self.push(at, EventKind::Deliver { from: me, to, msg });
+                    let delay = self.latency.sample(self.core.rng());
+                    let arrival = self.core.now().after_micros(delay);
+                    let at = match (self.service_us, to) {
+                        (0, _) | (_, Endpoint::Receiver) => arrival,
+                        (service, Endpoint::Node(node)) => {
+                            // the hop queues behind the node's backlog,
+                            // then takes `service` µs of processing
+                            let start = arrival.max(self.node_ready[node]);
+                            let done = start.after_micros(service);
+                            self.node_ready[node] = done;
+                            done
+                        }
+                    };
+                    self.core
+                        .schedule_at(at, EventKind::Deliver { from: me, to, msg });
                 }
                 Action::SetTimer { delay_us, tag } => {
                     let Endpoint::Node(node) = me else {
                         unreachable!("timers are only set by nodes")
                     };
-                    self.push(
-                        self.now.after_micros(delay_us),
-                        EventKind::Timer { node, tag },
-                    );
+                    self.core
+                        .schedule_after(delay_us, EventKind::Timer { node, tag });
                 }
             }
         }
@@ -513,5 +613,123 @@ mod tests {
         assert_eq!(sim.deliveries().len(), 2);
         // both were flushed by the same timer: identical delivery times
         assert_eq!(sim.deliveries()[0].time, sim.deliveries()[1].time);
+    }
+
+    #[test]
+    fn service_time_queues_hops_behind_a_busy_relay() {
+        // both messages route through node 1; the second queues behind
+        // the first's 500 µs of service
+        let mut sim = scripted(3, vec![vec![1], vec![], vec![1]]).with_service_time(500);
+        sim.schedule_origination(SimTime::ZERO, 0, vec![1]);
+        sim.schedule_origination(SimTime::ZERO, 2, vec![2]);
+        sim.run();
+        assert_eq!(sim.deliveries().len(), 2);
+        // hop edges into node 1: both arrive at 1ms (constant latency),
+        // service serializes them at 1.5ms and 2.0ms
+        let into_relay: Vec<SimTime> = sim
+            .trace()
+            .iter()
+            .filter(|t| t.to == Endpoint::Node(1))
+            .map(|t| t.time)
+            .collect();
+        assert_eq!(
+            into_relay,
+            vec![SimTime::from_micros(1_500), SimTime::from_micros(2_000)]
+        );
+    }
+
+    #[test]
+    fn zero_service_time_is_byte_identical_to_default() {
+        let run = |queued: bool| {
+            let mut sim = scripted(3, vec![vec![1], vec![2], vec![]]);
+            if queued {
+                sim = sim.with_service_time(0);
+            }
+            for i in 0..10 {
+                sim.schedule_origination(SimTime::from_micros(i * 10), 0, vec![i as u8]);
+            }
+            sim.run();
+            sim.trace().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn schedule_arrivals_matches_per_call_scheduling() {
+        let arrivals: Vec<Arrival> = (0..12)
+            .map(|i| Arrival {
+                at: SimTime::from_micros(i * 11),
+                sender: (i % 2) as usize,
+                payload: vec![i as u8],
+            })
+            .collect();
+        let mut bulk = scripted(2, vec![vec![], vec![]]);
+        bulk.schedule_arrivals(arrivals.clone());
+        bulk.run();
+        let mut one_by_one = scripted(2, vec![vec![], vec![]]);
+        for a in arrivals {
+            one_by_one.schedule_origination(a.at, a.sender, a.payload);
+        }
+        one_by_one.run();
+        assert_eq!(bulk.trace(), one_by_one.trace());
+        assert_eq!(bulk.originations(), one_by_one.originations());
+    }
+
+    /// A deterministic stream: `count` arrivals, `gap_us` apart.
+    #[derive(Debug)]
+    struct Drip {
+        emitted: usize,
+        count: usize,
+        gap_us: u64,
+    }
+    impl TrafficProcess for Drip {
+        fn next_arrival(
+            &mut self,
+            _now: SimTime,
+            _rng: &mut rand::rngs::StdRng,
+        ) -> Option<Arrival> {
+            if self.emitted == self.count {
+                return None;
+            }
+            let at = SimTime::from_micros(self.emitted as u64 * self.gap_us);
+            self.emitted += 1;
+            Some(Arrival {
+                at,
+                sender: 0,
+                payload: vec![],
+            })
+        }
+    }
+
+    #[test]
+    fn streamed_traffic_originates_lazily() {
+        let mut sim = scripted(2, vec![vec![1], vec![]]);
+        sim.attach_traffic(Drip {
+            emitted: 0,
+            count: 25,
+            gap_us: 40,
+        });
+        sim.run();
+        assert_eq!(sim.originations().len(), 25);
+        assert_eq!(sim.deliveries().len(), 25);
+        for (i, o) in sim.originations().iter().enumerate() {
+            assert_eq!(o.time, SimTime::from_micros(i as u64 * 40));
+            assert_eq!(o.msg, MsgId(i as u64));
+        }
+    }
+
+    #[test]
+    fn streams_interleave_with_scheduled_originations() {
+        let mut sim = scripted(2, vec![vec![], vec![]]);
+        sim.schedule_origination(SimTime::from_micros(60), 1, vec![9]);
+        sim.attach_traffic(Drip {
+            emitted: 0,
+            count: 3,
+            gap_us: 50,
+        });
+        sim.run();
+        let senders: Vec<NodeId> = sim.originations().iter().map(|o| o.sender).collect();
+        // stream at 0, 50, 100 µs; scheduled at 60 µs
+        assert_eq!(senders, vec![0, 0, 1, 0]);
     }
 }

@@ -71,6 +71,7 @@ COMMANDS:
                [--churn none,iid:0.25]
                [--spec grid.toml] [--threads 0] [--seed 7]
                [--mc-samples 20000] [--messages 1500]
+               [--sim-max-n 1000000]
                [--live-messages 300] [--live-timeout 120000]
                [--live-max-n 64] [--live-cell 1024]
                [--out <basename>] [--timing]
@@ -601,6 +602,7 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     config.seed = get(flags, "seed", config.seed)?;
     config.mc_samples = get(flags, "mc-samples", config.mc_samples)?;
     config.sim_messages = get(flags, "messages", config.sim_messages)?;
+    config.sim_max_n = get(flags, "sim-max-n", config.sim_max_n)?;
     config.live_messages = get(flags, "live-messages", config.live_messages)?;
     config.live_timeout_ms = get(flags, "live-timeout", config.live_timeout_ms)?;
     config.live_max_n = get(flags, "live-max-n", config.live_max_n)?;

@@ -9,7 +9,9 @@
 //! Setting `BENCH_JSON=<path>` additionally writes every measurement of
 //! the run as a JSON array of `{"id", "ns_per_iter", "iters"}` objects —
 //! the trajectory format the repository's committed `BENCH_*.json`
-//! snapshots use for tracking performance across PRs.
+//! snapshots use for tracking performance across PRs. Benchmarks that
+//! declare a [`Throughput`] also get `"elements_per_sec"` (or
+//! `"bytes_per_sec"`) — an additive field older snapshots simply lack.
 
 #![forbid(unsafe_code)]
 
@@ -17,8 +19,16 @@ use std::fmt::Display;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// One benchmark measurement accumulated for the `BENCH_JSON` report.
+struct Measurement {
+    id: String,
+    ns_per_iter: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
 /// Measurements accumulated for the `BENCH_JSON` report.
-static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
 
 pub use std::hint::black_box;
 
@@ -46,6 +56,7 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
+            throughput: None,
         }
     }
 
@@ -55,7 +66,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(self, &id, f);
+        run_one(self, &id, f, None);
         self
     }
 }
@@ -64,6 +75,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -72,8 +84,11 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Accepted for API parity; throughput is not reported.
-    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+    /// Declares how much work one iteration performs; subsequent
+    /// benchmarks in the group report a derived rate (elements or bytes
+    /// per second) alongside the raw time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -83,7 +98,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into());
-        run_one(self.criterion, &full, f);
+        run_one(self.criterion, &full, f, self.throughput);
         self
     }
 
@@ -98,7 +113,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id);
-        run_one(self.criterion, &full, |b| f(b, input));
+        run_one(self.criterion, &full, |b| f(b, input), self.throughput);
         self
     }
 
@@ -134,7 +149,8 @@ impl Display for BenchmarkId {
     }
 }
 
-/// Throughput annotation (accepted, not reported).
+/// Work performed by one benchmark iteration; turns the measured time
+/// into a rate in the console line and the `BENCH_JSON` report.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
     /// Bytes processed per iteration.
@@ -178,7 +194,12 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    mut f: F,
+    throughput: Option<Throughput>,
+) {
     let mut bencher = Bencher {
         iters_done: 0,
         elapsed: Duration::ZERO,
@@ -191,15 +212,22 @@ fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
         return;
     }
     let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters_done as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {}", format_rate(n, per_iter, "elem")),
+        Throughput::Bytes(n) => format!("  thrpt: {}", format_rate(n, per_iter, "B")),
+    });
     println!(
-        "{id:<48} time: {:>12} /iter  ({} iters)",
+        "{id:<48} time: {:>12} /iter  ({} iters){}",
         format_ns(per_iter),
-        bencher.iters_done
+        bencher.iters_done,
+        rate.unwrap_or_default()
     );
-    RESULTS
-        .lock()
-        .expect("results lock")
-        .push((id.to_string(), per_iter, bencher.iters_done));
+    RESULTS.lock().expect("results lock").push(Measurement {
+        id: id.to_string(),
+        ns_per_iter: per_iter,
+        iters: bencher.iters_done,
+        throughput,
+    });
 }
 
 /// Writes all measurements of this run to the path in `BENCH_JSON` (a
@@ -211,11 +239,26 @@ pub fn write_json_report() {
     };
     let results = RESULTS.lock().expect("results lock");
     let mut out = String::from("[\n");
-    for (i, (id, ns, iters)) in results.iter().enumerate() {
-        let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+    for (i, m) in results.iter().enumerate() {
+        let id = m.id.replace('\\', "\\\\").replace('"', "\\\"");
+        let (ns, iters) = (m.ns_per_iter, m.iters);
         out.push_str(&format!(
-            "  {{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}"
+            "  {{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}"
         ));
+        // rate fields are additive: the compare script keys on
+        // ns_per_iter and ignores anything it does not know
+        match m.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 * 1e9 / ns;
+                out.push_str(&format!(", \"elements_per_sec\": {rate:.1}"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 * 1e9 / ns;
+                out.push_str(&format!(", \"bytes_per_sec\": {rate:.1}"));
+            }
+            None => {}
+        }
+        out.push('}');
         if i + 1 < results.len() {
             out.push(',');
         }
@@ -224,6 +267,21 @@ pub fn write_json_report() {
     out.push_str("]\n");
     if let Err(e) = std::fs::write(&path, out) {
         eprintln!("BENCH_JSON: cannot write {}: {e}", path.to_string_lossy());
+    }
+}
+
+/// Formats `n` units per `ns` nanoseconds as a human rate, e.g.
+/// `12.3 Melem/s`.
+fn format_rate(n: u64, ns: f64, unit: &str) -> String {
+    let per_sec = n as f64 * 1e9 / ns;
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
     }
 }
 
@@ -297,6 +355,10 @@ mod tests {
             quick: true,
         };
         c.bench_function("json/report", |b| b.iter(|| black_box(3 + 4)));
+        let mut group = c.benchmark_group("json");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("rated", |b| b.iter(|| black_box(5 + 6)));
+        group.finish();
         write_json_report();
         std::env::remove_var("BENCH_JSON");
         let text = std::fs::read_to_string(&path).unwrap();
@@ -305,6 +367,7 @@ mod tests {
         assert!(text.contains("\"id\": \"json/report\""), "{text}");
         assert!(text.contains("\"ns_per_iter\": "), "{text}");
         assert!(text.contains("\"iters\": 1"), "{text}");
+        assert!(text.contains("\"elements_per_sec\": "), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
