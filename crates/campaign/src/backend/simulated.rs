@@ -266,6 +266,7 @@ mod tests {
             dynamics_seed: 1,
             config: &config,
             cache: &cache,
+            shared: None,
         };
         let err = SimulatedBackend.evaluate(&ctx).unwrap_err();
         assert!(err.contains("sim_max_n"), "{err}");

@@ -31,7 +31,10 @@ use crate::runner::{CampaignConfig, CampaignOutcome};
 /// a sweep may end `drained` or `aborted` with only the completed cells
 /// present), `outcome.profile` (per-phase second totals over ok cells),
 /// and `config.trace_out`.
-pub const MANIFEST_SCHEMA: &str = "anonroute-campaign-manifest/v2";
+///
+/// v3 adds `config.live_shared` (whether live cells attached to one
+/// long-running shared relay network instead of booting per cell).
+pub const MANIFEST_SCHEMA: &str = "anonroute-campaign-manifest/v3";
 
 fn json_str_array<T: std::fmt::Display>(items: &[T]) -> String {
     let rendered: Vec<String> = items
@@ -87,6 +90,7 @@ pub fn render_manifest(
     writeln!(out, "    \"live_timeout_ms\": {},", config.live_timeout_ms).expect("write to String");
     writeln!(out, "    \"live_max_n\": {},", config.live_max_n).expect("write to String");
     writeln!(out, "    \"live_cell_size\": {},", config.live_cell_size).expect("write to String");
+    writeln!(out, "    \"live_shared\": {},", config.live_shared).expect("write to String");
     writeln!(
         out,
         "    \"trace_out\": {}",
@@ -249,6 +253,10 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
         "live_cell_size",
     ] {
         get(config, key)?.as_number(key)?;
+    }
+    match get(config, "live_shared")? {
+        json::Value::Bool(_) => {}
+        other => return Err(format!("live_shared: expected a boolean, found {other:?}")),
     }
     match get(config, "trace_out")? {
         json::Value::Null | json::Value::String(_) => {}

@@ -16,8 +16,8 @@
 //! tables, `#` comments, integer / float / boolean / quoted-string
 //! scalars, and flat arrays thereof. The run section accepts every
 //! sampling knob (`mc_samples`, `sim_messages`, `sim_max_n`,
-//! `live_messages`, `live_timeout_ms`, `live_max_n`, `live_cell_size`)
-//! plus the
+//! `live_messages`, `live_timeout_ms`, `live_max_n`, `live_cell_size`,
+//! `live_shared`) plus the
 //! observability switches (`progress = true`,
 //! `metrics_addr = "127.0.0.1:9464"`), so a grid file fully describes a
 //! run without CLI flags.
@@ -384,6 +384,7 @@ pub fn parse_spec(
             ("run", "live_cell_size") => {
                 config.live_cell_size = value.as_u64(key).map_err(at)? as usize
             }
+            ("run", "live_shared") => config.live_shared = value.as_bool(key).map_err(at)?,
             ("run", "progress") => config.progress = value.as_bool(key).map_err(at)?,
             ("run", "trace_out") => {
                 config.trace_out =
@@ -518,6 +519,7 @@ live_messages = 89
 live_timeout_ms = 2500
 live_max_n = 12
 live_cell_size = 512
+live_shared = true
 "#;
         let (grid, config) = parse_spec(text, &CampaignConfig::default()).unwrap();
         assert_eq!(grid.engines, vec![EngineKind::Exact, EngineKind::Live]);
@@ -529,6 +531,7 @@ live_cell_size = 512
         assert_eq!(config.live_timeout_ms, 2500);
         assert_eq!(config.live_max_n, 12);
         assert_eq!(config.live_cell_size, 512);
+        assert!(config.live_shared);
     }
 
     #[test]

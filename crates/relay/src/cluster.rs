@@ -17,7 +17,7 @@
 //! measured anonymity degree) are deterministic per seed even though TCP
 //! scheduling is not.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use anonroute_core::{PathKind, PathLengthDist};
@@ -27,6 +27,7 @@ use anonroute_sim::{Delivery, MsgId, Origination, TransferRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::budget::{BudgetPermit, ClusterBudget};
 use crate::circuit::DEFAULT_CELL_SIZE;
 use crate::client::Client;
 use crate::daemon::{PendingRelay, Relay, RelayConfig, RelayStats};
@@ -377,6 +378,431 @@ fn run_cluster_inner(
     })
 }
 
+/// Parameters of one evaluation cell run against a [`SharedCluster`].
+///
+/// A cell is the shared analogue of one [`run_cluster`] call: it picks a
+/// sub-network size, a path-length strategy, and a seed, but reuses the
+/// already-booted relays instead of binding fresh ones. The cell's
+/// `seed`/`epoch` drive *circuit material only* (routes, handshake
+/// ephemerals, nonces) — relay identities stay those of the shared
+/// cluster — which is exactly the property that keeps cell observations
+/// byte-identical to a fresh cluster run with the same parameters: trace
+/// shape depends on the sampled routes, never on which long-lived
+/// identity sits at a directory index.
+#[derive(Debug, Clone)]
+pub struct SharedCellSpec {
+    /// Sub-network size: the cell routes over the first `n` members of
+    /// the shared cluster (directory indices agree between the prefix
+    /// view and the relays' full view, so forwarding needs no remap).
+    pub n: usize,
+    /// Path-length strategy the cell's client samples circuits from.
+    pub dist: PathLengthDist,
+    /// Path kind (simple or cyclic routes).
+    pub path_kind: PathKind,
+    /// Per-cell seed for routes, ephemerals, and nonces.
+    pub seed: u64,
+    /// Epoch number mixed into the circuit-material stream.
+    pub epoch: u64,
+    /// How long to await full delivery after the last origination.
+    pub deliver_timeout: Duration,
+}
+
+/// A long-running loopback cluster that many evaluation cells attach to.
+///
+/// [`run_cluster`] boots and tears down the whole network per call — the
+/// right contract for one-shot determinism, but a sweep with dozens of
+/// live cells pays the bind/handshake/teardown tax dozens of times.
+/// `SharedCluster` boots once (one `anonroute_cluster_boots_total`
+/// increment, one budget acquisition held for its lifetime) and lets each
+/// cell re-key circuits over the standing relays via [`run_cell`].
+///
+/// Message-id ranges are allocated disjointly per cell, so concurrent
+/// cells share the receiver and the link tap without mixing traffic; each
+/// cell's outcome is sliced out of the global streams and remapped to
+///0-based ids, matching the shape a fresh cluster would have produced.
+///
+/// [`run_cell`]: SharedCluster::run_cell
+#[derive(Debug)]
+pub struct SharedCluster {
+    config: ClusterConfig,
+    nodes: Vec<NodeInfo>,
+    directory: Arc<Directory>,
+    relays: Mutex<Vec<Option<Relay>>>,
+    receiver: Option<ReceiverServer>,
+    tap: LinkTap,
+    next_msg: Mutex<u64>,
+    boot_micros: u64,
+    _permit: Option<BudgetPermit<'static>>,
+}
+
+impl SharedCluster {
+    /// Boots the shared network against the process-wide
+    /// [`ClusterBudget::global`], holding
+    /// [`ClusterConfig::budget_slots`] until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`SharedCluster::boot_with_budget`].
+    pub fn boot(config: &ClusterConfig) -> Result<SharedCluster> {
+        Self::boot_with_budget(config, ClusterBudget::global())
+    }
+
+    /// Boots the shared network, first acquiring
+    /// [`ClusterConfig::budget_slots`] from `budget`. The permit is held
+    /// for the cluster's whole lifetime — cells cost nothing extra.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] on invalid parameters, plus I/O errors from
+    /// binding relays or the receiver.
+    pub fn boot_with_budget(
+        config: &ClusterConfig,
+        budget: &'static ClusterBudget,
+    ) -> Result<SharedCluster> {
+        let permit = budget.acquire(config.budget_slots());
+        Self::boot_inner(config, Some(permit))
+    }
+
+    fn boot_inner(
+        config: &ClusterConfig,
+        permit: Option<BudgetPermit<'static>>,
+    ) -> Result<SharedCluster> {
+        if config.n == 0 {
+            return Err(Error::Config("a cluster needs at least one relay".into()));
+        }
+        let metrics = ClusterMetrics::global();
+        let boot_start = Instant::now();
+        let boot_span = anonroute_obs::span_with(
+            "cluster.boot",
+            "relay",
+            &[("shared", 1), ("n", config.n as u64)],
+        );
+        let tap = LinkTap::new();
+        let receiver = ReceiverServer::spawn(tap.clone(), config.io_timeout)?;
+        let relay_cfg = RelayConfig {
+            cell_size: config.cell_size,
+            io_timeout: config.io_timeout,
+            ..RelayConfig::default()
+        };
+        let mut pending: Vec<PendingRelay> = Vec::with_capacity(config.n);
+        for id in 0..config.n {
+            match PendingRelay::bind(id, cluster_identity(config.seed, id), relay_cfg) {
+                Ok(p) => pending.push(p),
+                Err(e) => {
+                    let _ = receiver.join(config.join_timeout);
+                    return Err(e);
+                }
+            }
+        }
+        let nodes: Vec<NodeInfo> = pending
+            .iter()
+            .map(|p| NodeInfo {
+                id: p.id(),
+                addr: p.addr(),
+                public: p.public(),
+            })
+            .collect();
+        let directory = match Directory::new(nodes.clone(), receiver.addr()) {
+            Ok(d) => Arc::new(d),
+            Err(e) => {
+                let _ = receiver.join(config.join_timeout);
+                return Err(e);
+            }
+        };
+        let relays: Vec<Option<Relay>> = pending
+            .into_iter()
+            .map(|p| {
+                let junk_seed = config
+                    .seed
+                    .wrapping_add(config.epoch.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+                    .wrapping_add((p.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                Some(p.serve(Arc::clone(&directory), tap.clone(), junk_seed))
+            })
+            .collect();
+        metrics.boots.inc();
+        metrics
+            .boot_seconds
+            .observe(boot_start.elapsed().as_secs_f64());
+        let boot_micros = boot_start.elapsed().as_micros() as u64;
+        drop(boot_span);
+        Ok(SharedCluster {
+            config: config.clone(),
+            nodes,
+            directory,
+            relays: Mutex::new(relays),
+            receiver: Some(receiver),
+            tap,
+            next_msg: Mutex::new(0),
+            boot_micros,
+            _permit: permit,
+        })
+    }
+
+    /// Number of member relays the cluster was booted with (relays killed
+    /// via [`SharedCluster::kill_relay`] still count toward capacity).
+    pub fn n(&self) -> usize {
+        self.config.n
+    }
+
+    /// The full network map cells over the whole membership route with.
+    pub fn directory(&self) -> Arc<Directory> {
+        Arc::clone(&self.directory)
+    }
+
+    /// Wall-clock microseconds the one-time boot took.
+    pub fn boot_micros(&self) -> u64 {
+        self.boot_micros
+    }
+
+    fn receiver(&self) -> &ReceiverServer {
+        self.receiver
+            .as_ref()
+            .expect("receiver lives until shutdown")
+    }
+
+    /// Runs one evaluation cell over the standing network; see
+    /// [`SharedCellSpec`] for what a cell controls. Concurrent cells are
+    /// safe: message-id ranges are disjoint and each cell slices only its
+    /// own records out of the shared streams.
+    ///
+    /// The returned [`ClusterOutcome`] matches a fresh [`run_cluster`]
+    /// with the same parameters except: `boot_micros` is `0` (the boot is
+    /// amortized) and `stats` are zeroed (relay counters are cumulative
+    /// across cells and only collected at [`SharedCluster::shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] on invalid parameters, [`Error::Timeout`] when
+    /// not every message was delivered within the cell's deadline, and
+    /// I/O or strategy errors from sending.
+    pub fn run_cell(&self, spec: &SharedCellSpec, arrivals: &[Arrival]) -> Result<ClusterOutcome> {
+        self.run_cell_observed(spec, arrivals, &PhaseCell::new())
+    }
+
+    /// [`SharedCluster::run_cell`] keeping `phase` current (handshake →
+    /// traffic → drain → done), for sweep watchdogs.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`SharedCluster::run_cell`].
+    pub fn run_cell_observed(
+        &self,
+        spec: &SharedCellSpec,
+        arrivals: &[Arrival],
+        phase: &PhaseCell,
+    ) -> Result<ClusterOutcome> {
+        let metrics = ClusterMetrics::global();
+        let result = self.run_cell_inner(spec, arrivals, phase);
+        metrics.record_run(result.is_ok(), &[]);
+        phase.set(Phase::Done);
+        result
+    }
+
+    fn run_cell_inner(
+        &self,
+        spec: &SharedCellSpec,
+        arrivals: &[Arrival],
+        phase: &PhaseCell,
+    ) -> Result<ClusterOutcome> {
+        if spec.n == 0 {
+            return Err(Error::Config("a cell needs at least one relay".into()));
+        }
+        if spec.n > self.nodes.len() {
+            return Err(Error::Config(format!(
+                "cell wants n={} but the shared cluster only has {} relays",
+                spec.n,
+                self.nodes.len()
+            )));
+        }
+        for arrival in arrivals {
+            if arrival.sender >= spec.n {
+                return Err(Error::Config(format!(
+                    "arrival sender {} out of range (n={})",
+                    arrival.sender, spec.n
+                )));
+            }
+        }
+        // the prefix sub-directory shares indices with the relays' full
+        // view, so onions built against it forward without remapping
+        let directory = if spec.n == self.nodes.len() {
+            Arc::clone(&self.directory)
+        } else {
+            Arc::new(Directory::new(
+                self.nodes[..spec.n].to_vec(),
+                self.receiver().addr(),
+            )?)
+        };
+        // reserve a message-id range disjoint from every other cell
+        let base = {
+            let mut next = self.next_msg.lock().expect("msg-range lock");
+            let base = *next;
+            *next += arrivals.len() as u64;
+            base
+        };
+        let want = arrivals.len();
+
+        phase.set(Phase::Handshake);
+        let traffic_start = Instant::now();
+        let traffic_span =
+            anonroute_obs::span_with("cluster.traffic", "relay", &[("epoch", spec.epoch)]);
+        let send_result = (|| -> Result<Vec<Origination>> {
+            let mut client = Client::new(
+                directory,
+                spec.dist.clone(),
+                spec.path_kind,
+                self.config.cell_size,
+                Some(self.tap.clone()),
+            )?;
+            // the same stream formula as run_cluster, keyed by the
+            // *cell's* seed — shape-identical to a fresh cluster run
+            let mut rng = StdRng::seed_from_u64(
+                spec.seed ^ 0x517E_C0DE_5EED_0001 ^ spec.epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut originations = Vec::with_capacity(want);
+            for (i, arrival) in arrivals.iter().enumerate() {
+                let msg = MsgId(base + i as u64);
+                originations.push(Origination {
+                    time: self.tap.now(),
+                    sender: arrival.sender,
+                    msg,
+                });
+                client.send(arrival.sender, msg, &arrival.payload, &mut rng)?;
+                if i == 0 {
+                    phase.set(Phase::Traffic);
+                }
+            }
+            Ok(originations)
+        })();
+        let mut originations = send_result?;
+
+        // drain: poll the shared receiver for this cell's range only
+        phase.set(Phase::Drain);
+        let deadline = Instant::now() + spec.deliver_timeout;
+        let in_range = |m: MsgId| m.0 >= base && m.0 < base + want as u64;
+        let mut scanned = 0usize;
+        let mut deliveries: Vec<Delivery> = Vec::with_capacity(want);
+        while deliveries.len() < want {
+            let tail = self.receiver().deliveries_since(scanned);
+            scanned += tail.len();
+            deliveries.extend(tail.into_iter().filter(|d| in_range(d.msg)));
+            if deliveries.len() >= want {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout(format!(
+                    "only {} of {} messages delivered within {:?}",
+                    deliveries.len(),
+                    want,
+                    spec.deliver_timeout
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let traffic_micros = traffic_start.elapsed().as_micros() as u64;
+        drop(traffic_span);
+
+        // slice this cell out of the shared streams and rebase msg ids so
+        // the outcome is indistinguishable from a fresh cluster's
+        let mut trace: Vec<TransferRecord> = self
+            .tap
+            .snapshot()
+            .into_iter()
+            .filter(|r| in_range(r.msg))
+            .collect();
+        for r in &mut trace {
+            r.msg = MsgId(r.msg.0 - base);
+        }
+        for d in &mut deliveries {
+            d.msg = MsgId(d.msg.0 - base);
+        }
+        for o in &mut originations {
+            o.msg = MsgId(o.msg.0 - base);
+        }
+        Ok(ClusterOutcome {
+            trace,
+            deliveries,
+            originations,
+            stats: vec![RelayStats::default(); spec.n],
+            boot_micros: 0,
+            traffic_micros,
+        })
+    }
+
+    /// Kills member `id` mid-run: the relay stops serving, its port goes
+    /// dead, and subsequent dials to it fail — the real departure signal
+    /// the gossip layer's peer-health check and the directory authority's
+    /// lease sweeper turn into membership events. Returns the relay's
+    /// cumulative traffic counters.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for an unknown or already-killed id; join errors
+    /// from the relay's worker threads.
+    pub fn kill_relay(&self, id: usize) -> Result<RelayStats> {
+        let relay = {
+            let mut relays = self.relays.lock().expect("relay roster lock");
+            match relays.get_mut(id) {
+                Some(slot) => slot
+                    .take()
+                    .ok_or_else(|| Error::Config(format!("relay {id} was already killed")))?,
+                None => {
+                    return Err(Error::Config(format!(
+                        "relay {id} out of range (n={})",
+                        self.config.n
+                    )))
+                }
+            }
+        };
+        relay.join(self.config.join_timeout)
+    }
+
+    /// Winds the whole network down: joins every still-running relay and
+    /// the receiver, returning per-relay cumulative traffic counters
+    /// (zeroed for relays killed earlier). Releases the budget permit.
+    ///
+    /// # Errors
+    ///
+    /// The first join error seen; teardown still proceeds through every
+    /// component.
+    pub fn shutdown(mut self) -> Result<Vec<RelayStats>> {
+        self.wind_down()
+    }
+
+    fn wind_down(&mut self) -> Result<Vec<RelayStats>> {
+        let mut teardown_err: Option<Error> = None;
+        let mut stats = Vec::with_capacity(self.config.n);
+        let relays: Vec<Option<Relay>> =
+            std::mem::take(&mut *self.relays.lock().expect("relay roster lock"));
+        for slot in relays {
+            match slot {
+                Some(relay) => match relay.join(self.config.join_timeout) {
+                    Ok(s) => stats.push(s),
+                    Err(e) => {
+                        stats.push(RelayStats::default());
+                        teardown_err.get_or_insert(e);
+                    }
+                },
+                None => stats.push(RelayStats::default()),
+            }
+        }
+        if let Some(receiver) = self.receiver.take() {
+            if let Err(e) = receiver.join(self.config.join_timeout) {
+                teardown_err.get_or_insert(e);
+            }
+        }
+        match teardown_err {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+}
+
+impl Drop for SharedCluster {
+    fn drop(&mut self) {
+        let _ = self.wind_down();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +931,40 @@ mod tests {
     }
 
     #[test]
+    fn budget_slots_survive_every_failure_path() {
+        use std::sync::atomic::AtomicBool;
+        let budget = ClusterBudget::new(3);
+        // config error before any boot: repeat more times than the
+        // budget has slots so a single leaked permit would wedge the loop
+        let bad = ClusterConfig::new(0, PathLengthDist::fixed(1));
+        for _ in 0..4 {
+            assert!(matches!(
+                run_cluster_with_budget(&bad, &[], &budget),
+                Err(Error::Config(_))
+            ));
+            assert_eq!(budget.available(), budget.capacity());
+        }
+        // traffic error after a successful boot: F(5) over n=2 boots the
+        // cluster, then the client rejects the unrealizable strategy
+        let unrealizable = ClusterConfig::new(2, PathLengthDist::fixed(5));
+        for _ in 0..4 {
+            assert!(run_cluster_with_budget(&unrealizable, &workload(2, 1, 1), &budget).is_err());
+            assert_eq!(budget.available(), budget.capacity());
+        }
+        // a cell abandoned while queued boots nothing and returns slots
+        let config = ClusterConfig::new(2, PathLengthDist::fixed(1));
+        let abandoned = AtomicBool::new(true);
+        assert!(
+            run_cluster_budgeted_unless(&config, &workload(2, 1, 1), &budget, &abandoned).is_none()
+        );
+        assert_eq!(budget.available(), budget.capacity());
+        // after all that abuse the budget still serves a real run
+        let outcome = run_cluster_with_budget(&config, &workload(2, 3, 5), &budget).unwrap();
+        assert_eq!(outcome.deliveries.len(), 3);
+        assert_eq!(budget.available(), budget.capacity());
+    }
+
+    #[test]
     fn invalid_configs_are_rejected_cleanly() {
         let arrivals = workload(4, 2, 1);
         assert!(matches!(
@@ -522,5 +982,127 @@ mod tests {
         // unrealizable strategy: F(5) needs 5 distinct intermediates of 4
         let config = ClusterConfig::new(4, PathLengthDist::fixed(5));
         assert!(run_cluster(&config, &workload(4, 1, 1)).is_err());
+    }
+
+    fn shape(t: &[TransferRecord]) -> Vec<(Endpoint, Endpoint, MsgId)> {
+        let mut edges: Vec<(Endpoint, Endpoint, MsgId)> =
+            t.iter().map(|r| (r.from, r.to, r.msg)).collect();
+        edges.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+        edges
+    }
+
+    #[test]
+    fn shared_cells_match_fresh_cluster_shapes() {
+        let budget: &'static ClusterBudget = Box::leak(Box::new(ClusterBudget::new(16)));
+        let mut base = ClusterConfig::new(6, PathLengthDist::fixed(2));
+        base.seed = 99; // identities differ from the fresh run on purpose
+        let shared = SharedCluster::boot_with_budget(&base, budget).unwrap();
+        assert_eq!(budget.available(), budget.capacity() - base.budget_slots());
+
+        // a full-width cell and a narrower prefix cell, each checked
+        // against a fresh single-shot cluster with the same parameters
+        for (n_cell, seed, count) in [(6usize, 21u64, 15usize), (4, 5, 9)] {
+            let arrivals = workload(n_cell, count, seed);
+            let spec = SharedCellSpec {
+                n: n_cell,
+                dist: PathLengthDist::fixed(2),
+                path_kind: PathKind::Simple,
+                seed,
+                epoch: 0,
+                deliver_timeout: Duration::from_secs(30),
+            };
+            let cell = shared.run_cell(&spec, &arrivals).unwrap();
+            let mut fresh_cfg = ClusterConfig::new(n_cell, PathLengthDist::fixed(2));
+            fresh_cfg.seed = seed;
+            let fresh = run_cluster(&fresh_cfg, &arrivals).unwrap();
+            assert_eq!(shape(&cell.trace), shape(&fresh.trace));
+            assert_eq!(cell.deliveries.len(), fresh.deliveries.len());
+            assert_eq!(cell.originations.len(), count);
+            assert_eq!(cell.boot_micros, 0, "boot is amortized for cells");
+        }
+
+        // the same cell twice reproduces its own shape after rebasing
+        let arrivals = workload(6, 10, 77);
+        let spec = SharedCellSpec {
+            n: 6,
+            dist: PathLengthDist::uniform(1, 3).unwrap(),
+            path_kind: PathKind::Simple,
+            seed: 77,
+            epoch: 2,
+            deliver_timeout: Duration::from_secs(30),
+        };
+        let once = shared.run_cell(&spec, &arrivals).unwrap();
+        let twice = shared.run_cell(&spec, &arrivals).unwrap();
+        assert_eq!(shape(&once.trace), shape(&twice.trace));
+
+        let stats = shared.shutdown().unwrap();
+        assert_eq!(stats.len(), 6);
+        assert!(stats.iter().any(|s| s.relayed > 0));
+        assert_eq!(budget.available(), budget.capacity(), "permit released");
+    }
+
+    #[test]
+    fn killed_relays_leave_the_rest_of_the_network_serving() {
+        let mut config = ClusterConfig::new(5, PathLengthDist::fixed(1));
+        config.seed = 41;
+        let shared = SharedCluster::boot(&config).unwrap();
+        let spec = SharedCellSpec {
+            n: 4, // prefix cell that never routes through relay 4
+            dist: PathLengthDist::fixed(1),
+            path_kind: PathKind::Simple,
+            seed: 8,
+            epoch: 0,
+            deliver_timeout: Duration::from_secs(30),
+        };
+        let before = shared.run_cell(&spec, &workload(4, 6, 1)).unwrap();
+        assert_eq!(before.deliveries.len(), 6);
+
+        shared.kill_relay(4).unwrap();
+        assert!(matches!(shared.kill_relay(4), Err(Error::Config(_))));
+        assert!(matches!(shared.kill_relay(9), Err(Error::Config(_))));
+
+        let after = shared.run_cell(&spec, &workload(4, 6, 2)).unwrap();
+        assert_eq!(after.deliveries.len(), 6);
+        let stats = shared.shutdown().unwrap();
+        assert_eq!(stats.len(), 5);
+        assert_eq!(stats[4].relayed, 0, "killed relay reports zeroed stats");
+    }
+
+    #[test]
+    fn shared_clusters_cross_threads() {
+        // sweeps hand &SharedCluster to a rayon pool
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedCluster>();
+    }
+
+    #[test]
+    fn shared_cells_reject_invalid_specs() {
+        let shared = SharedCluster::boot(&ClusterConfig::new(3, PathLengthDist::fixed(1))).unwrap();
+        let ok_spec = |n: usize| SharedCellSpec {
+            n,
+            dist: PathLengthDist::fixed(1),
+            path_kind: PathKind::Simple,
+            seed: 1,
+            epoch: 0,
+            deliver_timeout: Duration::from_secs(5),
+        };
+        assert!(matches!(
+            shared.run_cell(&ok_spec(0), &[]),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            shared.run_cell(&ok_spec(4), &[]),
+            Err(Error::Config(_))
+        ));
+        let bad = vec![Arrival {
+            at: anonroute_sim::SimTime::ZERO,
+            sender: 3,
+            payload: vec![1],
+        }];
+        assert!(matches!(
+            shared.run_cell(&ok_spec(3), &bad),
+            Err(Error::Config(_))
+        ));
+        shared.shutdown().unwrap();
     }
 }

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -28,9 +28,11 @@ use anonroute_sim::{Endpoint, MsgId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::authority::NetworkView;
 use crate::circuit;
-use crate::directory::Directory;
+use crate::directory::{Directory, DirectoryCell};
 use crate::error::{panic_message, Error, Result};
+use crate::gossip;
 use crate::obs;
 use crate::tap::LinkTap;
 use crate::wire::{self, Frame, ReadOutcome};
@@ -103,6 +105,31 @@ impl Counters {
     }
 }
 
+/// How a serving relay resolves the current network map.
+#[derive(Debug, Clone)]
+enum Topology {
+    /// Directory pinned at serve time (cluster harness, static CLI).
+    Fixed(Arc<Directory>),
+    /// Hot-swappable gossiped topology: the cell is refreshed whenever a
+    /// merged snapshot changes the member set (see [`crate::gossip`]).
+    Dynamic {
+        /// The routable directory, swapped atomically on merges.
+        cell: DirectoryCell,
+        /// The mergeable membership state behind the cell.
+        view: Arc<Mutex<NetworkView>>,
+    },
+}
+
+impl Topology {
+    /// The directory to route the next cell against.
+    fn directory(&self) -> Arc<Directory> {
+        match self {
+            Topology::Fixed(directory) => Arc::clone(directory),
+            Topology::Dynamic { cell, .. } => cell.load(),
+        }
+    }
+}
+
 /// Decrements the open-connection gauge when a worker unwinds, panic or
 /// not.
 struct ConnectionGuard(Arc<Counters>);
@@ -143,14 +170,21 @@ impl PendingRelay {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
+    /// Socket errors, wrapped so the message names the relay id and the
+    /// address that failed — a multi-process bring-up with a port taken
+    /// or an interface missing must say *which* relay could not bind.
     pub fn bind_to(
         id: NodeId,
         identity: NodeIdentity,
         addr: SocketAddr,
         config: RelayConfig,
     ) -> Result<Self> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = TcpListener::bind(addr).map_err(|e| {
+            Error::Io(std::io::Error::new(
+                e.kind(),
+                format!("relay {id}: failed to bind {addr}: {e}"),
+            ))
+        })?;
         Ok(PendingRelay {
             id,
             identity,
@@ -180,6 +214,26 @@ impl PendingRelay {
     /// `tap`. `seed` only feeds the junk-byte generators (framing
     /// padding), never key material.
     pub fn serve(self, directory: Arc<Directory>, tap: LinkTap, seed: u64) -> Relay {
+        self.serve_with(Topology::Fixed(directory), tap, seed)
+    }
+
+    /// Starts serving against a gossiped topology: routing reads the
+    /// hot-swappable `cell`, and incoming [`Frame::Gossip`] snapshots
+    /// are merged into `view` (refreshing the cell on change), so the
+    /// relay learns the network from its peers instead of a static
+    /// file. Pair with a [`crate::gossip::GossipRunner`] sharing the
+    /// same handles.
+    pub fn serve_dynamic(
+        self,
+        cell: DirectoryCell,
+        view: Arc<Mutex<NetworkView>>,
+        tap: LinkTap,
+        seed: u64,
+    ) -> Relay {
+        self.serve_with(Topology::Dynamic { cell, view }, tap, seed)
+    }
+
+    fn serve_with(self, topology: Topology, tap: LinkTap, seed: u64) -> Relay {
         let PendingRelay {
             id,
             identity,
@@ -198,7 +252,7 @@ impl PendingRelay {
             std::thread::spawn(move || {
                 let _done = workers::DoneGuard(done_tx);
                 accept_loop(
-                    listener, id, identity, directory, tap, counters, shutdown, config, seed,
+                    listener, id, identity, topology, tap, counters, shutdown, config, seed,
                 )
             })
         };
@@ -382,7 +436,7 @@ fn accept_loop(
     listener: TcpListener,
     id: NodeId,
     identity: NodeIdentity,
-    directory: Arc<Directory>,
+    topology: Topology,
     tap: LinkTap,
     counters: Arc<Counters>,
     shutdown: Arc<AtomicBool>,
@@ -400,13 +454,13 @@ fn accept_loop(
             let junk_rng =
                 StdRng::seed_from_u64(seed ^ conn_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let identity = identity.clone();
-            let directory = Arc::clone(&directory);
+            let topology = topology.clone();
             let tap = tap.clone();
             let counters = Arc::clone(&counters);
             let shutdown = Arc::clone(&shutdown);
             std::thread::spawn(move || {
                 serve_conn(
-                    stream, id, identity, directory, tap, counters, shutdown, config, junk_rng,
+                    stream, id, identity, topology, tap, counters, shutdown, config, junk_rng,
                 )
             })
         },
@@ -418,7 +472,7 @@ fn serve_conn(
     mut stream: TcpStream,
     id: NodeId,
     identity: NodeIdentity,
-    directory: Arc<Directory>,
+    topology: Topology,
     tap: LinkTap,
     counters: Arc<Counters>,
     shutdown: Arc<AtomicBool>,
@@ -438,6 +492,7 @@ fn serve_conn(
             Ok(ReadOutcome::Idle) => continue,
             Ok(ReadOutcome::Eof) => break,
             Ok(ReadOutcome::Frame(Frame::Cell { msg, cell })) => {
+                let directory = topology.directory();
                 handle_cell(
                     msg,
                     &cell,
@@ -455,6 +510,16 @@ fn serve_conn(
                 // relays are not the receiver; a DELIVER here is misrouted
                 counters.dropped.fetch_add(1, Ordering::Relaxed);
             }
+            Ok(ReadOutcome::Frame(Frame::Gossip { snapshot })) => match &topology {
+                // a gossip push to a statically provisioned relay is
+                // misrouted, like a DELIVER
+                Topology::Fixed(_) => {
+                    counters.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Topology::Dynamic { cell, view } => {
+                    gossip::ingest(view, cell, &snapshot);
+                }
+            },
             Err(_) => {
                 // protocol violation or dead socket: drop the connection
                 counters.dropped.fetch_add(1, Ordering::Relaxed);
@@ -704,6 +769,61 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "join exceeded its bound"
         );
+    }
+
+    #[test]
+    fn bind_errors_name_the_relay_and_address() {
+        let taken = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = taken.local_addr().unwrap();
+        let err = PendingRelay::bind_to(7, identity(7), addr, RelayConfig::default())
+            .expect_err("double bind must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("relay 7"), "got: {msg}");
+        assert!(msg.contains(&addr.to_string()), "got: {msg}");
+    }
+
+    #[test]
+    fn dynamic_relays_merge_gossip_frames_into_their_topology() {
+        use crate::authority::{NetworkView, RelayDescriptor};
+
+        let receiver = TcpListener::bind("127.0.0.1:0").unwrap();
+        let receiver_addr = receiver.local_addr().unwrap();
+        let net_seed = b"daemon-gossip";
+        let pending =
+            PendingRelay::bind(0, NodeIdentity::derive(net_seed, 0), RelayConfig::default())
+                .unwrap();
+        let mut bootstrap = NetworkView::new(net_seed, receiver_addr);
+        bootstrap
+            .publish(RelayDescriptor::derive(net_seed, 0, pending.addr(), 1).sign(net_seed))
+            .unwrap();
+        let cell = DirectoryCell::new(bootstrap.to_directory().unwrap());
+        let view = Arc::new(Mutex::new(bootstrap.clone()));
+        let relay = pending.serve_dynamic(cell.clone(), Arc::clone(&view), LinkTap::new(), 5);
+
+        // a peer that also knows relay 1 pushes its snapshot at us
+        let other = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut peer_view = bootstrap;
+        peer_view
+            .publish(
+                RelayDescriptor::derive(net_seed, 1, other.local_addr().unwrap(), 1).sign(net_seed),
+            )
+            .unwrap();
+        let mut conn = TcpStream::connect(relay.addr()).unwrap();
+        wire::write_frame(
+            &mut conn,
+            &Frame::Gossip {
+                snapshot: peer_view.snapshot(),
+            },
+        )
+        .unwrap();
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while view.lock().unwrap().len() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(view.lock().unwrap().member_ids(), vec![0, 1]);
+        assert_eq!(cell.load().n(), 2, "merged topology must become routable");
+        relay.join(Duration::from_secs(5)).unwrap();
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! deterministic provisioning [`NodeIdentity::derive`] the rest of the
 //! workspace uses for reproducible deployments).
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::sync::{Arc, RwLock};
 
 use anonroute_crypto::handshake::NodeIdentity;
 use anonroute_sim::NodeId;
@@ -94,14 +96,25 @@ impl Directory {
     /// sender sharing the same net seed derives the same identities, so
     /// the file only needs addresses.
     ///
+    /// Relay ids must appear **in ascending dense order** (`0, 1, 2,
+    /// …`) and every address (including the receiver's) must be
+    /// unique: a shuffled, duplicated, or recycled line is almost
+    /// always a hand-editing mistake, and silently reordering used to
+    /// defer it to a confusing downstream failure.
+    ///
     /// # Errors
     ///
-    /// [`Error::Config`] on malformed lines, missing receiver, or sparse
-    /// ids.
+    /// [`Error::Config`] with the offending line number(s) on malformed
+    /// lines, duplicate or out-of-order ids, duplicate addresses, a
+    /// missing or repeated receiver, or sparse ids.
     pub fn parse(text: &str, net_seed: &[u8]) -> Result<Self> {
-        let mut receiver = None;
+        let mut receiver: Option<(SocketAddr, usize)> = None;
         let mut entries: Vec<(usize, SocketAddr)> = Vec::new();
+        let mut seen_ids: HashMap<usize, usize> = HashMap::new();
+        let mut seen_addrs: HashMap<SocketAddr, usize> = HashMap::new();
+        let mut last: Option<(usize, usize)> = None;
         for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
@@ -110,30 +123,48 @@ impl Directory {
             let (who, addr) = (parts.next(), parts.next());
             let (Some(who), Some(addr), None) = (who, addr, parts.next()) else {
                 return Err(Error::Config(format!(
-                    "directory line {}: expected `<id|receiver> <host:port>`, got `{line}`",
-                    lineno + 1
+                    "directory line {lineno}: expected `<id|receiver> <host:port>`, got `{line}`"
                 )));
             };
             let addr: SocketAddr = addr.parse().map_err(|_| {
-                Error::Config(format!(
-                    "directory line {}: bad address `{addr}`",
-                    lineno + 1
-                ))
+                Error::Config(format!("directory line {lineno}: bad address `{addr}`"))
             })?;
+            if let Some(&first) = seen_addrs.get(&addr) {
+                return Err(Error::Config(format!(
+                    "directory line {lineno}: duplicate address {addr} (first used on line {first})"
+                )));
+            }
+            seen_addrs.insert(addr, lineno);
             if who == "receiver" {
-                if receiver.replace(addr).is_some() {
-                    return Err(Error::Config("duplicate receiver line".into()));
+                if let Some((_, first)) = receiver.replace((addr, lineno)) {
+                    return Err(Error::Config(format!(
+                        "directory line {lineno}: duplicate receiver line (first on line {first})"
+                    )));
                 }
             } else {
                 let id: usize = who.parse().map_err(|_| {
-                    Error::Config(format!("directory line {}: bad id `{who}`", lineno + 1))
+                    Error::Config(format!("directory line {lineno}: bad id `{who}`"))
                 })?;
+                if let Some(&first) = seen_ids.get(&id) {
+                    return Err(Error::Config(format!(
+                        "directory line {lineno}: duplicate id {id} (first declared on line {first})"
+                    )));
+                }
+                if let Some((prev_id, prev_line)) = last {
+                    if id < prev_id {
+                        return Err(Error::Config(format!(
+                            "directory line {lineno}: id {id} out of order (after id {prev_id} on line {prev_line}; ids must ascend 0, 1, 2, …)"
+                        )));
+                    }
+                }
+                seen_ids.insert(id, lineno);
+                last = Some((id, lineno));
                 entries.push((id, addr));
             }
         }
-        let receiver =
-            receiver.ok_or_else(|| Error::Config("directory has no receiver line".into()))?;
-        entries.sort_by_key(|&(id, _)| id);
+        let receiver = receiver
+            .ok_or_else(|| Error::Config("directory has no receiver line".into()))?
+            .0;
         let nodes = entries
             .into_iter()
             .map(|(id, addr)| NodeInfo {
@@ -143,6 +174,42 @@ impl Directory {
             })
             .collect();
         Directory::new(nodes, receiver)
+    }
+}
+
+/// A hot-swappable handle to the current [`Directory`].
+///
+/// Relay daemons serving a gossiped topology read the directory through
+/// this cell on every cell they forward; the gossip layer stores a new
+/// `Directory` whenever a merged snapshot changes the (dense) member
+/// set. Readers get an `Arc` snapshot, so a swap never blocks or tears
+/// an in-flight forward. When churn makes the view sparse (a mid-range
+/// relay died), the cell intentionally keeps the last dense directory:
+/// onion next-hop fields are directory indices, and circuits built
+/// before the departure must still resolve addresses — dials to the
+/// dead relay fail and are counted, which is exactly the signal the
+/// peer-health layer feeds back to the authority.
+#[derive(Debug, Clone)]
+pub struct DirectoryCell {
+    inner: Arc<RwLock<Arc<Directory>>>,
+}
+
+impl DirectoryCell {
+    /// A cell initially serving `directory`.
+    pub fn new(directory: Directory) -> DirectoryCell {
+        DirectoryCell {
+            inner: Arc::new(RwLock::new(Arc::new(directory))),
+        }
+    }
+
+    /// The current directory snapshot.
+    pub fn load(&self) -> Arc<Directory> {
+        Arc::clone(&self.inner.read().expect("directory cell"))
+    }
+
+    /// Atomically replaces the directory.
+    pub fn store(&self, directory: Directory) {
+        *self.inner.write().expect("directory cell") = Arc::new(directory);
     }
 }
 
@@ -160,8 +227,8 @@ mod tests {
 # test net
 receiver 127.0.0.1:9000
 
-1 127.0.0.1:9002
 0 127.0.0.1:9001
+1 127.0.0.1:9002
 ";
         let dir = Directory::parse(text, b"seed").unwrap();
         assert_eq!(dir.n(), 2);
@@ -173,6 +240,43 @@ receiver 127.0.0.1:9000
             *NodeIdentity::derive(b"seed", 1).public()
         );
         assert!(dir.node(2).is_none());
+    }
+
+    /// Extracts the `Error::Config` message or panics.
+    fn config_err(text: &str) -> String {
+        match Directory::parse(text, b"s") {
+            Err(Error::Config(msg)) => msg,
+            other => panic!("expected Error::Config, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_ids_with_both_line_numbers() {
+        let msg = config_err("receiver 127.0.0.1:1\n0 127.0.0.1:2\n0 127.0.0.1:3");
+        assert!(msg.contains("line 3"), "got: {msg}");
+        assert!(msg.contains("duplicate id 0"), "got: {msg}");
+        assert!(msg.contains("line 2"), "got: {msg}");
+    }
+
+    #[test]
+    fn parse_rejects_out_of_order_ids_with_line_numbers() {
+        let msg = config_err("receiver 127.0.0.1:1\n1 127.0.0.1:2\n0 127.0.0.1:3");
+        assert!(msg.contains("line 3"), "got: {msg}");
+        assert!(msg.contains("out of order"), "got: {msg}");
+        assert!(msg.contains("line 2"), "got: {msg}");
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_addresses_with_both_line_numbers() {
+        let msg = config_err("receiver 127.0.0.1:1\n0 127.0.0.1:2\n1 127.0.0.1:2");
+        assert!(msg.contains("line 3"), "got: {msg}");
+        assert!(msg.contains("duplicate address 127.0.0.1:2"), "got: {msg}");
+        assert!(msg.contains("line 2"), "got: {msg}");
+
+        // the receiver's address is part of the uniqueness domain too
+        let msg = config_err("receiver 127.0.0.1:1\n0 127.0.0.1:1");
+        assert!(msg.contains("line 2"), "got: {msg}");
+        assert!(msg.contains("duplicate address"), "got: {msg}");
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //! * [`budget`] — relay-slot budgeting so many concurrent clusters (a
 //!   campaign sweep's live cells) share the loopback without exhausting
 //!   ports or file descriptors;
+//! * [`authority`] — the directory authority: signed, versioned relay
+//!   descriptors, a mergeable [`authority::NetworkView`], a snapshot
+//!   service with lease expiry, and real [`authority::MembershipEvent`]s
+//!   feeding `anonroute_core::epochs`;
+//! * [`gossip`] — peer-to-peer topology maintenance: relays push
+//!   snapshots to random peers and drop departed ones via dial health;
 //! * [`obs`] — cluster run phases (for wedge diagnosis) and process-wide
 //!   aggregate metrics over all cluster runs, registered in
 //!   `anonroute-obs`'s global registry.
@@ -36,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod authority;
 pub mod budget;
 pub mod circuit;
 pub mod client;
@@ -43,22 +50,29 @@ pub mod cluster;
 pub mod daemon;
 pub mod directory;
 pub mod error;
+pub mod gossip;
 pub mod obs;
 pub mod receiver;
 pub mod tap;
 pub mod wire;
 mod workers;
 
+pub use authority::{
+    AuthorityClient, AuthorityServer, MembershipChange, MembershipEvent, NetworkView,
+    RelayDescriptor, SignedDescriptor,
+};
 pub use budget::{BudgetPermit, ClusterBudget, DEFAULT_CLUSTER_SLOTS};
 pub use circuit::DEFAULT_CELL_SIZE;
 pub use client::Client;
 pub use cluster::{
     cluster_identity, run_cluster, run_cluster_budgeted_observed, run_cluster_budgeted_unless,
-    run_cluster_observed, run_cluster_with_budget, ClusterConfig, ClusterOutcome,
+    run_cluster_observed, run_cluster_with_budget, ClusterConfig, ClusterOutcome, SharedCellSpec,
+    SharedCluster,
 };
 pub use daemon::{PendingRelay, Relay, RelayConfig, RelayStats};
-pub use directory::{Directory, NodeInfo};
+pub use directory::{Directory, DirectoryCell, NodeInfo};
 pub use error::{Error, Result};
-pub use obs::{ClusterMetrics, Phase, PhaseCell};
+pub use gossip::{GossipConfig, GossipRunner};
+pub use obs::{ClusterMetrics, DirectoryMetrics, Phase, PhaseCell};
 pub use receiver::ReceiverServer;
 pub use tap::LinkTap;

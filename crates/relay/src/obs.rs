@@ -256,9 +256,88 @@ impl ClusterMetrics {
     }
 }
 
+/// Aggregate metrics over the directory/gossip subsystem, shared by the
+/// authority server, gossip runners, and dynamic relay daemons in this
+/// process.
+#[derive(Debug)]
+pub struct DirectoryMetrics {
+    /// Descriptor publishes accepted (authority `PUT`s).
+    pub publishes: Arc<Counter>,
+    /// Snapshots served to fetchers (authority `GET`s that returned one).
+    pub snapshots_served: Arc<Counter>,
+    /// Gossip snapshots pushed to peers.
+    pub gossip_sent: Arc<Counter>,
+    /// Gossip snapshots received (over TCP or ingested directly).
+    pub gossip_received: Arc<Counter>,
+    /// Received snapshots that changed the local view.
+    pub gossip_merges: Arc<Counter>,
+    /// Received snapshots rejected as malformed.
+    pub gossip_rejected: Arc<Counter>,
+    /// Peers dropped for failed health checks or expired leases.
+    pub peers_dropped: Arc<Counter>,
+}
+
+impl DirectoryMetrics {
+    /// The process-wide instance, registered in [`Registry::global`] on
+    /// first use.
+    pub fn global() -> &'static DirectoryMetrics {
+        static GLOBAL: OnceLock<DirectoryMetrics> = OnceLock::new();
+        GLOBAL.get_or_init(|| DirectoryMetrics::register(Registry::global()))
+    }
+
+    fn register(registry: &'static Registry) -> DirectoryMetrics {
+        let gossip = |direction: &str| {
+            registry.counter(
+                "anonroute_directory_gossip_total",
+                "Gossip snapshots exchanged, by direction.",
+                &[("direction", direction)],
+            )
+        };
+        DirectoryMetrics {
+            publishes: registry.counter(
+                "anonroute_directory_publishes_total",
+                "Relay descriptors accepted by the directory authority.",
+                &[],
+            ),
+            snapshots_served: registry.counter(
+                "anonroute_directory_snapshots_served_total",
+                "Directory snapshots served to fetching peers.",
+                &[],
+            ),
+            gossip_sent: gossip("sent"),
+            gossip_received: gossip("received"),
+            gossip_merges: registry.counter(
+                "anonroute_directory_gossip_merges_total",
+                "Received gossip snapshots that changed the local view.",
+                &[],
+            ),
+            gossip_rejected: registry.counter(
+                "anonroute_directory_gossip_rejected_total",
+                "Received gossip snapshots rejected as malformed.",
+                &[],
+            ),
+            peers_dropped: registry.counter(
+                "anonroute_directory_peers_dropped_total",
+                "Peers dropped for failed dials or expired leases.",
+                &[],
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn directory_metrics_register_once() {
+        let a = DirectoryMetrics::global() as *const _;
+        let b = DirectoryMetrics::global() as *const _;
+        assert!(std::ptr::eq(a, b));
+        let before = DirectoryMetrics::global().gossip_received.get();
+        DirectoryMetrics::global().gossip_received.inc();
+        assert_eq!(DirectoryMetrics::global().gossip_received.get(), before + 1);
+    }
 
     #[test]
     fn phase_cell_round_trips_every_phase() {

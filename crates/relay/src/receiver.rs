@@ -18,13 +18,17 @@ use crate::wire::{self, Frame, ReadOutcome};
 use crate::workers;
 
 /// A serving receiver endpoint.
+///
+/// `Sync`: the done-channel receiver sits behind a mutex so shared
+/// harnesses (e.g. [`crate::cluster::SharedCluster`]) can poll
+/// deliveries from many evaluation threads at once.
 #[derive(Debug)]
 pub struct ReceiverServer {
     addr: SocketAddr,
     inbox: Arc<Inbox>,
     shutdown: Arc<AtomicBool>,
     thread: JoinHandle<Result<()>>,
-    done: mpsc::Receiver<()>,
+    done: Mutex<mpsc::Receiver<()>>,
 }
 
 #[derive(Debug)]
@@ -51,9 +55,15 @@ impl ReceiverServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from the bind.
+    /// Socket errors from the bind, wrapped to name the receiver and
+    /// the address that failed.
     pub fn spawn_at(addr: SocketAddr, tap: LinkTap, io_timeout: Duration) -> Result<Self> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = TcpListener::bind(addr).map_err(|e| {
+            crate::error::Error::Io(std::io::Error::new(
+                e.kind(),
+                format!("receiver: failed to bind {addr}: {e}"),
+            ))
+        })?;
         let addr = listener.local_addr()?;
         let inbox = Arc::new(Inbox {
             deliveries: Mutex::new(Vec::new()),
@@ -74,7 +84,7 @@ impl ReceiverServer {
             inbox,
             shutdown,
             thread,
-            done: done_rx,
+            done: Mutex::new(done_rx),
         })
     }
 
@@ -138,6 +148,7 @@ impl ReceiverServer {
             done,
             ..
         } = self;
+        let done = done.into_inner().expect("done-channel lock");
         match done.recv_timeout(timeout) {
             Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -202,8 +213,9 @@ fn serve_conn(mut stream: TcpStream, inbox: Arc<Inbox>, tap: LinkTap, shutdown: 
                 inbox.deliveries.lock().expect("inbox lock").push(delivery);
                 inbox.arrived.notify_all();
             }
-            // the receiver terminates circuits; a raw CELL is misrouted
-            Ok(ReadOutcome::Frame(Frame::Cell { .. })) => {}
+            // the receiver terminates circuits; raw CELL and GOSSIP
+            // frames are misrouted here
+            Ok(ReadOutcome::Frame(Frame::Cell { .. } | Frame::Gossip { .. })) => {}
             Err(_) => break,
         }
     }

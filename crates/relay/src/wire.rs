@@ -6,12 +6,14 @@
 //! frame := len(u32 BE) ‖ tag(u8) ‖ body          len = |tag ‖ body|
 //! CELL    (tag 1): body = msg(u64 BE) ‖ relay cell bytes
 //! DELIVER (tag 2): body = msg(u64 BE) ‖ from(u16 BE) ‖ payload
+//! GOSSIP  (tag 3): body = encoded directory snapshot
 //! ```
 //!
 //! `CELL` carries one fixed-size onion relay cell (see [`crate::circuit`])
 //! between members; `DELIVER` carries a decrypted payload from the exit
 //! relay (or directly from a sender, for the paper's `l = 0` case) to the
-//! receiver.
+//! receiver; `GOSSIP` carries a serialized [`crate::authority::NetworkView`]
+//! snapshot pushed by a peer maintaining topology (see [`crate::gossip`]).
 //!
 //! The cleartext `msg` field is a correlation tag, not an addressing
 //! field: it models the paper's worst-case Section-4 assumption that the
@@ -28,6 +30,7 @@ pub const MAX_FRAME: usize = 1 << 20;
 
 const TAG_CELL: u8 = 1;
 const TAG_DELIVER: u8 = 2;
+const TAG_GOSSIP: u8 = 3;
 
 /// One wire message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +52,11 @@ pub enum Frame {
         from: u16,
         /// The sender's original payload.
         payload: Vec<u8>,
+    },
+    /// A directory snapshot pushed by a gossiping peer.
+    Gossip {
+        /// Encoded [`crate::authority::NetworkView`] snapshot bytes.
+        snapshot: Vec<u8>,
     },
 }
 
@@ -82,6 +90,10 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
             body.extend_from_slice(&msg.to_be_bytes());
             body.extend_from_slice(&from.to_be_bytes());
             body.extend_from_slice(payload);
+        }
+        Frame::Gossip { snapshot } => {
+            body.push(TAG_GOSSIP);
+            body.extend_from_slice(snapshot);
         }
     }
     let mut out = Vec::with_capacity(4 + body.len());
@@ -153,6 +165,9 @@ fn parse_body(body: &[u8]) -> Result<Frame> {
                 payload: rest[10..].to_vec(),
             })
         }
+        TAG_GOSSIP => Ok(Frame::Gossip {
+            snapshot: rest.to_vec(),
+        }),
         other => Err(Error::Protocol(format!("unknown frame tag {other}"))),
     }
 }
@@ -237,6 +252,10 @@ mod tests {
             from: 0,
             payload: vec![],
         });
+        roundtrip(Frame::Gossip {
+            snapshot: b"ASNP-ish".to_vec(),
+        });
+        roundtrip(Frame::Gossip { snapshot: vec![] });
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub(crate) fn accept_loop(
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     let mut panics: Vec<String> = Vec::new();
     let mut conn_index = 0u64;
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown addr>".to_string());
     loop {
         let (stream, _peer) = match listener.accept() {
             Ok(conn) => conn,
@@ -51,7 +55,12 @@ pub(crate) fn accept_loop(
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                return Err(Error::Io(e));
+                // name who failed and where: multi-process bring-up
+                // failures must be attributable to a specific daemon
+                return Err(Error::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("{label}: accept failed on {local}: {e}"),
+                )));
             }
         };
         if shutdown.load(Ordering::SeqCst) {

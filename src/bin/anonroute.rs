@@ -8,8 +8,11 @@
 //! anonroute frontier --n 100 --c 1 --max-mean 20
 //! anonroute campaign --n 50,100,200 --c 1..=5 --strategies fixed:1,uniform:2:8
 //! anonroute cluster  --n 12 --c 1 --dist uniform:1:4 --messages 400
+//! anonroute dird     --listen 127.0.0.1:9030 --receiver 127.0.0.1:9100
 //! anonroute relay    --directory net.dir --id 0
+//! anonroute relay    --authority 127.0.0.1:9030 --id 0
 //! anonroute send     --directory net.dir --sender 3 --dist fixed:3
+//! anonroute send     --authority 127.0.0.1:9030 --sender 3 --dist fixed:3
 //! ```
 
 use std::collections::HashMap;
@@ -24,8 +27,9 @@ use anonroute::prelude::*;
 use anonroute::protocols::onion_routing::onion_network;
 use anonroute::protocols::RouteSampler;
 use anonroute::relay::{
-    run_cluster, Client, ClusterConfig, Directory, LinkTap, PendingRelay, ReceiverServer,
-    RelayConfig, DEFAULT_CELL_SIZE,
+    run_cluster, AuthorityClient, AuthorityServer, Client, ClusterConfig, Directory, DirectoryCell,
+    GossipConfig, GossipRunner, LinkTap, MembershipChange, NetworkView, PendingRelay,
+    ReceiverServer, Relay, RelayConfig, RelayDescriptor, DEFAULT_CELL_SIZE,
 };
 use anonroute::sim::traffic::UniformTraffic;
 use anonroute::sim::{Endpoint, LatencyModel, MsgId, SimTime, Simulation};
@@ -55,15 +59,26 @@ COMMANDS:
                --n <nodes> --c <compromised> --dist <spec>
                [--messages 400] [--seed 7] [--cell 2048]
                [--payload-len 16] [--cyclic]
+    dird       run the directory authority: signed, versioned relay
+               descriptors with join/leave tracking and gossip bootstrap
+               --receiver <addr> [--listen 127.0.0.1:9030]
+               [--net-seed <str>] [--lease-ms 0]
+               (--lease-ms > 0 expires members that stop heartbeating)
     relay      run one standalone TCP relay daemon against a directory
                --directory <file> --id <id>
                [--net-seed <str>] [--cell 2048] [--seed 7]
                [--metrics-addr 127.0.0.1:9464]
                (--receiver instead of --id runs the destination server)
+               --authority <addr> replaces the static --directory file:
+               the relay publishes its signed descriptor, learns the
+               topology from the authority plus peer gossip, and drops
+               departed peers by connection health
+               [--listen 127.0.0.1:0] picks the advertised bind address
     send       build onion circuits and send payloads over a live net
                --directory <file> --sender <id> --dist <spec>
                [--net-seed <str>] [--count 1] [--payload <text>]
                [--seed 7] [--cell 2048] [--cyclic]
+               (--authority <addr> fetches the directory instead)
     campaign   evaluate a declarative scenario grid in parallel
                --n <list> --c <list> --strategies <list>
                [--paths simple,cyclic] [--engines exact,mc,sim,live]
@@ -73,7 +88,7 @@ COMMANDS:
                [--mc-samples 20000] [--messages 1500]
                [--sim-max-n 1000000]
                [--live-messages 300] [--live-timeout 120000]
-               [--live-max-n 64] [--live-cell 1024]
+               [--live-max-n 64] [--live-cell 1024] [--shared]
                [--out <basename>] [--timing]
                [--progress] [--metrics-addr 127.0.0.1:0]
                [--trace-out trace.json]
@@ -81,6 +96,9 @@ COMMANDS:
                writes <basename>.jsonl, <basename>.csv,
                <basename>_timings.csv, <basename>_manifest.json
                `live` cells boot a real loopback TCP relay cluster per cell
+               --shared boots one long-running network for the whole
+               sweep instead (circuits re-keyed per cell; trace shape
+               is unchanged per seed but timestamps differ)
                epochs > 1 runs the multi-round intersection adversary:
                persistent sessions, per-epoch compromised-set rotation,
                node churn, and cumulative anonymity-decay scoring
@@ -136,6 +154,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "campaign" => cmd_campaign(&flags),
         "manifest-check" => cmd_manifest_check(&flags),
         "cluster" => cmd_cluster(&flags),
+        "dird" => cmd_dird(&flags),
         "relay" => cmd_relay(&flags),
         "send" => cmd_send(&flags),
         other => Err(format!("unknown command `{other}`")),
@@ -144,18 +163,24 @@ fn run(args: &[String]) -> Result<(), String> {
 
 type Flags = HashMap<String, String>;
 
-/// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["cyclic", "timing", "receiver", "progress"];
+/// Flags that may appear without a value (`relay --receiver`). They
+/// still accept one when the next token is not a flag, which is how
+/// `dird --receiver <addr>` names the delivery endpoint.
+const BOOLEAN_FLAGS: &[&str] = &["cyclic", "timing", "receiver", "progress", "shared"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = HashMap::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{a}`"));
         };
         if BOOLEAN_FLAGS.contains(&name) {
-            flags.insert(name.to_string(), "true".to_string());
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), value);
             continue;
         }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
@@ -438,22 +463,116 @@ fn cmd_cluster(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn directory_from(flags: &Flags) -> Result<(Directory, Vec<u8>), String> {
-    let path: String = require(flags, "directory")?;
+fn net_seed_from(flags: &Flags) -> Result<Vec<u8>, String> {
     let net_seed: String = get(flags, "net-seed", "anonroute-net".to_string())?;
+    Ok(net_seed.into_bytes())
+}
+
+fn authority_client(flags: &Flags) -> Result<AuthorityClient, String> {
+    let addr: String = require(flags, "authority")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("--authority: `{addr}` is not a socket address ({e})"))?;
+    Ok(AuthorityClient::new(addr))
+}
+
+/// Resolves the routable directory either from a static `--directory`
+/// file or by fetching the current snapshot from `--authority`.
+fn directory_from(flags: &Flags) -> Result<(Directory, Vec<u8>), String> {
+    let net_seed = net_seed_from(flags)?;
+    if flags.contains_key("authority") {
+        let client = authority_client(flags)?;
+        let receiver = client.receiver().map_err(|e| e.to_string())?;
+        let mut view = NetworkView::new(&net_seed, receiver);
+        if let Some(snapshot) = client.fetch(0).map_err(|e| e.to_string())? {
+            view.merge_snapshot(&snapshot).map_err(|e| e.to_string())?;
+        }
+        let directory = view.to_directory().map_err(|e| {
+            format!(
+                "the authority view is not routable yet (members {:?}): {e}",
+                view.member_ids()
+            )
+        })?;
+        return Ok((directory, net_seed));
+    }
+    let path: String = require(flags, "directory")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("--directory {path}: {e}"))?;
-    let directory = Directory::parse(&text, net_seed.as_bytes()).map_err(|e| e.to_string())?;
-    Ok((directory, net_seed.into_bytes()))
+    let directory = Directory::parse(&text, &net_seed).map_err(|e| e.to_string())?;
+    Ok((directory, net_seed))
+}
+
+fn cmd_dird(flags: &Flags) -> Result<(), String> {
+    let listen: String = get(flags, "listen", "127.0.0.1:9030".to_string())?;
+    let net_seed = net_seed_from(flags)?;
+    let receiver: std::net::SocketAddr = require(flags, "receiver")?;
+    let lease_ms: u64 = get(flags, "lease-ms", 0)?;
+    let lease = (lease_ms > 0).then(|| std::time::Duration::from_millis(lease_ms));
+    let server =
+        AuthorityServer::spawn(&listen, &net_seed, receiver, lease).map_err(|e| e.to_string())?;
+    match lease {
+        Some(lease) => println!(
+            "directory authority on {} (receiver {receiver}, lease {}ms; ctrl-c to stop)",
+            server.addr(),
+            lease.as_millis()
+        ),
+        None => println!(
+            "directory authority on {} (receiver {receiver}, no lease expiry; ctrl-c to stop)",
+            server.addr()
+        ),
+    }
+    let mut since = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        for ev in server.events_since(since) {
+            since = ev.version;
+            let kind = match ev.kind {
+                MembershipChange::Joined => "joined",
+                MembershipChange::Left => "left",
+            };
+            println!(
+                "v{}: relay {} {kind} ({} members)",
+                ev.version,
+                ev.id,
+                server.member_ids().len()
+            );
+        }
+    }
+}
+
+/// Serves `/metrics` for a relay daemon when `--metrics-addr` is set.
+fn relay_obs(flags: &Flags, relay: &Relay, id: usize) -> Result<Option<ObsServer>, String> {
+    let Some(addr) = flags.get("metrics-addr") else {
+        return Ok(None);
+    };
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| format!("--metrics-addr: `{addr}` is not a socket address ({e})"))?;
+    relay.register_metrics(Registry::global());
+    let health = std::sync::Arc::new(Health::new());
+    health.set_ready(true);
+    health.set_status(format!("relay {id} serving"));
+    let server = ObsServer::serve(addr, Registry::global(), health).map_err(|e| e.to_string())?;
+    println!("metrics: http://{}/metrics", server.addr());
+    Ok(Some(server))
 }
 
 fn cmd_relay(flags: &Flags) -> Result<(), String> {
-    let (directory, net_seed) = directory_from(flags)?;
     let cell_size: usize = get(flags, "cell", DEFAULT_CELL_SIZE)?;
     let seed: u64 = get(flags, "seed", 7)?;
 
     if flags.contains_key("receiver") {
+        // the delivery endpoint comes from the static directory file or,
+        // in authority mode, from the authority itself — which answers
+        // before any relay has joined
+        let receiver_addr = if flags.contains_key("authority") {
+            authority_client(flags)?
+                .receiver()
+                .map_err(|e| e.to_string())?
+        } else {
+            directory_from(flags)?.0.receiver()
+        };
         let server = ReceiverServer::spawn_at(
-            directory.receiver(),
+            receiver_addr,
             LinkTap::new(),
             std::time::Duration::from_millis(200),
         )
@@ -476,6 +595,11 @@ fn cmd_relay(flags: &Flags) -> Result<(), String> {
         }
     }
 
+    if flags.contains_key("authority") {
+        return relay_via_authority(flags, cell_size, seed);
+    }
+
+    let (directory, net_seed) = directory_from(flags)?;
     let id: usize = require(flags, "id")?;
     let info = directory
         .node(id)
@@ -493,22 +617,87 @@ fn cmd_relay(flags: &Flags) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let relay = pending.serve(std::sync::Arc::new(directory), LinkTap::new(), seed);
     println!("relay {id} listening on {} (ctrl-c to stop)", relay.addr());
-    let _obs = match flags.get("metrics-addr") {
-        Some(addr) => {
-            let addr: std::net::SocketAddr = addr
-                .parse()
-                .map_err(|e| format!("--metrics-addr: `{addr}` is not a socket address ({e})"))?;
-            relay.register_metrics(Registry::global());
-            let health = std::sync::Arc::new(Health::new());
-            health.set_ready(true);
-            health.set_status(format!("relay {id} serving"));
-            let server =
-                ObsServer::serve(addr, Registry::global(), health).map_err(|e| e.to_string())?;
-            println!("metrics: http://{}/metrics", server.addr());
-            Some(server)
+    let _obs = relay_obs(flags, &relay, id)?;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `relay --authority`: join the network by publishing a signed
+/// descriptor, learn the topology from the authority plus peer gossip,
+/// and serve against the hot-swappable directory.
+fn relay_via_authority(flags: &Flags, cell_size: usize, seed: u64) -> Result<(), String> {
+    let net_seed = net_seed_from(flags)?;
+    let id: usize = require(flags, "id")?;
+    let listen: std::net::SocketAddr =
+        get(flags, "listen", "127.0.0.1:0".parse().expect("static addr"))?;
+    let client = authority_client(flags)?;
+    let receiver = client.receiver().map_err(|e| e.to_string())?;
+
+    let identity = NodeIdentity::derive(&net_seed, id as u64);
+    let pending = PendingRelay::bind_to(
+        id,
+        identity,
+        listen,
+        RelayConfig {
+            cell_size,
+            ..RelayConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = pending.addr();
+
+    // join: the descriptor version must beat any tombstone or stale
+    // descriptor the authority remembers for this id, and every
+    // accepted change bumps the view version, so view+1 always wins
+    let version = client.ping().map_err(|e| e.to_string())? + 1;
+    let me = RelayDescriptor::derive(&net_seed, id as u64, addr, version).sign(&net_seed);
+    client.publish(&me).map_err(|e| e.to_string())?;
+
+    // the onion format routes by dense directory index, so wait until
+    // every lower id has joined before serving
+    let mut view = NetworkView::new(&net_seed, receiver);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let directory = loop {
+        if let Ok(Some(snapshot)) = client.fetch(0) {
+            let _ = view.merge_snapshot(&snapshot);
         }
-        None => None,
+        match view.to_directory() {
+            Ok(d) if d.n() > id => break d,
+            _ if std::time::Instant::now() > deadline => {
+                return Err(format!(
+                    "relay {id}: the authority view never became routable \
+                     (need dense ids 0..={id}; have members {:?})",
+                    view.member_ids()
+                ))
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(200)),
+        }
     };
+
+    let cell = DirectoryCell::new(directory);
+    let view = std::sync::Arc::new(std::sync::Mutex::new(view));
+    let relay = pending.serve_dynamic(
+        cell.clone(),
+        std::sync::Arc::clone(&view),
+        LinkTap::new(),
+        seed,
+    );
+    let _gossip = GossipRunner::spawn(
+        me,
+        net_seed,
+        view,
+        cell,
+        Some(client),
+        GossipConfig::default(),
+        seed,
+    );
+    println!(
+        "relay {id} listening on {} (topology via authority at {}; ctrl-c to stop)",
+        relay.addr(),
+        require::<String>(flags, "authority")?
+    );
+    let _obs = relay_obs(flags, &relay, id)?;
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
@@ -607,6 +796,9 @@ fn cmd_campaign(flags: &Flags) -> Result<(), String> {
     config.live_timeout_ms = get(flags, "live-timeout", config.live_timeout_ms)?;
     config.live_max_n = get(flags, "live-max-n", config.live_max_n)?;
     config.live_cell_size = get(flags, "live-cell", config.live_cell_size)?;
+    if flags.contains_key("shared") {
+        config.live_shared = true;
+    }
     if flags.contains_key("progress") {
         config.progress = true;
     }
@@ -730,6 +922,26 @@ mod tests {
     }
 
     #[test]
+    fn boolean_flags_accept_an_optional_value() {
+        // `relay --receiver` (bare) vs `dird --receiver <addr>` (valued)
+        let bare: Vec<String> = ["--receiver", "--net-seed", "s"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = parse_flags(&bare).unwrap();
+        assert_eq!(flags.get("receiver").unwrap(), "true");
+        assert_eq!(flags.get("net-seed").unwrap(), "s");
+
+        let valued: Vec<String> = ["--receiver", "127.0.0.1:9100", "--shared"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = parse_flags(&valued).unwrap();
+        assert_eq!(flags.get("receiver").unwrap(), "127.0.0.1:9100");
+        assert_eq!(flags.get("shared").unwrap(), "true");
+    }
+
+    #[test]
     fn commands_run_end_to_end() {
         let flags = |pairs: &[(&str, &str)]| -> Flags {
             pairs
@@ -817,6 +1029,100 @@ mod tests {
     }
 
     #[test]
+    fn send_delivers_against_an_authority_backed_network() {
+        use anonroute::relay::NodeInfo;
+        let net_seed = b"anonroute-cli-authority-test";
+        let tap = LinkTap::new();
+        let receiver = ReceiverServer::spawn(tap.clone(), std::time::Duration::from_millis(100))
+            .expect("receiver");
+        let pendings: Vec<PendingRelay> = (0..3)
+            .map(|id| {
+                PendingRelay::bind(
+                    id,
+                    NodeIdentity::derive(net_seed, id as u64),
+                    RelayConfig::default(),
+                )
+                .expect("bind")
+            })
+            .collect();
+        let nodes: Vec<NodeInfo> = pendings
+            .iter()
+            .map(|p| NodeInfo {
+                id: p.id(),
+                addr: p.addr(),
+                public: p.public(),
+            })
+            .collect();
+        let directory =
+            std::sync::Arc::new(Directory::new(nodes.clone(), receiver.addr()).expect("directory"));
+        let _relays: Vec<Relay> = pendings
+            .into_iter()
+            .map(|p| p.serve(std::sync::Arc::clone(&directory), tap.clone(), 7))
+            .collect();
+
+        // publish the same topology at an authority, then send with no
+        // static directory file at all
+        let authority =
+            AuthorityServer::spawn("127.0.0.1:0", net_seed, receiver.addr(), None).expect("spawn");
+        let client = AuthorityClient::new(authority.addr());
+        for node in &nodes {
+            let desc = RelayDescriptor::derive(net_seed, node.id as u64, node.addr, 1);
+            client.publish(&desc.sign(net_seed)).expect("publish");
+        }
+        cmd_send(&flag_map(&[
+            ("authority", &authority.addr().to_string()),
+            ("net-seed", "anonroute-cli-authority-test"),
+            ("sender", "0"),
+            ("dist", "fixed:1"),
+            ("count", "2"),
+        ]))
+        .unwrap();
+        assert!(
+            receiver.wait_for(2, std::time::Duration::from_secs(10)),
+            "both onion messages must arrive"
+        );
+
+        // an unreachable authority errors cleanly
+        let dead = authority.addr().to_string();
+        authority.shutdown();
+        let err = cmd_send(&flag_map(&[
+            ("authority", &dead),
+            ("sender", "0"),
+            ("dist", "fixed:1"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("directory authority"), "{err}");
+    }
+
+    #[test]
+    fn campaign_runs_a_shared_live_sweep_from_flags() {
+        let dir = std::env::temp_dir().join("anonroute-cli-campaign-shared-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = dir.join("shared");
+        let flags = flag_map(&[
+            ("n", "5,6"),
+            ("c", "1"),
+            ("strategies", "fixed:1"),
+            ("engines", "live"),
+            ("live-messages", "40"),
+            ("shared", "true"),
+            ("out", out.to_str().unwrap()),
+        ]);
+        cmd_campaign(&flags).unwrap();
+        let jsonl = std::fs::read_to_string(out.with_extension("jsonl")).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(!jsonl.contains("\"status\":\"error\""), "{jsonl}");
+        let manifest = std::fs::read_to_string(dir.join("shared_manifest.json")).unwrap();
+        assert!(manifest.contains("\"live_shared\": true"), "{manifest}");
+        cmd_manifest_check(&flag_map(&[(
+            "file",
+            dir.join("shared_manifest.json").to_str().unwrap(),
+        )]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn campaign_runs_end_to_end_from_flags() {
         let dir = std::env::temp_dir().join("anonroute-cli-campaign-test");
         let _ = std::fs::remove_dir_all(&dir);
@@ -857,7 +1163,8 @@ mod tests {
         cmd_campaign(&flags).unwrap();
         let manifest_path = dir.join("obs_manifest.json");
         let text = std::fs::read_to_string(&manifest_path).unwrap();
-        assert!(text.contains("anonroute-campaign-manifest/v2"), "{text}");
+        assert!(text.contains("anonroute-campaign-manifest/v3"), "{text}");
+        assert!(text.contains("\"live_shared\": false"), "{text}");
         assert!(text.contains("\"ok\": 1"), "{text}");
         assert!(text.contains("\"errors\": 1"), "F(40) infeasible: {text}");
         cmd_manifest_check(&flag_map(&[("file", manifest_path.to_str().unwrap())])).unwrap();
